@@ -1,0 +1,81 @@
+// Ablation bench: how much each modeling device contributes.
+//
+// The paper introduces four devices — binning (§3.4), model composition
+// (§3.5), the anchor adjustment (§4.1) and (our refinement) communication
+// scaling by processors instead of processes. This bench rebuilds the
+// Basic-family estimator with each device disabled and reports the
+// best-configuration selection errors across the evaluation sizes.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace hetsched;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  core::BuilderOptions opts;
+};
+
+void report(bench::Campaign& c, const Variant& v) {
+  const core::Estimator est = c.build(measure::basic_plan(), v.opts);
+  double worst = 0, sum = 0;
+  const std::vector<int> ns{3200, 4800, 6400, 8000, 9600};
+  Table t({"N", "est best", "sel err", "est err"});
+  for (const int n : ns) {
+    const measure::EvalRow row =
+        measure::evaluate_at(est, c.runner, c.space, n);
+    worst = std::max(worst, row.selection_error());
+    sum += row.selection_error();
+    t.row()
+        .integer(n)
+        .cell(bench::paper_quadruple(row.estimated_best))
+        .num(row.selection_error(), 3)
+        .num(row.estimate_error(), 3);
+  }
+  print_banner(std::cout, "Ablation — " + v.name);
+  t.print(std::cout);
+  std::cout << "  worst selection error "
+            << format_fixed(worst, 3) << ", mean "
+            << format_fixed(sum / static_cast<double>(ns.size()), 3) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Each paper component removed in turn (Basic family); "
+               "larger selection errors = the component matters.\n";
+  bench::Campaign c;
+
+  std::vector<Variant> variants;
+  variants.push_back({"full estimator", {}});
+  {
+    Variant v{"no binning (P-T everywhere)", {}};
+    v.opts.estimator.use_binning = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no adjustment (raw models)", {}};
+    v.opts.estimator.use_adjustment = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no memory bin (paging unguarded)", {}};
+    v.opts.estimator.check_memory = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"comm scaled by processes (paper's P)", {}};
+    v.opts.estimator.comm_uses_processors = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"composition comm from same-m family", {}};
+    v.opts.compose_comm_from_m1 = false;
+    variants.push_back(v);
+  }
+
+  for (const auto& v : variants) report(c, v);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Shared scaffolding for the paper-reproduction bench binaries.
+//
+// Every binary prints (a) what the paper reported and (b) what this
+// reproduction measures, through the same Table renderer, so the outputs
+// can be compared side by side and diffed between runs.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/model_builder.hpp"
+#include "core/optimizer.hpp"
+#include "measure/evaluation.hpp"
+#include "measure/plan.hpp"
+#include "measure/runner.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace hetsched::bench {
+
+/// One measurement campaign: the paper's cluster, a shared run cache, and
+/// the evaluation configuration space.
+struct Campaign {
+  cluster::ClusterSpec spec = cluster::paper_cluster();
+  measure::Runner runner{spec};
+  core::ConfigSpace space = core::ConfigSpace::paper_eval();
+
+  core::Estimator build(const measure::MeasurementPlan& plan,
+                        core::BuilderOptions opts = {}) {
+    const core::MeasurementSet ms = runner.run_plan(plan);
+    return core::ModelBuilder(spec, opts).build(ms);
+  }
+};
+
+/// Formats a configuration in the paper's quadruple notation
+/// "P1,M1,P2,M2".
+inline std::string paper_quadruple(const cluster::Config& cfg) {
+  int p1 = 0, m1 = 0, p2 = 0, m2 = 0;
+  for (const auto& u : cfg.usage) {
+    if (u.kind == cluster::athlon_1330().name) {
+      p1 = u.pes;
+      m1 = u.procs_per_pe;
+    } else if (u.kind == cluster::pentium2_400().name) {
+      p2 = u.pes;
+      m2 = u.procs_per_pe;
+    }
+  }
+  return std::to_string(p1) + "," + std::to_string(m1) + "," +
+         std::to_string(p2) + "," + std::to_string(m2);
+}
+
+/// Emits a Table-4/7/9-style error table for one model family.
+inline void print_error_table(Campaign& c, const core::Estimator& est,
+                              const std::vector<int>& eval_ns,
+                              const std::string& title) {
+  print_banner(std::cout, title);
+  Table t({"N", "est best (P1,M1,P2,M2)", "tau", "tau^", "actual best",
+           "T^", "(tau-T^)/T^", "(tau^-T^)/T^"});
+  for (const int n : eval_ns) {
+    const measure::EvalRow row = measure::evaluate_at(est, c.runner, c.space, n);
+    t.row()
+        .integer(n)
+        .cell(paper_quadruple(row.estimated_best))
+        .num(row.tau, 1)
+        .num(row.tau_hat, 1)
+        .cell(paper_quadruple(row.actual_best))
+        .num(row.t_hat, 1)
+        .num(row.estimate_error(), 3)
+        .num(row.selection_error(), 3);
+  }
+  t.print(std::cout);
+}
+
+/// Emits a Fig-6..15-style correlation listing plus its summary line.
+inline void print_correlation(Campaign& c, const core::Estimator& est, int n,
+                              const std::string& title) {
+  print_banner(std::cout, title);
+  const auto pts = measure::correlation(est, c.runner, c.space, n);
+  Table t({"config (P1,M1,P2,M2)", "M1", "T estimate [s]",
+           "t measurement [s]", "t/T"});
+  for (const auto& p : pts) {
+    t.row()
+        .cell(paper_quadruple(p.config))
+        .integer(p.fast_kind_m)
+        .num(p.estimate, 2)
+        .num(p.measurement, 2)
+        .num(p.measurement / p.estimate, 3);
+  }
+  t.print(std::cout);
+
+  std::vector<double> xs, ys;
+  for (const auto& p : pts) {
+    xs.push_back(p.estimate);
+    ys.push_back(p.measurement);
+  }
+  const stats::Line line = stats::fit_line(xs, ys);
+  std::cout << "\n  points on the T = t diagonal would give slope 1, "
+               "intercept 0\n  fit: t = "
+            << format_fixed(line.slope, 3) << " * T + "
+            << format_fixed(line.intercept, 2)
+            << "   (r^2 = " << format_fixed(line.r2, 4)
+            << ", mean |t-T|/t = "
+            << format_fixed(stats::mean_relative_error(xs, ys), 3) << ")\n";
+}
+
+}  // namespace hetsched::bench

@@ -1,0 +1,80 @@
+// Extension bench: 1xP vs 2-D process grids (paper §3.1 claims the
+// scheme extends "to any other process grid"; it only evaluates 1xP).
+//
+// On the paper's small cluster the 1xP grid is competitive — that is why
+// the restriction costs the paper little. This bench quantifies it, and
+// shows where the 2-D grid starts paying: larger homogeneous clusters
+// where the length-P broadcast ring dominates.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hpl/cost_engine.hpp"
+#include "hpl/cost_engine_2d.hpp"
+
+using namespace hetsched;
+
+namespace {
+
+double t_1d(const cluster::ClusterSpec& spec, const cluster::Config& cfg,
+            int n) {
+  hpl::HplParams p;
+  p.n = n;
+  return hpl::run_cost(spec, cfg, p).makespan;
+}
+
+double t_2d(const cluster::ClusterSpec& spec, const cluster::Config& cfg,
+            int n, int pr) {
+  hpl::Hpl2dParams p;
+  p.n = n;
+  p.pr = pr;
+  return hpl::run_cost_2d(spec, cfg, p).makespan;
+}
+
+cluster::ClusterSpec big_p2_cluster(int nodes) {
+  cluster::ClusterSpec spec;
+  for (int i = 0; i < nodes; ++i)
+    spec.nodes.push_back(
+        cluster::NodeSpec{cluster::pentium2_400(), 2, 768 * kMiB});
+  spec.noise_sigma = 0.0;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "1xP vs Pr x Pc process grids (same HPL, same cluster).\n";
+
+  {
+    cluster::ClusterSpec spec = cluster::paper_cluster();
+    spec.noise_sigma = 0.0;
+    print_banner(std::cout, "Paper cluster (8 Pentium-II PEs)");
+    Table t({"N", "1x8 [s]", "2x4 [s]", "2x4 / 1x8"});
+    const cluster::Config cfg = cluster::Config::paper(0, 0, 8, 1);
+    for (const int n : {1600, 3200, 4800, 6400}) {
+      const double a = t_1d(spec, cfg, n);
+      const double b = t_2d(spec, cfg, n, 2);
+      t.row().integer(n).num(a, 1).num(b, 1).num(b / a, 3);
+    }
+    t.print(std::cout);
+  }
+
+  {
+    const cluster::ClusterSpec spec = big_p2_cluster(18);  // 36 PEs
+    print_banner(std::cout, "Large homogeneous cluster (36 PEs)");
+    cluster::Config cfg;
+    cfg.usage.push_back(
+        cluster::KindUsage{cluster::pentium2_400().name, 36, 1});
+    Table t({"N", "1x36 [s]", "6x6 [s]", "6x6 / 1x36"});
+    for (const int n : {3200, 6400, 9600}) {
+      const double a = t_1d(spec, cfg, n);
+      const double b = t_2d(spec, cfg, n, 6);
+      t.row().integer(n).num(a, 1).num(b, 1).num(b / a, 3);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n  on 8 PEs the grids are close (the paper's 1xP "
+               "restriction is cheap); at 36 PEs the 2-D grid's shorter "
+               "broadcast rings win clearly.\n";
+  return 0;
+}

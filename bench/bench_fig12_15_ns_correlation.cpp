@@ -1,0 +1,28 @@
+// Reproduces Figs 12-15: NS-model correlations at N = 1600 (in range:
+// tolerable) and N = 6400 (extrapolated: residual deviation that the
+// linear adjustment can no longer compensate).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace hetsched;
+
+int main() {
+  std::cout << "Paper Figs 12-15: NS fits N = 1600 tolerably; at N = 6400 "
+               "the extrapolation deviates beyond what a linear transform "
+               "can repair.\n";
+  bench::Campaign c;
+  core::Estimator est = c.build(measure::ns_plan());
+
+  est.options().use_adjustment = false;
+  bench::print_correlation(c, est, 1600,
+                           "Fig 12 — NS before adjustment (N = 1600)");
+  bench::print_correlation(c, est, 6400,
+                           "Fig 14 — NS before adjustment (N = 6400)");
+  est.options().use_adjustment = true;
+  bench::print_correlation(c, est, 1600,
+                           "Fig 13 — NS after adjustment (N = 1600)");
+  bench::print_correlation(c, est, 6400,
+                           "Fig 15 — NS after adjustment (N = 6400)");
+  return 0;
+}

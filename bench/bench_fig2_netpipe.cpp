@@ -1,0 +1,32 @@
+// Reproduces Fig 2: NetPIPE throughput between two processes on the same
+// processor for MPICH 1.2.1 vs 1.2.2.
+//
+// Paper shape: 1.2.2 plateaus near 2.2 Gb/s, 1.2.1 near 0.4 Gb/s — the
+// fact that explains Fig 1's multiprocessing collapse.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "mpisim/netpipe.hpp"
+
+using namespace hetsched;
+
+int main() {
+  std::cout << "Paper Fig 2: intra-node plateaus ~0.4 Gb/s (1.2.1) vs "
+               "~2.2 Gb/s (1.2.2).\n";
+  const std::vector<Bytes> blocks{1 * kKiB,  2 * kKiB,  4 * kKiB,  8 * kKiB,
+                                  16 * kKiB, 32 * kKiB, 64 * kKiB, 128 * kKiB};
+  for (const auto& profile : {cluster::mpich_121(), cluster::mpich_122()}) {
+    const cluster::ClusterSpec spec = cluster::paper_cluster(profile);
+    print_banner(std::cout, "Fig 2 — NetPIPE loopback, " + profile.name);
+    Table t({"block [KiB]", "round trip [us]", "throughput [Gb/s]"});
+    for (const auto& pt :
+         mpisim::run_netpipe(spec, blocks, /*intra_node=*/true)) {
+      t.row()
+          .num(pt.block_size / kKiB, 0)
+          .num(pt.round_trip * 1e6, 1)
+          .num(pt.throughput * 8.0 / 1e9, 3);
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Fig 3: HPL performance of heterogeneous configurations.
+//
+//  (a) load imbalance: "Ath x 1 + P2 x 4" with equal distribution performs
+//      like "P2 x 5" (the Athlon waits), and the lone Athlon falls off a
+//      cliff at N = 10000 (memory shortage);
+//  (b) multiprocessing repairs the imbalance at large N: n = 4 processes
+//      on the Athlon reach most of the cluster peak, while small N favors
+//      fewer processes.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hpl/cost_engine.hpp"
+
+using namespace hetsched;
+
+namespace {
+
+double gflops(const cluster::ClusterSpec& spec, const cluster::Config& cfg,
+              int n) {
+  hpl::HplParams params;
+  params.n = n;
+  return hpl::run_cost(spec, cfg, params).gflops();
+}
+
+}  // namespace
+
+int main() {
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  const std::vector<int> ns{1000, 2000, 3000, 5000, 7000, 8000, 10000};
+
+  std::cout << "Paper Fig 3(a): Ath+4xP2 ~= P2x5 (imbalance wastes the "
+               "Athlon); lone Athlon collapses at N = 10000.\n";
+  print_banner(std::cout, "Fig 3(a) — load imbalance [Gflops]");
+  {
+    Table t({"N", "Athlon x 1", "Ath x 1 + P2 x 4", "P2 x 5"});
+    for (const int n : ns) {
+      t.row()
+          .integer(n)
+          .num(gflops(spec, cluster::Config::paper(1, 1, 0, 0), n), 3)
+          .num(gflops(spec, cluster::Config::paper(1, 1, 4, 1), n), 3)
+          .num(gflops(spec, cluster::Config::paper(0, 0, 5, 1), n), 3);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nPaper Fig 3(b): n = 4 wins at N = 10000 (~77 % of the "
+               "2.2 Gflops peak); small N favors small n.\n";
+  print_banner(std::cout, "Fig 3(b) — multiprocess fix [Gflops]");
+  {
+    Table t({"N", "Athlon x 1", "n=1", "n=2", "n=3", "n=4"});
+    for (const int n : ns) {
+      auto& row = t.row();
+      row.integer(n).num(
+          gflops(spec, cluster::Config::paper(1, 1, 0, 0), n), 3);
+      for (int m = 1; m <= 4; ++m)
+        row.num(gflops(spec, cluster::Config::paper(1, m, 4, 1), n), 3);
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces Figs 8-11: NL-model correlation between estimates and
+// measurements at N = 1600 and N = 6400, before and after adjustment.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace hetsched;
+
+int main() {
+  std::cout << "Paper Figs 8-11: NL model correlations at N = 1600 and "
+               "6400; systematic deviation before adjustment, diagonal "
+               "after.\n";
+  bench::Campaign c;
+  core::Estimator est = c.build(measure::nl_plan());
+
+  est.options().use_adjustment = false;
+  bench::print_correlation(c, est, 1600,
+                           "Fig 8 — NL before adjustment (N = 1600)");
+  bench::print_correlation(c, est, 6400,
+                           "Fig 9 — NL before adjustment (N = 6400)");
+  est.options().use_adjustment = true;
+  bench::print_correlation(c, est, 1600,
+                           "Fig 10 — NL after adjustment (N = 1600)");
+  bench::print_correlation(c, est, 6400,
+                           "Fig 11 — NL after adjustment (N = 6400)");
+  return 0;
+}

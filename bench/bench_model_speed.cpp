@@ -1,0 +1,82 @@
+// Reproduces the paper's model-handling speed claims (§4.1-§4.2):
+//   * constructing all models from the measurements: 0.69 ms (Basic, 54
+//     configurations) / 0.52 ms (NL, 30 configurations) on an AthlonXP,
+//   * estimating the 62 evaluation configurations: ~35 ms / ~26.4 ms.
+//
+// Modern hardware is far faster; the claim to verify is that model
+// construction and estimation are *negligible* next to measurement time.
+#include <benchmark/benchmark.h>
+
+#include "core/model_builder.hpp"
+#include "core/optimizer.hpp"
+#include "measure/plan.hpp"
+#include "measure/runner.hpp"
+
+namespace {
+
+using namespace hetsched;
+
+const core::MeasurementSet& basic_measurements() {
+  static const core::MeasurementSet ms = [] {
+    measure::Runner runner(cluster::paper_cluster());
+    return runner.run_plan(measure::basic_plan());
+  }();
+  return ms;
+}
+
+const core::Estimator& basic_estimator() {
+  static const core::Estimator est =
+      core::ModelBuilder(cluster::paper_cluster()).build(basic_measurements());
+  return est;
+}
+
+void BM_ModelConstruction(benchmark::State& state) {
+  const core::MeasurementSet& ms = basic_measurements();
+  core::ModelBuilder builder(cluster::paper_cluster());
+  for (auto _ : state) {
+    core::Estimator est = builder.build(ms);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_ModelConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_EstimateFullEvaluationSpace(benchmark::State& state) {
+  const core::Estimator& est = basic_estimator();
+  const core::ConfigSpace space = core::ConfigSpace::paper_eval();
+  const std::vector<cluster::Config> configs = space.all();
+  for (auto _ : state) {
+    double sum = 0;
+    for (const auto& cfg : configs)
+      if (est.covers(cfg)) sum += est.estimate(cfg, 6400);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_EstimateFullEvaluationSpace)->Unit(benchmark::kMicrosecond);
+
+void BM_SingleEstimate(benchmark::State& state) {
+  const core::Estimator& est = basic_estimator();
+  const cluster::Config cfg = cluster::Config::paper(1, 3, 8, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(est.estimate(cfg, 6400));
+}
+BENCHMARK(BM_SingleEstimate);
+
+void BM_ExhaustiveSearch(benchmark::State& state) {
+  const core::Estimator& est = basic_estimator();
+  const core::ConfigSpace space = core::ConfigSpace::paper_eval();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::best_exhaustive(est, space, 6400));
+}
+BENCHMARK(BM_ExhaustiveSearch)->Unit(benchmark::kMicrosecond);
+
+void BM_GreedySearch(benchmark::State& state) {
+  const core::Estimator& est = basic_estimator();
+  const core::ConfigSpace space = core::ConfigSpace::paper_eval();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::best_greedy(est, space, 6400));
+}
+BENCHMARK(BM_GreedySearch)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

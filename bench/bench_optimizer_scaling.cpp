@@ -1,0 +1,98 @@
+// Extension bench (paper §5 future work): search-space reduction.
+//
+// The paper enumerates all candidates (62 on its cluster) and notes that
+// larger clusters need heuristics. This bench grows a synthetic candidate
+// space (more PE kinds, wider PE/process ranges) and compares exhaustive
+// search against coordinate hill-climbing: estimator calls spent and
+// quality of the found configuration.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace hetsched;
+
+namespace {
+
+// A synthetic convex-ish estimator over `kinds` PE kinds: kind k is
+// (1 + k/2)x slower than kind 0; communication cost grows with Q.
+core::Estimator synthetic_estimator(const cluster::ClusterSpec& spec,
+                                    int kinds, int max_pes, int max_m) {
+  core::EstimatorOptions opts;
+  opts.check_memory = false;
+  core::Estimator est(spec, opts);
+  for (int k = 0; k < kinds; ++k) {
+    const std::string name = "kind" + std::to_string(k);
+    const double slow = 1.0 + 0.5 * k;
+    for (int m = 1; m <= max_m; ++m) {
+      est.add_nt(core::NtKey{name, 1, m},
+                 core::NtModel({0, 0, 0, 400.0 * slow * (1 + 0.08 * m)},
+                               {0, 0, 0.5 * m}));
+      std::vector<core::NtModel> models;
+      std::vector<int> ps, qs;
+      for (const int pes : {2, 4, max_pes}) {
+        const int p = pes * m;
+        models.push_back(core::NtModel(
+            {0, 0, 0, 400.0 * slow * (1 + 0.08 * m) / p}, {0, 0, 1.2 * pes}));
+        ps.push_back(p);
+        qs.push_back(pes);
+      }
+      const std::vector<double> ns{1000};
+      est.add_pt(name, m, core::PtModel::fit(models, ps, qs, ns));
+    }
+  }
+  return est;
+}
+
+cluster::ClusterSpec synthetic_spec(int kinds, int max_pes) {
+  cluster::ClusterSpec spec;
+  for (int k = 0; k < kinds; ++k) {
+    cluster::PeKind kind = cluster::pentium2_400();
+    kind.name = "kind" + std::to_string(k);
+    for (int p = 0; p < max_pes; ++p)
+      spec.nodes.push_back(cluster::NodeSpec{kind, 1, 768 * kMiB});
+  }
+  return spec;
+}
+
+core::ConfigSpace synthetic_space(int kinds, int max_pes, int max_m) {
+  std::vector<core::ConfigSpace::KindOptions> opts;
+  for (int k = 0; k < kinds; ++k) {
+    core::ConfigSpace::KindOptions ko{"kind" + std::to_string(k), {{0, 0}}};
+    for (int pes = 1; pes <= max_pes; ++pes)
+      for (int m = 1; m <= max_m; ++m) ko.choices.emplace_back(pes, m);
+    opts.push_back(std::move(ko));
+  }
+  return core::ConfigSpace(std::move(opts));
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Paper §5: 'for larger clusters, it is essential to find a "
+               "way to reduce the search space'. Greedy hill-climbing vs "
+               "exhaustive enumeration:\n";
+  print_banner(std::cout, "Optimizer scaling — exhaustive vs greedy");
+  Table t({"kinds", "space size", "exhaustive evals", "greedy evals",
+           "greedy/optimal time", "greedy found optimum"});
+  for (const int kinds : {2, 3, 4}) {
+    const int max_pes = 6, max_m = 4;
+    const cluster::ClusterSpec spec = synthetic_spec(kinds, max_pes);
+    const core::Estimator est = synthetic_estimator(spec, kinds, max_pes,
+                                                    max_m);
+    const core::ConfigSpace space = synthetic_space(kinds, max_pes, max_m);
+    const core::Ranked exact = core::best_exhaustive(est, space, 4000);
+    const core::GreedyResult greedy = core::best_greedy(est, space, 4000);
+    t.row()
+        .integer(kinds)
+        .integer(static_cast<long long>(space.size()))
+        .integer(static_cast<long long>(space.size()))
+        .integer(static_cast<long long>(greedy.evaluations))
+        .num(greedy.best.estimate / exact.estimate, 4)
+        .cell(greedy.best.estimate <= exact.estimate * 1.0001 ? "yes" : "no");
+  }
+  t.print(std::cout);
+  std::cout << "\n  greedy needs orders of magnitude fewer estimator calls "
+               "as the space grows; on smooth landscapes it finds the "
+               "optimum or lands within a few percent.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces Table 3: HPL execution time spent on the Basic-model
+// construction measurements, per size and PE kind.
+//
+// Paper totals: Athlon 2180.2 s, Pentium-II 20689.1 s, 22869 s overall
+// (~6 hours). Shape to match: Pentium dominates, cost grows steeply in N.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace hetsched;
+
+int main() {
+  std::cout << "Paper Table 3 totals: Athlon 2180 s, Pentium-II 20689 s "
+               "(~6 h of measurements).\n";
+  bench::Campaign c;
+  const measure::MeasurementPlan plan = measure::basic_plan();
+  const core::MeasurementSet ms = c.runner.run_plan(plan);
+
+  print_banner(std::cout, "Table 3 — Basic-model measurement cost");
+  Table t({"N", "Athlon [s]", "Pentium-II [s]"});
+  double ath_total = 0, p2_total = 0;
+  for (const int n : plan.ns) {
+    const double a = ms.cost_of_kind_at(cluster::athlon_1330().name, n);
+    const double p = ms.cost_of_kind_at(cluster::pentium2_400().name, n);
+    ath_total += a;
+    p2_total += p;
+    t.row().integer(n).num(a, 1).num(p, 1);
+  }
+  t.row().cell("Total").num(ath_total, 1).num(p2_total, 1);
+  t.print(std::cout);
+
+  std::cout << "\n  construction runs: " << plan.run_count()
+            << " (paper: 486 + anchors), grand total "
+            << format_fixed(ms.total_cost(), 0) << " s of simulated "
+            << "measurements (paper: 22869 s)\n";
+  return 0;
+}

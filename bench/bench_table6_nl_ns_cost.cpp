@@ -1,0 +1,38 @@
+// Reproduces Table 6: measurement cost of the reduced NL and NS plans.
+//
+// Paper: NL ~12235 s (~3 h), NS ~571.7 s (~10 min) vs Basic's ~6 h.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace hetsched;
+
+namespace {
+
+void report(bench::Campaign& c, const measure::MeasurementPlan& plan) {
+  const core::MeasurementSet ms = c.runner.run_plan(plan);
+  print_banner(std::cout,
+               "Table 6 — " + plan.name + "-model measurement cost");
+  Table t({"N", "Athlon [s]", "Pentium-II [s]"});
+  for (const int n : plan.ns) {
+    t.row()
+        .integer(n)
+        .num(ms.cost_of_kind_at(cluster::athlon_1330().name, n), 1)
+        .num(ms.cost_of_kind_at(cluster::pentium2_400().name, n), 1);
+  }
+  t.print(std::cout);
+  std::cout << "  total (incl. adjustment anchors): "
+            << format_fixed(ms.total_cost(), 1) << " s over "
+            << plan.run_count() << " runs\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Paper Table 6: NL total ~12235 s (~3 h); NS total ~571.7 s "
+               "(~10 min).\n";
+  bench::Campaign c;
+  report(c, measure::nl_plan());
+  report(c, measure::ns_plan());
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces Table 7: best-configuration errors of the NL model
+// (constructed from N = 1600..6400, P2 = 1, 2, 4, 8).
+//
+// Paper: selection errors 0.0-4.3 % over N = 1600..9600.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace hetsched;
+
+int main() {
+  std::cout << "Paper Table 7 (NL): selection errors 0.000-0.043 over "
+               "N = 1600..9600.\n";
+  bench::Campaign c;
+  const core::Estimator est = c.build(measure::nl_plan());
+  bench::print_error_table(c, est, {1600, 3200, 4800, 6400, 8000, 9600},
+                           "Table 7 — NL model best-configuration errors");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Capacity planning: the inverse question.
+//
+//   capacity_planner [budget-seconds...]
+//
+// "I have a T-second window on the upgraded cluster — what is the largest
+// HPL problem I can turn around, and how should I run it?" Uses the
+// inverse query (core/capacity.hpp) over models fitted with the NL plan.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/model_builder.hpp"
+#include "measure/plan.hpp"
+#include "measure/runner.hpp"
+#include "support/table.hpp"
+
+using namespace hetsched;
+
+int main(int argc, char** argv) {
+  std::vector<double> budgets;
+  for (int i = 1; i < argc; ++i) budgets.push_back(std::atof(argv[i]));
+  if (budgets.empty()) budgets = {10, 30, 60, 120, 300, 600};
+
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  measure::Runner runner(spec);
+  const core::Estimator est =
+      core::ModelBuilder(spec).build(runner.run_plan(measure::nl_plan()));
+  const core::ConfigSpace space = core::ConfigSpace::paper_eval();
+
+  std::cout << "largest HPL problem per time budget (paper cluster):\n";
+  Table t({"budget [s]", "largest N", "configuration", "predicted [s]",
+           "simulated [s]"});
+  for (const double budget : budgets) {
+    if (budget <= 0) continue;
+    const core::CapacityResult res =
+        core::largest_n_within(est, space, budget, 400, 16000);
+    if (!res.feasible) {
+      t.row().num(budget, 0).cell("-").cell("infeasible").cell("-").cell("-");
+      continue;
+    }
+    const double actual = runner.measure(res.best.config, res.n).wall;
+    t.row()
+        .num(budget, 0)
+        .integer(res.n)
+        .cell(res.best.config.to_string())
+        .num(res.best.estimate, 1)
+        .num(actual, 1);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: measure, model, recommend.
+//
+// The complete paper pipeline in ~40 lines of user code:
+//   1. describe the cluster (here: the paper's Athlon + 4x dual-P-II),
+//   2. run the NL measurement plan on it (simulated; on a real cluster
+//      these would be HPL runs),
+//   3. fit the N-T/P-T estimation models,
+//   4. ask for the best configuration for a target problem size.
+//
+// Usage: quickstart [N]          (default N = 6400)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/model_builder.hpp"
+#include "core/optimizer.hpp"
+#include "measure/plan.hpp"
+#include "measure/runner.hpp"
+
+using namespace hetsched;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 6400;
+  if (n < 400 || n > 20000) {
+    std::cerr << "usage: quickstart [N in 400..20000]\n";
+    return 1;
+  }
+
+  // 1. The cluster we want to schedule on.
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+
+  // 2. Measurement campaign (the NL plan: ~3 simulated hours of HPL runs).
+  measure::Runner runner(spec);
+  const core::MeasurementSet measurements =
+      runner.run_plan(measure::nl_plan());
+  std::cout << "measured " << measurements.samples().size() << " runs, "
+            << measurements.total_cost() << " simulated seconds\n";
+
+  // 3. Model construction (milliseconds).
+  const core::Estimator estimator =
+      core::ModelBuilder(spec).build(measurements);
+
+  // 4. Recommendation.
+  const core::ConfigSpace space = core::ConfigSpace::paper_eval();
+  const auto ranked = core::rank_all(estimator, space, n);
+  std::cout << "\nbest configurations for HPL N = " << n << ":\n";
+  for (std::size_t i = 0; i < ranked.size() && i < 5; ++i)
+    std::cout << "  " << (i + 1) << ". " << ranked[i].config.to_string()
+              << "  predicted " << ranked[i].estimate << " s\n";
+
+  // Sanity check the winner against the simulator.
+  const core::Sample& actual = runner.measure(ranked.front().config, n);
+  std::cout << "\nsimulated run of the recommendation: " << actual.wall
+            << " s (prediction was " << ranked.front().estimate << " s)\n";
+  return 0;
+}

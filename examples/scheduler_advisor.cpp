@@ -1,0 +1,126 @@
+// scheduler_advisor: a small CLI around the estimator.
+//
+//   scheduler_advisor <N> [--plan=basic|nl|ns] [--mpi=121|122]
+//                         [--greedy] [--top=K]
+//                         [--save=FILE] [--load=FILE] [--describe]
+//
+// Prints the recommended configuration(s) for an HPL run of order N on
+// the paper's cluster, with the predicted execution time, the model bin
+// used, and memory warnings. `--greedy` uses the hill-climbing search
+// instead of exhaustive enumeration (paper §5 future work).
+//
+// Fitted models are the valuable artifact (measuring costs hours,
+// estimating milliseconds): `--save` persists them after fitting and
+// `--load` skips the measurement campaign entirely.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/model_builder.hpp"
+#include "core/model_io.hpp"
+#include "core/optimizer.hpp"
+#include "measure/plan.hpp"
+#include "measure/runner.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+using namespace hetsched;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: scheduler_advisor <N> [--plan=basic|nl|ns] "
+               "[--mpi=121|122] [--greedy] [--top=K]\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const int n = std::atoi(argv[1]);
+  if (n < 400 || n > 20000) return usage();
+
+  std::string plan_name = "nl";
+  std::string mpi = "122";
+  std::string save_path, load_path;
+  bool greedy = false, describe = false;
+  int top = 5;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--plan=", 0) == 0)
+      plan_name = arg.substr(7);
+    else if (arg.rfind("--mpi=", 0) == 0)
+      mpi = arg.substr(6);
+    else if (arg == "--greedy")
+      greedy = true;
+    else if (arg == "--describe")
+      describe = true;
+    else if (arg.rfind("--top=", 0) == 0)
+      top = std::atoi(arg.c_str() + 6);
+    else if (arg.rfind("--save=", 0) == 0)
+      save_path = arg.substr(7);
+    else if (arg.rfind("--load=", 0) == 0)
+      load_path = arg.substr(7);
+    else
+      return usage();
+  }
+
+  const cluster::ClusterSpec spec = cluster::paper_cluster(
+      mpi == "121" ? cluster::mpich_121() : cluster::mpich_122());
+
+  auto fit_or_load = [&]() -> core::Estimator {
+    if (!load_path.empty()) {
+      std::ifstream in(load_path);
+      if (!in) throw Error("cannot open model file " + load_path);
+      std::cout << "loading models from " << load_path << "\n";
+      return core::load_estimator(spec, in);
+    }
+    measure::MeasurementPlan plan = measure::nl_plan();
+    if (plan_name == "basic") plan = measure::basic_plan();
+    if (plan_name == "ns") plan = measure::ns_plan();
+    std::cout << "measuring (" << plan.name << " plan, " << plan.run_count()
+              << " simulated HPL runs)...\n";
+    measure::Runner runner(spec);
+    return core::ModelBuilder(spec).build(runner.run_plan(plan));
+  };
+  const core::Estimator est = fit_or_load();
+
+  if (!save_path.empty()) {
+    std::ofstream out(save_path);
+    if (!out) throw Error("cannot write model file " + save_path);
+    core::save_estimator(est, out);
+    std::cout << "models saved to " << save_path << "\n";
+  }
+  if (describe) std::cout << "\n" << est.describe() << "\n";
+
+  const core::ConfigSpace space = core::ConfigSpace::paper_eval();
+
+  if (greedy) {
+    const core::GreedyResult res = core::best_greedy(est, space, n);
+    std::cout << "\ngreedy pick for N = " << n << ": "
+              << res.best.config.to_string() << "  predicted "
+              << format_fixed(res.best.estimate, 1) << " s  ("
+              << res.evaluations << " estimator calls vs " << space.size()
+              << " exhaustive)\n";
+    return 0;
+  }
+
+  const auto ranked = core::rank_all(est, space, n);
+  std::cout << "\ntop configurations for N = " << n << ":\n";
+  Table t({"#", "configuration", "predicted [s]", "bin", "memory"});
+  for (std::size_t i = 0; i < ranked.size() && i < static_cast<std::size_t>(top);
+       ++i) {
+    const auto bd = est.breakdown(ranked[i].config, n);
+    t.row()
+        .integer(static_cast<long long>(i + 1))
+        .cell(ranked[i].config.to_string())
+        .num(ranked[i].estimate, 1)
+        .cell(bd.single_pe_bin ? "N-T (exact)" : "P-T")
+        .cell(bd.paged ? "PAGES!" : "ok");
+  }
+  t.print(std::cout);
+  return 0;
+}

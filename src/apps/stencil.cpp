@@ -1,0 +1,155 @@
+#include "apps/stencil.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "des/sim.hpp"
+#include "mpisim/comm.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hetsched::apps {
+
+namespace {
+
+struct Ctx {
+  des::Simulator& sim;
+  cluster::Machine& machine;
+  mpisim::Comm& comm;
+  StencilParams params;
+  double noise_sigma;
+  std::vector<hpl::RankTiming>& timings;
+  std::vector<Rng>& rngs;
+  std::vector<int> local_rows;       // per rank
+  std::vector<Bytes> rank_ws;
+  std::vector<Bytes> node_footprint;
+};
+
+// Tags: per iteration, upward and downward halo messages.
+int tag_up(int iter) { return 2 * iter; }
+int tag_down(int iter) { return 2 * iter + 1; }
+
+des::Task rank_program(Ctx& ctx, int me) {
+  auto& sim = ctx.sim;
+  const int p = ctx.comm.size();
+  hpl::RankTiming& t = ctx.timings[static_cast<std::size_t>(me)];
+  Rng& rng = ctx.rngs[static_cast<std::size_t>(me)];
+  cluster::Cpu& cpu = ctx.machine.cpu(ctx.comm.pe_of(me));
+  const cluster::PeRef pe = ctx.comm.pe_of(me);
+  const des::SimTime run_start = sim.now();
+
+  const int rows = ctx.local_rows[static_cast<std::size_t>(me)];
+  const Bytes halo_bytes = static_cast<double>(ctx.params.n) * kDoubleBytes;
+  const Flops sweep_flops = ctx.params.flops_per_cell *
+                            static_cast<double>(ctx.params.n) * rows;
+  const int iters = ctx.params.effective_iterations();
+  const int co = ctx.comm.placement().co_resident(me);
+
+  for (int it = 0; it < iters; ++it) {
+    // Halo exchange with the row-neighbour ranks. Send both boundaries,
+    // then wait for both — a standard non-blocking-ish exchange; waiting
+    // for a late neighbour lands in the communication bucket.
+    des::SimTime t0 = sim.now();
+    if (me > 0) co_await ctx.comm.send(me, me - 1, tag_up(it), halo_bytes);
+    if (me < p - 1)
+      co_await ctx.comm.send(me, me + 1, tag_down(it), halo_bytes);
+    if (me > 0) co_await ctx.comm.recv(me, me - 1, tag_down(it));
+    if (me < p - 1) co_await ctx.comm.recv(me, me + 1, tag_up(it));
+    // Multiprogramming stall at the sync point (same mechanism as the
+    // HPL engines; see cost_engine.cpp).
+    if (co > 1)
+      co_await sim.delay(ctx.machine.spec().sched_quantum * (co - 1) *
+                         rng.lognormal_factor(ctx.noise_sigma));
+    t.bcast += sim.now() - t0;
+
+    // Cell updates.
+    t0 = sim.now();
+    const Seconds demand =
+        ctx.machine.compute_demand(pe, sweep_flops,
+                                   ctx.rank_ws[static_cast<std::size_t>(me)],
+                                   ctx.node_footprint[pe.node]) *
+        rng.lognormal_factor(ctx.noise_sigma);
+    co_await cpu.compute(demand);
+    t.update_core += sim.now() - t0;
+  }
+  t.wall = sim.now() - run_start;
+}
+
+}  // namespace
+
+hpl::HplResult run_stencil(const cluster::ClusterSpec& spec,
+                           const cluster::Config& config,
+                           const StencilParams& params) {
+  HETSCHED_CHECK(params.n >= 2, "run_stencil: n >= 2 required");
+  HETSCHED_CHECK(params.flops_per_cell > 0,
+                 "run_stencil: flops_per_cell must be positive");
+
+  const cluster::Placement placement = make_placement(spec, config);
+  const int p = placement.nprocs();
+
+  des::Simulator sim;
+  cluster::Machine machine(sim, spec);
+  mpisim::Comm comm(machine, placement);
+
+  std::vector<hpl::RankTiming> timings(static_cast<std::size_t>(p));
+  std::vector<Rng> rngs;
+  Rng master(spec.noise_seed ^ (params.seed_salt * 0x9e3779b97f4a7c15ULL) ^
+             (static_cast<std::uint64_t>(params.n) << 24) ^
+             static_cast<std::uint64_t>(p) ^ 0x57e2c11ULL);
+  for (int r = 0; r < p; ++r) rngs.push_back(master.split());
+
+  Ctx ctx{sim,  machine, comm, params, spec.noise_sigma,
+          timings, rngs, {},   {},     {}};
+
+  // Even row-block decomposition (the paper's "unmodified application"
+  // assumption: equal shares per process).
+  ctx.local_rows.resize(static_cast<std::size_t>(p));
+  ctx.rank_ws.resize(static_cast<std::size_t>(p));
+  ctx.node_footprint.assign(spec.nodes.size(), spec.os_reserved);
+  for (int r = 0; r < p; ++r) {
+    const int rows = params.n / p + (r < params.n % p ? 1 : 0);
+    ctx.local_rows[static_cast<std::size_t>(r)] = rows;
+    // Two grids (current + next) plus halos.
+    const Bytes ws = 2.0 * static_cast<double>(params.n) * (rows + 2) *
+                     kDoubleBytes;
+    ctx.rank_ws[static_cast<std::size_t>(r)] = ws;
+    ctx.node_footprint[placement.rank_pe[static_cast<std::size_t>(r)].node] +=
+        ws + spec.proc_overhead;
+  }
+
+  for (int r = 0; r < p; ++r) sim.spawn(rank_program(ctx, r));
+  sim.run();
+
+  hpl::HplResult res;
+  res.n = params.n;
+  res.nb = 1;
+  res.ranks = std::move(timings);
+  res.rank_pe = placement.rank_pe;
+  for (const auto& rt : res.ranks)
+    res.makespan = std::max(res.makespan, rt.wall);
+  return res;
+}
+
+measure::WorkloadFn stencil_workload(int iterations, double flops_per_cell) {
+  return [iterations, flops_per_cell](const cluster::ClusterSpec& spec,
+                                      const cluster::Config& config, int n,
+                                      std::uint64_t salt) {
+    StencilParams params;
+    params.n = n;
+    params.iterations = iterations;
+    params.flops_per_cell = flops_per_cell;
+    params.seed_salt = salt;
+    const hpl::HplResult res = run_stencil(spec, config, params);
+    core::Sample s;
+    s.config = config;
+    s.n = n;
+    s.wall = res.makespan;
+    s.measured_cost = res.makespan;
+    for (const auto& kt : res.by_kind(spec))
+      s.kinds.push_back(core::Sample::KindMeasure{kt.kind, kt.tai, kt.tci});
+    return s;
+  };
+}
+
+}  // namespace hetsched::apps

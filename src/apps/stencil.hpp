@@ -1,0 +1,57 @@
+// Iterative 5-point stencil workload (extension; paper §5 future work).
+//
+// The paper evaluates its method on HPL only and names "other parallel
+// applications" as future work. This module adds a second, structurally
+// different application — an iterative Jacobi-style sweep over an N x N
+// grid with 1-D row-block decomposition and nearest-neighbour halo
+// exchange — and runs it over the same simulated cluster, producing the
+// same per-kind (Tai, Tci) samples the estimation pipeline consumes.
+// The selections come out near-optimal for compute-dominated sizes; at
+// small N the stencil's per-sweep scheduling stalls (constant in Q,
+// linear in N) escape the paper's Tci basis and quality degrades — a
+// limitation this extension surfaces (see EXPERIMENTS.md).
+// Differences that exercise the method:
+//
+//   * computation is Theta(N^2 * iterations) per sweep (the N-T cubic
+//     basis must cope with a dominant quadratic term),
+//   * communication is latency-bound nearest-neighbour traffic, not a
+//     volume-bound broadcast ring,
+//   * every iteration synchronizes with both neighbours, so load
+//     imbalance propagates along the rank chain.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/config.hpp"
+#include "cluster/spec.hpp"
+#include "core/sample.hpp"
+#include "hpl/timing.hpp"
+#include "measure/runner.hpp"
+
+namespace hetsched::apps {
+
+struct StencilParams {
+  int n = 1000;          ///< grid order (N x N doubles)
+  int iterations = 0;    ///< 0 = auto: N/8 sweeps (total work ~ N^3)
+  double flops_per_cell = 5.0;
+  std::uint64_t seed_salt = 0;
+
+  /// Effective sweep count after the auto rule.
+  int effective_iterations() const {
+    return iterations > 0 ? iterations : n / 8 + 1;
+  }
+};
+
+/// Simulates one stencil run; timings use the HplResult container with
+/// the mapping: update_core = cell updates, bcast = halo exchange
+/// (waiting included), other phases zero. Tai/Tci then decompose exactly
+/// as for HPL.
+hpl::HplResult run_stencil(const cluster::ClusterSpec& spec,
+                           const cluster::Config& config,
+                           const StencilParams& params);
+
+/// Adapter for measure::Runner: the stencil as a measurable workload.
+measure::WorkloadFn stencil_workload(int iterations = 0,
+                                     double flops_per_cell = 5.0);
+
+}  // namespace hetsched::apps

@@ -1,0 +1,68 @@
+// Cluster configurations and process placements.
+//
+// A Config says *which* PEs run and *how many* processes each runs — the
+// decision variable of the paper's optimization problem. It is expressed
+// per PE kind (the paper's P1/M1/P2/M2 quadruple generalized to any number
+// of kinds). A Placement resolves a Config against a ClusterSpec into
+// concrete rank -> processor assignments.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/spec.hpp"
+
+namespace hetsched::cluster {
+
+/// Usage of one PE kind: run `procs_per_pe` processes on each of the first
+/// `pes` processors of that kind. The paper applies the same Mi to all PEs
+/// of one specification (§3.1, assumption 4).
+struct KindUsage {
+  std::string kind;
+  int pes = 0;
+  int procs_per_pe = 1;
+  bool operator==(const KindUsage&) const = default;
+};
+
+struct Config {
+  std::vector<KindUsage> usage;
+
+  /// Total process count P = sum(pes * procs_per_pe).
+  int total_procs() const;
+
+  /// Number of distinct processors used.
+  int total_pes() const;
+
+  /// True if exactly one processor runs every process (the paper's
+  /// "P = Mi" binning case: no inter-PE communication).
+  bool single_pe() const;
+
+  /// Compact display form, e.g. "Ath[1x3] P2[8x1]".
+  std::string to_string() const;
+
+  /// The paper's quadruple: athlon (pes, procs) then pentium (pes, procs).
+  static Config paper(int p1, int m1, int p2, int m2);
+
+  bool operator==(const Config&) const = default;
+};
+
+/// Rank-to-processor assignment. Ranks are dense 0..P-1; ranks of the first
+/// usage entry come first (the paper lists the Athlon first).
+struct Placement {
+  std::vector<PeRef> rank_pe;  ///< rank -> processor
+
+  int nprocs() const { return static_cast<int>(rank_pe.size()); }
+
+  /// Processes placed on each node (indexed by node id).
+  std::vector<int> per_node_procs(std::size_t node_count) const;
+
+  /// Processes placed on the same processor as `rank` (including itself).
+  int co_resident(int rank) const;
+};
+
+/// Resolves `config` against `spec`. Throws if the spec lacks enough PEs of
+/// a requested kind or the config is empty / has non-positive counts.
+Placement make_placement(const ClusterSpec& spec, const Config& config);
+
+}  // namespace hetsched::cluster

@@ -1,0 +1,86 @@
+#include "cluster/cpu.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hetsched::cluster {
+
+namespace {
+// A job is complete when its remaining demand is within accumulated
+// floating-point settle error of zero. The tolerance scales with the
+// original demand: repeated settle() subtractions leave relative residue.
+Seconds done_tolerance(Seconds original_demand) {
+  return 1e-9 * (1.0 + original_demand);
+}
+}  // namespace
+
+Cpu::Cpu(des::Simulator& sim, double alpha) : sim_(sim), alpha_(alpha) {
+  HETSCHED_CHECK(alpha >= 0.0, "Cpu: alpha must be >= 0");
+}
+
+double Cpu::per_job_speed(int m) const {
+  HETSCHED_ASSERT(m >= 1, "per_job_speed: m >= 1");
+  const double md = static_cast<double>(m);
+  return 1.0 / (md * (1.0 + alpha_ * (md - 1.0)));
+}
+
+void Cpu::enqueue(Seconds demand, std::coroutine_handle<> h) {
+  settle();
+  jobs_.push_back(Job{demand, demand, h, next_id_++});
+  replan();
+}
+
+void Cpu::settle() {
+  const des::SimTime now = sim_.now();
+  if (jobs_.empty() || now <= last_update_) {
+    last_update_ = now;
+    return;
+  }
+  const double speed = per_job_speed(static_cast<int>(jobs_.size()));
+  const Seconds progress = (now - last_update_) * speed;
+  for (auto& j : jobs_) j.remaining -= progress;
+  completed_ += progress * static_cast<double>(jobs_.size());
+  last_update_ = now;
+}
+
+void Cpu::replan() {
+  completion_.cancel();
+  if (jobs_.empty()) return;
+  Seconds min_rem = jobs_.front().remaining;
+  for (const auto& j : jobs_) min_rem = std::min(min_rem, j.remaining);
+  min_rem = std::max(min_rem, 0.0);
+  const double speed = per_job_speed(static_cast<int>(jobs_.size()));
+  const Seconds dt = min_rem / speed;
+  completion_ = sim_.schedule_after(dt, [this] { on_completion(); });
+}
+
+void Cpu::on_completion() {
+  settle();
+  HETSCHED_ASSERT(!jobs_.empty(),
+                  "Cpu completion event fired with no jobs queued");
+  // The event was scheduled for the minimum-remaining job: finish it
+  // unconditionally (its residue is pure settle error), plus anything else
+  // within tolerance of zero.
+  std::uint64_t min_id = jobs_.front().id;
+  Seconds min_rem = jobs_.front().remaining;
+  for (const auto& j : jobs_) {
+    if (j.remaining < min_rem) {
+      min_rem = j.remaining;
+      min_id = j.id;
+    }
+  }
+  std::vector<std::coroutine_handle<>> finished;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->id == min_id || it->remaining <= done_tolerance(it->demand)) {
+      finished.push_back(it->handle);
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Resume in FIFO order through the event queue for determinism.
+  for (auto h : finished) sim_.schedule_after(0.0, [h] { h.resume(); });
+  replan();
+}
+
+}  // namespace hetsched::cluster

@@ -1,0 +1,79 @@
+// Processor-sharing CPU resource.
+//
+// Models one physical processor onto which several simulated processes may
+// be multiprogrammed (the paper's "nP/CPU"). Active compute jobs share the
+// processor PS-style: with m active jobs each progresses at
+//
+//     speed(m) = 1 / (m * (1 + alpha*(m-1)))      [CPU-seconds per second]
+//
+// i.e. a fair 1/m share degraded by the multiprocessing overhead
+// (scheduling, cache interference). Whenever the active set changes, the
+// CPU settles accrued progress and re-plans the next completion event —
+// the standard re-rating technique for PS resources in a DES.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <list>
+
+#include "des/sim.hpp"
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace hetsched::cluster {
+
+class Cpu {
+ public:
+  /// `alpha` is the multiprocessing overhead coefficient (PeKind::mp_alpha).
+  Cpu(des::Simulator& sim, double alpha);
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Number of jobs currently sharing the CPU.
+  int active_jobs() const { return static_cast<int>(jobs_.size()); }
+
+  /// Total CPU-seconds of demand completed so far (diagnostics).
+  Seconds completed_demand() const { return completed_; }
+
+  struct ComputeAwaiter {
+    Cpu& cpu;
+    Seconds demand;
+    bool await_ready() const { return demand <= 0.0; }
+    void await_suspend(std::coroutine_handle<> h) { cpu.enqueue(demand, h); }
+    void await_resume() const {}
+  };
+
+  /// `co_await cpu.compute(demand)` — consume `demand` CPU-seconds of this
+  /// processor, sharing it with whatever else is running.
+  ComputeAwaiter compute(Seconds demand) {
+    HETSCHED_CHECK(demand >= 0.0, "compute demand must be >= 0");
+    return ComputeAwaiter{*this, demand};
+  }
+
+  /// Progress speed of each job when m share the CPU.
+  double per_job_speed(int m) const;
+
+ private:
+  struct Job {
+    Seconds remaining;
+    Seconds demand;  ///< original demand (scales the completion tolerance)
+    std::coroutine_handle<> handle;
+    std::uint64_t id;
+  };
+
+  void enqueue(Seconds demand, std::coroutine_handle<> h);
+  void settle();   // accrue progress since last_update_
+  void replan();   // (re)schedule the next completion event
+  void on_completion();
+
+  des::Simulator& sim_;
+  double alpha_;
+  std::list<Job> jobs_;
+  des::SimTime last_update_ = 0.0;
+  des::EventHandle completion_;
+  std::uint64_t next_id_ = 0;
+  Seconds completed_ = 0.0;
+};
+
+}  // namespace hetsched::cluster

@@ -1,0 +1,45 @@
+#include "cluster/machine.hpp"
+
+#include "support/error.hpp"
+
+namespace hetsched::cluster {
+
+Machine::Machine(des::Simulator& sim, const ClusterSpec& spec)
+    : sim_(sim),
+      spec_(spec),
+      network_(spec.fabric, spec.mpi, spec.nodes.size()) {
+  validate(spec_);
+  cpus_.resize(spec_.nodes.size());
+  for (std::size_t ni = 0; ni < spec_.nodes.size(); ++ni) {
+    const NodeSpec& node = spec_.nodes[ni];
+    HETSCHED_CHECK(node.cpus >= 1, "node must have at least one CPU");
+    for (int c = 0; c < node.cpus; ++c)
+      cpus_[ni].push_back(std::make_unique<Cpu>(sim_, node.kind.mp_alpha));
+  }
+}
+
+Cpu& Machine::cpu(PeRef pe) {
+  HETSCHED_CHECK(pe.node < cpus_.size(), "cpu: node out of range");
+  HETSCHED_CHECK(pe.cpu >= 0 &&
+                     static_cast<std::size_t>(pe.cpu) < cpus_[pe.node].size(),
+                 "cpu: cpu index out of range");
+  return *cpus_[pe.node][static_cast<std::size_t>(pe.cpu)];
+}
+
+Seconds Machine::compute_demand(PeRef pe, Flops work, Bytes working_set,
+                                Bytes node_footprint) const {
+  HETSCHED_CHECK(pe.node < spec_.nodes.size(), "compute_demand: bad node");
+  HETSCHED_CHECK(work >= 0.0, "compute_demand: negative work");
+  const NodeSpec& node = spec_.nodes[pe.node];
+  const double rate =
+      node.kind.effective_rate(working_set, node_footprint, node.memory);
+  return work / rate;
+}
+
+Seconds Machine::copy_demand(PeRef pe, Bytes bytes) const {
+  HETSCHED_CHECK(pe.node < spec_.nodes.size(), "copy_demand: bad node");
+  HETSCHED_CHECK(bytes >= 0.0, "copy_demand: negative size");
+  return bytes / spec_.nodes[pe.node].kind.mem_bandwidth;
+}
+
+}  // namespace hetsched::cluster

@@ -1,0 +1,50 @@
+// Machine: the live simulation resources instantiated from a ClusterSpec.
+//
+// One Machine is bound to one Simulator run. It owns the per-processor
+// processor-sharing CPUs and the Network, and converts abstract work
+// (flops with a working-set context, byte copies) into CPU-seconds of
+// demand according to the PE performance model.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "cluster/cpu.hpp"
+#include "cluster/network.hpp"
+#include "cluster/spec.hpp"
+#include "des/sim.hpp"
+
+namespace hetsched::cluster {
+
+class Machine {
+ public:
+  Machine(des::Simulator& sim, const ClusterSpec& spec);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const ClusterSpec& spec() const { return spec_; }
+  des::Simulator& sim() { return sim_; }
+
+  /// The CPU resource of a processor.
+  Cpu& cpu(PeRef pe);
+
+  Network& network() { return network_; }
+
+  /// CPU-seconds needed for `work` flops on `pe`, given the process's
+  /// repeatedly-touched working set and the node's total memory footprint.
+  Seconds compute_demand(PeRef pe, Flops work, Bytes working_set,
+                         Bytes node_footprint) const;
+
+  /// CPU-seconds needed to move `bytes` through memory on `pe` (row swaps).
+  Seconds copy_demand(PeRef pe, Bytes bytes) const;
+
+ private:
+  des::Simulator& sim_;
+  ClusterSpec spec_;
+  Network network_;
+  std::vector<std::vector<std::unique_ptr<Cpu>>> cpus_;  // [node][cpu]
+};
+
+}  // namespace hetsched::cluster

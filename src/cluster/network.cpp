@@ -1,0 +1,105 @@
+#include "cluster/network.hpp"
+
+#include <algorithm>
+
+namespace hetsched::cluster {
+
+MpiProfile mpich_121() {
+  MpiProfile p;
+  p.name = "MPICH-1.2.1";
+  p.intra_node_bandwidth = 0.42 * kGbitPerSec;  // Fig 2(a) plateau
+  p.intra_node_latency = usec(80);
+  p.software_latency = usec(60);
+  p.intra_degrade_threshold = 512 * kKiB;
+  p.intra_degrade_scale = 32 * kKiB;  // collapses for MB-size panels
+  return p;
+}
+
+MpiProfile mpich_122() {
+  MpiProfile p;
+  p.name = "MPICH-1.2.2";
+  p.intra_node_bandwidth = 2.2 * kGbitPerSec;   // Fig 2(b) plateau
+  p.intra_node_latency = usec(30);
+  p.software_latency = usec(120);
+  return p;
+}
+
+FabricParams fast_ethernet() {
+  FabricParams f;
+  f.name = "100base-TX";
+  // Wire rate is 12.5 MB/s; MPICH over TCP on 2001-era NICs sustains
+  // roughly 65-70 % of it for HPL-sized messages (protocol + copy costs).
+  f.link_bandwidth = 0.68 * 100 * kMbitPerSec;
+  f.link_latency = usec(90);
+  return f;
+}
+
+FabricParams gigabit_ethernet() {
+  FabricParams f;
+  f.name = "1000base-SX";
+  f.link_bandwidth = 0.75 * 1000 * kMbitPerSec;
+  f.link_latency = usec(40);
+  return f;
+}
+
+FifoLink::FifoLink(double bandwidth) : bandwidth_(bandwidth) {
+  HETSCHED_CHECK(bandwidth > 0.0, "FifoLink requires positive bandwidth");
+}
+
+LinkSlot FifoLink::submit(des::SimTime now, Bytes bytes) {
+  HETSCHED_CHECK(bytes >= 0.0, "FifoLink::submit: negative size");
+  const des::SimTime start = std::max(now, busy_until_);
+  busy_until_ = start + bytes / bandwidth_;
+  carried_ += bytes;
+  return LinkSlot{start, busy_until_};
+}
+
+Network::Network(FabricParams fabric, MpiProfile mpi, std::size_t node_count)
+    : fabric_(std::move(fabric)), mpi_(std::move(mpi)) {
+  HETSCHED_CHECK(node_count >= 1, "Network requires at least one node");
+  tx_.reserve(node_count);
+  rx_.reserve(node_count);
+  channel_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    tx_.emplace_back(fabric_.link_bandwidth);
+    rx_.emplace_back(fabric_.link_bandwidth);
+    channel_.emplace_back(mpi_.intra_node_bandwidth);
+  }
+}
+
+TransferTimes Network::plan_transfer(des::SimTime now, std::size_t src_node,
+                                     std::size_t dst_node, Bytes bytes) {
+  HETSCHED_CHECK(src_node < tx_.size() && dst_node < tx_.size(),
+                 "plan_transfer: node index out of range");
+  TransferTimes t;
+  if (src_node == dst_node) {
+    // Intra-node: one shared channel serializes both directions; this is
+    // the path whose bandwidth depends on the MPI library version.
+    Bytes effective = bytes;
+    if (mpi_.intra_degrade_scale > 0.0 && bytes > mpi_.intra_degrade_threshold)
+      effective *= 1.0 + (bytes - mpi_.intra_degrade_threshold) /
+                             mpi_.intra_degrade_scale;
+    const LinkSlot slot = channel_[src_node].submit(now, effective);
+    t.sender_done = slot.done;
+    t.delivered = slot.done + mpi_.intra_node_latency + mpi_.software_latency;
+    return t;
+  }
+  // Inter-node through the switch, cut-through: bytes start streaming onto
+  // the receiver NIC one link latency after they start leaving the sender,
+  // so an uncontended transfer costs one serialization, not two.
+  const LinkSlot tx = tx_[src_node].submit(now, bytes);
+  t.sender_done = tx.done;
+  const LinkSlot rx = rx_[dst_node].submit(tx.start + fabric_.link_latency,
+                                           bytes);
+  t.delivered = std::max(rx.done, tx.done + fabric_.link_latency) +
+                mpi_.software_latency;
+  return t;
+}
+
+Bytes Network::inter_node_bytes() const {
+  Bytes total = 0.0;
+  for (const auto& l : tx_) total += l.bytes_carried();
+  return total;
+}
+
+}  // namespace hetsched::cluster

@@ -1,0 +1,122 @@
+// Network model: switched inter-node fabric plus intra-node channels.
+//
+// Transfers are pure time bookkeeping (no coroutines live here — the MPI
+// layer does the awaiting). A point-to-point message experiences:
+//
+//   inter-node:  sender NIC serialization  (FIFO per directed NIC)
+//                + switch hop latency
+//                + receiver NIC serialization (FIFO)
+//                + per-message software latency
+//
+//   intra-node:  one shared memory channel per node (FIFO, both directions)
+//                + per-message software latency
+//
+// The intra-node channel parameters come from the *MPI library profile*:
+// the paper's central observation in §2 is that MPICH 1.2.1's poor
+// intra-node (loopback) throughput wrecks multiprocessing (Figs 1, 2),
+// while 1.2.2 fixes it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "des/sim.hpp"
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace hetsched::cluster {
+
+/// Communication-library profile (intra-node path + software overheads).
+struct MpiProfile {
+  std::string name;
+  double intra_node_bandwidth = 2.2 * kGbitPerSec;
+  Seconds intra_node_latency = usec(30);
+  Seconds software_latency = usec(50);  ///< per-message stack overhead
+  /// Large-message degradation of the intra-node path: messages beyond
+  /// `intra_degrade_threshold` inflate their channel occupancy by
+  /// (bytes - threshold) / intra_degrade_scale. Zero scale disables.
+  /// MPICH 1.2.1's loopback throughput held its NetPIPE plateau for
+  /// <= 128 KB blocks (Fig 2(a)) but collapsed for multi-megabyte HPL
+  /// panels (socket-buffer thrash + scheduler handoffs) — the root cause
+  /// of the Fig 1(a) multiprocessing collapse; 1.2.2 fixed the path.
+  Bytes intra_degrade_threshold = 512 * kKiB;
+  Bytes intra_degrade_scale = 0;
+};
+
+/// MPICH 1.2.1: crippled loopback path (Fig 2(a), ~0.4 Gb/s plateau).
+MpiProfile mpich_121();
+/// MPICH 1.2.2: fixed loopback path (Fig 2(b), ~2.2 Gb/s plateau).
+MpiProfile mpich_122();
+
+/// Physical fabric parameters.
+struct FabricParams {
+  std::string name;
+  double link_bandwidth = 100 * kMbitPerSec;  ///< per-NIC, each direction
+  Seconds link_latency = usec(60);            ///< switch traversal
+};
+
+/// 100base-TX (what the paper actually measured on, §4.1).
+FabricParams fast_ethernet();
+/// 1000base-SX (installed in the paper's cluster but unused in §4).
+FabricParams gigabit_ethernet();
+
+/// Occupancy window a link granted to one transfer.
+struct LinkSlot {
+  des::SimTime start;  ///< serialization begins
+  des::SimTime done;   ///< last byte leaves the link
+};
+
+/// A FIFO serialization point (a directed NIC queue or a node's shared
+/// memory channel): transfers queue and serialize at fixed bandwidth.
+class FifoLink {
+ public:
+  explicit FifoLink(double bandwidth);
+
+  /// Books a transfer submitted at `now`; returns its occupancy window.
+  /// Transfers are served in submission order.
+  LinkSlot submit(des::SimTime now, Bytes bytes);
+
+  double bandwidth() const { return bandwidth_; }
+  /// Time the link becomes free (diagnostics).
+  des::SimTime busy_until() const { return busy_until_; }
+  /// Total bytes carried (diagnostics).
+  Bytes bytes_carried() const { return carried_; }
+
+ private:
+  double bandwidth_;
+  des::SimTime busy_until_ = 0.0;
+  Bytes carried_ = 0.0;
+};
+
+/// Result of planning a message: when the sender's call may return and when
+/// the payload is available at the receiver.
+struct TransferTimes {
+  des::SimTime sender_done;  ///< local buffer free / blocking send returns
+  des::SimTime delivered;    ///< message matchable at the receiver
+};
+
+/// The cluster fabric: per-node NIC queues + intra-node channels.
+class Network {
+ public:
+  Network(FabricParams fabric, MpiProfile mpi, std::size_t node_count);
+
+  /// Plans a message of `bytes` from a process on `src_node` to one on
+  /// `dst_node`, submitted at `now`. Mutates link queues.
+  TransferTimes plan_transfer(des::SimTime now, std::size_t src_node,
+                              std::size_t dst_node, Bytes bytes);
+
+  const FabricParams& fabric() const { return fabric_; }
+  const MpiProfile& mpi() const { return mpi_; }
+
+  /// Total bytes that crossed the inter-node fabric (diagnostics).
+  Bytes inter_node_bytes() const;
+
+ private:
+  FabricParams fabric_;
+  MpiProfile mpi_;
+  std::vector<FifoLink> tx_;       // per-node NIC, outbound
+  std::vector<FifoLink> rx_;       // per-node NIC, inbound
+  std::vector<FifoLink> channel_;  // per-node intra-node channel
+};
+
+}  // namespace hetsched::cluster

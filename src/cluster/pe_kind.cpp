@@ -1,0 +1,52 @@
+#include "cluster/pe_kind.hpp"
+
+#include "support/error.hpp"
+
+namespace hetsched::cluster {
+
+double PeKind::effective_rate(Bytes working_set, Bytes node_footprint,
+                              Bytes node_memory) const {
+  HETSCHED_CHECK(working_set >= 0 && node_footprint >= 0 && node_memory > 0,
+                 "effective_rate: invalid sizes");
+  if (node_footprint > node_memory) {
+    // Paging regime: the whole node thrashes; rate collapses.
+    return peak_flops / paged_slowdown;
+  }
+  // BLAS efficiency ramp. Deliberately *not* polynomial in the problem
+  // size: deficit*halfway/(halfway + ws) decays hyperbolically, so
+  // execution time sampled at small N grows slower than cubic and a
+  // polynomial model fitted there extrapolates low (paper §4.3, Table 9).
+  const double deficit_frac = ramp_halfway / (ramp_halfway + working_set);
+  return peak_flops * (1.0 - ramp_deficit * deficit_frac);
+}
+
+double PeKind::multiprocessing_efficiency(int m) const {
+  HETSCHED_CHECK(m >= 1, "multiprocessing_efficiency: m >= 1 required");
+  return 1.0 / (1.0 + mp_alpha * static_cast<double>(m - 1));
+}
+
+PeKind athlon_1330() {
+  PeKind k;
+  k.name = "Athlon-1.33GHz";
+  k.peak_flops = 1.12e9;       // sustained DGEMM, large in-core problems
+  k.ramp_deficit = 0.50;       // tiny problems reach ~50 % of peak
+  k.ramp_halfway = 12 * kMiB;
+  k.paged_slowdown = 25.0;
+  k.mp_alpha = 0.04;           // Fig 1(b): modest multiprocessing loss
+  k.mem_bandwidth = 600 * kMiB;
+  return k;
+}
+
+PeKind pentium2_400() {
+  PeKind k;
+  k.name = "PentiumII-400MHz";
+  k.peak_flops = 0.24e9;       // ~4.7x slower than the Athlon
+  k.ramp_deficit = 0.45;
+  k.ramp_halfway = 8 * kMiB;
+  k.paged_slowdown = 25.0;
+  k.mp_alpha = 0.06;
+  k.mem_bandwidth = 250 * kMiB;
+  return k;
+}
+
+}  // namespace hetsched::cluster

@@ -1,0 +1,62 @@
+// Processing-element (PE) kind: the per-processor performance model.
+//
+// A PE kind captures everything the simulator needs to convert abstract
+// work (flops, bytes moved) into time on one processor of that kind:
+//
+//  * `peak_flops`        — sustained DGEMM-like rate on large in-core
+//                          problems (the asymptotic large-N rate),
+//  * efficiency ramp     — small problems run *below* peak: short inner
+//                          dimensions and blocking overhead starve the
+//                          BLAS kernel (the classic DGEMM efficiency-vs-
+//                          size curve). The ramp is a smooth non-polynomial
+//                          function of the working set, which is exactly
+//                          why models fitted only on small N extrapolate
+//                          badly — time grows *slower* than cubic across
+//                          the ramp, so a cubic fitted there underestimates
+//                          large N (the paper's NS failure, §4.3, Table 9),
+//  * paging regime       — working sets beyond the node's memory fall off
+//                          a cliff (`paged_slowdown`), reproducing the
+//                          single-Athlon collapse at N = 10000 in Fig 3(a),
+//  * multiprocessing     — m co-scheduled processes lose aggregate
+//                          throughput 1/(1 + mp_alpha*(m-1)) to scheduling
+//                          and cache interference (Fig 1(b)),
+//  * `mem_bandwidth`     — for memory-bound phases (HPL's laswp row swaps).
+#pragma once
+
+#include <string>
+
+#include "support/units.hpp"
+
+namespace hetsched::cluster {
+
+struct PeKind {
+  std::string name;
+  double peak_flops = 1.0e9;      ///< sustained large-problem rate [flop/s]
+  double ramp_deficit = 0.4;      ///< fraction of peak lost at tiny sizes
+  Bytes ramp_halfway = 4 * kMiB;  ///< working set at which half the deficit remains
+  double paged_slowdown = 25.0;   ///< rate divisor once the node pages
+  double mp_alpha = 0.05;         ///< multiprocessing overhead coefficient
+  Bytes mem_bandwidth = 400 * kMiB; ///< copy bandwidth for row swaps [B/s]
+
+  /// Effective compute rate [flop/s] for one process of this kind.
+  ///
+  /// `working_set`   — bytes this process touches repeatedly (local matrix),
+  /// `node_footprint`— total bytes resident on the node across processes,
+  /// `node_memory`   — the node's physical memory.
+  double effective_rate(Bytes working_set, Bytes node_footprint,
+                        Bytes node_memory) const;
+
+  /// Aggregate throughput efficiency of m co-scheduled processes
+  /// (1 for m = 1, decreasing in m).
+  double multiprocessing_efficiency(int m) const;
+};
+
+/// The paper's fast PE: AMD Athlon 1.33 GHz (Table 1). Effective HPL rate
+/// ~0.9-1.0 Gflop/s at large N (Fig 3), ~1.2 Gflop/s peak.
+PeKind athlon_1330();
+
+/// The paper's slow PE: Intel Pentium-II 400 MHz. Roughly 4-5x slower than
+/// the Athlon (§4.1: "about 4 times faster").
+PeKind pentium2_400();
+
+}  // namespace hetsched::cluster

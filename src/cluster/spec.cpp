@@ -1,0 +1,81 @@
+#include "cluster/spec.hpp"
+
+#include "support/error.hpp"
+
+namespace hetsched::cluster {
+
+int ClusterSpec::total_pes() const {
+  int n = 0;
+  for (const auto& node : nodes) n += node.cpus;
+  return n;
+}
+
+std::vector<PeRef> ClusterSpec::pes_of_kind(
+    const std::string& kind_name) const {
+  std::vector<PeRef> out;
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    if (nodes[ni].kind.name != kind_name) continue;
+    for (int c = 0; c < nodes[ni].cpus; ++c) out.push_back(PeRef{ni, c});
+  }
+  return out;
+}
+
+std::vector<std::string> ClusterSpec::kind_names() const {
+  std::vector<std::string> names;
+  for (const auto& node : nodes) {
+    bool seen = false;
+    for (const auto& n : names) seen = seen || n == node.kind.name;
+    if (!seen) names.push_back(node.kind.name);
+  }
+  return names;
+}
+
+const PeKind& ClusterSpec::kind(const std::string& kind_name) const {
+  for (const auto& node : nodes)
+    if (node.kind.name == kind_name) return node.kind;
+  throw Error("unknown PE kind: " + kind_name);
+}
+
+void validate(const ClusterSpec& spec) {
+  HETSCHED_CHECK(!spec.nodes.empty(), "spec: at least one node required");
+  for (const auto& node : spec.nodes) {
+    const PeKind& k = node.kind;
+    HETSCHED_CHECK(!k.name.empty() &&
+                       k.name.find_first_of(" \t\n") == std::string::npos,
+                   "spec: kind names must be non-empty without whitespace");
+    HETSCHED_CHECK(k.peak_flops > 0, "spec: peak_flops must be positive");
+    HETSCHED_CHECK(k.ramp_deficit >= 0 && k.ramp_deficit < 1,
+                   "spec: ramp_deficit must be in [0, 1)");
+    HETSCHED_CHECK(k.ramp_halfway > 0, "spec: ramp_halfway must be positive");
+    HETSCHED_CHECK(k.paged_slowdown >= 1,
+                   "spec: paged_slowdown must be >= 1");
+    HETSCHED_CHECK(k.mp_alpha >= 0, "spec: mp_alpha must be >= 0");
+    HETSCHED_CHECK(k.mem_bandwidth > 0,
+                   "spec: mem_bandwidth must be positive");
+    HETSCHED_CHECK(node.cpus >= 1, "spec: nodes need at least one CPU");
+    HETSCHED_CHECK(node.memory > 0, "spec: node memory must be positive");
+  }
+  HETSCHED_CHECK(spec.fabric.link_bandwidth > 0,
+                 "spec: fabric bandwidth must be positive");
+  HETSCHED_CHECK(spec.fabric.link_latency >= 0,
+                 "spec: fabric latency must be >= 0");
+  HETSCHED_CHECK(spec.mpi.intra_node_bandwidth > 0,
+                 "spec: intra-node bandwidth must be positive");
+  HETSCHED_CHECK(spec.noise_sigma >= 0, "spec: noise_sigma must be >= 0");
+  HETSCHED_CHECK(spec.sched_quantum >= 0,
+                 "spec: sched_quantum must be >= 0");
+  HETSCHED_CHECK(spec.os_reserved >= 0 && spec.proc_overhead >= 0,
+                 "spec: memory overheads must be >= 0");
+}
+
+ClusterSpec paper_cluster(MpiProfile mpi, FabricParams fabric) {
+  ClusterSpec spec;
+  spec.fabric = std::move(fabric);
+  spec.mpi = std::move(mpi);
+  spec.nodes.push_back(NodeSpec{athlon_1330(), 1, 768 * kMiB});
+  for (int i = 0; i < 4; ++i)
+    spec.nodes.push_back(NodeSpec{pentium2_400(), 2, 768 * kMiB});
+  return spec;
+}
+
+}  // namespace hetsched::cluster

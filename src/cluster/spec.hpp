@@ -1,0 +1,76 @@
+// Cluster description: what hardware exists and how it is connected.
+//
+// A ClusterSpec is pure data (cheap to copy, easy to test); Machine
+// (machine.hpp) instantiates the simulation resources from it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/network.hpp"
+#include "cluster/pe_kind.hpp"
+#include "support/units.hpp"
+
+namespace hetsched::cluster {
+
+/// One node: `cpus` identical processors of `kind` sharing `memory`.
+struct NodeSpec {
+  PeKind kind;
+  int cpus = 1;
+  Bytes memory = 768 * kMiB;
+};
+
+/// Identifies one physical processor.
+struct PeRef {
+  std::size_t node = 0;
+  int cpu = 0;
+  bool operator==(const PeRef&) const = default;
+};
+
+struct ClusterSpec {
+  std::vector<NodeSpec> nodes;
+  FabricParams fabric = fast_ethernet();
+  MpiProfile mpi = mpich_122();
+  /// Lognormal sigma applied to simulated phase times (measurement noise).
+  double noise_sigma = 0.01;
+  /// Base seed for the noise streams.
+  std::uint64_t noise_seed = 20040101;
+  /// OS scheduler timeslice. Multiprogrammed processes pay roughly one
+  /// quantum per co-resident peer at every synchronization point (a
+  /// runnable process waits for the running one's slice to expire —
+  /// Linux 2.4 used ~10 ms slices). This is the "multiprocessing
+  /// overhead" that makes high Mi lose at small N (paper Fig 3(b)).
+  Seconds sched_quantum = 20.0e-3;
+  /// Memory the OS and daemons keep resident on every node.
+  Bytes os_reserved = 64 * kMiB;
+  /// Non-matrix memory per process (code, MPI buffers, heap slack).
+  Bytes proc_overhead = 16 * kMiB;
+
+  /// Total processor count across nodes.
+  int total_pes() const;
+
+  /// All PEs of the kind with the given name, in node order.
+  std::vector<PeRef> pes_of_kind(const std::string& kind_name) const;
+
+  /// Distinct kind names in first-appearance order.
+  std::vector<std::string> kind_names() const;
+
+  /// The kind record for a name; throws if unknown.
+  const PeKind& kind(const std::string& kind_name) const;
+};
+
+/// The paper's evaluation platform (Table 1): one Athlon 1.33 GHz node and
+/// four dual-processor Pentium-II 400 MHz nodes, 768 MB each, measured over
+/// 100base-TX with MPICH (profile selectable for the Fig 1/2 experiments).
+ClusterSpec paper_cluster(MpiProfile mpi = mpich_122(),
+                          FabricParams fabric = fast_ethernet());
+
+/// Validates a spec: at least one node, positive rates/memory/bandwidths,
+/// kind names non-empty and whitespace-free (the persistence format and
+/// configuration display depend on that). Throws hetsched::Error with a
+/// specific message on the first violation. Machine construction calls
+/// this, so invalid specs fail fast.
+void validate(const ClusterSpec& spec);
+
+}  // namespace hetsched::cluster

@@ -1,0 +1,45 @@
+#include "core/capacity.hpp"
+
+#include "support/error.hpp"
+
+namespace hetsched::core {
+
+Seconds best_time_at(const Estimator& est, const ConfigSpace& space, int n) {
+  return best_exhaustive(est, space, n).estimate;
+}
+
+CapacityResult largest_n_within(const Estimator& est, const ConfigSpace& space,
+                                Seconds budget, int n_min, int n_max) {
+  HETSCHED_CHECK(budget > 0, "largest_n_within: budget must be positive");
+  HETSCHED_CHECK(1 <= n_min && n_min <= n_max,
+                 "largest_n_within: need 1 <= n_min <= n_max");
+
+  CapacityResult res;
+  if (best_time_at(est, space, n_min) > budget) {
+    // Even the smallest size misses the deadline.
+    res.n = n_min;
+    res.best = best_exhaustive(est, space, n_min);
+    res.feasible = false;
+    return res;
+  }
+
+  int lo = n_min;        // invariant: feasible
+  int hi = n_max;        // possibly infeasible
+  if (best_time_at(est, space, n_max) <= budget) {
+    lo = n_max;
+  } else {
+    while (hi - lo > 1) {
+      const int mid = lo + (hi - lo) / 2;
+      if (best_time_at(est, space, mid) <= budget)
+        lo = mid;
+      else
+        hi = mid;
+    }
+  }
+  res.n = lo;
+  res.best = best_exhaustive(est, space, lo);
+  res.feasible = true;
+  return res;
+}
+
+}  // namespace hetsched::core

@@ -1,0 +1,35 @@
+// Inverse queries on the estimator: capacity planning.
+//
+// The paper answers "given N, which configuration is fastest?". Operators
+// routinely need the inverse: "what is the largest problem I can turn
+// around within a deadline?" and "what deadline should I promise for N?".
+// Both reduce to monotone searches over the estimator.
+#pragma once
+
+#include "core/estimator.hpp"
+#include "core/optimizer.hpp"
+
+namespace hetsched::core {
+
+struct CapacityResult {
+  int n = 0;                 ///< largest size meeting the budget
+  Ranked best;               ///< best configuration at that size
+  bool feasible = false;     ///< false if even n_min misses the budget
+};
+
+/// Largest N in [n_min, n_max] whose best-configuration prediction fits
+/// within `budget` seconds. Binary search over the predicted optimum,
+/// which is monotone in N for sane model sets.
+///
+/// Keep [n_min, n_max] near the models' fitted size range: below it the
+/// polynomial models extrapolate toward zero (everything looks feasible),
+/// above it they inherit the NS-style extrapolation error (Table 9).
+CapacityResult largest_n_within(const Estimator& est, const ConfigSpace& space,
+                                Seconds budget, int n_min = 400,
+                                int n_max = 20000);
+
+/// Predicted time of the best configuration at size n (the "deadline to
+/// promise"). Thin convenience over best_exhaustive.
+Seconds best_time_at(const Estimator& est, const ConfigSpace& space, int n);
+
+}  // namespace hetsched::core

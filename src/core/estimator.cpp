@@ -1,0 +1,203 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hpl/grid.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::core {
+
+namespace {
+
+std::string nt_key(const NtKey& k) {
+  std::ostringstream os;
+  os << k.kind << '/' << k.pes << '/' << k.m;
+  return os.str();
+}
+
+std::string pt_key(const std::string& kind, int m) {
+  std::ostringstream os;
+  os << kind << '/' << m;
+  return os.str();
+}
+
+}  // namespace
+
+Estimator::Estimator(cluster::ClusterSpec spec, EstimatorOptions opts)
+    : spec_(std::move(spec)), opts_(opts) {}
+
+void Estimator::add_nt(const NtKey& key, NtModel model) {
+  nt_[nt_key(key)] = NtEntry{key, std::move(model)};
+}
+
+void Estimator::add_pt(const std::string& kind, int m, PtModel model) {
+  pt_[pt_key(kind, m)] = PtEntry{kind, m, std::move(model)};
+}
+
+void Estimator::add_adjustment(const std::string& kind, int m, LinearMap map) {
+  adjust_[pt_key(kind, m)] = AdjustEntry{kind, m, map};
+}
+
+const NtModel* Estimator::nt(const NtKey& key) const {
+  const auto it = nt_.find(nt_key(key));
+  return it == nt_.end() ? nullptr : &it->second.model;
+}
+
+const PtModel* Estimator::pt(const std::string& kind, int m) const {
+  const auto it = pt_.find(pt_key(kind, m));
+  return it == pt_.end() ? nullptr : &it->second.model;
+}
+
+std::vector<Estimator::NtEntry> Estimator::nt_entries() const {
+  std::vector<NtEntry> out;
+  out.reserve(nt_.size());
+  for (const auto& [k, e] : nt_) out.push_back(e);
+  return out;
+}
+
+std::vector<Estimator::PtEntry> Estimator::pt_entries() const {
+  std::vector<PtEntry> out;
+  out.reserve(pt_.size());
+  for (const auto& [k, e] : pt_) out.push_back(e);
+  return out;
+}
+
+std::vector<Estimator::AdjustEntry> Estimator::adjust_entries() const {
+  std::vector<AdjustEntry> out;
+  out.reserve(adjust_.size());
+  for (const auto& [k, e] : adjust_) out.push_back(e);
+  return out;
+}
+
+std::string Estimator::describe() const {
+  std::ostringstream os;
+  os << "estimator over " << spec_.nodes.size() << " nodes, "
+     << spec_.total_pes() << " PEs\n";
+  os << "  N-T models (" << nt_.size() << "):\n";
+  for (const auto& [k, e] : nt_) {
+    os << "    " << e.key.kind << " pes=" << e.key.pes << " m=" << e.key.m
+       << "  k0=" << e.model.compute_coeffs()[0]
+       << " tai(4800)=" << e.model.tai(4800)
+       << "s tci(4800)=" << e.model.tci(4800) << "s\n";
+  }
+  os << "  P-T models (" << pt_.size() << "):\n";
+  for (const auto& [k, e] : pt_) {
+    os << "    " << e.kind << " m=" << e.m
+       << "  tai(4800,P=10)=" << e.model.tai(4800, 10)
+       << "s tci(4800,Q=9)=" << e.model.tci(4800, 9) << "s\n";
+  }
+  os << "  adjustments (" << adjust_.size() << "):\n";
+  for (const auto& [k, e] : adjust_)
+    os << "    " << e.kind << " m=" << e.m << "  t ~ " << e.map.a
+       << " * tau + " << e.map.b << "\n";
+  return os.str();
+}
+
+bool Estimator::covers(const cluster::Config& config) const {
+  if (config.total_procs() <= 0) return false;
+  if (opts_.use_binning && config.usage.size() == 1) {
+    const auto& u = config.usage.front();
+    if (nt(NtKey{u.kind, u.pes, u.procs_per_pe})) return true;
+  }
+  // With binning on, a single-PE configuration must use its own N-T model
+  // (checked above); with binning off it falls through to the P-T path.
+  if (opts_.use_binning && config.single_pe()) return false;
+  for (const auto& u : config.usage) {
+    if (u.pes == 0) continue;
+    if (!pt(u.kind, u.procs_per_pe)) return false;
+  }
+  return true;
+}
+
+bool Estimator::predicted_paged(const cluster::Config& config, int n) const {
+  // Mirror of the engines' memory model: exact block-cyclic column shares.
+  const cluster::Placement placement = make_placement(spec_, config);
+  const hpl::Grid1xP grid(n, opts_.nb, placement.nprocs());
+  std::vector<Bytes> footprint(spec_.nodes.size(), spec_.os_reserved);
+  for (int r = 0; r < placement.nprocs(); ++r) {
+    const Bytes ws =
+        static_cast<double>(n) * grid.local_cols(r) * kDoubleBytes +
+        static_cast<double>(n) * opts_.nb * kDoubleBytes;
+    footprint[placement.rank_pe[static_cast<std::size_t>(r)].node] +=
+        ws + spec_.proc_overhead;
+  }
+  for (std::size_t node = 0; node < footprint.size(); ++node)
+    if (footprint[node] > spec_.nodes[node].memory) return true;
+  return false;
+}
+
+Estimator::Breakdown Estimator::breakdown(const cluster::Config& config,
+                                          int n) const {
+  HETSCHED_CHECK(n >= 1, "estimate: n >= 1 required");
+  HETSCHED_CHECK(config.total_procs() > 0, "estimate: empty configuration");
+
+  Breakdown bd;
+  const double nn = n;
+  const double p = config.total_procs();  // computation: process count
+  const double q = opts_.comm_uses_processors
+                       ? static_cast<double>(config.total_pes())
+                       : p;
+
+  // Binning (§3.4): the most specific model wins. A configuration that
+  // coincides with a measured homogeneous group keeps its own N-T model
+  // (exact bin); single-PE configurations *must* have one (different
+  // physics: no inter-PE traffic); everything else goes through P-T.
+  const NtModel* exact = nullptr;
+  if (opts_.use_binning && config.usage.size() == 1) {
+    const auto& u = config.usage.front();
+    exact = nt(NtKey{u.kind, u.pes, u.procs_per_pe});
+    if (config.single_pe())
+      HETSCHED_CHECK(exact != nullptr,
+                     "no N-T model for single-PE configuration " +
+                         config.to_string());
+  }
+  if (exact != nullptr) {
+    const auto& u = config.usage.front();
+    bd.single_pe_bin = true;
+    bd.kinds.push_back(
+        KindEstimate{u.kind, u.procs_per_pe, exact->tai(nn), exact->tci(nn)});
+  } else {
+    for (const auto& u : config.usage) {
+      if (u.pes == 0) continue;
+      const PtModel* m = pt(u.kind, u.procs_per_pe);
+      HETSCHED_CHECK(m != nullptr, "no P-T model for kind " + u.kind +
+                                       " at m = " +
+                                       std::to_string(u.procs_per_pe));
+      // Clamp components at zero: a fitted quadratic Tci can cross zero
+      // below the measured range (latency-bound workloads), and a
+      // negative time component would poison the argmin.
+      bd.kinds.push_back(KindEstimate{u.kind, u.procs_per_pe,
+                                      std::max(0.0, m->tai(nn, p)),
+                                      std::max(0.0, m->tci(nn, q))});
+    }
+  }
+
+  for (const auto& k : bd.kinds)
+    bd.total = std::max(bd.total, k.tai + k.tci);
+
+  // Per-(kind, m) linear correction — the paper applies it to the mixed
+  // configurations of the fast PE's high multiprocessing levels.
+  if (opts_.use_adjustment && !bd.single_pe_bin) {
+    for (const auto& u : config.usage) {
+      const auto it = adjust_.find(pt_key(u.kind, u.procs_per_pe));
+      if (it != adjust_.end()) {
+        bd.total = std::max(0.0, it->second.map.apply(bd.total));
+        bd.adjusted = true;
+        break;
+      }
+    }
+  }
+
+  if (opts_.check_memory && predicted_paged(config, n)) {
+    bd.paged = true;
+    bd.total *= opts_.paged_penalty;
+  }
+  return bd;
+}
+
+Seconds Estimator::estimate(const cluster::Config& config, int n) const {
+  return breakdown(config, n).total;
+}
+
+}  // namespace hetsched::core

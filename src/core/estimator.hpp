@@ -1,0 +1,123 @@
+// The estimator: predicts total HPL execution time for a candidate
+// configuration, combining every modeling device of the paper.
+//
+//  * Binning (§3.4): single-PE configurations (P = Mi, no inter-PE
+//    traffic) use their N-T model; multi-PE configurations use the P-T
+//    models, one per PE kind, combined as max_i (Tai + Tci).
+//  * Memory bin (§3.4): configurations whose predicted per-node footprint
+//    exceeds physical memory are flagged "paged" and penalized — the
+//    regime the single Athlon enters at N = 10000 (Fig 3(a)).
+//  * Composition (§3.5): PE kinds with too few processors to fit a P-T
+//    model carry one composed from another kind (scaled copies).
+//  * Adjustment (§4.1): per-(kind, Mi) linear corrections fitted at anchor
+//    measurements patch the systematic communication-model deviation for
+//    high multiprocessing levels (M1 >= 3).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "core/nt_model.hpp"
+#include "core/pt_model.hpp"
+#include "support/units.hpp"
+
+namespace hetsched::core {
+
+struct EstimatorOptions {
+  bool use_binning = true;     ///< N-T for single-PE configs (else P-T always)
+  bool use_adjustment = true;  ///< apply the linear anchor corrections
+  bool check_memory = true;    ///< penalize predicted-paged configurations
+  double paged_penalty = 20.0; ///< time multiplier in the paged bin
+  int nb = 64;                 ///< block size assumed by the memory model
+  /// Evaluate Tci at the processor count Q instead of the process count P
+  /// (our refinement: co-resident processes share the broadcast ring, so
+  /// communication scales with processors — see pt_model.hpp). The paper
+  /// uses P for both.
+  bool comm_uses_processors = true;
+};
+
+/// Linear correction t ~ a * tau + b.
+struct LinearMap {
+  double a = 1.0;
+  double b = 0.0;
+  Seconds apply(Seconds t) const { return a * t + b; }
+};
+
+class Estimator {
+ public:
+  /// Per-kind prediction detail.
+  struct KindEstimate {
+    std::string kind;
+    int m = 0;
+    Seconds tai = 0;
+    Seconds tci = 0;
+  };
+  struct Breakdown {
+    std::vector<KindEstimate> kinds;
+    bool single_pe_bin = false;  ///< which model bin served the prediction
+    bool paged = false;          ///< memory-bin flag
+    bool adjusted = false;
+    Seconds total = 0;
+  };
+
+  /// Predicted execution time of `config` at size n. Throws if the model
+  /// set cannot cover the configuration.
+  Seconds estimate(const cluster::Config& config, int n) const;
+
+  /// Full detail of the same prediction.
+  Breakdown breakdown(const cluster::Config& config, int n) const;
+
+  /// True if estimate() would succeed for this configuration.
+  bool covers(const cluster::Config& config) const;
+
+  const EstimatorOptions& options() const { return opts_; }
+  /// Mutable options (ablation benches flip components on one model set).
+  EstimatorOptions& options() { return opts_; }
+
+  // -- wiring (used by ModelBuilder and tests) ------------------------------
+  Estimator(cluster::ClusterSpec spec, EstimatorOptions opts);
+  void add_nt(const NtKey& key, NtModel model);
+  void add_pt(const std::string& kind, int m, PtModel model);
+  void add_adjustment(const std::string& kind, int m, LinearMap map);
+
+  const NtModel* nt(const NtKey& key) const;
+  const PtModel* pt(const std::string& kind, int m) const;
+
+  // -- introspection (persistence, diagnostics) -----------------------------
+  struct NtEntry {
+    NtKey key;
+    NtModel model;
+  };
+  struct PtEntry {
+    std::string kind;
+    int m = 0;
+    PtModel model;
+  };
+  struct AdjustEntry {
+    std::string kind;
+    int m = 0;
+    LinearMap map;
+  };
+  std::vector<NtEntry> nt_entries() const;
+  std::vector<PtEntry> pt_entries() const;
+  std::vector<AdjustEntry> adjust_entries() const;
+  const cluster::ClusterSpec& spec() const { return spec_; }
+
+  /// Human-readable inventory: model counts, coefficient summaries,
+  /// adjustments. For CLI diagnostics.
+  std::string describe() const;
+
+ private:
+  bool predicted_paged(const cluster::Config& config, int n) const;
+
+  cluster::ClusterSpec spec_;
+  EstimatorOptions opts_;
+  std::map<std::string, NtEntry> nt_;        // serialized NtKey -> entry
+  std::map<std::string, PtEntry> pt_;        // "kind/m" -> entry
+  std::map<std::string, AdjustEntry> adjust_;
+};
+
+}  // namespace hetsched::core

@@ -1,0 +1,78 @@
+// ModelBuilder: turns a MeasurementSet into a ready-to-use Estimator.
+//
+// Pipeline (paper §3.2-§3.5, §4.1):
+//   1. Group single-kind samples by (kind, PEs, processes/PE); fit an N-T
+//      model per group with >= 4 sizes.
+//   2. For each (kind, m) with >= 3 distinct PE counts, fit a P-T model
+//      over its N-T models.
+//   3. Kinds with an N-T model at one PE but no P-T sweep get a *composed*
+//      P-T model: a reference kind's P-T model scaled by the single-PE
+//      time ratio of the two kinds (the paper's 0.27 / 0.85 constants for
+//      the Athlon, derived here from the data instead of hand-picked).
+//   4. Heterogeneous anchor samples fit per-(kind, m) linear corrections
+//      for multiprocessing levels m >= adjust_min_m.
+#pragma once
+
+#include <vector>
+
+#include "cluster/spec.hpp"
+#include "core/estimator.hpp"
+#include "core/sample.hpp"
+
+namespace hetsched::core {
+
+struct BuilderOptions {
+  EstimatorOptions estimator;
+  /// Smallest multiprocessing level that receives an anchor adjustment
+  /// (the paper corrects M1 >= 3 only; below that the raw model fits).
+  int adjust_min_m = 3;
+  /// Composition: take the communication part of a composed P-T model
+  /// from the reference kind's m = 1 family (shared-ring argument, see
+  /// model_builder.cpp) rather than the same-m family. Off by default:
+  /// with the fabric-aware communication fit, composing both parts from
+  /// the same-m family (the paper's §3.5 choice) measures best — see
+  /// bench_ablation_components.
+  bool compose_comm_from_m1 = false;
+};
+
+/// Composition factors derived for a kind (diagnostics; cf. the paper's
+/// hand-chosen 0.27 and 0.85).
+struct CompositionInfo {
+  std::string kind;            ///< the kind whose P-T model was composed
+  std::string reference_kind;  ///< source of the scaled model
+  int m = 0;
+  double compute_scale = 0;
+  double comm_scale = 0;
+};
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(cluster::ClusterSpec spec, BuilderOptions opts = {});
+
+  /// Builds the estimator. Throws if the measurements cannot support any
+  /// model (e.g. fewer than four sizes everywhere).
+  Estimator build(const MeasurementSet& ms) const;
+
+  /// Composition factors chosen during the last build() (empty before).
+  const std::vector<CompositionInfo>& compositions() const {
+    return compositions_;
+  }
+
+  /// Adjustment maps fitted during the last build().
+  struct AdjustmentInfo {
+    std::string kind;
+    int m = 0;
+    LinearMap map;
+  };
+  const std::vector<AdjustmentInfo>& adjustments() const {
+    return adjustments_;
+  }
+
+ private:
+  cluster::ClusterSpec spec_;
+  BuilderOptions opts_;
+  mutable std::vector<CompositionInfo> compositions_;
+  mutable std::vector<AdjustmentInfo> adjustments_;
+};
+
+}  // namespace hetsched::core

@@ -1,0 +1,168 @@
+#include "core/model_io.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace hetsched::core {
+
+namespace {
+
+constexpr const char* kMagic = "hetsched-models";
+constexpr int kVersion = 1;
+
+void check_kind_name(const std::string& kind) {
+  HETSCHED_CHECK(!kind.empty() &&
+                     kind.find_first_of(" \t\n") == std::string::npos,
+                 "model_io: kind names must be non-empty and contain no "
+                 "whitespace: '" +
+                     kind + "'");
+}
+
+void write_nt(std::ostream& os, const NtModel& m) {
+  for (const double k : m.compute_coeffs()) os << ' ' << k;
+  for (const double k : m.comm_coeffs()) os << ' ' << k;
+}
+
+NtModel read_nt(std::istream& is) {
+  std::array<double, 4> ka{};
+  std::array<double, 3> kc{};
+  for (auto& k : ka) is >> k;
+  for (auto& k : kc) is >> k;
+  HETSCHED_CHECK(static_cast<bool>(is), "model_io: truncated N-T record");
+  return NtModel(ka, kc);
+}
+
+std::uint64_t fnv(std::uint64_t h, const std::string& s) {
+  for (const char c : s) h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace
+
+std::string cluster_fingerprint(const cluster::ClusterSpec& spec) {
+  std::ostringstream os;
+  os << std::setprecision(10);
+  for (const auto& node : spec.nodes) {
+    os << node.kind.name << ';' << node.kind.peak_flops << ';'
+       << node.kind.ramp_deficit << ';' << node.kind.ramp_halfway << ';'
+       << node.kind.mp_alpha << ';' << node.cpus << ';' << node.memory << '|';
+  }
+  os << spec.fabric.name << ';' << spec.fabric.link_bandwidth << ';'
+     << spec.mpi.name << ';' << spec.mpi.intra_node_bandwidth;
+  std::uint64_t h = fnv(0xcbf29ce484222325ULL, os.str());
+  std::ostringstream hex;
+  hex << std::hex << h;
+  return hex.str();
+}
+
+void save_estimator(const Estimator& est, std::ostream& os) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << kMagic << " v" << kVersion << '\n';
+  os << "fingerprint " << cluster_fingerprint(est.spec()) << '\n';
+  const EstimatorOptions& o = est.options();
+  os << "options " << o.use_binning << ' ' << o.use_adjustment << ' '
+     << o.check_memory << ' ' << o.paged_penalty << ' ' << o.nb << ' '
+     << o.comm_uses_processors << '\n';
+  for (const auto& e : est.nt_entries()) {
+    check_kind_name(e.key.kind);
+    os << "nt " << e.key.kind << ' ' << e.key.pes << ' ' << e.key.m;
+    write_nt(os, e.model);
+    os << '\n';
+  }
+  for (const auto& e : est.pt_entries()) {
+    check_kind_name(e.kind);
+    const PtModel::State s = e.model.state();
+    os << "pt " << e.kind << ' ' << e.m << ' ' << s.kt[0] << ' ' << s.kt[1]
+       << ' ' << s.compute_scale << ' ' << s.a_p_base;
+    write_nt(os, s.a_base);
+    os << ' ' << s.kc[0] << ' ' << s.kc[1] << ' ' << s.kc[2] << ' '
+       << s.comm_scale;
+    write_nt(os, s.c_base);
+    os << '\n';
+  }
+  for (const auto& e : est.adjust_entries()) {
+    check_kind_name(e.kind);
+    os << "adjust " << e.kind << ' ' << e.m << ' ' << e.map.a << ' '
+       << e.map.b << '\n';
+  }
+  os << "end\n";
+  HETSCHED_CHECK(static_cast<bool>(os), "save_estimator: stream failure");
+}
+
+Estimator load_estimator(const cluster::ClusterSpec& spec, std::istream& is) {
+  std::string magic, version;
+  is >> magic >> version;
+  HETSCHED_CHECK(is && magic == kMagic,
+                 "load_estimator: not a hetsched model file");
+  const std::string expected_version = std::string("v") +
+                                       std::to_string(kVersion);
+  HETSCHED_CHECK(version == expected_version,
+                 "load_estimator: unsupported version " + version);
+
+  std::string tag;
+  is >> tag;
+  HETSCHED_CHECK(is && tag == "fingerprint",
+                 "load_estimator: missing fingerprint");
+  std::string fp;
+  is >> fp;
+  HETSCHED_CHECK(fp == cluster_fingerprint(spec),
+                 "load_estimator: models were fitted for a different "
+                 "cluster (fingerprint mismatch)");
+
+  is >> tag;
+  HETSCHED_CHECK(is && tag == "options", "load_estimator: missing options");
+  EstimatorOptions opts;
+  is >> opts.use_binning >> opts.use_adjustment >> opts.check_memory >>
+      opts.paged_penalty >> opts.nb >> opts.comm_uses_processors;
+  HETSCHED_CHECK(static_cast<bool>(is), "load_estimator: malformed options");
+
+  Estimator est(spec, opts);
+  while (is >> tag) {
+    if (tag == "end") return est;
+    if (tag == "nt") {
+      NtKey key;
+      is >> key.kind >> key.pes >> key.m;
+      HETSCHED_CHECK(static_cast<bool>(is), "load_estimator: malformed nt");
+      est.add_nt(key, read_nt(is));
+    } else if (tag == "pt") {
+      std::string kind;
+      int m = 0;
+      PtModel::State s;
+      is >> kind >> m >> s.kt[0] >> s.kt[1] >> s.compute_scale >> s.a_p_base;
+      HETSCHED_CHECK(static_cast<bool>(is), "load_estimator: malformed pt");
+      s.a_base = read_nt(is);
+      is >> s.kc[0] >> s.kc[1] >> s.kc[2] >> s.comm_scale;
+      HETSCHED_CHECK(static_cast<bool>(is), "load_estimator: malformed pt");
+      s.c_base = read_nt(is);
+      est.add_pt(kind, m, PtModel::from_state(s));
+    } else if (tag == "adjust") {
+      std::string kind;
+      int m = 0;
+      LinearMap map;
+      is >> kind >> m >> map.a >> map.b;
+      HETSCHED_CHECK(static_cast<bool>(is),
+                     "load_estimator: malformed adjust");
+      est.add_adjustment(kind, m, map);
+    } else {
+      throw Error("load_estimator: unknown record '" + tag + "'");
+    }
+  }
+  throw Error("load_estimator: missing 'end' record (truncated file)");
+}
+
+std::string estimator_to_string(const Estimator& est) {
+  std::ostringstream os;
+  save_estimator(est, os);
+  return os.str();
+}
+
+Estimator estimator_from_string(const cluster::ClusterSpec& spec,
+                                const std::string& text) {
+  std::istringstream is(text);
+  return load_estimator(spec, is);
+}
+
+}  // namespace hetsched::core

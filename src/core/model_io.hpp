@@ -1,0 +1,42 @@
+// Model persistence: save a fitted Estimator to a text format and load
+// it back.
+//
+// The whole point of the paper's method is that measuring costs hours
+// while estimating costs milliseconds — so fitted models are the asset
+// worth keeping. The format is a line-oriented, versioned, human-readable
+// text format (one record per line, '#' comments), stable across
+// platforms: coefficients are printed with max_digits10.
+//
+// What is serialized: every N-T model (with its key), every P-T model
+// (coefficients, base curves, composition scales), every adjustment map
+// and the estimator options. The ClusterSpec is NOT serialized — models
+// are only meaningful for the cluster they were measured on, so loading
+// takes the spec as an argument and records a fingerprint to catch
+// mismatches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/estimator.hpp"
+
+namespace hetsched::core {
+
+/// Writes `est` to `os`. Throws on stream failure.
+void save_estimator(const Estimator& est, std::ostream& os);
+
+/// Reads an estimator saved by save_estimator. Throws hetsched::Error on
+/// malformed input, version mismatch, or a cluster fingerprint that does
+/// not match `spec`.
+Estimator load_estimator(const cluster::ClusterSpec& spec, std::istream& is);
+
+/// Convenience: round-trip through a string (tests, small caches).
+std::string estimator_to_string(const Estimator& est);
+Estimator estimator_from_string(const cluster::ClusterSpec& spec,
+                                const std::string& text);
+
+/// Stable fingerprint of the parts of a ClusterSpec the models depend on
+/// (kinds, counts, memory, fabric and MPI profile parameters).
+std::string cluster_fingerprint(const cluster::ClusterSpec& spec);
+
+}  // namespace hetsched::core

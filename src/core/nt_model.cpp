@@ -1,0 +1,44 @@
+#include "core/nt_model.hpp"
+
+#include "linalg/lls.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::core {
+
+NtModel::NtModel(std::array<double, 4> ka, std::array<double, 3> kc)
+    : ka_(ka), kc_(kc) {}
+
+NtModel NtModel::fit(std::span<const Point> points) {
+  HETSCHED_CHECK(points.size() >= 4,
+                 "NtModel::fit requires at least four sizes (k0..k3)");
+  std::vector<double> ns, tais, tcis;
+  ns.reserve(points.size());
+  for (const auto& p : points) {
+    HETSCHED_CHECK(p.n > 0, "NtModel::fit: N must be positive");
+    ns.push_back(p.n);
+    tais.push_back(p.tai);
+    tcis.push_back(p.tci);
+  }
+
+  const linalg::Basis cubic = linalg::Basis::polynomial(3, 0);
+  const linalg::Basis quad = linalg::Basis::polynomial(2, 0);
+  const linalg::LlsResult ra = linalg::fit(cubic, ns, tais);
+  const linalg::LlsResult rc = linalg::fit(quad, ns, tcis);
+
+  NtModel m;
+  for (int i = 0; i < 4; ++i) m.ka_[static_cast<std::size_t>(i)] = ra.coeffs[static_cast<std::size_t>(i)];
+  for (int i = 0; i < 3; ++i) m.kc_[static_cast<std::size_t>(i)] = rc.coeffs[static_cast<std::size_t>(i)];
+  m.tai_r2_ = ra.r2;
+  m.tci_r2_ = rc.r2;
+  return m;
+}
+
+Seconds NtModel::tai(double n) const {
+  return ((ka_[0] * n + ka_[1]) * n + ka_[2]) * n + ka_[3];
+}
+
+Seconds NtModel::tci(double n) const {
+  return (kc_[0] * n + kc_[1]) * n + kc_[2];
+}
+
+}  // namespace hetsched::core

@@ -1,0 +1,67 @@
+// N-T model (paper §3.2): execution time as a polynomial in the problem
+// size N, for one fixed configuration (PE kind, PE count, processes/PE).
+//
+//   Tai(N) = k0 N^3 + k1 N^2 + k2 N + k3      (computation)
+//   Tci(N) = k4 N^2 + k5 N + k6               (communication)
+//
+// Coefficients are extracted by linear least squares from measured runs —
+// the paper uses gsl_multifit_linear; we use linalg::fit (Householder QR).
+// At least four distinct N are required (Tai has four coefficients).
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace hetsched::core {
+
+class NtModel {
+ public:
+  /// A fitting point: size N with measured computation/communication time.
+  struct Point {
+    double n;
+    Seconds tai;
+    Seconds tci;
+  };
+
+  NtModel() = default;
+
+  /// Fits k0..k6 from at least four points with distinct N.
+  static NtModel fit(std::span<const Point> points);
+
+  /// Constructs directly from coefficients (tests, composition).
+  NtModel(std::array<double, 4> ka, std::array<double, 3> kc);
+
+  Seconds tai(double n) const;
+  Seconds tci(double n) const;
+  Seconds total(double n) const { return tai(n) + tci(n); }
+
+  /// k0..k3.
+  const std::array<double, 4>& compute_coeffs() const { return ka_; }
+  /// k4..k6.
+  const std::array<double, 3>& comm_coeffs() const { return kc_; }
+
+  /// R^2 of the two fits (1.0 for coefficient-constructed models).
+  double tai_r2() const { return tai_r2_; }
+  double tci_r2() const { return tci_r2_; }
+
+ private:
+  std::array<double, 4> ka_{};
+  std::array<double, 3> kc_{};
+  double tai_r2_ = 1.0;
+  double tci_r2_ = 1.0;
+};
+
+/// Identifies which configuration an N-T model describes.
+struct NtKey {
+  std::string kind;
+  int pes = 0;   ///< processors of that kind used
+  int m = 0;     ///< processes per processor (the paper's Mi)
+  bool operator==(const NtKey&) const = default;
+  int total_procs() const { return pes * m; }
+};
+
+}  // namespace hetsched::core

@@ -1,0 +1,68 @@
+// Configuration search: the combinatorial optimization of §3.1.
+//
+// The paper enumerates every candidate configuration and picks the minimum
+// predicted time (62 candidates on its cluster). Its §5 names search-space
+// reduction as future work; `best_greedy` implements a simple coordinate
+// hill-climbing heuristic and the bench suite compares it against the
+// exhaustive optimum.
+#pragma once
+
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "core/estimator.hpp"
+
+namespace hetsched::core {
+
+/// The candidate space, expressed per kind as a list of (pes, procs_per_pe)
+/// options; (0, 0) means "kind unused". The space is the cartesian product
+/// minus the empty configuration.
+class ConfigSpace {
+ public:
+  struct KindOptions {
+    std::string kind;
+    std::vector<std::pair<int, int>> choices;  // (pes, m)
+  };
+
+  explicit ConfigSpace(std::vector<KindOptions> kinds);
+
+  /// The paper's evaluation space (Table 2): Athlon absent or 1 PE with
+  /// M1 = 1..6; Pentium-II absent or 1..8 PEs with M2 = 1.
+  static ConfigSpace paper_eval();
+
+  /// Every candidate configuration.
+  std::vector<cluster::Config> all() const;
+
+  /// Number of candidates.
+  std::size_t size() const;
+
+  const std::vector<KindOptions>& kinds() const { return kinds_; }
+
+ private:
+  std::vector<KindOptions> kinds_;
+};
+
+struct Ranked {
+  cluster::Config config;
+  Seconds estimate = 0;
+};
+
+/// All candidates the estimator covers, sorted by predicted time.
+std::vector<Ranked> rank_all(const Estimator& est, const ConfigSpace& space,
+                             int n);
+
+/// Exhaustive optimum (throws if no candidate is covered by the models).
+Ranked best_exhaustive(const Estimator& est, const ConfigSpace& space, int n);
+
+/// Coordinate hill-climbing: start from every kind maxed out at m = 1 (or
+/// its closest available option), repeatedly move one kind one step along
+/// its option list while the prediction improves. Returns the local
+/// optimum and the number of estimator calls spent.
+struct GreedyResult {
+  Ranked best;
+  std::size_t evaluations = 0;
+};
+GreedyResult best_greedy(const Estimator& est, const ConfigSpace& space,
+                         int n);
+
+}  // namespace hetsched::core

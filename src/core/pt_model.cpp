@@ -1,0 +1,168 @@
+#include "core/pt_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lls.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::core {
+
+PtModel PtModel::fit(std::span<const NtModel> models, std::span<const int> ps,
+                     std::span<const int> qs, std::span<const double> ns,
+                     const std::vector<bool>& comm_member) {
+  HETSCHED_CHECK(models.size() == ps.size() && models.size() == qs.size(),
+                 "PtModel::fit: size mismatch");
+  HETSCHED_CHECK(comm_member.empty() || comm_member.size() == models.size(),
+                 "PtModel::fit: comm_member size mismatch");
+  HETSCHED_CHECK(!ns.empty(), "PtModel::fit: empty N grid");
+  const auto in_comm = [&](std::size_t i) {
+    return comm_member.empty() || comm_member[i];
+  };
+
+  std::vector<int> distinct_p(ps.begin(), ps.end());
+  std::sort(distinct_p.begin(), distinct_p.end());
+  distinct_p.erase(std::unique(distinct_p.begin(), distinct_p.end()),
+                   distinct_p.end());
+  HETSCHED_CHECK(distinct_p.size() >= 2,
+                 "PtModel::fit requires at least two distinct process "
+                 "counts (k7, k8)");
+
+  std::vector<int> distinct_q;
+  for (std::size_t i = 0; i < models.size(); ++i)
+    if (in_comm(i)) distinct_q.push_back(qs[i]);
+  std::sort(distinct_q.begin(), distinct_q.end());
+  distinct_q.erase(std::unique(distinct_q.begin(), distinct_q.end()),
+                   distinct_q.end());
+  // The paper needs three distinct P for the three Tci coefficients; with
+  // exactly two we degrade gracefully to the two-term form k9*Q*C + k11
+  // (the k10*C/Q term is the smallest at realistic Q anyway).
+  HETSCHED_CHECK(distinct_q.size() >= 2,
+                 "PtModel::fit requires at least two distinct processor "
+                 "counts among communication members");
+  const bool full_comm = distinct_q.size() >= 3;
+
+  PtModel out;
+  // Compute base curve from the smallest measured P; communication base
+  // from the smallest fabric-crossing Q.
+  std::size_t a_base = 0, c_base = models.size();
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (ps[i] < ps[a_base]) a_base = i;
+    if (in_comm(i) && (c_base == models.size() || qs[i] < qs[c_base]))
+      c_base = i;
+  }
+  out.a_base_ = models[a_base];
+  out.a_p_base_ = ps[a_base];
+  out.c_base_ = models[c_base];
+
+  // Compute fit: one row per (member, N).
+  {
+    const std::size_t rows = models.size() * ns.size();
+    linalg::Matrix da(rows, 2);  // [A(N)/P, 1]
+    std::vector<double> ya(rows);
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      for (const double n : ns) {
+        da(r, 0) = out.a_curve(n) / ps[i];
+        da(r, 1) = 1.0;
+        ya[r] = models[i].tai(n);
+        ++r;
+      }
+    }
+    const linalg::LlsResult ra = linalg::solve_lls(da, ya);
+    out.kt_ = {ra.coeffs[0], ra.coeffs[1]};
+  }
+
+  // Communication fit: one row per (comm member, N).
+  {
+    std::size_t members = 0;
+    for (std::size_t i = 0; i < models.size(); ++i)
+      if (in_comm(i)) ++members;
+    const std::size_t comm_cols = full_comm ? 3 : 2;
+    linalg::Matrix dc(members * ns.size(), comm_cols);
+    std::vector<double> yc(members * ns.size());
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      if (!in_comm(i)) continue;
+      const double q = qs[i];
+      for (const double n : ns) {
+        dc(r, 0) = q * out.c_curve(n);
+        if (full_comm) {
+          dc(r, 1) = out.c_curve(n) / q;
+          dc(r, 2) = 1.0;
+        } else {
+          dc(r, 1) = 1.0;
+        }
+        yc[r] = models[i].tci(n);
+        ++r;
+      }
+    }
+    const linalg::LlsResult rc = linalg::solve_lls(dc, yc);
+    if (full_comm)
+      out.kc_ = {rc.coeffs[0], rc.coeffs[1], rc.coeffs[2]};
+    else
+      out.kc_ = {rc.coeffs[0], 0.0, rc.coeffs[1]};
+  }
+  return out;
+}
+
+Seconds PtModel::tai(double n, double p) const {
+  HETSCHED_CHECK(p >= 1.0, "PtModel::tai: P >= 1 required");
+  return compute_scale_ * (kt_[0] * a_curve(n) / p + kt_[1]);
+}
+
+Seconds PtModel::tci(double n, double q) const {
+  HETSCHED_CHECK(q >= 1.0, "PtModel::tci: Q >= 1 required");
+  return comm_scale_ *
+         (kc_[0] * q * c_curve(n) + kc_[1] * c_curve(n) / q + kc_[2]);
+}
+
+PtModel PtModel::composed(double compute_scale, double comm_scale) const {
+  HETSCHED_CHECK(compute_scale > 0.0 && comm_scale > 0.0,
+                 "composed: scales must be positive");
+  PtModel out = *this;
+  out.compute_scale_ *= compute_scale;
+  out.comm_scale_ *= comm_scale;
+  return out;
+}
+
+PtModel::State PtModel::state() const {
+  State s;
+  s.a_base = a_base_;
+  s.a_p_base = a_p_base_;
+  s.kt = kt_;
+  s.compute_scale = compute_scale_;
+  s.c_base = c_base_;
+  s.kc = kc_;
+  s.comm_scale = comm_scale_;
+  return s;
+}
+
+PtModel PtModel::from_state(const State& s) {
+  PtModel out;
+  out.a_base_ = s.a_base;
+  out.a_p_base_ = s.a_p_base;
+  out.kt_ = s.kt;
+  out.compute_scale_ = s.compute_scale;
+  out.c_base_ = s.c_base;
+  out.kc_ = s.kc;
+  out.comm_scale_ = s.comm_scale;
+  return out;
+}
+
+PtModel PtModel::hybrid(const PtModel& compute_src, double compute_scale,
+                        const PtModel& comm_src, double comm_scale) {
+  HETSCHED_CHECK(compute_scale > 0.0 && comm_scale > 0.0,
+                 "hybrid: scales must be positive");
+  PtModel out;
+  out.a_base_ = compute_src.a_base_;
+  out.a_p_base_ = compute_src.a_p_base_;
+  out.kt_ = compute_src.kt_;
+  out.compute_scale_ = compute_src.compute_scale_ * compute_scale;
+  out.c_base_ = comm_src.c_base_;
+  out.kc_ = comm_src.kc_;
+  out.comm_scale_ = comm_src.comm_scale_ * comm_scale;
+  return out;
+}
+
+}  // namespace hetsched::core

@@ -1,0 +1,111 @@
+// P-T model (paper §3.3): integrates the per-P N-T models of one
+// (PE kind, processes-per-PE) class into a single model with the total
+// process count P as a variable:
+//
+//   Tai(N, P) = k7 * A(N)/P + k8
+//   Tci(N, P) = k9 * P * C(N) + k10 * C(N)/P + k11
+//
+// The paper's equations reference "Tai(N)|P,Mi" on the right-hand side
+// without fixing which P; we read them as *base curves* taken from the
+// smallest measured P of the class (see DESIGN.md §5):
+//
+//   A(N) = P_base * Tai_base(N)     — the total-work curve,
+//   C(N) = Tci_base(N)              — the base communication curve.
+//
+// k7..k11 are then fitted by least squares over every measured (N, P).
+//
+// One refinement over the paper: computation scales with the *process*
+// count P (each process owns 1/P of the columns), but communication
+// scales with the *processor* count Q (messages between co-resident
+// processes ride the fast intra-node channel, so the broadcast ring
+// effectively crosses each processor once). The paper uses P for both and
+// attributes the resulting systematic deviation at high M1 to its
+// communication model (§4.1); separating P and Q removes most of it at
+// the source. Within one homogeneous fitting family Q is proportional to
+// P, so the fit itself is unchanged — only predictions for mixed
+// configurations differ.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/nt_model.hpp"
+#include "support/units.hpp"
+
+namespace hetsched::core {
+
+class PtModel {
+ public:
+  PtModel() = default;
+
+  /// Fits from the N-T models of one (kind, m) class. `models[i]` was
+  /// measured with total process count `ps[i]` on `qs[i]` processors;
+  /// `ns` is the N grid the fit is anchored on. `comm_member[i]` selects
+  /// which members anchor the *communication* fit (fabric-crossing runs
+  /// only — a single-node run has no inter-node traffic); pass empty to
+  /// use all. Requires >= 2 distinct P overall and >= 2 distinct Q among
+  /// comm members; the three-term Tci form needs >= 3 distinct Q and
+  /// degrades to k9*Q*C + k11 with exactly two.
+  static PtModel fit(std::span<const NtModel> models, std::span<const int> ps,
+                     std::span<const int> qs, std::span<const double> ns,
+                     const std::vector<bool>& comm_member = {});
+
+  /// Computation time at size n with p total *processes*.
+  Seconds tai(double n, double p) const;
+  /// Communication time at size n with q total *processors*.
+  Seconds tci(double n, double q) const;
+  /// Combined prediction.
+  Seconds total(double n, double p, double q) const {
+    return tai(n, p) + tci(n, q);
+  }
+
+  /// Returns a copy with computation and communication scaled by constant
+  /// factors — the paper's *model composition* (§3.5): an Athlon P-T model
+  /// is the Pentium-II P-T model scaled by (0.27, 0.85)-style constants.
+  PtModel composed(double compute_scale, double comm_scale) const;
+
+  /// Composition across families: computation behaviour from
+  /// `compute_src` (the matching multiprocessing level — it captures how m
+  /// co-resident processes compute), communication behaviour from
+  /// `comm_src` (typically the reference kind's m = 1 family — in a mixed
+  /// configuration the broadcast ring is shared, so a PE's communication
+  /// does not multiply with its own process count).
+  static PtModel hybrid(const PtModel& compute_src, double compute_scale,
+                        const PtModel& comm_src, double comm_scale);
+
+  /// k7, k8.
+  const std::array<double, 2>& compute_coeffs() const { return kt_; }
+  /// k9, k10, k11.
+  const std::array<double, 3>& comm_coeffs() const { return kc_; }
+
+  /// Full internal state, for persistence (core/model_io.hpp).
+  struct State {
+    NtModel a_base;
+    double a_p_base = 1.0;
+    std::array<double, 2> kt{};
+    double compute_scale = 1.0;
+    NtModel c_base;
+    std::array<double, 3> kc{};
+    double comm_scale = 1.0;
+  };
+  State state() const;
+  static PtModel from_state(const State& s);
+
+ private:
+  // Computation part: base total-work curve A(N) = p_base * Tai_base(N).
+  NtModel a_base_;
+  double a_p_base_ = 1.0;
+  std::array<double, 2> kt_{};  // k7, k8
+  double compute_scale_ = 1.0;
+  // Communication part: base curve C(N) = Tci_base(N).
+  NtModel c_base_;
+  std::array<double, 3> kc_{};  // k9, k10, k11
+  double comm_scale_ = 1.0;
+
+  double a_curve(double n) const { return a_p_base_ * a_base_.tai(n); }
+  double c_curve(double n) const { return c_base_.tci(n); }
+};
+
+}  // namespace hetsched::core

@@ -1,0 +1,55 @@
+#include "core/sample.hpp"
+
+namespace hetsched::core {
+
+std::optional<Sample::KindMeasure> Sample::measure_of(
+    const std::string& kind) const {
+  for (const auto& k : kinds)
+    if (k.kind == kind) return k;
+  return std::nullopt;
+}
+
+void MeasurementSet::add(Sample s) { samples_.push_back(std::move(s)); }
+
+std::vector<const Sample*> MeasurementSet::homogeneous(const std::string& kind,
+                                                       int pes, int m) const {
+  std::vector<const Sample*> out;
+  for (const auto& s : samples_) {
+    if (s.config.usage.size() != 1) continue;
+    const auto& u = s.config.usage[0];
+    if (u.kind == kind && u.pes == pes && u.procs_per_pe == m)
+      out.push_back(&s);
+  }
+  return out;
+}
+
+std::vector<const Sample*> MeasurementSet::of_config(
+    const cluster::Config& config) const {
+  std::vector<const Sample*> out;
+  for (const auto& s : samples_)
+    if (s.config == config) out.push_back(&s);
+  return out;
+}
+
+namespace {
+Seconds cost_of(const Sample& s) {
+  return s.measured_cost > 0 ? s.measured_cost : s.wall;
+}
+}  // namespace
+
+Seconds MeasurementSet::cost_of_kind_at(const std::string& kind, int n) const {
+  Seconds total = 0;
+  for (const auto& s : samples_) {
+    if (s.n != n || s.config.usage.size() != 1) continue;
+    if (s.config.usage[0].kind == kind) total += cost_of(s);
+  }
+  return total;
+}
+
+Seconds MeasurementSet::total_cost() const {
+  Seconds total = 0;
+  for (const auto& s : samples_) total += cost_of(s);
+  return total;
+}
+
+}  // namespace hetsched::core

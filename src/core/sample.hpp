@@ -1,0 +1,61 @@
+// Measurement samples: what the model-construction runs produce and what
+// the estimation models are fitted from.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "support/units.hpp"
+
+namespace hetsched::core {
+
+/// One measured HPL run, reduced to the paper's per-PE-kind quantities.
+struct Sample {
+  cluster::Config config;
+  int n = 0;
+  Seconds wall = 0;  ///< makespan of the run (averaged over trials)
+  int trials = 1;    ///< how many runs were averaged into this sample
+  /// Total measuring time spent producing this sample (= wall for a
+  /// single trial; the Tables 3/6 cost accounting uses this).
+  Seconds measured_cost = 0;
+  /// Measured (Tai, Tci) per PE kind present in the run.
+  struct KindMeasure {
+    std::string kind;
+    Seconds tai = 0;
+    Seconds tci = 0;
+  };
+  std::vector<KindMeasure> kinds;
+
+  /// The measure for a kind, if that kind participated.
+  std::optional<KindMeasure> measure_of(const std::string& kind) const;
+};
+
+/// A set of samples plus the cost bookkeeping for Tables 3 and 6.
+class MeasurementSet {
+ public:
+  void add(Sample s);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Samples whose configuration uses exactly one PE kind named `kind`
+  /// with `pes` processors and `m` processes per PE.
+  std::vector<const Sample*> homogeneous(const std::string& kind, int pes,
+                                         int m) const;
+
+  /// All samples matching a configuration exactly.
+  std::vector<const Sample*> of_config(const cluster::Config& config) const;
+
+  /// Total measurement wall time attributable to single-kind runs of
+  /// `kind` at size n (a Table 3 / Table 6 cell).
+  Seconds cost_of_kind_at(const std::string& kind, int n) const;
+
+  /// Total wall time of every sample (a Table 3 / Table 6 "Total" row).
+  Seconds total_cost() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace hetsched::core

@@ -1,0 +1,70 @@
+#include "des/sim.hpp"
+
+#include <limits>
+
+namespace hetsched::des {
+
+Simulator::~Simulator() {
+  // Destroy suspended or finished task frames; running_ cannot be true here
+  // because run() is not reentrant and unwinds its flag on exceptions.
+  for (auto h : tasks_) h.destroy();
+}
+
+EventHandle Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  HETSCHED_CHECK(t >= now_, "cannot schedule an event in the past");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{t, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+void Simulator::spawn(Task task, SimTime at) {
+  HETSCHED_CHECK(task.valid(), "spawn requires a valid task");
+  const SimTime start = at < 0.0 ? now_ : at;
+  HETSCHED_CHECK(start >= now_, "cannot spawn a task in the past");
+  auto h = task.release();
+  tasks_.push_back(h);
+  schedule_at(start, [h] { h.resume(); });
+}
+
+void Simulator::drain(SimTime t_end, bool bounded) {
+  HETSCHED_CHECK(!running_, "Simulator::run is not reentrant");
+  running_ = true;
+  struct Unflag {
+    bool& flag;
+    ~Unflag() { flag = false; }
+  } unflag{running_};
+
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    if (bounded && ev.t > t_end) break;
+    queue_.pop();
+    if (!*ev.alive) continue;  // cancelled
+    HETSCHED_ASSERT(ev.t >= now_, "event queue went backwards in time");
+    now_ = ev.t;
+    ++dispatched_;
+    *ev.alive = false;  // fired: EventHandle::pending() turns false
+    ev.fn();
+  }
+  // Task exceptions are captured by the promise; surface the first one here
+  // (checking per-event would cost O(tasks) on every dispatch).
+  for (auto h : tasks_)
+    if (h.done() && h.promise().exception)
+      std::rethrow_exception(h.promise().exception);
+}
+
+void Simulator::run() {
+  drain(std::numeric_limits<SimTime>::max(), /*bounded=*/false);
+  HETSCHED_CHECK(all_tasks_done(),
+                 "simulation deadlock: event queue drained but tasks are "
+                 "still suspended");
+}
+
+void Simulator::run_until(SimTime t_end) { drain(t_end, /*bounded=*/true); }
+
+bool Simulator::all_tasks_done() const {
+  for (auto h : tasks_)
+    if (!h.done()) return false;
+  return true;
+}
+
+}  // namespace hetsched::des

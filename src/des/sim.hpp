@@ -1,0 +1,128 @@
+// Discrete-event simulator core.
+//
+// The simulator owns a time-ordered event queue. Events are plain
+// callbacks; coroutine resumption is just a callback that resumes a
+// handle. Determinism guarantees:
+//   * events fire in (time, insertion-sequence) order — simultaneous
+//     events run FIFO,
+//   * no real-world entropy enters the loop.
+//
+// Resources that need to *re-plan* (the processor-sharing CPU) cancel and
+// reschedule their completion events via EventHandle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "des/task.hpp"
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace hetsched::des {
+
+/// Simulated time in seconds since simulation start.
+using SimTime = Seconds;
+
+/// Cancellation handle for a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True if the event is still pending.
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (>= now).
+  EventHandle schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` to run after `dt` seconds (>= 0).
+  EventHandle schedule_after(SimTime dt, std::function<void()> fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Takes ownership of a task and schedules its start at time `at`
+  /// (defaults to now). Exceptions escaping the task surface from run().
+  void spawn(Task task, SimTime at = -1.0);
+
+  /// Runs until the event queue drains. Throws if any spawned task is
+  /// still suspended afterwards (deadlock: a task awaits an event nobody
+  /// will produce), or if a task failed with an exception.
+  void run();
+
+  /// Runs until simulated time exceeds `t_end` or the queue drains.
+  /// Does not perform the deadlock check (partial runs are legitimate).
+  void run_until(SimTime t_end);
+
+  /// Number of events dispatched so far (diagnostics / determinism tests).
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// True if every spawned task has completed.
+  bool all_tasks_done() const;
+
+  // -- awaitables -----------------------------------------------------------
+
+  /// Awaitable: suspend the current task for `dt` simulated seconds.
+  struct DelayAwaiter {
+    Simulator& sim;
+    SimTime dt;
+    bool await_ready() const { return dt <= 0.0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim.schedule_after(dt, [h] { h.resume(); });
+    }
+    void await_resume() const {}
+  };
+
+  /// `co_await sim.delay(dt)` — advance this task's local time by dt.
+  DelayAwaiter delay(SimTime dt) {
+    HETSCHED_CHECK(dt >= 0.0, "delay requires dt >= 0");
+    return DelayAwaiter{*this, dt};
+  }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  void drain(SimTime t_end, bool bounded);
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::coroutine_handle<Task::promise_type>> tasks_;
+  bool running_ = false;
+};
+
+}  // namespace hetsched::des

@@ -1,0 +1,97 @@
+// Coroutine task type for simulated processes.
+//
+// A `Task` is a C++20 coroutine representing one simulated activity (an MPI
+// rank, a background driver). Tasks suspend on awaitables provided by the
+// simulator and its resources (delays, CPU compute, message arrival) and
+// are resumed by the event loop at the proper simulated time.
+//
+// Nested calls (`co_await child_task()`) are supported via symmetric
+// transfer: the child runs to completion in simulated time while the
+// parent is suspended, exactly like a subroutine call in a real program.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace hetsched::des {
+
+class Task {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        // Resume whoever co_awaited us; otherwise return to the event loop.
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// True if a coroutine is attached.
+  bool valid() const { return static_cast<bool>(h_); }
+
+  /// True once the coroutine ran to completion.
+  bool done() const { return !h_ || h_.done(); }
+
+  /// Rethrows an exception that escaped the coroutine body, if any.
+  void rethrow_if_failed() const {
+    if (h_ && h_.promise().exception)
+      std::rethrow_exception(h_.promise().exception);
+  }
+
+  // -- awaitable interface (for nested `co_await some_task()`) -------------
+  bool await_ready() const { return done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    h_.promise().continuation = cont;
+    return h_;  // symmetric transfer: start the child now
+  }
+  void await_resume() { rethrow_if_failed(); }
+
+  /// Releases ownership of the handle (used by Simulator::spawn).
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(h_, nullptr);
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace hetsched::des

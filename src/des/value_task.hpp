@@ -1,0 +1,88 @@
+// Value-returning coroutine for nested simulated calls.
+//
+// `ValueTask<T>` is the value-producing sibling of `Task`: it can only be
+// awaited from another coroutine (not spawned top-level) and hands its
+// result to the awaiter, e.g.
+//
+//   Message m = co_await endpoint.recv(src, tag);
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace hetsched::des {
+
+template <typename T>
+class ValueTask {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+    std::optional<T> value;
+
+    ValueTask get_return_object() {
+      return ValueTask(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  ValueTask() = default;
+  explicit ValueTask(std::coroutine_handle<promise_type> h) : h_(h) {}
+  ValueTask(ValueTask&& other) noexcept
+      : h_(std::exchange(other.h_, nullptr)) {}
+  ValueTask& operator=(ValueTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  ValueTask(const ValueTask&) = delete;
+  ValueTask& operator=(const ValueTask&) = delete;
+  ~ValueTask() { destroy(); }
+
+  // -- awaitable interface --------------------------------------------------
+  bool await_ready() const { return !h_ || h_.done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  T await_resume() {
+    HETSCHED_ASSERT(h_, "awaiting an empty ValueTask");
+    if (h_.promise().exception)
+      std::rethrow_exception(h_.promise().exception);
+    HETSCHED_ASSERT(h_.promise().value.has_value(),
+                    "ValueTask completed without a value");
+    return std::move(*h_.promise().value);
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace hetsched::des

@@ -1,0 +1,63 @@
+// Umbrella header: the full public API of hetsched.
+//
+// For finer-grained builds include the per-module headers directly; the
+// layering (support -> linalg/des -> cluster -> mpisim -> hpl/apps ->
+// core -> measure) is documented in DESIGN.md §3.
+#pragma once
+
+// Utilities
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+// Numerics
+#include "linalg/lls.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+// Discrete-event simulation
+#include "des/sim.hpp"
+#include "des/sync.hpp"
+#include "des/task.hpp"
+#include "des/value_task.hpp"
+
+// Cluster hardware model
+#include "cluster/config.hpp"
+#include "cluster/cpu.hpp"
+#include "cluster/machine.hpp"
+#include "cluster/network.hpp"
+#include "cluster/pe_kind.hpp"
+#include "cluster/spec.hpp"
+
+// Simulated message passing
+#include "mpisim/collectives.hpp"
+#include "mpisim/comm.hpp"
+#include "mpisim/netpipe.hpp"
+
+// HPL workload engines
+#include "hpl/cost_engine.hpp"
+#include "hpl/cost_engine_2d.hpp"
+#include "hpl/grid.hpp"
+#include "hpl/grid2d.hpp"
+#include "hpl/numeric_engine.hpp"
+#include "hpl/timing.hpp"
+#include "hpl/trace.hpp"
+
+// Other applications
+#include "apps/stencil.hpp"
+
+// The paper's estimation method
+#include "core/estimator.hpp"
+#include "core/model_builder.hpp"
+#include "core/model_io.hpp"
+#include "core/nt_model.hpp"
+#include "core/optimizer.hpp"
+#include "core/pt_model.hpp"
+#include "core/sample.hpp"
+
+// Measurement campaigns
+#include "measure/evaluation.hpp"
+#include "measure/plan.hpp"
+#include "measure/runner.hpp"

@@ -1,0 +1,233 @@
+#include "hpl/cost_engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "des/sim.hpp"
+#include "hpl/grid.hpp"
+#include "hpl/trace.hpp"
+#include "mpisim/collectives.hpp"
+#include "mpisim/comm.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hetsched::hpl {
+
+namespace {
+
+// Simulated bookkeeping time per panel column for the pivot-row max/swap
+// (mxswp). In a 1xP grid the search is process-local, so this is O(1) per
+// column — a few microseconds of loop and copy.
+constexpr Seconds kMxswpPerColumn = 2.0e-6;
+
+// Tag space: each panel step uses a distinct tag per collective so message
+// matching can never cross steps.
+int tag_panel(int k) { return 4 * k; }
+int tag_gather(int k) { return 4 * k + 1; }
+int tag_x(int k) { return 4 * k + 2; }
+
+struct Ctx {
+  des::Simulator& sim;
+  cluster::Machine& machine;
+  mpisim::Comm& comm;
+  Grid1xP grid;
+  HplParams params;
+  double noise_sigma;
+  std::vector<RankTiming>& timings;
+  std::vector<Rng>& rngs;
+  std::vector<Bytes> rank_ws;        // per-rank resident working set
+  std::vector<Bytes> node_footprint; // per-node total resident bytes
+};
+
+Seconds compute_demand_for(Ctx& ctx, int me, Flops work) {
+  const cluster::PeRef pe = ctx.comm.pe_of(me);
+  const Seconds d = ctx.machine.compute_demand(
+      pe, work, ctx.rank_ws[static_cast<std::size_t>(me)],
+      ctx.node_footprint[pe.node]);
+  return d * ctx.rngs[static_cast<std::size_t>(me)].lognormal_factor(
+                 ctx.noise_sigma);
+}
+
+void trace_phase(Ctx& ctx, int me, Phase phase, des::SimTime begin,
+                 des::SimTime end) {
+  if (ctx.params.trace) ctx.params.trace->add(me, phase, begin, end);
+}
+
+Seconds copy_demand_for(Ctx& ctx, int me, Bytes bytes) {
+  const cluster::PeRef pe = ctx.comm.pe_of(me);
+  return ctx.machine.copy_demand(pe, bytes) *
+         ctx.rngs[static_cast<std::size_t>(me)].lognormal_factor(
+             ctx.noise_sigma);
+}
+
+des::Task rank_program(Ctx& ctx, int me) {
+  auto& sim = ctx.sim;
+  auto& grid = ctx.grid;
+  RankTiming& t = ctx.timings[static_cast<std::size_t>(me)];
+  cluster::Cpu& cpu = ctx.machine.cpu(ctx.comm.pe_of(me));
+  const des::SimTime run_start = sim.now();
+
+  for (int k = 0; k < grid.num_blocks(); ++k) {
+    const int owner = grid.owner(k);
+    const int nb = grid.block_width(k);
+    const int rows = grid.panel_rows(k);
+    const int trailing = grid.local_cols_from(me, k + 1);
+
+    if (me == owner) {
+      // Recursive panel factorization (pfact) ...
+      des::SimTime t0 = sim.now();
+      co_await cpu.compute(compute_demand_for(ctx, me, pfact_flops(rows, nb)));
+      trace_phase(ctx, me, Phase::kPfact, t0, sim.now());
+      t.pfact += sim.now() - t0;
+      // ... and the pivot max/swap bookkeeping (mxswp, O(1) per column).
+      t0 = sim.now();
+      co_await sim.delay(kMxswpPerColumn * nb);
+      trace_phase(ctx, me, Phase::kMxswp, t0, sim.now());
+      t.mxswp += sim.now() - t0;
+    }
+
+    // Panel broadcast: receivers' waiting-for-the-owner time lands here,
+    // exactly as it does in HPL's elapsed bcast timer.
+    des::SimTime t0 = sim.now();
+    co_await mpisim::bcast(ctx.comm, me, owner, tag_panel(k),
+                           panel_bytes(rows, nb), ctx.params.bcast_algo);
+    // Multiprogramming stall: a woken process waits out the timeslices of
+    // its co-resident peers at each synchronization point (Fig 3(b)'s
+    // small-N multiprocessing overhead).
+    const int co = ctx.comm.placement().co_resident(me);
+    if (co > 1)
+      co_await sim.delay(ctx.machine.spec().sched_quantum * (co - 1) *
+                         ctx.rngs[static_cast<std::size_t>(me)]
+                             .lognormal_factor(ctx.noise_sigma));
+    trace_phase(ctx, me, Phase::kBcast, t0, sim.now());
+    t.bcast += sim.now() - t0;
+
+    // Row interchanges on the local trailing columns (laswp).
+    t0 = sim.now();
+    co_await cpu.compute(copy_demand_for(ctx, me, laswp_bytes(nb, trailing)));
+    trace_phase(ctx, me, Phase::kLaswp, t0, sim.now());
+    t.laswp += sim.now() - t0;
+
+    // Trailing update: triangular solve on the top block + GEMM below.
+    t0 = sim.now();
+    co_await cpu.compute(
+        compute_demand_for(ctx, me, update_flops(rows, nb, trailing)));
+    trace_phase(ctx, me, Phase::kUpdate, t0, sim.now());
+    t.update_core += sim.now() - t0;
+  }
+
+  // Blocked backward substitution (uptrsv). For each diagonal block from
+  // the bottom: every rank folds its already-solved columns into a partial
+  // sum, the owner gathers the partials, solves the nb x nb triangle, and
+  // broadcasts the solution block.
+  const des::SimTime trsv_start = sim.now();
+  for (int kb = grid.num_blocks() - 1; kb >= 0; --kb) {
+    const int owner = grid.owner(kb);
+    const int nb = grid.block_width(kb);
+    const int cols_after = grid.local_cols_from(me, kb + 1);
+    co_await cpu.compute(
+        compute_demand_for(ctx, me, 2.0 * nb * cols_after));
+    co_await mpisim::gather_at(ctx.comm, me, owner, tag_gather(kb),
+                               nb * kDoubleBytes);
+    if (me == owner) {
+      co_await cpu.compute(
+          compute_demand_for(ctx, me, static_cast<double>(nb) * nb));
+    }
+    co_await mpisim::bcast(ctx.comm, me, owner, tag_x(kb), nb * kDoubleBytes,
+                           ctx.params.bcast_algo);
+  }
+  trace_phase(ctx, me, Phase::kUptrsv, trsv_start, sim.now());
+  t.uptrsv += sim.now() - trsv_start;
+  t.wall = sim.now() - run_start;
+}
+
+}  // namespace
+
+double pfact_flops(int rows, int nb) {
+  HETSCHED_CHECK(rows >= nb && nb >= 1, "pfact_flops: bad panel shape");
+  // Unblocked right-looking panel LU: sum over columns c of a pivot search,
+  // a scale, and a rank-1 update of the remaining panel columns.
+  const double r = rows, b = nb;
+  return b * b * (r - b / 3.0);
+}
+
+double update_flops(int rows, int nb, int local_cols) {
+  HETSCHED_CHECK(local_cols >= 0, "update_flops: negative columns");
+  const double r = rows, b = nb, c = local_cols;
+  // dtrsm on the top nb rows + dgemm on the remaining rows - nb.
+  return b * b * c + 2.0 * (r - b) * b * c;
+}
+
+double panel_bytes(int rows, int nb) {
+  return static_cast<double>(rows) * nb * kDoubleBytes +
+         nb * kDoubleBytes;  // factored panel + pivot indices
+}
+
+double laswp_bytes(int nb, int local_cols) {
+  // Each of the nb interchanges reads and writes two rows over the local
+  // trailing columns.
+  return 2.0 * nb * static_cast<double>(local_cols) * kDoubleBytes;
+}
+
+HplResult run_cost(const cluster::ClusterSpec& spec,
+                   const cluster::Config& config, const HplParams& params) {
+  HETSCHED_CHECK(params.n >= 1, "run_cost: n >= 1");
+  HETSCHED_CHECK(params.nb >= 1, "run_cost: nb >= 1");
+
+  const cluster::Placement placement = make_placement(spec, config);
+  const int p = placement.nprocs();
+
+  des::Simulator sim;
+  cluster::Machine machine(sim, spec);
+  mpisim::Comm comm(machine, placement);
+
+  std::vector<RankTiming> timings(static_cast<std::size_t>(p));
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(p));
+  Rng master(spec.noise_seed ^ (params.seed_salt * 0x9e3779b97f4a7c15ULL) ^
+             (static_cast<std::uint64_t>(params.n) << 20) ^
+             static_cast<std::uint64_t>(p));
+  for (int r = 0; r < p; ++r) rngs.push_back(master.split());
+
+  Ctx ctx{sim,
+          machine,
+          comm,
+          Grid1xP(params.n, params.nb, p),
+          params,
+          spec.noise_sigma,
+          timings,
+          rngs,
+          {},
+          {}};
+
+  // Memory model: each rank keeps its column share plus a panel buffer;
+  // the node additionally carries per-process overhead and the OS resident
+  // set (this is what pushes a lone 768 MB Athlon over the edge at
+  // N = 10000, Fig 3(a)).
+  ctx.rank_ws.resize(static_cast<std::size_t>(p));
+  ctx.node_footprint.assign(spec.nodes.size(), spec.os_reserved);
+  for (int r = 0; r < p; ++r) {
+    const double local_cols = ctx.grid.local_cols(r);
+    const Bytes ws = static_cast<double>(params.n) * local_cols *
+                         kDoubleBytes +
+                     static_cast<double>(params.n) * params.nb * kDoubleBytes;
+    ctx.rank_ws[static_cast<std::size_t>(r)] = ws;
+    ctx.node_footprint[placement.rank_pe[static_cast<std::size_t>(r)].node] +=
+        ws + spec.proc_overhead;
+  }
+
+  for (int r = 0; r < p; ++r) sim.spawn(rank_program(ctx, r));
+  sim.run();
+
+  HplResult res;
+  res.n = params.n;
+  res.nb = params.nb;
+  res.ranks = std::move(timings);
+  res.rank_pe = placement.rank_pe;
+  for (const auto& rt : res.ranks)
+    res.makespan = std::max(res.makespan, rt.wall);
+  return res;
+}
+
+}  // namespace hetsched::hpl

@@ -1,0 +1,46 @@
+// HPL cost engine: the full HPL control flow with analytic per-step costs.
+//
+// Every rank executes the real blocked right-looking LU schedule — panel
+// factorization on the owner, panel broadcast, row interchanges, trailing
+// update, then blocked backward substitution — but instead of touching
+// matrix entries it charges the corresponding flop/byte costs to the
+// simulated CPU (processor-sharing) and ships size-only messages through
+// the simulated network. Synchronization, load imbalance, multiprocessing
+// slowdown and network contention therefore *emerge* from the schedule
+// rather than being modeled in closed form, which is what gives the
+// estimation layer something honest to fit against.
+//
+// Numeric correctness of the identical schedule is established separately
+// by the numeric engine (numeric_engine.hpp) at small N.
+#pragma once
+
+#include "cluster/config.hpp"
+#include "cluster/spec.hpp"
+#include "hpl/params.hpp"
+#include "hpl/timing.hpp"
+
+namespace hetsched::hpl {
+
+/// Simulates one HPL run of `params` on `config` of `spec`; returns the
+/// per-rank detailed timings. Deterministic for fixed (spec, config,
+/// params) including the seeded measurement noise.
+HplResult run_cost(const cluster::ClusterSpec& spec,
+                   const cluster::Config& config, const HplParams& params);
+
+// -- cost formulas (exposed for tests and the DESIGN.md accounting) --------
+
+/// Panel factorization flops for a panel of `rows` x `nb`.
+double pfact_flops(int rows, int nb);
+
+/// Trailing-update flops charged to a rank owning `local_cols` trailing
+/// columns at a step with panel width `nb` and `rows` panel rows.
+double update_flops(int rows, int nb, int local_cols);
+
+/// Bytes a panel broadcast carries (L factor + pivot indices).
+double panel_bytes(int rows, int nb);
+
+/// Bytes moved locally by laswp at one rank (nb row pairs over its
+/// trailing columns).
+double laswp_bytes(int nb, int local_cols);
+
+}  // namespace hetsched::hpl

@@ -1,0 +1,44 @@
+// HPL cost engine over a two-dimensional process grid (extension).
+//
+// Same philosophy as the 1xP engine (cost_engine.hpp): real schedule,
+// analytic per-step charges, communication through the simulated network.
+// What changes on a Pr x Pc grid:
+//
+//   * pfact is cooperative within the owning process column, and pivot
+//     selection (mxswp) costs ceil(log2 Pr) message rounds per panel,
+//   * the factored panel is broadcast along process *rows*; the U block
+//     produced by the dtrsm is broadcast down process *columns*,
+//   * row interchanges (laswp) exchange row segments across process rows.
+//
+// With pr = 1 the schedule degenerates to the 1xP case and the engines
+// agree closely (tested).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/config.hpp"
+#include "cluster/spec.hpp"
+#include "hpl/timing.hpp"
+#include "mpisim/collectives.hpp"
+
+namespace hetsched::hpl {
+
+struct Hpl2dParams {
+  int n = 1000;
+  int nb = 64;
+  /// Process rows Pr; 0 = auto (largest divisor of P with Pr <= sqrt(P)).
+  /// Must divide the configuration's total process count.
+  int pr = 0;
+  mpisim::BcastAlgo bcast_algo = mpisim::BcastAlgo::kRing;
+  std::uint64_t seed_salt = 0;
+};
+
+/// Simulates one 2-D HPL run; same result shape as the 1xP engine.
+HplResult run_cost_2d(const cluster::ClusterSpec& spec,
+                      const cluster::Config& config,
+                      const Hpl2dParams& params);
+
+/// The auto rule for Pr: largest divisor of p not exceeding sqrt(p).
+int auto_process_rows(int p);
+
+}  // namespace hetsched::hpl

@@ -1,0 +1,42 @@
+#include "hpl/grid.hpp"
+
+namespace hetsched::hpl {
+
+Grid1xP::Grid1xP(int n, int nb, int p) : n_(n), nb_(nb), p_(p) {
+  HETSCHED_CHECK(n >= 1, "Grid1xP: n >= 1 required");
+  HETSCHED_CHECK(nb >= 1, "Grid1xP: nb >= 1 required");
+  HETSCHED_CHECK(p >= 1, "Grid1xP: p >= 1 required");
+  num_blocks_ = (n + nb - 1) / nb;
+}
+
+int Grid1xP::check_block(int block) const {
+  HETSCHED_ASSERT(block >= 0 && block < num_blocks_,
+                  "Grid1xP: block index out of range");
+  return block;
+}
+
+int Grid1xP::owner(int block) const { return check_block(block) % p_; }
+
+int Grid1xP::block_width(int block) const {
+  check_block(block);
+  const int start = block * nb_;
+  return (start + nb_ <= n_) ? nb_ : n_ - start;
+}
+
+int Grid1xP::owner_of_col(int col) const {
+  HETSCHED_ASSERT(col >= 0 && col < n_, "Grid1xP: column out of range");
+  return (col / nb_) % p_;
+}
+
+int Grid1xP::local_cols_from(int rank, int from_block) const {
+  HETSCHED_CHECK(rank >= 0 && rank < p_, "Grid1xP: rank out of range");
+  HETSCHED_CHECK(from_block >= 0, "Grid1xP: from_block >= 0 required");
+  int cols = 0;
+  for (int k = from_block; k < num_blocks_; ++k)
+    if (k % p_ == rank) cols += block_width(k);
+  return cols;
+}
+
+double lu_flops(double n) { return (2.0 / 3.0) * n * n * n + 1.5 * n * n; }
+
+}  // namespace hetsched::hpl

@@ -1,0 +1,56 @@
+// 1-by-P process grid with one-dimensional column block-cyclic layout.
+//
+// The paper evaluates only the 1xP grid (§3.1): the N columns are cut into
+// blocks of NB consecutive columns; block k lives on rank k mod P, and each
+// rank owns *all rows* of its column blocks. This header centralizes the
+// ownership arithmetic used by both HPL engines and the cost formulas.
+#pragma once
+
+#include "support/error.hpp"
+
+namespace hetsched::hpl {
+
+class Grid1xP {
+ public:
+  Grid1xP(int n, int nb, int p);
+
+  int n() const { return n_; }
+  int nb() const { return nb_; }
+  int p() const { return p_; }
+
+  /// Number of column blocks (ceil(n / nb)).
+  int num_blocks() const { return num_blocks_; }
+
+  /// Rank owning column block k.
+  int owner(int block) const;
+
+  /// Width of block k (nb, except possibly the last).
+  int block_width(int block) const;
+
+  /// First global column of block k.
+  int block_start(int block) const { return check_block(block) * nb_; }
+
+  /// Global column -> owning rank.
+  int owner_of_col(int col) const;
+
+  /// Number of columns rank owns in blocks [from_block, num_blocks).
+  int local_cols_from(int rank, int from_block) const;
+
+  /// Total columns owned by rank.
+  int local_cols(int rank) const { return local_cols_from(rank, 0); }
+
+  /// Rows below and including the diagonal of block k (the panel height).
+  int panel_rows(int block) const { return n_ - block_start(block); }
+
+ private:
+  int check_block(int block) const;
+  int n_;
+  int nb_;
+  int p_;
+  int num_blocks_;
+};
+
+/// Total LU factor+solve flops, the standard HPL number: 2/3 n^3 + 3/2 n^2.
+double lu_flops(double n);
+
+}  // namespace hetsched::hpl

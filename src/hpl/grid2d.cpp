@@ -1,0 +1,58 @@
+#include "hpl/grid2d.hpp"
+
+namespace hetsched::hpl {
+
+Grid2D::Grid2D(int n, int nb, int pr, int pc)
+    : n_(n), nb_(nb), pr_(pr), pc_(pc) {
+  HETSCHED_CHECK(n >= 1, "Grid2D: n >= 1 required");
+  HETSCHED_CHECK(nb >= 1, "Grid2D: nb >= 1 required");
+  HETSCHED_CHECK(pr >= 1 && pc >= 1, "Grid2D: grid dims >= 1 required");
+  num_blocks_ = (n + nb - 1) / nb;
+}
+
+int Grid2D::check_block(int b) const {
+  HETSCHED_ASSERT(b >= 0 && b < num_blocks_, "Grid2D: block out of range");
+  return b;
+}
+
+int Grid2D::row_of(int rank) const {
+  HETSCHED_ASSERT(rank >= 0 && rank < nprocs(), "Grid2D: rank out of range");
+  return rank % pr_;
+}
+
+int Grid2D::col_of(int rank) const {
+  HETSCHED_ASSERT(rank >= 0 && rank < nprocs(), "Grid2D: rank out of range");
+  return rank / pr_;
+}
+
+int Grid2D::rank_at(int prow, int pcol) const {
+  HETSCHED_ASSERT(prow >= 0 && prow < pr_ && pcol >= 0 && pcol < pc_,
+                  "Grid2D: coordinates out of range");
+  return pcol * pr_ + prow;
+}
+
+int Grid2D::block_width(int b) const {
+  check_block(b);
+  const int start = b * nb_;
+  return (start + nb_ <= n_) ? nb_ : n_ - start;
+}
+
+int Grid2D::local_cols_from(int pcol, int from_jb) const {
+  HETSCHED_CHECK(pcol >= 0 && pcol < pc_, "Grid2D: pcol out of range");
+  HETSCHED_CHECK(from_jb >= 0, "Grid2D: from_jb >= 0 required");
+  int cols = 0;
+  for (int jb = from_jb; jb < num_blocks_; ++jb)
+    if (jb % pc_ == pcol) cols += block_width(jb);
+  return cols;
+}
+
+int Grid2D::local_rows_from(int prow, int from_ib) const {
+  HETSCHED_CHECK(prow >= 0 && prow < pr_, "Grid2D: prow out of range");
+  HETSCHED_CHECK(from_ib >= 0, "Grid2D: from_ib >= 0 required");
+  int rows = 0;
+  for (int ib = from_ib; ib < num_blocks_; ++ib)
+    if (ib % pr_ == prow) rows += block_width(ib);
+  return rows;
+}
+
+}  // namespace hetsched::hpl

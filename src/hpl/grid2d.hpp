@@ -1,0 +1,67 @@
+// Two-dimensional block-cyclic process grid (extension; paper §3.1).
+//
+// The paper restricts its evaluation to 1xP grids but notes the scheme
+// "is universally applicable to any other process grid". This header and
+// cost_engine_2d.hpp supply the Pr x Pc case, where the phase items of
+// Fig 4 acquire their full meaning:
+//
+//   * pivot selection spans a process *column*: mxswp becomes a real
+//     allreduce per panel column (it was O(1) bookkeeping in 1xP),
+//   * row interchanges span process *rows*: laswp becomes genuine
+//     message traffic (it was local memory movement in 1xP),
+//   * the panel broadcast runs along process rows and the U-block
+//     broadcast along process columns.
+//
+// Ranks are placed column-major like ScaLAPACK: rank r sits at
+// (row = r mod Pr, col = r / Pr).
+#pragma once
+
+#include "support/error.hpp"
+
+namespace hetsched::hpl {
+
+class Grid2D {
+ public:
+  /// n x n matrix in nb x nb blocks over a pr x pc grid.
+  Grid2D(int n, int nb, int pr, int pc);
+
+  int n() const { return n_; }
+  int nb() const { return nb_; }
+  int pr() const { return pr_; }
+  int pc() const { return pc_; }
+  int nprocs() const { return pr_ * pc_; }
+
+  /// Number of block rows/columns (square matrix: equal).
+  int num_blocks() const { return num_blocks_; }
+
+  /// Grid coordinates of a rank (column-major placement).
+  int row_of(int rank) const;
+  int col_of(int rank) const;
+  /// Rank at grid coordinates.
+  int rank_at(int prow, int pcol) const;
+
+  /// Process row owning block-row `ib`; process column owning
+  /// block-column `jb`.
+  int owner_row(int ib) const { return check_block(ib) % pr_; }
+  int owner_col(int jb) const { return check_block(jb) % pc_; }
+
+  /// Width of block index b (nb except possibly the last).
+  int block_width(int b) const;
+
+  /// Local count of matrix columns a process column holds in block
+  /// columns [from_jb, num_blocks).
+  int local_cols_from(int pcol, int from_jb) const;
+  /// Local count of matrix rows a process row holds in block rows
+  /// [from_ib, num_blocks).
+  int local_rows_from(int prow, int from_ib) const;
+
+ private:
+  int check_block(int b) const;
+  int n_;
+  int nb_;
+  int pr_;
+  int pc_;
+  int num_blocks_;
+};
+
+}  // namespace hetsched::hpl

@@ -1,0 +1,337 @@
+#include "hpl/numeric_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "des/sim.hpp"
+#include "hpl/cost_engine.hpp"
+#include "hpl/grid.hpp"
+#include "mpisim/collectives.hpp"
+#include "mpisim/comm.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hetsched::hpl {
+
+namespace {
+
+int tag_panel(int k) { return 4 * k; }
+int tag_gather(int k) { return 4 * k + 1; }
+int tag_x(int k) { return 4 * k + 2; }
+
+/// Per-rank local storage: all N rows of the rank's column blocks,
+/// column-major, plus the global->local column map.
+struct LocalData {
+  int n = 0;
+  std::vector<double> a;    // n x lcols, column-major
+  std::vector<int> g2l;     // global col -> local col (-1 if not owned)
+  std::vector<double> b;    // replicated right-hand side
+  std::vector<double> x;    // replicated solution
+
+  double& at(int row, int lcol) { return a[static_cast<std::size_t>(lcol) * n + row]; }
+  double at(int row, int lcol) const {
+    return a[static_cast<std::size_t>(lcol) * n + row];
+  }
+};
+
+struct Ctx {
+  des::Simulator& sim;
+  cluster::Machine& machine;
+  mpisim::Comm& comm;
+  Grid1xP grid;
+  HplParams params;
+  double noise_sigma;
+  std::vector<RankTiming>& timings;
+  std::vector<Rng>& rngs;
+  std::vector<LocalData>& data;
+  std::vector<Bytes> rank_ws;
+  std::vector<Bytes> node_footprint;
+};
+
+Seconds charge(Ctx& ctx, int me, Flops work) {
+  const cluster::PeRef pe = ctx.comm.pe_of(me);
+  return ctx.machine.compute_demand(pe, work,
+                                    ctx.rank_ws[static_cast<std::size_t>(me)],
+                                    ctx.node_footprint[pe.node]) *
+         ctx.rngs[static_cast<std::size_t>(me)].lognormal_factor(
+             ctx.noise_sigma);
+}
+
+des::Task rank_program(Ctx& ctx, int me) {
+  auto& sim = ctx.sim;
+  auto& grid = ctx.grid;
+  const int n = grid.n();
+  RankTiming& t = ctx.timings[static_cast<std::size_t>(me)];
+  LocalData& loc = ctx.data[static_cast<std::size_t>(me)];
+  cluster::Cpu& cpu = ctx.machine.cpu(ctx.comm.pe_of(me));
+  const des::SimTime run_start = sim.now();
+
+  for (int k = 0; k < grid.num_blocks(); ++k) {
+    const int owner = grid.owner(k);
+    const int nb = grid.block_width(k);
+    const int j0 = grid.block_start(k);
+    const int rows = grid.panel_rows(k);
+    const int trailing = grid.local_cols_from(me, k + 1);
+
+    // Panel payload layout: [rows*nb panel entries | nb pivot rows].
+    std::vector<double> panel;
+
+    if (me == owner) {
+      des::SimTime t0 = sim.now();
+      co_await cpu.compute(charge(ctx, me, pfact_flops(rows, nb)));
+      t.pfact += sim.now() - t0;
+      t0 = sim.now();
+      co_await sim.delay(2.0e-6 * nb);
+      t.mxswp += sim.now() - t0;
+
+      // Factor the panel in place (unblocked right-looking LU with
+      // partial pivoting; swaps restricted to the panel columns — the
+      // trailing columns are swapped by everyone during laswp).
+      std::vector<int> piv(static_cast<std::size_t>(nb));
+      for (int c = 0; c < nb; ++c) {
+        const int gcol = j0 + c;
+        const int lcol = loc.g2l[static_cast<std::size_t>(gcol)];
+        int p = j0 + c;
+        double best = std::abs(loc.at(j0 + c, lcol));
+        for (int r = j0 + c + 1; r < n; ++r) {
+          const double v = std::abs(loc.at(r, lcol));
+          if (v > best) {
+            best = v;
+            p = r;
+          }
+        }
+        HETSCHED_CHECK(best > 0.0, "numeric HPL: singular panel column");
+        piv[static_cast<std::size_t>(c)] = p;
+        if (p != j0 + c) {
+          for (int cc = 0; cc < nb; ++cc) {
+            const int l2 = loc.g2l[static_cast<std::size_t>(j0 + cc)];
+            std::swap(loc.at(j0 + c, l2), loc.at(p, l2));
+          }
+        }
+        const double pivot = loc.at(j0 + c, lcol);
+        for (int r = j0 + c + 1; r < n; ++r) loc.at(r, lcol) /= pivot;
+        for (int cc = c + 1; cc < nb; ++cc) {
+          const int l2 = loc.g2l[static_cast<std::size_t>(j0 + cc)];
+          const double u = loc.at(j0 + c, l2);
+          if (u == 0.0) continue;
+          for (int r = j0 + c + 1; r < n; ++r)
+            loc.at(r, l2) -= loc.at(r, lcol) * u;
+        }
+      }
+
+      // Pack the factored panel (rows j0..n-1) plus the pivot indices.
+      panel.resize(static_cast<std::size_t>(rows) * nb + nb);
+      for (int c = 0; c < nb; ++c) {
+        const int lcol = loc.g2l[static_cast<std::size_t>(j0 + c)];
+        for (int r = 0; r < rows; ++r)
+          panel[static_cast<std::size_t>(c) * rows + r] = loc.at(j0 + r, lcol);
+      }
+      for (int c = 0; c < nb; ++c)
+        panel[static_cast<std::size_t>(rows) * nb + c] =
+            static_cast<double>(piv[static_cast<std::size_t>(c)]);
+    }
+
+    des::SimTime t0 = sim.now();
+    co_await mpisim::bcast(ctx.comm, me, owner, tag_panel(k),
+                           panel_bytes(rows, nb), ctx.params.bcast_algo,
+                           &panel);
+    // Multiprogramming stall at the sync point (see cost_engine.cpp).
+    const int co = ctx.comm.placement().co_resident(me);
+    if (co > 1)
+      co_await sim.delay(ctx.machine.spec().sched_quantum * (co - 1) *
+                         ctx.rngs[static_cast<std::size_t>(me)]
+                             .lognormal_factor(ctx.noise_sigma));
+    t.bcast += sim.now() - t0;
+
+    auto panel_at = [&](int r, int c) -> double {
+      return panel[static_cast<std::size_t>(c) * rows + r];
+    };
+    std::vector<int> piv(static_cast<std::size_t>(nb));
+    for (int c = 0; c < nb; ++c)
+      piv[static_cast<std::size_t>(c)] = static_cast<int>(
+          panel[static_cast<std::size_t>(rows) * nb + c]);
+
+    // laswp: apply the pivot swaps, in order, to the local trailing
+    // columns and to the replicated right-hand side.
+    t0 = sim.now();
+    co_await cpu.compute(ctx.machine.copy_demand(
+        ctx.comm.pe_of(me), laswp_bytes(nb, trailing)));
+    for (int c = 0; c < nb; ++c) {
+      const int r0 = j0 + c;
+      const int p = piv[static_cast<std::size_t>(c)];
+      if (p == r0) continue;
+      for (int g = j0 + nb; g < n; ++g) {
+        const int l = loc.g2l[static_cast<std::size_t>(g)];
+        if (l < 0) continue;
+        std::swap(loc.at(r0, l), loc.at(p, l));
+      }
+      std::swap(loc.b[static_cast<std::size_t>(r0)],
+                loc.b[static_cast<std::size_t>(p)]);
+    }
+    t.laswp += sim.now() - t0;
+
+    // Trailing update on local columns: dtrsm with unit L11, then dgemm
+    // with L21. The replicated b gets the same treatment.
+    t0 = sim.now();
+    co_await cpu.compute(charge(ctx, me, update_flops(rows, nb, trailing)));
+    auto update_column = [&](auto&& get, auto&& set) {
+      // dtrsm: v = L11^{-1} * top block (unit lower triangular).
+      for (int i = 0; i < nb; ++i) {
+        double v = get(j0 + i);
+        for (int c = 0; c < i; ++c) v -= panel_at(i, c) * get(j0 + c);
+        set(j0 + i, v);
+      }
+      // dgemm: bottom -= L21 * v.
+      for (int r = nb; r < rows; ++r) {
+        double v = get(j0 + r);
+        for (int c = 0; c < nb; ++c) v -= panel_at(r, c) * get(j0 + c);
+        set(j0 + r, v);
+      }
+    };
+    for (int g = j0 + nb; g < n; ++g) {
+      const int l = loc.g2l[static_cast<std::size_t>(g)];
+      if (l < 0) continue;
+      update_column([&](int r) { return loc.at(r, l); },
+                    [&](int r, double v) { loc.at(r, l) = v; });
+    }
+    update_column(
+        [&](int r) { return loc.b[static_cast<std::size_t>(r)]; },
+        [&](int r, double v) { loc.b[static_cast<std::size_t>(r)] = v; });
+    t.update_core += sim.now() - t0;
+  }
+
+  // Blocked backward substitution on U (x replicated via block broadcasts).
+  const des::SimTime trsv_start = sim.now();
+  for (int kb = grid.num_blocks() - 1; kb >= 0; --kb) {
+    const int owner = grid.owner(kb);
+    const int nb = grid.block_width(kb);
+    const int j0 = grid.block_start(kb);
+    const int cols_after = grid.local_cols_from(me, kb + 1);
+
+    // Local partial sum over already-solved columns.
+    std::vector<double> z(static_cast<std::size_t>(nb), 0.0);
+    co_await cpu.compute(charge(ctx, me, 2.0 * nb * cols_after));
+    for (int g = j0 + nb; g < n; ++g) {
+      const int l = loc.g2l[static_cast<std::size_t>(g)];
+      if (l < 0) continue;
+      const double xg = loc.x[static_cast<std::size_t>(g)];
+      for (int i = 0; i < nb; ++i)
+        z[static_cast<std::size_t>(i)] += loc.at(j0 + i, l) * xg;
+    }
+
+    std::vector<std::vector<double>> gathered;
+    co_await mpisim::gather_at(ctx.comm, me, owner, tag_gather(kb),
+                               nb * kDoubleBytes, &z,
+                               me == owner ? &gathered : nullptr);
+
+    std::vector<double> xblk(static_cast<std::size_t>(nb), 0.0);
+    if (me == owner) {
+      co_await cpu.compute(charge(ctx, me, static_cast<double>(nb) * nb));
+      std::vector<double> rhs(static_cast<std::size_t>(nb));
+      for (int i = 0; i < nb; ++i) {
+        double v = loc.b[static_cast<std::size_t>(j0 + i)] -
+                   z[static_cast<std::size_t>(i)];
+        for (const auto& contrib : gathered)
+          v -= contrib[static_cast<std::size_t>(i)];
+        rhs[static_cast<std::size_t>(i)] = v;
+      }
+      // In-block back substitution with U11 (owner owns the panel columns).
+      for (int i = nb - 1; i >= 0; --i) {
+        double v = rhs[static_cast<std::size_t>(i)];
+        for (int c = i + 1; c < nb; ++c) {
+          const int l = loc.g2l[static_cast<std::size_t>(j0 + c)];
+          v -= loc.at(j0 + i, l) * xblk[static_cast<std::size_t>(c)];
+        }
+        const int li = loc.g2l[static_cast<std::size_t>(j0 + i)];
+        xblk[static_cast<std::size_t>(i)] = v / loc.at(j0 + i, li);
+      }
+    }
+    co_await mpisim::bcast(ctx.comm, me, owner, tag_x(kb), nb * kDoubleBytes,
+                           ctx.params.bcast_algo, &xblk);
+    for (int i = 0; i < nb; ++i)
+      loc.x[static_cast<std::size_t>(j0 + i)] =
+          xblk[static_cast<std::size_t>(i)];
+  }
+  t.uptrsv += sim.now() - trsv_start;
+  t.wall = sim.now() - run_start;
+}
+
+}  // namespace
+
+NumericResult run_numeric(const cluster::ClusterSpec& spec,
+                          const cluster::Config& config,
+                          const HplParams& params, const linalg::Matrix& a,
+                          const std::vector<double>& b) {
+  HETSCHED_CHECK(a.rows() == a.cols(), "run_numeric: matrix must be square");
+  HETSCHED_CHECK(static_cast<int>(a.rows()) == params.n,
+                 "run_numeric: params.n must equal the matrix order");
+  HETSCHED_CHECK(b.size() == a.rows(), "run_numeric: rhs size mismatch");
+
+  const cluster::Placement placement = make_placement(spec, config);
+  const int p = placement.nprocs();
+  const int n = params.n;
+
+  des::Simulator sim;
+  cluster::Machine machine(sim, spec);
+  mpisim::Comm comm(machine, placement);
+  Grid1xP grid(n, params.nb, p);
+
+  // Distribute columns.
+  std::vector<LocalData> data(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    LocalData& loc = data[static_cast<std::size_t>(r)];
+    loc.n = n;
+    loc.g2l.assign(static_cast<std::size_t>(n), -1);
+    loc.b = b;
+    loc.x.assign(static_cast<std::size_t>(n), 0.0);
+    int next = 0;
+    for (int k = 0; k < grid.num_blocks(); ++k) {
+      if (grid.owner(k) != r) continue;
+      for (int c = 0; c < grid.block_width(k); ++c)
+        loc.g2l[static_cast<std::size_t>(grid.block_start(k) + c)] = next++;
+    }
+    loc.a.assign(static_cast<std::size_t>(next) * n, 0.0);
+    for (int g = 0; g < n; ++g) {
+      const int l = loc.g2l[static_cast<std::size_t>(g)];
+      if (l < 0) continue;
+      for (int row = 0; row < n; ++row)
+        loc.at(row, l) = a(static_cast<std::size_t>(row),
+                           static_cast<std::size_t>(g));
+    }
+  }
+
+  std::vector<RankTiming> timings(static_cast<std::size_t>(p));
+  std::vector<Rng> rngs;
+  Rng master(spec.noise_seed ^ params.seed_salt ^ 0xabcdefULL);
+  for (int r = 0; r < p; ++r) rngs.push_back(master.split());
+
+  Ctx ctx{sim,    machine, comm, grid, params, spec.noise_sigma,
+          timings, rngs,   data, {},   {}};
+  ctx.rank_ws.resize(static_cast<std::size_t>(p));
+  ctx.node_footprint.assign(spec.nodes.size(), spec.os_reserved);
+  for (int r = 0; r < p; ++r) {
+    const Bytes ws =
+        static_cast<double>(n) * grid.local_cols(r) * kDoubleBytes +
+        static_cast<double>(n) * params.nb * kDoubleBytes;
+    ctx.rank_ws[static_cast<std::size_t>(r)] = ws;
+    ctx.node_footprint[placement.rank_pe[static_cast<std::size_t>(r)].node] +=
+        ws + spec.proc_overhead;
+  }
+
+  for (int r = 0; r < p; ++r) sim.spawn(rank_program(ctx, r));
+  sim.run();
+
+  NumericResult res;
+  res.x = data[0].x;  // replicated by the block broadcasts
+  res.timing.n = n;
+  res.timing.nb = params.nb;
+  res.timing.ranks = std::move(timings);
+  res.timing.rank_pe = placement.rank_pe;
+  for (const auto& rt : res.timing.ranks)
+    res.timing.makespan = std::max(res.timing.makespan, rt.wall);
+  return res;
+}
+
+}  // namespace hetsched::hpl

@@ -1,0 +1,38 @@
+// HPL numeric engine: a real distributed LU solve over the simulated MPI.
+//
+// Identical schedule to the cost engine (panel factorization -> panel
+// broadcast -> row interchanges -> trailing update -> blocked backward
+// substitution) but carrying actual matrix data in the message payloads
+// and performing the arithmetic. Its job is to prove that the
+// communication pattern the cost engine charges for is a *correct* pivoted
+// LU: tests factor random systems across many (P, NB) and check the
+// HPL-style scaled residual and agreement with the sequential reference.
+//
+// Intended for validation sizes (N up to a few hundred); the cost engine
+// handles the paper's N = 400..9600 sweeps.
+#pragma once
+
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "cluster/spec.hpp"
+#include "hpl/params.hpp"
+#include "hpl/timing.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hetsched::hpl {
+
+struct NumericResult {
+  std::vector<double> x;  ///< solution of A x = b
+  HplResult timing;       ///< same detailed timing as the cost engine
+};
+
+/// Solves `a` x = `b` distributed over the processes of `config`, with
+/// simulated timing. `a` must be square and match b's size; params.n must
+/// equal a.rows().
+NumericResult run_numeric(const cluster::ClusterSpec& spec,
+                          const cluster::Config& config,
+                          const HplParams& params, const linalg::Matrix& a,
+                          const std::vector<double>& b);
+
+}  // namespace hetsched::hpl

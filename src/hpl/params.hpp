@@ -1,0 +1,24 @@
+// Run parameters for the simulated HPL benchmark.
+#pragma once
+
+#include <cstdint>
+
+#include "mpisim/collectives.hpp"
+
+namespace hetsched::hpl {
+
+class Trace;
+
+struct HplParams {
+  int n = 1000;   ///< matrix order N
+  int nb = 64;    ///< column block width NB
+  mpisim::BcastAlgo bcast_algo = mpisim::BcastAlgo::kRing;
+  /// Salt combined with ClusterSpec::noise_seed so repeated measurements of
+  /// the same configuration see independent noise (set per trial).
+  std::uint64_t seed_salt = 0;
+  /// Optional phase-interval sink (trace.hpp); not owned, may be null.
+  /// Only the cost engine records traces.
+  Trace* trace = nullptr;
+};
+
+}  // namespace hetsched::hpl

@@ -1,0 +1,36 @@
+#include "hpl/timing.hpp"
+
+#include <algorithm>
+
+#include "hpl/grid.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::hpl {
+
+double HplResult::gflops() const {
+  HETSCHED_CHECK(makespan > 0.0, "gflops: run has no makespan");
+  return lu_flops(static_cast<double>(n)) / makespan / 1.0e9;
+}
+
+std::vector<KindTiming> HplResult::by_kind(
+    const cluster::ClusterSpec& spec) const {
+  HETSCHED_CHECK(ranks.size() == rank_pe.size(),
+                 "by_kind: timing/placement size mismatch");
+  std::vector<KindTiming> out;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    const std::string& kind = spec.nodes[rank_pe[r].node].kind.name;
+    KindTiming* slot = nullptr;
+    for (auto& kt : out)
+      if (kt.kind == kind) slot = &kt;
+    if (!slot) {
+      out.push_back(KindTiming{kind, 0, 0, 0});
+      slot = &out.back();
+    }
+    slot->tai = std::max(slot->tai, ranks[r].tai());
+    slot->tci = std::max(slot->tci, ranks[r].tci());
+    slot->wall = std::max(slot->wall, ranks[r].wall);
+  }
+  return out;
+}
+
+}  // namespace hetsched::hpl

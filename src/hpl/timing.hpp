@@ -1,0 +1,66 @@
+// Per-rank HPL phase timing, mirroring HPL_DETAILED_TIMING (paper Fig 4).
+//
+// The paper decomposes the measured time as
+//
+//   rfact  = pfact + mxswp          (recursive panel factorization)
+//   update = update_core + laswp    (trailing update)
+//   Tai    = (rfact - mxswp) + (update - laswp) + uptrsv   [computation]
+//   Tci    = mxswp + laswp + bcast                          [communication]
+//
+// We record the five primitive buckets (pfact, mxswp, laswp, update_core,
+// bcast, uptrsv) as *elapsed simulated time* around each phase, exactly as
+// HPL's timers capture elapsed wall time — waiting included.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/spec.hpp"
+#include "support/units.hpp"
+
+namespace hetsched::hpl {
+
+struct RankTiming {
+  Seconds pfact = 0;
+  Seconds mxswp = 0;
+  Seconds laswp = 0;
+  Seconds update_core = 0;
+  Seconds bcast = 0;
+  Seconds uptrsv = 0;
+  Seconds wall = 0;  ///< total elapsed time of this rank
+
+  /// rfact as HPL reports it (panel factorization incl. pivot comm).
+  Seconds rfact() const { return pfact + mxswp; }
+  /// update as HPL reports it (trailing update incl. row interchanges).
+  Seconds update() const { return update_core + laswp; }
+  /// The paper's computation time Tai.
+  Seconds tai() const { return pfact + update_core + uptrsv; }
+  /// The paper's communication time Tci.
+  Seconds tci() const { return mxswp + laswp + bcast; }
+};
+
+/// Aggregated times for one PE kind (max over that kind's ranks: processes
+/// on one PE finish together, and the slowest PE defines the configuration).
+struct KindTiming {
+  std::string kind;
+  Seconds tai = 0;
+  Seconds tci = 0;
+  Seconds wall = 0;
+};
+
+/// Result of one simulated HPL run.
+struct HplResult {
+  int n = 0;
+  int nb = 0;
+  std::vector<RankTiming> ranks;
+  std::vector<cluster::PeRef> rank_pe;  ///< copy of the placement
+  Seconds makespan = 0;                 ///< max rank wall time
+
+  /// Benchmark-style rate over the whole run.
+  double gflops() const;
+
+  /// Per-kind reduction (max over ranks of each kind).
+  std::vector<KindTiming> by_kind(const cluster::ClusterSpec& spec) const;
+};
+
+}  // namespace hetsched::hpl

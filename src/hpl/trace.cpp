@@ -1,0 +1,99 @@
+#include "hpl/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace hetsched::hpl {
+
+char phase_glyph(Phase p) {
+  switch (p) {
+    case Phase::kPfact:
+      return 'p';
+    case Phase::kMxswp:
+      return 'm';
+    case Phase::kBcast:
+      return 'B';
+    case Phase::kLaswp:
+      return 'L';
+    case Phase::kUpdate:
+      return 'u';
+    case Phase::kUptrsv:
+      return 'U';
+  }
+  return '?';
+}
+
+void Trace::add(int rank, Phase phase, Seconds begin, Seconds end) {
+  HETSCHED_CHECK(rank >= 0, "Trace::add: negative rank");
+  HETSCHED_CHECK(end >= begin, "Trace::add: interval ends before it begins");
+  if (end <= begin) return;
+  intervals_.push_back(PhaseInterval{rank, phase, begin, end});
+  max_rank_ = std::max(max_rank_, rank);
+}
+
+Seconds Trace::total(Phase phase) const {
+  Seconds sum = 0;
+  for (const auto& iv : intervals_)
+    if (iv.phase == phase) sum += iv.end - iv.begin;
+  return sum;
+}
+
+Seconds Trace::span() const {
+  Seconds s = 0;
+  for (const auto& iv : intervals_) s = std::max(s, iv.end);
+  return s;
+}
+
+std::string Trace::render_gantt(int width) const {
+  HETSCHED_CHECK(width >= 10, "render_gantt: width >= 10 required");
+  std::ostringstream os;
+  const Seconds total_span = span();
+  if (intervals_.empty() || total_span <= 0) return "(empty trace)\n";
+
+  const int ranks = max_rank_ + 1;
+  const double cell = total_span / width;
+
+  for (int r = 0; r < ranks; ++r) {
+    // Per-cell occupancy accumulation over the six phases.
+    std::vector<std::array<double, 6>> occupancy(
+        static_cast<std::size_t>(width), std::array<double, 6>{});
+    for (const auto& iv : intervals_) {
+      if (iv.rank != r) continue;
+      const int c0 = std::clamp(static_cast<int>(iv.begin / cell), 0,
+                                width - 1);
+      const int c1 = std::clamp(static_cast<int>(iv.end / cell), 0,
+                                width - 1);
+      for (int c = c0; c <= c1; ++c) {
+        const double lo = std::max(iv.begin, c * cell);
+        const double hi = std::min(iv.end, (c + 1) * cell);
+        if (hi > lo)
+          occupancy[static_cast<std::size_t>(c)]
+                   [static_cast<std::size_t>(iv.phase)] += hi - lo;
+      }
+    }
+    os << "rank " << r << (r < 10 ? "  |" : " |");
+    for (int c = 0; c < width; ++c) {
+      const auto& occ = occupancy[static_cast<std::size_t>(c)];
+      double best = 0;
+      int best_ph = -1;
+      for (int ph = 0; ph < 6; ++ph) {
+        if (occ[static_cast<std::size_t>(ph)] > best) {
+          best = occ[static_cast<std::size_t>(ph)];
+          best_ph = ph;
+        }
+      }
+      os << (best_ph < 0 ? '.' : phase_glyph(static_cast<Phase>(best_ph)));
+    }
+    os << "|\n";
+  }
+  os << "        0" << std::string(static_cast<std::size_t>(width) - 1, ' ')
+     << "t=" << total_span << "s\n";
+  os << "        p=pfact m=mxswp B=bcast/wait L=laswp u=update "
+        "U=uptrsv .=idle\n";
+  return os.str();
+}
+
+}  // namespace hetsched::hpl

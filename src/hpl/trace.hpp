@@ -1,0 +1,58 @@
+// Phase tracing: records per-rank phase intervals during a simulated run
+// and renders them as an ASCII Gantt chart.
+//
+// Where the aggregate timers (timing.hpp) answer "how much time went into
+// update vs bcast", a trace answers "when" — it makes load imbalance,
+// pipeline bubbles and the multiprocessing stalls *visible*:
+//
+//   rank 0 |ppppBBuuuuuuuuuuLU...                              |
+//   rank 1 |....BBBBuuuuuuuuuuLU...                            |
+//
+// (p = panel factorization, B = broadcast/wait, u = update, L = row
+// swaps, U = backward substitution, . = idle/other)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace hetsched::hpl {
+
+enum class Phase { kPfact, kMxswp, kBcast, kLaswp, kUpdate, kUptrsv };
+
+/// The Gantt glyph for a phase.
+char phase_glyph(Phase p);
+
+struct PhaseInterval {
+  int rank = 0;
+  Phase phase = Phase::kUpdate;
+  Seconds begin = 0;
+  Seconds end = 0;
+};
+
+class Trace {
+ public:
+  /// Records one interval; zero-length intervals are dropped.
+  void add(int rank, Phase phase, Seconds begin, Seconds end);
+
+  const std::vector<PhaseInterval>& intervals() const { return intervals_; }
+
+  /// Total recorded time of `phase` across all ranks.
+  Seconds total(Phase phase) const;
+
+  /// Latest interval end (the traced makespan).
+  Seconds span() const;
+
+  /// Renders one row per rank, `width` columns across [0, span()]. Each
+  /// cell shows the phase occupying most of that cell's time slice; '.'
+  /// marks slices where the rank was idle (waiting inside a collective is
+  /// recorded as kBcast, so '.' is rare).
+  std::string render_gantt(int width = 96) const;
+
+ private:
+  std::vector<PhaseInterval> intervals_;
+  int max_rank_ = -1;
+};
+
+}  // namespace hetsched::hpl

@@ -1,0 +1,147 @@
+#include "linalg/lls.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace hetsched::linalg {
+
+QrFactors householder_qr(Matrix a, std::vector<double> b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  HETSCHED_CHECK(m >= n && n >= 1, "householder_qr: need rows >= cols >= 1");
+  HETSCHED_CHECK(b.size() == m, "householder_qr: b size mismatch");
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += a(i, k) * a(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;  // column already zero; R(k,k)=0 -> rank check later
+    const double alpha = a(k, k) >= 0.0 ? -norm : norm;
+    // v = x - alpha*e1, normalized so v[k] = 1 implicitly via beta.
+    double vkk = a(k, k) - alpha;
+    a(k, k) = alpha;
+    // beta = 2 / (v^T v); with v = (vkk, a(k+1..m-1, k)).
+    double vtv = vkk * vkk;
+    for (std::size_t i = k + 1; i < m; ++i) vtv += a(i, k) * a(i, k);
+    if (vtv == 0.0) continue;
+    const double beta = 2.0 / vtv;
+
+    // Apply H = I - beta v v^T to remaining columns and to b.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = vkk * a(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += a(i, k) * a(i, j);
+      s *= beta;
+      a(k, j) -= s * vkk;
+      for (std::size_t i = k + 1; i < m; ++i) a(i, j) -= s * a(i, k);
+    }
+    {
+      double s = vkk * b[k];
+      for (std::size_t i = k + 1; i < m; ++i) s += a(i, k) * b[i];
+      s *= beta;
+      b[k] -= s * vkk;
+      for (std::size_t i = k + 1; i < m; ++i) b[i] -= s * a(i, k);
+    }
+    // Zero the sub-diagonal of this column (values were the v entries).
+    for (std::size_t i = k + 1; i < m; ++i) a(i, k) = 0.0;
+  }
+
+  QrFactors f;
+  f.r = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) f.r(i, j) = a(i, j);
+  f.qtb.assign(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(n));
+  double tail = 0.0;
+  for (std::size_t i = n; i < m; ++i) tail += b[i] * b[i];
+  f.tail_norm = std::sqrt(tail);
+  return f;
+}
+
+LlsResult solve_lls(const Matrix& a, std::span<const double> b) {
+  HETSCHED_CHECK(b.size() == a.rows(), "solve_lls: b size mismatch");
+  const std::size_t n = a.cols();
+
+  // Column scaling: equilibrate so R's rank test is meaningful when columns
+  // span many orders of magnitude (N^3 vs 1 over N in [400, 9600]).
+  Matrix as = a;
+  std::vector<double> scale(n, 1.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      m = std::max(m, std::abs(a(i, j)));
+    if (m > 0.0) {
+      scale[j] = 1.0 / m;
+      for (std::size_t i = 0; i < a.rows(); ++i) as(i, j) *= scale[j];
+    }
+  }
+
+  QrFactors f = householder_qr(std::move(as), {b.begin(), b.end()});
+
+  double rmax = 0.0;
+  for (std::size_t i = 0; i < n; ++i) rmax = std::max(rmax, std::abs(f.r(i, i)));
+  const double tol = static_cast<double>(a.rows()) *
+                     std::numeric_limits<double>::epsilon() * rmax;
+  for (std::size_t i = 0; i < n; ++i)
+    HETSCHED_CHECK(std::abs(f.r(i, i)) > tol,
+                   "solve_lls: rank-deficient design matrix");
+
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = f.qtb[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= f.r(ii, j) * x[j];
+    x[ii] = s / f.r(ii, ii);
+  }
+  for (std::size_t j = 0; j < n; ++j) x[j] *= scale[j];
+
+  LlsResult res;
+  res.coeffs = std::move(x);
+  res.residual_norm = f.tail_norm;
+  // R^2 against the mean model.
+  double mean_b = 0.0;
+  for (double v : b) mean_b += v;
+  mean_b /= static_cast<double>(b.size());
+  double ss_tot = 0.0;
+  for (double v : b) ss_tot += (v - mean_b) * (v - mean_b);
+  const double ss_res = res.residual_norm * res.residual_norm;
+  res.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return res;
+}
+
+Basis::Basis(std::vector<Fn> fns) : fns_(std::move(fns)) {
+  HETSCHED_CHECK(!fns_.empty(), "Basis requires at least one function");
+}
+
+Basis Basis::polynomial(int hi, int lo) {
+  HETSCHED_CHECK(hi >= lo, "polynomial basis: hi < lo");
+  std::vector<Fn> fns;
+  for (int p = hi; p >= lo; --p)
+    fns.push_back([p](double x) { return std::pow(x, p); });
+  return Basis(std::move(fns));
+}
+
+Matrix Basis::design(std::span<const double> xs) const {
+  Matrix d(xs.size(), fns_.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    for (std::size_t j = 0; j < fns_.size(); ++j) d(i, j) = fns_[j](xs[i]);
+  return d;
+}
+
+double Basis::eval(std::span<const double> coeffs, double x) const {
+  HETSCHED_CHECK(coeffs.size() == fns_.size(), "Basis::eval: coeff count");
+  double s = 0.0;
+  for (std::size_t j = 0; j < fns_.size(); ++j) s += coeffs[j] * fns_[j](x);
+  return s;
+}
+
+LlsResult fit(const Basis& basis, std::span<const double> xs,
+              std::span<const double> ys) {
+  HETSCHED_CHECK(xs.size() == ys.size(), "fit: xs/ys size mismatch");
+  HETSCHED_CHECK(xs.size() >= basis.size(),
+                 "fit: fewer samples than coefficients");
+  return solve_lls(basis.design(xs), ys);
+}
+
+}  // namespace hetsched::linalg

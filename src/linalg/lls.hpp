@@ -1,0 +1,68 @@
+// Linear least squares via Householder QR.
+//
+// This replaces GSL's `gsl_multifit_linear`, which the paper uses to
+// extract the model coefficients k0..k11 (§3.2, §3.3). Householder QR is
+// numerically safer than normal equations for the paper's tall thin design
+// matrices (columns like N^3 span ten orders of magnitude over the sweep).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hetsched::linalg {
+
+/// Result of a least-squares solve.
+struct LlsResult {
+  std::vector<double> coeffs;   ///< minimizer of ||A x - b||_2
+  double residual_norm = 0.0;   ///< ||A x - b||_2 at the minimizer
+  double r2 = 0.0;              ///< coefficient of determination vs mean(b)
+};
+
+/// Solves min ||A x - b||. Requires A.rows() >= A.cols() >= 1 and
+/// b.size() == A.rows(). Throws hetsched::Error on rank deficiency
+/// (a diagonal of R smaller than rows * eps * max|R|).
+LlsResult solve_lls(const Matrix& a, std::span<const double> b);
+
+/// In-place Householder QR: returns R (upper triangular, cols x cols) and
+/// applies the implicit Q^T to `b`. Exposed for testing.
+struct QrFactors {
+  Matrix r;                     ///< cols x cols upper-triangular factor
+  std::vector<double> qtb;      ///< first cols entries of Q^T b
+  double tail_norm = 0.0;       ///< norm of remaining entries (= residual)
+};
+QrFactors householder_qr(Matrix a, std::vector<double> b);
+
+/// A basis function family for semi-empirical fits:
+/// model(x) = sum_j c_j * basis_j(x).
+class Basis {
+ public:
+  using Fn = std::function<double(double)>;
+
+  /// Named basis from explicit functions.
+  explicit Basis(std::vector<Fn> fns);
+
+  /// {x^hi, x^(hi-1), ..., x^lo}; e.g. polynomial(3, 0) is the paper's
+  /// Tai basis {N^3, N^2, N, 1}.
+  static Basis polynomial(int hi, int lo = 0);
+
+  std::size_t size() const { return fns_.size(); }
+
+  /// Builds the design matrix for sample positions xs.
+  Matrix design(std::span<const double> xs) const;
+
+  /// Evaluates sum_j coeffs[j]*basis_j(x).
+  double eval(std::span<const double> coeffs, double x) const;
+
+ private:
+  std::vector<Fn> fns_;
+};
+
+/// Fits `basis` coefficients to samples (xs, ys). Requires at least
+/// basis.size() samples.
+LlsResult fit(const Basis& basis, std::span<const double> xs,
+              std::span<const double> ys);
+
+}  // namespace hetsched::linalg

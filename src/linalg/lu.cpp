@@ -1,0 +1,91 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace hetsched::linalg {
+
+LuFactors lu_factor(Matrix a) {
+  const std::size_t n = a.rows();
+  HETSCHED_CHECK(n == a.cols(), "lu_factor: matrix must be square");
+  HETSCHED_CHECK(n >= 1, "lu_factor: empty matrix");
+
+  LuFactors f;
+  f.piv.resize(n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: largest |a(i,k)| for i >= k.
+    std::size_t p = k;
+    double best = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(a(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    HETSCHED_CHECK(best > 0.0, "lu_factor: singular matrix");
+    f.piv[k] = p;
+    if (p != k)
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(p, j));
+
+    const double pivot = a(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double l = a(i, k) / pivot;
+      a(i, k) = l;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= l * a(k, j);
+    }
+  }
+  f.lu = std::move(a);
+  return f;
+}
+
+std::vector<double> lu_solve(const LuFactors& f, std::vector<double> b) {
+  const std::size_t n = f.lu.rows();
+  HETSCHED_CHECK(b.size() == n, "lu_solve: rhs size mismatch");
+
+  // Apply pivots, then forward substitution with unit L.
+  for (std::size_t k = 0; k < n; ++k)
+    if (f.piv[k] != k) std::swap(b[k], b[f.piv[k]]);
+  for (std::size_t i = 1; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t j = 0; j < i; ++j) s -= f.lu(i, j) * b[j];
+    b[i] = s;
+  }
+  // Backward substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= f.lu(ii, j) * b[j];
+    b[ii] = s / f.lu(ii, ii);
+  }
+  return b;
+}
+
+std::vector<double> solve(const Matrix& a, std::span<const double> b) {
+  return lu_solve(lu_factor(a), {b.begin(), b.end()});
+}
+
+double scaled_residual(const Matrix& a, std::span<const double> x,
+                       std::span<const double> b) {
+  const std::size_t n = a.rows();
+  HETSCHED_CHECK(n == a.cols() && x.size() == n && b.size() == n,
+                 "scaled_residual: shape mismatch");
+  std::vector<double> r = a * x;
+  for (std::size_t i = 0; i < n; ++i) r[i] -= b[i];
+
+  double norm_a = 0.0;  // infinity norm: max row sum
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += std::abs(a(i, j));
+    norm_a = std::max(norm_a, s);
+  }
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double denom =
+      eps * (norm_a * inf_norm(x) + inf_norm(b)) * static_cast<double>(n);
+  return denom > 0.0 ? inf_norm(r) / denom : 0.0;
+}
+
+}  // namespace hetsched::linalg

@@ -1,0 +1,36 @@
+// Sequential LU decomposition with partial pivoting.
+//
+// Reference implementation used to validate the distributed HPL numeric
+// engine (src/hpl): both must produce the same pivot sequence and factors,
+// and solutions must satisfy the HPL-style scaled residual bound.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hetsched::linalg {
+
+/// In-place pivoted LU: A -> L\U with unit lower diagonal.
+struct LuFactors {
+  Matrix lu;                    ///< packed L (strictly lower) and U (upper)
+  std::vector<std::size_t> piv; ///< piv[k] = row swapped with k at step k
+};
+
+/// Factors a square matrix. Throws hetsched::Error on exact singularity.
+LuFactors lu_factor(Matrix a);
+
+/// Solves A x = b given factors from lu_factor.
+std::vector<double> lu_solve(const LuFactors& f, std::vector<double> b);
+
+/// Convenience: solve A x = b from scratch.
+std::vector<double> solve(const Matrix& a, std::span<const double> b);
+
+/// HPL-style scaled residual:
+///   ||A x - b||_inf / (eps * (||A||_inf * ||x||_inf + ||b||_inf) * n).
+/// Values O(1) indicate a backward-stable solve (HPL accepts < 16).
+double scaled_residual(const Matrix& a, std::span<const double> x,
+                       std::span<const double> b);
+
+}  // namespace hetsched::linalg

@@ -1,0 +1,72 @@
+// Dense row-major matrix of doubles.
+//
+// This is a deliberately small matrix type: the estimation models solve
+// least-squares systems with at most a few dozen rows, and the HPL numeric
+// engine factors matrices of a few hundred for validation. No expression
+// templates, no BLAS — clarity over throughput.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace hetsched::linalg {
+
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Construction from nested initializer lists (rows of equal length).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Contiguous view of row r.
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  /// The identity matrix of order n.
+  static Matrix identity(std::size_t n);
+
+  Matrix transposed() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Largest absolute entry; 0 for an empty matrix.
+  double max_abs() const;
+
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+
+  /// Matrix-vector product. Requires x.size() == cols().
+  std::vector<double> operator*(std::span<const double> x) const;
+
+  bool operator==(const Matrix& rhs) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Infinity norm of a vector; 0 for empty input.
+double inf_norm(std::span<const double> v);
+
+/// Euclidean norm.
+double two_norm(std::span<const double> v);
+
+/// Dot product; requires equal sizes.
+double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace hetsched::linalg

@@ -1,0 +1,54 @@
+#include "measure/evaluation.hpp"
+
+#include "cluster/pe_kind.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::measure {
+
+EvalRow evaluate_at(const core::Estimator& est, Runner& runner,
+                    const core::ConfigSpace& space, int n) {
+  EvalRow row;
+  row.n = n;
+
+  bool have_est = false, have_act = false;
+  for (const auto& config : space.all()) {
+    if (!est.covers(config)) continue;
+    const Seconds tau = est.estimate(config, n);
+    if (!have_est || tau < row.tau) {
+      row.tau = tau;
+      row.estimated_best = config;
+      have_est = true;
+    }
+    const core::Sample& s = runner.measure(config, n);
+    if (!have_act || s.wall < row.t_hat) {
+      row.t_hat = s.wall;
+      row.actual_best = config;
+      have_act = true;
+    }
+  }
+  HETSCHED_CHECK(have_est && have_act,
+                 "evaluate_at: no candidate covered by the models");
+  row.tau_hat = runner.measure(row.estimated_best, n).wall;
+  return row;
+}
+
+std::vector<CorrelationPoint> correlation(const core::Estimator& est,
+                                          Runner& runner,
+                                          const core::ConfigSpace& space,
+                                          int n) {
+  std::vector<CorrelationPoint> out;
+  const std::string fast_kind = cluster::athlon_1330().name;
+  for (const auto& config : space.all()) {
+    if (!est.covers(config)) continue;
+    CorrelationPoint pt;
+    pt.config = config;
+    for (const auto& u : config.usage)
+      if (u.kind == fast_kind) pt.fast_kind_m = u.procs_per_pe;
+    pt.estimate = est.estimate(config, n);
+    pt.measurement = runner.measure(config, n).wall;
+    out.push_back(std::move(pt));
+  }
+  return out;
+}
+
+}  // namespace hetsched::measure

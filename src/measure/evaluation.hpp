@@ -1,0 +1,49 @@
+// Evaluation harness for Tables 4, 7 and 9: estimated-best vs actual-best
+// configurations and their errors, plus the estimate/measurement pairs
+// behind the correlation plots (Figs 6-15).
+#pragma once
+
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/optimizer.hpp"
+#include "measure/runner.hpp"
+
+namespace hetsched::measure {
+
+/// One row of a Table 4/7/9-style result.
+struct EvalRow {
+  int n = 0;
+  cluster::Config estimated_best;
+  Seconds tau = 0;      ///< predicted time of the estimated best (tau)
+  Seconds tau_hat = 0;  ///< measured time of the estimated best (tau^)
+  cluster::Config actual_best;
+  Seconds t_hat = 0;    ///< measured time of the actual best (T^)
+
+  /// (tau - T^) / T^ — how far the *prediction* sits from the optimum.
+  double estimate_error() const { return (tau - t_hat) / t_hat; }
+  /// (tau^ - T^) / T^ — the real cost of trusting the estimator.
+  double selection_error() const { return (tau_hat - t_hat) / t_hat; }
+};
+
+/// Evaluates one size: predicts all candidates, measures all candidates,
+/// reports both optima. (The paper measured all 62 candidates too.)
+EvalRow evaluate_at(const core::Estimator& est, Runner& runner,
+                    const core::ConfigSpace& space, int n);
+
+/// One point of a correlation plot: prediction vs measurement for a
+/// candidate configuration.
+struct CorrelationPoint {
+  cluster::Config config;
+  int fast_kind_m = 0;  ///< the paper's M1 (series label in Figs 6-15)
+  Seconds estimate = 0;
+  Seconds measurement = 0;
+};
+
+/// Estimate/measurement pairs for every covered candidate at size n.
+std::vector<CorrelationPoint> correlation(const core::Estimator& est,
+                                          Runner& runner,
+                                          const core::ConfigSpace& space,
+                                          int n);
+
+}  // namespace hetsched::measure

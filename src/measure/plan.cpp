@@ -1,0 +1,76 @@
+#include "measure/plan.hpp"
+
+#include "cluster/pe_kind.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::measure {
+
+std::size_t MeasurementPlan::run_count() const {
+  HETSCHED_CHECK(repeats >= 1, "plan: repeats >= 1 required");
+  return (construction_configs().size() * ns.size() +
+          adjust_configs.size() * adjust_ns.size()) *
+         static_cast<std::size_t>(repeats);
+}
+
+std::vector<cluster::Config> MeasurementPlan::construction_configs() const {
+  std::vector<cluster::Config> out;
+  for (const auto& sweep : sweeps) {
+    for (const int pes : sweep.pe_counts) {
+      HETSCHED_CHECK(pes >= 1, "plan: PE counts must be positive");
+      for (const int m : sweep.procs_per_pe) {
+        HETSCHED_CHECK(m >= 1, "plan: process counts must be positive");
+        cluster::Config cfg;
+        cfg.usage.push_back(cluster::KindUsage{sweep.kind, pes, m});
+        out.push_back(std::move(cfg));
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+MeasurementPlan plan_with(std::string name, std::vector<int> ns,
+                          std::vector<int> p2_counts,
+                          std::vector<int> adjust_ns) {
+  MeasurementPlan plan;
+  plan.name = std::move(name);
+  plan.ns = std::move(ns);
+  // Table 2/5/8: Athlon P1 = 1 with M1 = 1..6; Pentium-II sweep with
+  // M2 = 1..6.
+  plan.sweeps.push_back(
+      KindSweep{cluster::athlon_1330().name, {1}, {1, 2, 3, 4, 5, 6}});
+  plan.sweeps.push_back(KindSweep{cluster::pentium2_400().name,
+                                  std::move(p2_counts),
+                                  {1, 2, 3, 4, 5, 6}});
+  // Adjustment anchors (§4.1): heterogeneous runs with the full Pentium-II
+  // set at high Athlon multiprocessing (M1 >= 3), at two sizes. The paper
+  // anchors its per-class linear transformation at N = 6400, P2 = 8; the
+  // second size stabilizes the through-origin scale fit.
+  plan.adjust_ns = std::move(adjust_ns);
+  for (int m1 = 3; m1 <= 6; ++m1)
+    plan.adjust_configs.push_back(cluster::Config::paper(1, m1, 8, 1));
+  return plan;
+}
+
+}  // namespace
+
+MeasurementPlan basic_plan() {
+  return plan_with("Basic",
+                   {400, 600, 800, 1200, 1600, 2400, 3200, 4800, 6400},
+                   {1, 2, 3, 4, 5, 6, 7, 8}, {4800, 6400});
+}
+
+MeasurementPlan nl_plan() {
+  return plan_with("NL", {1600, 3200, 4800, 6400}, {1, 2, 4, 8},
+                   {4800, 6400});
+}
+
+MeasurementPlan ns_plan() {
+  // NS keeps even the anchors small — its whole point is a ~10 minute
+  // measurement budget (Table 6), so it cannot afford N = 6400 anchors.
+  return plan_with("NS", {400, 800, 1200, 1600}, {1, 2, 4, 8},
+                   {1200, 1600});
+}
+
+}  // namespace hetsched::measure

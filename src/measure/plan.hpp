@@ -1,0 +1,49 @@
+// Measurement plans: which runs feed model construction.
+//
+// The paper's three families differ only here (Tables 2, 5, 8):
+//   Basic — N = 400..6400 (9 sizes), Pentium-II P2 = 1..8        (~6 h)
+//   NL    — N = 1600..6400 (4 sizes), P2 = 1, 2, 4, 8            (~3 h)
+//   NS    — N = 400..1600  (4 sizes), P2 = 1, 2, 4, 8            (~10 min)
+// plus a handful of heterogeneous anchor runs for the §4.1 adjustment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/config.hpp"
+
+namespace hetsched::measure {
+
+/// Homogeneous sweep over one PE kind.
+struct KindSweep {
+  std::string kind;
+  std::vector<int> pe_counts;
+  std::vector<int> procs_per_pe;
+};
+
+struct MeasurementPlan {
+  std::string name;
+  std::vector<int> ns;               ///< model-construction sizes
+  std::vector<KindSweep> sweeps;     ///< homogeneous construction runs
+  std::vector<int> adjust_ns;        ///< anchor sizes for the adjustment
+  std::vector<cluster::Config> adjust_configs;  ///< heterogeneous anchors
+  int nb = 64;
+  /// Trials per (configuration, size); > 1 averages out measurement noise
+  /// at proportional measurement cost. The paper measures once.
+  int repeats = 1;
+
+  /// Total number of simulated runs the plan requires.
+  std::size_t run_count() const;
+
+  /// All homogeneous construction configurations.
+  std::vector<cluster::Config> construction_configs() const;
+};
+
+/// Basic model plan (paper Table 2).
+MeasurementPlan basic_plan();
+/// NL model plan (paper Table 5).
+MeasurementPlan nl_plan();
+/// NS model plan (paper Table 8).
+MeasurementPlan ns_plan();
+
+}  // namespace hetsched::measure

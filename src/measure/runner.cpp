@@ -1,0 +1,113 @@
+#include "measure/runner.hpp"
+
+#include <sstream>
+
+#include "hpl/cost_engine.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::measure {
+
+WorkloadFn hpl_workload(int nb) {
+  HETSCHED_CHECK(nb >= 1, "hpl_workload: nb >= 1 required");
+  return [nb](const cluster::ClusterSpec& spec, const cluster::Config& config,
+              int n, std::uint64_t salt) {
+    hpl::HplParams params;
+    params.n = n;
+    params.nb = nb;
+    params.seed_salt = salt;
+    const hpl::HplResult res = hpl::run_cost(spec, config, params);
+    core::Sample s;
+    s.config = config;
+    s.n = n;
+    s.wall = res.makespan;
+    s.measured_cost = res.makespan;
+    for (const auto& kt : res.by_kind(spec))
+      s.kinds.push_back(core::Sample::KindMeasure{kt.kind, kt.tai, kt.tci});
+    return s;
+  };
+}
+
+Runner::Runner(cluster::ClusterSpec spec, int nb, std::uint64_t salt)
+    : Runner(std::move(spec), hpl_workload(nb), salt) {}
+
+Runner::Runner(cluster::ClusterSpec spec, WorkloadFn workload,
+               std::uint64_t salt)
+    : spec_(std::move(spec)), workload_(std::move(workload)), salt_(salt) {
+  HETSCHED_CHECK(static_cast<bool>(workload_),
+                 "Runner: workload must be callable");
+}
+
+std::string Runner::cache_key(const cluster::Config& config, int n) const {
+  std::ostringstream os;
+  os << config.to_string() << '@' << n;
+  return os.str();
+}
+
+const core::Sample& Runner::measure(const cluster::Config& config, int n) {
+  const std::string key = cache_key(config, n);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  // Distinct noise per (campaign, config, size): hash the cache key.
+  std::uint64_t h = salt_ * 0x100000001b3ULL;
+  for (const char c : key)
+    h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+
+  core::Sample s = workload_(spec_, config, n, h);
+  ++runs_;
+  return cache_.emplace(key, std::move(s)).first->second;
+}
+
+const core::Sample& Runner::measure_repeated(const cluster::Config& config,
+                                             int n, int repeats) {
+  HETSCHED_CHECK(repeats >= 1, "measure_repeated: repeats >= 1");
+  if (repeats == 1) return measure(config, n);
+
+  const std::string key =
+      cache_key(config, n) + "#x" + std::to_string(repeats);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  core::Sample avg;
+  for (int trial = 0; trial < repeats; ++trial) {
+    std::uint64_t h = (salt_ + 1444 * static_cast<std::uint64_t>(trial) + 1) *
+                      0x100000001b3ULL;
+    for (const char c : key)
+      h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+    core::Sample s = workload_(spec_, config, n, h);
+    ++runs_;
+    if (trial == 0) {
+      avg = std::move(s);
+      avg.measured_cost = avg.wall;
+    } else {
+      HETSCHED_CHECK(s.kinds.size() == avg.kinds.size(),
+                     "measure_repeated: inconsistent kind count");
+      avg.wall += s.wall;
+      avg.measured_cost += s.wall;
+      for (std::size_t k = 0; k < s.kinds.size(); ++k) {
+        avg.kinds[k].tai += s.kinds[k].tai;
+        avg.kinds[k].tci += s.kinds[k].tci;
+      }
+    }
+  }
+  avg.trials = repeats;
+  avg.wall /= repeats;
+  for (auto& k : avg.kinds) {
+    k.tai /= repeats;
+    k.tci /= repeats;
+  }
+  return cache_.emplace(key, std::move(avg)).first->second;
+}
+
+core::MeasurementSet Runner::run_plan(const MeasurementPlan& plan) {
+  core::MeasurementSet ms;
+  for (const auto& config : plan.construction_configs())
+    for (const int n : plan.ns)
+      ms.add(measure_repeated(config, n, plan.repeats));
+  for (const auto& config : plan.adjust_configs)
+    for (const int n : plan.adjust_ns)
+      ms.add(measure_repeated(config, n, plan.repeats));
+  return ms;
+}
+
+}  // namespace hetsched::measure

@@ -1,0 +1,69 @@
+// Measurement runner: executes plans against the simulated cluster and
+// reduces HPL runs to estimation samples.
+//
+// This is the stand-in for the paper's six hours of wall-clock benchmark
+// runs; on the simulator a full Basic sweep takes seconds. Runs are cached
+// by (configuration, N) so evaluation passes that revisit configurations
+// pay once.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "cluster/config.hpp"
+#include "cluster/spec.hpp"
+#include "core/sample.hpp"
+#include "measure/plan.hpp"
+
+namespace hetsched::measure {
+
+/// A measurable workload: simulate `config` at problem size n with the
+/// given noise salt and reduce the run to a Sample. The default is the
+/// HPL cost engine; other applications (e.g. apps::run_stencil_workload)
+/// plug in here — the estimation pipeline above is workload-agnostic.
+using WorkloadFn = std::function<core::Sample(
+    const cluster::ClusterSpec&, const cluster::Config&, int n,
+    std::uint64_t salt)>;
+
+/// The default workload: simulated HPL with block size nb.
+WorkloadFn hpl_workload(int nb = 64);
+
+class Runner {
+ public:
+  /// `salt` decorrelates the noise of independent measurement campaigns.
+  explicit Runner(cluster::ClusterSpec spec, int nb = 64,
+                  std::uint64_t salt = 1);
+
+  /// Runner over a custom workload.
+  Runner(cluster::ClusterSpec spec, WorkloadFn workload,
+         std::uint64_t salt = 1);
+
+  /// Runs (or fetches from cache) one configuration at size n.
+  const core::Sample& measure(const cluster::Config& config, int n);
+
+  /// Runs `repeats` independent trials and averages them into one sample
+  /// (wall and per-kind times averaged, measuring cost accumulated).
+  const core::Sample& measure_repeated(const cluster::Config& config, int n,
+                                       int repeats);
+
+  /// Executes a full plan: every construction configuration at every
+  /// construction size, plus the adjustment anchors.
+  core::MeasurementSet run_plan(const MeasurementPlan& plan);
+
+  /// Number of actual (non-cached) simulated runs so far.
+  std::size_t runs_executed() const { return runs_; }
+
+  const cluster::ClusterSpec& spec() const { return spec_; }
+
+ private:
+  std::string cache_key(const cluster::Config& config, int n) const;
+
+  cluster::ClusterSpec spec_;
+  WorkloadFn workload_;
+  std::uint64_t salt_;
+  std::size_t runs_ = 0;
+  std::map<std::string, core::Sample> cache_;
+};
+
+}  // namespace hetsched::measure

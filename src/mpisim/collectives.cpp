@@ -1,0 +1,86 @@
+#include "mpisim/collectives.hpp"
+
+#include "support/error.hpp"
+
+namespace hetsched::mpisim {
+
+namespace {
+
+des::Task bcast_ring(Comm& comm, int me, int root, int tag, Bytes bytes,
+                     std::vector<double>* payload) {
+  const int p = comm.size();
+  const int pos = (me - root + p) % p;  // distance downstream of the root
+  if (pos > 0) {
+    const int prev = (me - 1 + p) % p;
+    Message m = co_await comm.recv(me, prev, tag);
+    if (payload) *payload = std::move(m.payload);
+  }
+  if (pos < p - 1) {
+    const int next = (me + 1) % p;
+    std::vector<double> fwd = payload ? *payload : std::vector<double>{};
+    co_await comm.send(me, next, tag, bytes, std::move(fwd));
+  }
+}
+
+des::Task bcast_binomial(Comm& comm, int me, int root, int tag, Bytes bytes,
+                         std::vector<double>* payload) {
+  const int p = comm.size();
+  const int vrank = (me - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int src = (vrank - mask + root) % p;
+      Message m = co_await comm.recv(me, src, tag);
+      if (payload) *payload = std::move(m.payload);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p) {
+      const int dst = (vrank + mask + root) % p;
+      std::vector<double> fwd = payload ? *payload : std::vector<double>{};
+      co_await comm.send(me, dst, tag, bytes, std::move(fwd));
+    }
+    mask >>= 1;
+  }
+}
+
+}  // namespace
+
+des::Task bcast(Comm& comm, int me, int root, int tag, Bytes bytes,
+                BcastAlgo algo, std::vector<double>* payload) {
+  HETSCHED_CHECK(root >= 0 && root < comm.size(), "bcast: bad root");
+  if (comm.size() == 1) co_return;
+  switch (algo) {
+    case BcastAlgo::kRing:
+      co_await bcast_ring(comm, me, root, tag, bytes, payload);
+      break;
+    case BcastAlgo::kBinomial:
+      co_await bcast_binomial(comm, me, root, tag, bytes, payload);
+      break;
+  }
+}
+
+des::Task gather_at(Comm& comm, int me, int root, int tag, Bytes bytes,
+                    const std::vector<double>* my_contribution,
+                    std::vector<std::vector<double>>* into) {
+  HETSCHED_CHECK(root >= 0 && root < comm.size(), "gather_at: bad root");
+  const int p = comm.size();
+  if (p == 1) co_return;
+  if (me == root) {
+    if (into) into->clear();
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      Message m = co_await comm.recv(me, r, tag);
+      if (into) into->push_back(std::move(m.payload));
+    }
+  } else {
+    std::vector<double> contrib =
+        my_contribution ? *my_contribution : std::vector<double>{};
+    co_await comm.send(me, root, tag, bytes, std::move(contrib));
+  }
+}
+
+}  // namespace hetsched::mpisim

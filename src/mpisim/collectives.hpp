@@ -1,0 +1,38 @@
+// Collective operations built from point-to-point messages.
+//
+// Each rank co_awaits its side of the collective, exactly like real
+// MPI code: the collectives are *algorithms over send/recv*, so their
+// cost emerges from the network model rather than being postulated.
+//
+// Two panel-broadcast algorithms are provided, mirroring HPL's options:
+//   * ring      — (P-1) sequential hops; each intermediate rank forwards.
+//                 Bandwidth-optimal for pipelined panels, HPL's default.
+//   * binomial  — ceil(log2 P) rounds; latency-optimal for small messages.
+#pragma once
+
+#include <vector>
+
+#include "des/task.hpp"
+#include "mpisim/comm.hpp"
+
+namespace hetsched::mpisim {
+
+enum class BcastAlgo { kRing, kBinomial };
+
+/// One rank's share of a broadcast of `bytes` from `root`. If `payload` is
+/// non-null, the root sends *payload and receivers overwrite it (numeric
+/// mode); null payloads broadcast sizes only (cost mode).
+///
+/// Every rank must call this with identical (root, tag, bytes, algo).
+des::Task bcast(Comm& comm, int me, int root, int tag, Bytes bytes,
+                BcastAlgo algo, std::vector<double>* payload = nullptr);
+
+/// Gathers one message of `bytes` from every other rank at `root`
+/// (flat, used by the HPL back-substitution's partial-sum collection).
+/// If `into` is non-null, received payloads are appended in rank order...
+/// ranks != root send `my_contribution` (or empty payload in cost mode).
+des::Task gather_at(Comm& comm, int me, int root, int tag, Bytes bytes,
+                    const std::vector<double>* my_contribution = nullptr,
+                    std::vector<std::vector<double>>* into = nullptr);
+
+}  // namespace hetsched::mpisim

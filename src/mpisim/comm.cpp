@@ -1,0 +1,86 @@
+#include "mpisim/comm.hpp"
+
+#include "support/error.hpp"
+
+namespace hetsched::mpisim {
+
+Comm::Comm(cluster::Machine& machine, cluster::Placement placement)
+    : machine_(machine), placement_(std::move(placement)) {
+  HETSCHED_CHECK(placement_.nprocs() >= 1, "Comm requires at least one rank");
+  const std::size_t n = static_cast<std::size_t>(placement_.nprocs());
+  mailboxes_.resize(n);
+  stats_.resize(n);
+  for (const auto& pe : placement_.rank_pe)
+    HETSCHED_CHECK(pe.node < machine_.spec().nodes.size(),
+                   "placement references a node outside the cluster");
+}
+
+cluster::PeRef Comm::pe_of(int rank) const {
+  validate_rank(rank);
+  return placement_.rank_pe[static_cast<std::size_t>(rank)];
+}
+
+Comm::MatchKey Comm::key(int src, int tag) {
+  HETSCHED_CHECK(src >= 0 && tag >= 0, "key: negative src or tag");
+  return (static_cast<MatchKey>(src) << 32) | static_cast<std::uint32_t>(tag);
+}
+
+des::Queue<Message>& Comm::mailbox(int dst, int src, int tag) {
+  validate_rank(dst);
+  auto& slot = mailboxes_[static_cast<std::size_t>(dst)][key(src, tag)];
+  if (!slot) slot = std::make_unique<des::Queue<Message>>(machine_.sim());
+  return *slot;
+}
+
+void Comm::validate_rank(int rank) const {
+  HETSCHED_CHECK(rank >= 0 && rank < size(), "rank out of range");
+}
+
+des::Task Comm::send(int src, int dst, int tag, Bytes bytes,
+                     std::vector<double> payload) {
+  // Validate here, not in the coroutine body: coroutines start lazily and
+  // a misuse should surface at the call site immediately.
+  validate_rank(src);
+  validate_rank(dst);
+  HETSCHED_CHECK(bytes >= 0.0, "send: negative size");
+  HETSCHED_CHECK(src != dst, "send: a rank cannot message itself");
+  return send_impl(src, dst, tag, bytes, std::move(payload));
+}
+
+des::Task Comm::send_impl(int src, int dst, int tag, Bytes bytes,
+                          std::vector<double> payload) {
+  auto& sim = machine_.sim();
+  auto& st = stats_[static_cast<std::size_t>(src)];
+  ++st.sends;
+  st.bytes_sent += bytes;
+
+  const cluster::TransferTimes times = machine_.network().plan_transfer(
+      sim.now(), pe_of(src).node, pe_of(dst).node, bytes);
+
+  des::Queue<Message>* box = &mailbox(dst, src, tag);
+  Message msg{src, tag, bytes, std::move(payload)};
+  sim.schedule_at(times.delivered,
+                  [box, m = std::move(msg)]() mutable { box->push(std::move(m)); });
+
+  co_await sim.delay(times.sender_done - sim.now());
+}
+
+des::ValueTask<Message> Comm::recv(int dst, int src, int tag) {
+  validate_rank(src);
+  validate_rank(dst);
+  return recv_impl(dst, src, tag);
+}
+
+des::ValueTask<Message> Comm::recv_impl(int dst, int src, int tag) {
+  des::Queue<Message>& box = mailbox(dst, src, tag);
+  Message m = co_await box.pop();
+  ++stats_[static_cast<std::size_t>(dst)].recvs;
+  co_return m;
+}
+
+const CommStats& Comm::stats(int rank) const {
+  validate_rank(rank);
+  return stats_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace hetsched::mpisim

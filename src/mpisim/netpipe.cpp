@@ -1,0 +1,69 @@
+#include "mpisim/netpipe.hpp"
+
+#include "cluster/config.hpp"
+#include "cluster/machine.hpp"
+#include "des/sim.hpp"
+#include "mpisim/comm.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::mpisim {
+
+namespace {
+
+des::Task pinger(Comm& comm, Bytes block, int reps, Seconds& elapsed) {
+  auto& sim = comm.machine().sim();
+  const des::SimTime start = sim.now();
+  for (int i = 0; i < reps; ++i) {
+    co_await comm.send(0, 1, /*tag=*/i, block);
+    co_await comm.recv(0, 1, /*tag=*/i);
+  }
+  elapsed = sim.now() - start;
+}
+
+des::Task ponger(Comm& comm, Bytes block, int reps) {
+  for (int i = 0; i < reps; ++i) {
+    co_await comm.recv(1, 0, /*tag=*/i);
+    co_await comm.send(1, 0, /*tag=*/i, block);
+  }
+}
+
+}  // namespace
+
+std::vector<NetpipePoint> run_netpipe(const cluster::ClusterSpec& spec,
+                                      const std::vector<Bytes>& block_sizes,
+                                      bool intra_node, int repetitions) {
+  HETSCHED_CHECK(repetitions >= 1, "run_netpipe: repetitions >= 1");
+  std::vector<NetpipePoint> out;
+  out.reserve(block_sizes.size());
+
+  for (const Bytes block : block_sizes) {
+    HETSCHED_CHECK(block > 0, "run_netpipe: block size must be positive");
+    des::Simulator sim;
+    cluster::Machine machine(sim, spec);
+
+    cluster::Placement placement;
+    if (intra_node) {
+      // Both processes on the first processor (the Fig 2 loopback setup).
+      placement.rank_pe = {cluster::PeRef{0, 0}, cluster::PeRef{0, 0}};
+    } else {
+      HETSCHED_CHECK(spec.nodes.size() >= 2,
+                     "inter-node netpipe needs two nodes");
+      placement.rank_pe = {cluster::PeRef{0, 0}, cluster::PeRef{1, 0}};
+    }
+
+    Comm comm(machine, placement);
+    Seconds elapsed = 0.0;
+    sim.spawn(pinger(comm, block, repetitions, elapsed));
+    sim.spawn(ponger(comm, block, repetitions));
+    sim.run();
+
+    NetpipePoint p;
+    p.block_size = block;
+    p.round_trip = elapsed / repetitions;
+    p.throughput = block / (p.round_trip / 2.0);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace hetsched::mpisim

@@ -1,0 +1,29 @@
+// NetPIPE-style ping-pong throughput measurement (paper §2, Fig 2).
+//
+// Two ranks bounce a block back and forth; reported throughput is
+// block_size / (round_trip / 2). Running the pair on the same node
+// measures the intra-node (MPI-library-dependent) channel, the setup the
+// paper used to diagnose MPICH 1.2.1's multiprocessing collapse.
+#pragma once
+
+#include <vector>
+
+#include "cluster/spec.hpp"
+#include "support/units.hpp"
+
+namespace hetsched::mpisim {
+
+struct NetpipePoint {
+  Bytes block_size = 0;
+  double throughput = 0;  ///< bytes per second, one-way
+  Seconds round_trip = 0; ///< averaged over repetitions
+};
+
+/// Measures ping-pong throughput for each block size between two processes
+/// on the same processor (`intra_node = true`, the Fig 2 setup) or on the
+/// first two distinct nodes of `spec`.
+std::vector<NetpipePoint> run_netpipe(const cluster::ClusterSpec& spec,
+                                      const std::vector<Bytes>& block_sizes,
+                                      bool intra_node, int repetitions = 8);
+
+}  // namespace hetsched::mpisim

@@ -1,0 +1,49 @@
+// Error handling primitives for hetsched.
+//
+// The library throws `hetsched::Error` for precondition violations and
+// unrecoverable internal states. HETSCHED_CHECK is used at API boundaries,
+// HETSCHED_ASSERT for internal invariants (compiled in all build types:
+// a simulator that silently corrupts its event queue is worse than slow).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hetsched {
+
+/// Exception type thrown on precondition violations and internal errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hetsched
+
+/// Precondition check at public API boundaries. Always enabled.
+#define HETSCHED_CHECK(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::hetsched::detail::fail("precondition", #expr, __FILE__,          \
+                               __LINE__, (msg));                         \
+  } while (false)
+
+/// Internal invariant check. Always enabled (simulation correctness
+/// dominates the negligible branch cost).
+#define HETSCHED_ASSERT(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::hetsched::detail::fail("invariant", #expr, __FILE__,             \
+                               __LINE__, (msg));                         \
+  } while (false)

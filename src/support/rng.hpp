@@ -1,0 +1,48 @@
+// Deterministic random number generation.
+//
+// Everything stochastic in hetsched (measurement noise, workload jitter)
+// flows through `Rng`, a splitmix64-seeded xoshiro256** generator. The
+// simulator is otherwise fully deterministic, so a (seed, program) pair
+// reproduces a run bit-for-bit — a property the test suite relies on.
+#pragma once
+
+#include <cstdint>
+
+namespace hetsched {
+
+/// Small, fast, deterministic PRNG (xoshiro256**, splitmix64 seeding).
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Multiplicative noise factor: exp(N(0, sigma)) — always positive,
+  /// mean ≈ 1 for small sigma. Used for measurement noise on phase times.
+  double lognormal_factor(double sigma);
+
+  /// Derives an independent generator (for per-entity streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hetsched

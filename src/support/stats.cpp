@@ -1,0 +1,104 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hetsched::stats {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() >= 2) {
+    double ss = 0.0;
+    for (double x : xs) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  return s;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+Line fit_line(std::span<const double> xs, std::span<const double> ys) {
+  HETSCHED_CHECK(xs.size() == ys.size(), "fit_line: size mismatch");
+  HETSCHED_CHECK(xs.size() >= 2, "fit_line: need at least 2 points");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  HETSCHED_CHECK(sxx > 0.0, "fit_line: degenerate xs (all equal)");
+  Line line;
+  line.slope = sxy / sxx;
+  line.intercept = my - line.slope * mx;
+  line.r2 = (syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return line;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  HETSCHED_CHECK(xs.size() == ys.size(), "pearson: size mismatch");
+  HETSCHED_CHECK(xs.size() >= 2, "pearson: need at least 2 points");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double mean_relative_error(std::span<const double> est,
+                           std::span<const double> ref) {
+  HETSCHED_CHECK(est.size() == ref.size(), "mean_relative_error: size mismatch");
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    if (ref[i] == 0.0) continue;
+    sum += std::abs(est[i] - ref[i]) / std::abs(ref[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  HETSCHED_CHECK(!xs.empty(), "percentile: empty sample");
+  HETSCHED_CHECK(p >= 0.0 && p <= 100.0, "percentile: p out of [0,100]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace hetsched::stats

@@ -1,0 +1,52 @@
+// Summary statistics and simple regression helpers.
+//
+// Used by the measurement harness (aggregating repeated runs) and by the
+// benchmark reporters (correlation of estimates vs measurements, the
+// paper's Figs 6–15).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hetsched::stats {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary; empty input yields a zeroed Summary.
+Summary summarize(std::span<const double> xs);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Ordinary least squares line y = slope*x + intercept.
+struct Line {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination of the fit.
+  double r2 = 0.0;
+};
+
+/// Fits a line through (xs, ys). Requires xs.size() == ys.size() >= 2 and
+/// non-degenerate xs (not all equal).
+Line fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson correlation coefficient; requires sizes equal and >= 2.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Mean relative error: mean of |est - ref| / |ref| over pairs with
+/// ref != 0. Used in EXPERIMENTS.md accuracy reporting.
+double mean_relative_error(std::span<const double> est,
+                           std::span<const double> ref);
+
+/// p-th percentile (0..100) by linear interpolation on the sorted sample.
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace hetsched::stats

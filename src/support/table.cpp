@@ -1,0 +1,103 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace hetsched {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HETSCHED_CHECK(!headers_.empty(), "Table requires at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  HETSCHED_CHECK(!rows_.empty(), "call row() before cell()");
+  HETSCHED_CHECK(rows_.back().size() < headers_.size(),
+                 "row has more cells than headers");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::num(double value, int precision) {
+  return cell(format_fixed(value, precision));
+}
+
+Table& Table::integer(long long value) { return cell(std::to_string(value)); }
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  return s.find_first_not_of("0123456789+-.eE%") == std::string::npos;
+}
+
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string v = c < cells.size() ? cells[c] : "";
+      os << "  ";
+      if (looks_numeric(v))
+        os << std::setw(static_cast<int>(widths[c])) << std::right << v;
+      else
+        os << std::setw(static_cast<int>(widths[c])) << std::left << v;
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ',';
+      os << quote(c < cells.size() ? cells[c] : "");
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << ' '
+     << std::string(title.size() < 70 ? 70 - title.size() : 4, '=') << "\n\n";
+}
+
+}  // namespace hetsched

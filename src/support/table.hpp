@@ -1,0 +1,53 @@
+// Fixed-width console table and CSV emission.
+//
+// Every bench binary reports through this so the paper-reproduction output
+// has one consistent look and can be diffed / parsed.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hetsched {
+
+/// A small column-aligned table. Cells are strings; numeric helpers format
+/// with fixed precision. Rendering right-aligns numeric-looking cells.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_* calls fill it left to right.
+  Table& row();
+
+  /// Appends a string cell to the current row.
+  Table& cell(std::string value);
+
+  /// Appends a formatted double with `precision` fractional digits.
+  Table& num(double value, int precision = 3);
+
+  /// Appends an integer cell.
+  Table& integer(long long value);
+
+  /// Renders the table with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (RFC-4180-style quoting for cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+  /// Number of data rows so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (shared with Table::num).
+std::string format_fixed(double value, int precision);
+
+/// Prints a section banner used by bench binaries:
+///   == <title> ==========================...
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace hetsched

@@ -1,0 +1,42 @@
+// Physical units used throughout the simulator and the estimation models.
+//
+// We deliberately use plain `double` typedefs rather than strong types:
+// the simulator's inner loops mix these quantities in rate equations
+// (bytes/second, flops/second) where strong types add friction without
+// catching the realistic bug class (unit *scale* mistakes, which the
+// named constants below address).
+#pragma once
+
+#include <cstdint>
+
+namespace hetsched {
+
+/// Simulated wall-clock time in seconds.
+using Seconds = double;
+/// Data volume in bytes.
+using Bytes = double;
+/// Floating-point work in FLOPs.
+using Flops = double;
+
+// -- data-volume scale constants ------------------------------------------
+inline constexpr Bytes kKiB = 1024.0;
+inline constexpr Bytes kMiB = 1024.0 * kKiB;
+inline constexpr Bytes kGiB = 1024.0 * kMiB;
+
+// -- rate scale constants ---------------------------------------------------
+/// 1 Mbit/s expressed in bytes/second.
+inline constexpr double kMbitPerSec = 1.0e6 / 8.0;
+/// 1 Gbit/s expressed in bytes/second.
+inline constexpr double kGbitPerSec = 1.0e9 / 8.0;
+/// 1 Gflop/s.
+inline constexpr double kGflops = 1.0e9;
+
+/// Size of one double-precision matrix element in bytes.
+inline constexpr Bytes kDoubleBytes = 8.0;
+
+/// Microseconds helper for latency constants.
+inline constexpr Seconds usec(double n) { return n * 1.0e-6; }
+/// Milliseconds helper.
+inline constexpr Seconds msec(double n) { return n * 1.0e-3; }
+
+}  // namespace hetsched

@@ -1,0 +1,143 @@
+#include "cluster/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/sim.hpp"
+#include "des/task.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::cluster {
+namespace {
+
+des::Task job(des::Simulator& sim, Cpu& cpu, Seconds demand, double start,
+              double& finished_at) {
+  co_await sim.delay(start);
+  co_await cpu.compute(demand);
+  finished_at = sim.now();
+}
+
+TEST(Cpu, SingleJobTakesItsDemand) {
+  des::Simulator sim;
+  Cpu cpu(sim, 0.05);
+  double t = -1;
+  sim.spawn(job(sim, cpu, 10.0, 0.0, t));
+  sim.run();
+  EXPECT_NEAR(t, 10.0, 1e-9);
+}
+
+TEST(Cpu, ZeroDemandCompletesImmediately) {
+  des::Simulator sim;
+  Cpu cpu(sim, 0.05);
+  double t = -1;
+  sim.spawn(job(sim, cpu, 0.0, 3.0, t));
+  sim.run();
+  EXPECT_DOUBLE_EQ(t, 3.0);
+}
+
+TEST(Cpu, TwoEqualJobsShareWithOverhead) {
+  des::Simulator sim;
+  const double alpha = 0.1;
+  Cpu cpu(sim, alpha);
+  double t1 = -1, t2 = -1;
+  sim.spawn(job(sim, cpu, 5.0, 0.0, t1));
+  sim.spawn(job(sim, cpu, 5.0, 0.0, t2));
+  sim.run();
+  // Each progresses at 1/(2*(1+alpha)): finish = 5 * 2 * 1.1 = 11.
+  EXPECT_NEAR(t1, 11.0, 1e-9);
+  EXPECT_NEAR(t2, 11.0, 1e-9);
+}
+
+TEST(Cpu, NoOverheadPureProcessorSharing) {
+  des::Simulator sim;
+  Cpu cpu(sim, 0.0);
+  double t1 = -1, t2 = -1;
+  sim.spawn(job(sim, cpu, 5.0, 0.0, t1));
+  sim.spawn(job(sim, cpu, 5.0, 0.0, t2));
+  sim.run();
+  EXPECT_NEAR(t1, 10.0, 1e-9);
+  EXPECT_NEAR(t2, 10.0, 1e-9);
+}
+
+TEST(Cpu, LateArrivalSlowsEarlierJob) {
+  des::Simulator sim;
+  Cpu cpu(sim, 0.0);
+  double t1 = -1, t2 = -1;
+  // Job 1 (10s) runs alone for 4s (6 left), then shares: the remaining 6
+  // CPU-seconds take 12 wall seconds if job 2 stays active throughout.
+  // Job 2 (3s demand) arrives at 4: progresses at 1/2 -> needs 6s wall,
+  // finishing at 10. After that job 1 runs alone again.
+  // Job 1: at t = 10 it has consumed 4 + 3 = 7, so 3 remain -> ends at 13.
+  sim.spawn(job(sim, cpu, 10.0, 0.0, t1));
+  sim.spawn(job(sim, cpu, 3.0, 4.0, t2));
+  sim.run();
+  EXPECT_NEAR(t2, 10.0, 1e-9);
+  EXPECT_NEAR(t1, 13.0, 1e-9);
+}
+
+TEST(Cpu, PerJobSpeedFormula) {
+  des::Simulator sim;
+  Cpu cpu(sim, 0.25);
+  EXPECT_DOUBLE_EQ(cpu.per_job_speed(1), 1.0);
+  EXPECT_DOUBLE_EQ(cpu.per_job_speed(2), 1.0 / (2.0 * 1.25));
+  EXPECT_DOUBLE_EQ(cpu.per_job_speed(4), 1.0 / (4.0 * 1.75));
+}
+
+TEST(Cpu, AggregateThroughputDegradesWithM) {
+  // m jobs of equal demand d finish at m*(1+alpha*(m-1))*d: throughput
+  // m*d / makespan = 1/(1+alpha(m-1)), strictly decreasing in m.
+  const double alpha = 0.05, d = 2.0;
+  double prev_makespan = 0.0;
+  for (int m = 1; m <= 6; ++m) {
+    des::Simulator sim;
+    Cpu cpu(sim, alpha);
+    std::vector<double> t(static_cast<std::size_t>(m), -1);
+    for (int i = 0; i < m; ++i)
+      sim.spawn(job(sim, cpu, d, 0.0, t[static_cast<std::size_t>(i)]));
+    sim.run();
+    const double expected = static_cast<double>(m) *
+                            (1.0 + alpha * (m - 1)) * d;
+    for (double v : t) EXPECT_NEAR(v, expected, 1e-9);
+    EXPECT_GT(expected, prev_makespan);
+    prev_makespan = expected;
+  }
+}
+
+TEST(Cpu, CompletedDemandAccounting) {
+  des::Simulator sim;
+  Cpu cpu(sim, 0.1);
+  double t1 = -1, t2 = -1;
+  sim.spawn(job(sim, cpu, 5.0, 0.0, t1));
+  sim.spawn(job(sim, cpu, 7.0, 1.0, t2));
+  sim.run();
+  EXPECT_NEAR(cpu.completed_demand(), 12.0, 1e-9);
+  EXPECT_EQ(cpu.active_jobs(), 0);
+}
+
+TEST(Cpu, StaggeredJobsDeterministic) {
+  auto run_once = [] {
+    des::Simulator sim;
+    Cpu cpu(sim, 0.07);
+    std::vector<double> t(5, -1);
+    for (int i = 0; i < 5; ++i)
+      sim.spawn(job(sim, cpu, 1.0 + i, 0.5 * i, t[static_cast<std::size_t>(i)]));
+    sim.run();
+    return t;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Cpu, NegativeDemandRejected) {
+  des::Simulator sim;
+  Cpu cpu(sim, 0.0);
+  EXPECT_THROW(cpu.compute(-1.0), Error);
+}
+
+TEST(Cpu, NegativeAlphaRejected) {
+  des::Simulator sim;
+  EXPECT_THROW(Cpu(sim, -0.1), Error);
+}
+
+}  // namespace
+}  // namespace hetsched::cluster

@@ -1,0 +1,134 @@
+#include "cluster/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace hetsched::cluster {
+namespace {
+
+TEST(FifoLink, SingleTransferTime) {
+  FifoLink link(100.0);  // 100 B/s
+  const LinkSlot slot = link.submit(0.0, 500.0);
+  EXPECT_DOUBLE_EQ(slot.start, 0.0);
+  EXPECT_DOUBLE_EQ(slot.done, 5.0);
+  EXPECT_DOUBLE_EQ(link.bytes_carried(), 500.0);
+}
+
+TEST(FifoLink, BackToBackTransfersSerialize) {
+  FifoLink link(100.0);
+  EXPECT_DOUBLE_EQ(link.submit(0.0, 100.0).done, 1.0);
+  const LinkSlot second = link.submit(0.0, 100.0);
+  EXPECT_DOUBLE_EQ(second.start, 1.0);  // queued behind first
+  EXPECT_DOUBLE_EQ(second.done, 2.0);
+  EXPECT_DOUBLE_EQ(link.submit(5.0, 100.0).done, 6.0);  // link idle again
+}
+
+TEST(FifoLink, ZeroByteTransferIsFree) {
+  FifoLink link(100.0);
+  EXPECT_DOUBLE_EQ(link.submit(3.0, 0.0).done, 3.0);
+}
+
+TEST(FifoLink, RejectsNonPositiveBandwidth) {
+  EXPECT_THROW(FifoLink(0.0), Error);
+  EXPECT_THROW(FifoLink(-5.0), Error);
+}
+
+TEST(Profiles, Mpich122FasterThan121) {
+  EXPECT_GT(mpich_122().intra_node_bandwidth,
+            4.0 * mpich_121().intra_node_bandwidth);
+  EXPECT_LT(mpich_122().intra_node_latency, mpich_121().intra_node_latency);
+}
+
+TEST(Profiles, FabricNamesAndRates) {
+  // Effective MPI-over-TCP throughput: a large fraction of wire rate.
+  EXPECT_EQ(fast_ethernet().name, "100base-TX");
+  EXPECT_GT(fast_ethernet().link_bandwidth, 0.5 * 12.5e6);
+  EXPECT_LE(fast_ethernet().link_bandwidth, 12.5e6);
+  EXPECT_GT(gigabit_ethernet().link_bandwidth,
+            5.0 * fast_ethernet().link_bandwidth);
+}
+
+TEST(Network, InterNodeTransferComponents) {
+  const FabricParams fab = fast_ethernet();
+  const MpiProfile mpi = mpich_122();
+  Network net(fab, mpi, 2);
+  const Bytes bytes = 1.25e6;
+  const Seconds ser = bytes / fab.link_bandwidth;
+  const TransferTimes t = net.plan_transfer(0.0, 0, 1, bytes);
+  EXPECT_NEAR(t.sender_done, ser, 1e-9);
+  // Cut-through: one serialization plus link and software latency.
+  EXPECT_NEAR(t.delivered, ser + fab.link_latency + mpi.software_latency,
+              1e-9);
+}
+
+TEST(Network, IntraNodeUsesChannelBandwidth) {
+  Network net(fast_ethernet(), mpich_122(), 2);
+  const Bytes bytes = mpich_122().intra_node_bandwidth;  // 1 second worth
+  const TransferTimes t = net.plan_transfer(0.0, 0, 0, bytes);
+  EXPECT_NEAR(t.sender_done, 1.0, 1e-9);
+  EXPECT_NEAR(t.delivered,
+              1.0 + mpich_122().intra_node_latency +
+                  mpich_122().software_latency,
+              1e-9);
+}
+
+TEST(Network, IntraNodeMuchFasterThanFabricFor122) {
+  Network net(fast_ethernet(), mpich_122(), 2);
+  const Bytes bytes = 10 * kMiB;
+  const TransferTimes intra = net.plan_transfer(0.0, 0, 0, bytes);
+  Network net2(fast_ethernet(), mpich_122(), 2);
+  const TransferTimes inter = net2.plan_transfer(0.0, 0, 1, bytes);
+  EXPECT_LT(intra.delivered, inter.delivered / 10.0);
+}
+
+TEST(Network, ReceiverContentionSerializes) {
+  // Two senders to the same destination: the second delivery waits for the
+  // receiver NIC to drain the first.
+  Network net(fast_ethernet(), mpich_122(), 3);
+  const Bytes bytes = 1.25e6;
+  const Seconds ser = bytes / fast_ethernet().link_bandwidth;
+  const TransferTimes a = net.plan_transfer(0.0, 0, 2, bytes);
+  const TransferTimes b = net.plan_transfer(0.0, 1, 2, bytes);
+  EXPECT_NEAR(a.sender_done, ser, 1e-9);
+  EXPECT_NEAR(b.sender_done, ser, 1e-9);  // distinct sender NICs: parallel
+  EXPECT_GT(b.delivered, a.delivered + 0.9 * ser);  // rx serialization
+}
+
+TEST(Network, SenderContentionSerializes) {
+  Network net(fast_ethernet(), mpich_122(), 3);
+  const Bytes bytes = 1.25e6;
+  const Seconds ser = bytes / fast_ethernet().link_bandwidth;
+  const TransferTimes a = net.plan_transfer(0.0, 0, 1, bytes);
+  const TransferTimes b = net.plan_transfer(0.0, 0, 2, bytes);
+  EXPECT_NEAR(a.sender_done, ser, 1e-9);
+  EXPECT_NEAR(b.sender_done, 2.0 * ser, 1e-9);  // shares the tx NIC
+}
+
+TEST(Network, SeparatePairsDoNotInterfere) {
+  Network net(fast_ethernet(), mpich_122(), 4);
+  const Bytes bytes = 1.25e6;
+  const TransferTimes a = net.plan_transfer(0.0, 0, 1, bytes);
+  const TransferTimes b = net.plan_transfer(0.0, 2, 3, bytes);
+  EXPECT_NEAR(a.delivered, b.delivered, 1e-12);
+}
+
+TEST(Network, InterNodeByteAccounting) {
+  Network net(fast_ethernet(), mpich_122(), 2);
+  net.plan_transfer(0.0, 0, 1, 1000.0);
+  net.plan_transfer(0.0, 0, 0, 5000.0);  // intra-node: not counted
+  EXPECT_DOUBLE_EQ(net.inter_node_bytes(), 1000.0);
+}
+
+TEST(Network, BadNodeIndexThrows) {
+  Network net(fast_ethernet(), mpich_122(), 2);
+  EXPECT_THROW(net.plan_transfer(0.0, 0, 5, 10.0), Error);
+}
+
+TEST(Network, RequiresAtLeastOneNode) {
+  EXPECT_THROW(Network(fast_ethernet(), mpich_122(), 0), Error);
+}
+
+}  // namespace
+}  // namespace hetsched::cluster

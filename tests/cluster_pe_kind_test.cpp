@@ -1,0 +1,94 @@
+#include "cluster/pe_kind.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace hetsched::cluster {
+namespace {
+
+TEST(PeKind, TinyWorkingSetRunsBelowPeak) {
+  const PeKind k = athlon_1330();
+  const double tiny = k.effective_rate(1.0, 1.0, 768 * kMiB);
+  EXPECT_NEAR(tiny, k.peak_flops * (1.0 - k.ramp_deficit),
+              k.peak_flops * 0.01);
+}
+
+TEST(PeKind, HugeWorkingSetApproachesPeak) {
+  const PeKind k = athlon_1330();
+  const double big = k.effective_rate(4 * kGiB, 500 * kMiB, 768 * kMiB);
+  EXPECT_GT(big, k.peak_flops * 0.99);
+  EXPECT_LE(big, k.peak_flops);
+}
+
+TEST(PeKind, RateMonotonicallyIncreasesWithWorkingSet) {
+  const PeKind k = pentium2_400();
+  double prev = k.effective_rate(0.0, 0.0, 768 * kMiB);
+  for (Bytes ws = kMiB; ws <= 512 * kMiB; ws *= 2) {
+    const double r = k.effective_rate(ws, ws, 768 * kMiB);
+    EXPECT_GT(r, prev) << "ws = " << ws;
+    prev = r;
+  }
+}
+
+TEST(PeKind, PagingCliffWhenFootprintExceedsMemory) {
+  const PeKind k = athlon_1330();
+  const Bytes mem = 768 * kMiB;
+  const double in_core = k.effective_rate(100 * kMiB, mem * 0.99, mem);
+  const double paged = k.effective_rate(100 * kMiB, mem * 1.01, mem);
+  EXPECT_GT(in_core / paged, 10.0);  // a cliff, not a slope
+  EXPECT_NEAR(paged, k.peak_flops / k.paged_slowdown, 1e-6);
+}
+
+TEST(PeKind, HalfwayPointHasHalfTheDeficit) {
+  PeKind k = athlon_1330();
+  const double at_halfway =
+      k.effective_rate(k.ramp_halfway, k.ramp_halfway, 768 * kMiB);
+  EXPECT_NEAR(at_halfway, k.peak_flops * (1.0 - k.ramp_deficit / 2.0),
+              k.peak_flops * 1e-9);
+}
+
+TEST(PeKind, RateIsNotPolynomialInProblemSize) {
+  // The NS-model failure mechanism: the per-flop cost at small N exceeds
+  // the large-N cost measurably, and the transition is hyperbolic. Check
+  // the rate ratio between 400^2- and 6400^2-double working sets.
+  const PeKind k = pentium2_400();
+  const Bytes ws_small = 400.0 * 400.0 * kDoubleBytes;
+  const Bytes ws_large = 6400.0 * 6400.0 * kDoubleBytes;
+  const double r_small = k.effective_rate(ws_small, ws_small, 768 * kMiB);
+  const double r_large = k.effective_rate(ws_large, ws_large, 768 * kMiB);
+  EXPECT_GT(r_large / r_small, 1.15);
+}
+
+TEST(PeKind, MultiprocessingEfficiencyDecreasing) {
+  const PeKind k = athlon_1330();
+  EXPECT_DOUBLE_EQ(k.multiprocessing_efficiency(1), 1.0);
+  double prev = 1.0;
+  for (int m = 2; m <= 6; ++m) {
+    const double e = k.multiprocessing_efficiency(m);
+    EXPECT_LT(e, prev);
+    EXPECT_GT(e, 0.5);  // Fig 1(b): modest loss even at 4P/CPU
+    prev = e;
+  }
+}
+
+TEST(PeKind, MultiprocessingEfficiencyRejectsZero) {
+  EXPECT_THROW(athlon_1330().multiprocessing_efficiency(0), Error);
+}
+
+TEST(PeKind, AthlonRoughlyFourToFiveTimesPentium) {
+  // §4.1: "an Athlon 1.33 GHz is about 4 times faster"; Fig 3 suggests ~5x.
+  const double ratio = athlon_1330().peak_flops / pentium2_400().peak_flops;
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 5.5);
+}
+
+TEST(PeKind, InvalidSizesRejected) {
+  const PeKind k = athlon_1330();
+  EXPECT_THROW(k.effective_rate(-1.0, 0.0, 768 * kMiB), Error);
+  EXPECT_THROW(k.effective_rate(0.0, 0.0, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace hetsched::cluster

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "cluster/machine.hpp"
+#include "cluster/spec.hpp"
+#include "des/sim.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::cluster {
+namespace {
+
+TEST(Validate, PaperClusterIsValid) {
+  EXPECT_NO_THROW(validate(paper_cluster()));
+  EXPECT_NO_THROW(validate(paper_cluster(mpich_121(), gigabit_ethernet())));
+}
+
+TEST(Validate, EmptyClusterRejected) {
+  EXPECT_THROW(validate(ClusterSpec{}), Error);
+}
+
+TEST(Validate, BadKindFieldsRejected) {
+  auto broken = [](auto mutate) {
+    ClusterSpec spec = paper_cluster();
+    mutate(spec);
+    return spec;
+  };
+  EXPECT_THROW(
+      validate(broken([](ClusterSpec& s) { s.nodes[0].kind.name = ""; })),
+      Error);
+  EXPECT_THROW(validate(broken(
+                   [](ClusterSpec& s) { s.nodes[0].kind.name = "has space"; })),
+               Error);
+  EXPECT_THROW(validate(broken(
+                   [](ClusterSpec& s) { s.nodes[0].kind.peak_flops = 0; })),
+               Error);
+  EXPECT_THROW(validate(broken(
+                   [](ClusterSpec& s) { s.nodes[0].kind.ramp_deficit = 1.0; })),
+               Error);
+  EXPECT_THROW(validate(broken(
+                   [](ClusterSpec& s) { s.nodes[0].kind.paged_slowdown = 0.5; })),
+               Error);
+  EXPECT_THROW(
+      validate(broken([](ClusterSpec& s) { s.nodes[1].memory = 0; })), Error);
+  EXPECT_THROW(
+      validate(broken([](ClusterSpec& s) { s.nodes[1].cpus = 0; })), Error);
+}
+
+TEST(Validate, BadGlobalFieldsRejected) {
+  ClusterSpec spec = paper_cluster();
+  spec.noise_sigma = -0.1;
+  EXPECT_THROW(validate(spec), Error);
+  spec = paper_cluster();
+  spec.fabric.link_bandwidth = 0;
+  EXPECT_THROW(validate(spec), Error);
+  spec = paper_cluster();
+  spec.sched_quantum = -1e-3;
+  EXPECT_THROW(validate(spec), Error);
+}
+
+TEST(Validate, MachineConstructionValidates) {
+  des::Simulator sim;
+  ClusterSpec spec = paper_cluster();
+  spec.nodes[0].kind.peak_flops = -1;
+  EXPECT_THROW(Machine(sim, spec), Error);
+}
+
+}  // namespace
+}  // namespace hetsched::cluster

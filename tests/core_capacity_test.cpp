@@ -1,0 +1,80 @@
+#include "core/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/model_builder.hpp"
+#include "measure/plan.hpp"
+#include "measure/runner.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::core {
+namespace {
+
+const Estimator& fitted() {
+  static const Estimator est = [] {
+    measure::Runner runner(cluster::paper_cluster());
+    return ModelBuilder(cluster::paper_cluster())
+        .build(runner.run_plan(measure::nl_plan()));
+  }();
+  return est;
+}
+
+TEST(Capacity, BestTimeMonotoneInN) {
+  const ConfigSpace space = ConfigSpace::paper_eval();
+  double prev = 0;
+  for (const int n : {1600, 3200, 4800, 6400, 8000, 9600}) {
+    const double t = best_time_at(fitted(), space, n);
+    EXPECT_GT(t, prev) << "N = " << n;
+    prev = t;
+  }
+}
+
+TEST(Capacity, LargestNRespectsBudget) {
+  const ConfigSpace space = ConfigSpace::paper_eval();
+  for (const double budget : {10.0, 60.0, 200.0}) {
+    const CapacityResult res =
+        largest_n_within(fitted(), space, budget, 400, 12000);
+    ASSERT_TRUE(res.feasible) << "budget " << budget;
+    EXPECT_LE(best_time_at(fitted(), space, res.n), budget);
+    // One step further must exceed the budget (res.n is maximal).
+    if (res.n < 12000) {
+      EXPECT_GT(best_time_at(fitted(), space, res.n + 1), budget);
+    }
+  }
+}
+
+TEST(Capacity, BiggerBudgetBiggerProblem) {
+  const ConfigSpace space = ConfigSpace::paper_eval();
+  const CapacityResult small =
+      largest_n_within(fitted(), space, 30.0, 400, 12000);
+  const CapacityResult large =
+      largest_n_within(fitted(), space, 300.0, 400, 12000);
+  EXPECT_GT(large.n, small.n);
+}
+
+TEST(Capacity, InfeasibleBudgetReported) {
+  // Query inside the NL fitting range (N >= 1600): below it the models
+  // extrapolate toward zero and any budget looks "feasible".
+  const ConfigSpace space = ConfigSpace::paper_eval();
+  const CapacityResult res =
+      largest_n_within(fitted(), space, 1e-6, 1600, 12000);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.n, 1600);
+}
+
+TEST(Capacity, WholeRangeFeasible) {
+  const ConfigSpace space = ConfigSpace::paper_eval();
+  const CapacityResult res =
+      largest_n_within(fitted(), space, 1e9, 400, 6400);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.n, 6400);
+}
+
+TEST(Capacity, InvalidArgumentsRejected) {
+  const ConfigSpace space = ConfigSpace::paper_eval();
+  EXPECT_THROW(largest_n_within(fitted(), space, 0.0), Error);
+  EXPECT_THROW(largest_n_within(fitted(), space, 10.0, 5000, 400), Error);
+}
+
+}  // namespace
+}  // namespace hetsched::core

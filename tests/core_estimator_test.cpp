@@ -1,0 +1,167 @@
+#include "core/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/pe_kind.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::core {
+namespace {
+
+const std::string kAth = cluster::athlon_1330().name;
+const std::string kP2 = cluster::pentium2_400().name;
+
+NtModel nt_with_level(double tai_level, double tci_level) {
+  return NtModel({0, 0, 0, tai_level}, {0, 0, tci_level});
+}
+
+// A P-T model built from a synthetic exactly-consistent family with
+// tai = A(N)/P, tci = c9*Q*C(N).
+PtModel simple_pt(double tai1000_at_p1, double tci1000_per_q) {
+  std::vector<NtModel> models;
+  std::vector<int> ps;
+  for (const int p : {2, 4, 8}) {
+    models.push_back(NtModel({0, 0, 0, tai1000_at_p1 / p},
+                             {0, 0, tci1000_per_q * p}));
+    ps.push_back(p);
+  }
+  const std::vector<double> ns{1000};
+  return PtModel::fit(models, ps, ps, ns);
+}
+
+Estimator make_estimator(EstimatorOptions opts = {}) {
+  Estimator est(cluster::paper_cluster(), opts);
+  // Single-PE N-T bins for the Athlon at m = 1..2.
+  est.add_nt(NtKey{kAth, 1, 1}, nt_with_level(100.0, 1.0));
+  est.add_nt(NtKey{kAth, 1, 2}, nt_with_level(110.0, 2.0));
+  // An exact-match N-T bin for a 4-PE Pentium-II group.
+  est.add_nt(NtKey{kP2, 4, 1}, nt_with_level(120.0, 8.0));
+  // P-T models.
+  est.add_pt(kAth, 1, simple_pt(400.0, 0.5));
+  est.add_pt(kAth, 2, simple_pt(420.0, 0.5));
+  est.add_pt(kP2, 1, simple_pt(2000.0, 0.5));
+  return est;
+}
+
+TEST(Estimator, SinglePeUsesNtBin) {
+  const Estimator est = make_estimator();
+  const auto bd = est.breakdown(cluster::Config::paper(1, 1, 0, 0), 1000);
+  EXPECT_TRUE(bd.single_pe_bin);
+  EXPECT_NEAR(bd.total, 101.0, 1e-9);
+}
+
+TEST(Estimator, ExactMatchHomogeneousGroupUsesItsNtModel) {
+  const Estimator est = make_estimator();
+  const auto bd = est.breakdown(cluster::Config::paper(0, 0, 4, 1), 1000);
+  EXPECT_TRUE(bd.single_pe_bin);
+  EXPECT_NEAR(bd.total, 128.0, 1e-9);
+}
+
+TEST(Estimator, MixedConfigTakesMaxOverKinds) {
+  const Estimator est = make_estimator();
+  const cluster::Config cfg = cluster::Config::paper(1, 1, 8, 1);
+  const auto bd = est.breakdown(cfg, 1000);
+  EXPECT_FALSE(bd.single_pe_bin);
+  ASSERT_EQ(bd.kinds.size(), 2u);
+  double max_kind = 0;
+  for (const auto& k : bd.kinds) max_kind = std::max(max_kind, k.tai + k.tci);
+  EXPECT_NEAR(bd.total, max_kind, 1e-9);
+}
+
+TEST(Estimator, CommUsesProcessorCountWhenEnabled) {
+  EstimatorOptions on;
+  on.comm_uses_processors = true;
+  EstimatorOptions off = on;
+  off.comm_uses_processors = false;
+  // (1 Athlon x 2) + 8 P2: P = 10 processes on Q = 9 processors.
+  const cluster::Config cfg = cluster::Config::paper(1, 2, 8, 1);
+  const auto with_q = make_estimator(on).breakdown(cfg, 1000);
+  const auto with_p = make_estimator(off).breakdown(cfg, 1000);
+  // tci ~ Q vs ~ P: the P variant must be strictly larger for every kind.
+  for (std::size_t i = 0; i < with_q.kinds.size(); ++i)
+    EXPECT_LT(with_q.kinds[i].tci, with_p.kinds[i].tci);
+}
+
+TEST(Estimator, BinningOffForcesPtPath) {
+  EstimatorOptions opts;
+  opts.use_binning = false;
+  const Estimator est = make_estimator(opts);
+  const auto bd = est.breakdown(cluster::Config::paper(1, 1, 0, 0), 1000);
+  EXPECT_FALSE(bd.single_pe_bin);
+}
+
+TEST(Estimator, AdjustmentAppliesToMatchingClassOnly) {
+  Estimator est = make_estimator();
+  est.add_adjustment(kAth, 2, LinearMap{0.5, 0.0});
+  const cluster::Config adjusted = cluster::Config::paper(1, 2, 8, 1);
+  const cluster::Config untouched = cluster::Config::paper(1, 1, 8, 1);
+  EXPECT_TRUE(est.breakdown(adjusted, 1000).adjusted);
+  EXPECT_FALSE(est.breakdown(untouched, 1000).adjusted);
+
+  Estimator raw = make_estimator();
+  EXPECT_NEAR(est.estimate(adjusted, 1000), 0.5 * raw.estimate(adjusted, 1000),
+              1e-9);
+}
+
+TEST(Estimator, AdjustmentNeverAppliedToNtBin) {
+  Estimator est = make_estimator();
+  est.add_adjustment(kAth, 2, LinearMap{0.5, 0.0});
+  const auto bd = est.breakdown(cluster::Config::paper(1, 2, 0, 0), 1000);
+  EXPECT_TRUE(bd.single_pe_bin);
+  EXPECT_FALSE(bd.adjusted);
+}
+
+TEST(Estimator, AdjustmentCanBeDisabled) {
+  EstimatorOptions opts;
+  opts.use_adjustment = false;
+  Estimator est = make_estimator(opts);
+  est.add_adjustment(kAth, 2, LinearMap{0.5, 0.0});
+  EXPECT_FALSE(est.breakdown(cluster::Config::paper(1, 2, 8, 1), 1000).adjusted);
+}
+
+TEST(Estimator, MemoryBinFlagsPagedConfigs) {
+  const Estimator est = make_estimator();
+  // N = 10000 on the lone Athlon: ~800 MB matrix on a 768 MB node.
+  const auto bd = est.breakdown(cluster::Config::paper(1, 1, 0, 0), 10000);
+  EXPECT_TRUE(bd.paged);
+  // The same problem spread over the whole cluster fits.
+  const auto ok = est.breakdown(cluster::Config::paper(1, 1, 8, 1), 10000);
+  EXPECT_FALSE(ok.paged);
+}
+
+TEST(Estimator, PagedPenaltyMultiplies) {
+  EstimatorOptions with;
+  EstimatorOptions without = with;
+  without.check_memory = false;
+  const auto penalized =
+      make_estimator(with).estimate(cluster::Config::paper(1, 1, 0, 0), 10000);
+  const auto raw = make_estimator(without).estimate(
+      cluster::Config::paper(1, 1, 0, 0), 10000);
+  EXPECT_NEAR(penalized, raw * with.paged_penalty, raw * 1e-9);
+}
+
+TEST(Estimator, CoverageChecks) {
+  const Estimator est = make_estimator();
+  EXPECT_TRUE(est.covers(cluster::Config::paper(1, 2, 8, 1)));
+  EXPECT_TRUE(est.covers(cluster::Config::paper(1, 1, 0, 0)));
+  // No Athlon m = 5 N-T or P-T model registered.
+  EXPECT_FALSE(est.covers(cluster::Config::paper(1, 5, 0, 0)));
+  EXPECT_FALSE(est.covers(cluster::Config::paper(1, 5, 8, 1)));
+  EXPECT_FALSE(est.covers(cluster::Config{}));
+}
+
+TEST(Estimator, UncoveredConfigThrows) {
+  const Estimator est = make_estimator();
+  EXPECT_THROW(est.estimate(cluster::Config::paper(1, 5, 8, 1), 1000), Error);
+}
+
+TEST(Estimator, InvalidArgumentsRejected) {
+  const Estimator est = make_estimator();
+  EXPECT_THROW(est.estimate(cluster::Config::paper(1, 1, 0, 0), 0), Error);
+  EXPECT_THROW(est.estimate(cluster::Config{}, 1000), Error);
+}
+
+}  // namespace
+}  // namespace hetsched::core

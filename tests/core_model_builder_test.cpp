@@ -1,0 +1,171 @@
+// Unit tests for ModelBuilder on synthetic MeasurementSets (the
+// integration tests cover the simulator-driven path).
+#include "core/model_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/pe_kind.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::core {
+namespace {
+
+const std::string kAth = cluster::athlon_1330().name;
+const std::string kP2 = cluster::pentium2_400().name;
+
+// Ground truth used to synthesize measurements: compute scales like
+// work/(rate * P), communication like Q * c.
+struct Truth {
+  double ath_rate = 1.0e9;
+  double p2_rate = 0.22e9;
+  double comm_per_q = 0.002;  // seconds per Q per (N/1000)^2
+
+  double work(double n) const { return 2.0 / 3.0 * n * n * n; }
+
+  Sample make(const cluster::Config& cfg, int n) const {
+    Sample s;
+    s.config = cfg;
+    s.n = n;
+    const double p = cfg.total_procs();
+    const double q = cfg.total_pes();
+    double slowest = 0;
+    for (const auto& u : cfg.usage) {
+      if (u.pes == 0) continue;
+      const double rate = u.kind == kAth ? ath_rate : p2_rate;
+      const double tai = work(n) * u.procs_per_pe / (p * rate);
+      const double tci =
+          q > 1 ? comm_per_q * q * (n / 1000.0) * (n / 1000.0) : 1e-4;
+      s.kinds.push_back(Sample::KindMeasure{u.kind, tai, tci});
+      slowest = std::max(slowest, tai + tci);
+    }
+    s.wall = slowest;
+    return s;
+  }
+};
+
+MeasurementSet synthetic_set(const Truth& truth,
+                             const std::vector<int>& p2_counts,
+                             const std::vector<int>& ns) {
+  MeasurementSet ms;
+  for (const int m : {1, 2, 3}) {
+    for (const int n : ns)
+      ms.add(truth.make(cluster::Config::paper(1, m, 0, 0), n));
+    for (const int pes : p2_counts)
+      for (const int n : ns)
+        ms.add(truth.make(cluster::Config::paper(0, 0, pes, m), n));
+  }
+  // Anchors for the adjustment (heterogeneous, M1 >= 3).
+  for (const int n : {ns[ns.size() - 2], ns.back()})
+    ms.add(truth.make(cluster::Config::paper(1, 3, 8, 1), n));
+  return ms;
+}
+
+TEST(ModelBuilder, BuildsNtPtAndCompositions) {
+  const Truth truth;
+  const MeasurementSet ms =
+      synthetic_set(truth, {1, 2, 3, 4, 5, 6, 7, 8},
+                    {400, 800, 1600, 3200, 6400});
+  ModelBuilder builder(cluster::paper_cluster());
+  const Estimator est = builder.build(ms);
+
+  // Single-PE N-T bins exist for both kinds.
+  EXPECT_NE(est.nt(NtKey{kAth, 1, 2}), nullptr);
+  EXPECT_NE(est.nt(NtKey{kP2, 1, 3}), nullptr);
+  // P-II has fitted P-T models; the Athlon got composed ones.
+  EXPECT_NE(est.pt(kP2, 1), nullptr);
+  EXPECT_NE(est.pt(kAth, 2), nullptr);
+  ASSERT_FALSE(builder.compositions().empty());
+  for (const auto& c : builder.compositions()) {
+    EXPECT_EQ(c.kind, kAth);
+    EXPECT_EQ(c.reference_kind, kP2);
+    // Rate ratio ~0.22, exact by construction of the synthetic data.
+    EXPECT_NEAR(c.compute_scale, truth.p2_rate / truth.ath_rate, 0.02);
+  }
+}
+
+TEST(ModelBuilder, NtPredictionsMatchSyntheticTruth) {
+  const Truth truth;
+  const MeasurementSet ms =
+      synthetic_set(truth, {1, 2, 4, 8}, {400, 800, 1600, 3200, 6400});
+  const Estimator est = ModelBuilder(cluster::paper_cluster()).build(ms);
+  const NtModel* m = est.nt(NtKey{kAth, 1, 1});
+  ASSERT_NE(m, nullptr);
+  for (const int n : {800, 3200, 6400})
+    EXPECT_NEAR(m->tai(n), truth.work(n) / truth.ath_rate,
+                truth.work(n) / truth.ath_rate * 1e-6);
+}
+
+TEST(ModelBuilder, GroupsWithTooFewSizesAreSkipped) {
+  const Truth truth;
+  MeasurementSet ms;
+  // Only 3 sizes: below the 4-coefficient N-T minimum.
+  for (const int n : {400, 800, 1600})
+    ms.add(truth.make(cluster::Config::paper(1, 1, 0, 0), n));
+  // One valid group so build() succeeds overall.
+  for (const int n : {400, 800, 1600, 3200})
+    ms.add(truth.make(cluster::Config::paper(1, 2, 0, 0), n));
+  const Estimator est = ModelBuilder(cluster::paper_cluster()).build(ms);
+  EXPECT_EQ(est.nt(NtKey{kAth, 1, 1}), nullptr);
+  EXPECT_NE(est.nt(NtKey{kAth, 1, 2}), nullptr);
+}
+
+TEST(ModelBuilder, NoPtWithoutEnoughPeCounts) {
+  const Truth truth;
+  MeasurementSet ms;
+  for (const int m : {1}) {
+    for (const int pes : {1}) {  // a single PE count: no P-T possible
+      for (const int n : {400, 800, 1600, 3200})
+        ms.add(truth.make(cluster::Config::paper(0, 0, pes, m), n));
+    }
+  }
+  const Estimator est = ModelBuilder(cluster::paper_cluster()).build(ms);
+  EXPECT_EQ(est.pt(kP2, 1), nullptr);
+  EXPECT_NE(est.nt(NtKey{kP2, 1, 1}), nullptr);
+}
+
+TEST(ModelBuilder, EmptyMeasurementsRejected) {
+  EXPECT_THROW(ModelBuilder(cluster::paper_cluster()).build(MeasurementSet{}),
+               Error);
+}
+
+TEST(ModelBuilder, AdjustmentsOnlyForAnchoredClasses) {
+  const Truth truth;
+  const MeasurementSet ms =
+      synthetic_set(truth, {1, 2, 4, 8}, {400, 800, 1600, 3200, 6400});
+  ModelBuilder builder(cluster::paper_cluster());
+  const Estimator est = builder.build(ms);
+  // Anchors exist only for (Athlon, m = 3).
+  for (const auto& adj : builder.adjustments()) {
+    EXPECT_EQ(adj.kind, kAth);
+    EXPECT_EQ(adj.m, 3);
+    EXPECT_GT(adj.map.a, 0.0);
+  }
+}
+
+TEST(ModelBuilder, AdjustMinMConfigurable) {
+  const Truth truth;
+  MeasurementSet ms =
+      synthetic_set(truth, {1, 2, 4, 8}, {400, 800, 1600, 3200, 6400});
+  // Add an m = 2 anchor.
+  ms.add(truth.make(cluster::Config::paper(1, 2, 8, 1), 3200));
+  ms.add(truth.make(cluster::Config::paper(1, 2, 8, 1), 6400));
+
+  BuilderOptions strict;
+  strict.adjust_min_m = 3;
+  ModelBuilder b1(cluster::paper_cluster(), strict);
+  b1.build(ms);
+  for (const auto& adj : b1.adjustments()) EXPECT_GE(adj.m, 3);
+
+  BuilderOptions loose;
+  loose.adjust_min_m = 2;
+  ModelBuilder b2(cluster::paper_cluster(), loose);
+  b2.build(ms);
+  bool has_m2 = false;
+  for (const auto& adj : b2.adjustments()) has_m2 = has_m2 || adj.m == 2;
+  EXPECT_TRUE(has_m2);
+}
+
+}  // namespace
+}  // namespace hetsched::core

@@ -1,0 +1,104 @@
+#include "core/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/model_builder.hpp"
+#include "core/optimizer.hpp"
+#include "measure/plan.hpp"
+#include "measure/runner.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::core {
+namespace {
+
+Estimator fitted_estimator(const cluster::ClusterSpec& spec) {
+  measure::Runner runner(spec);
+  return ModelBuilder(spec).build(runner.run_plan(measure::ns_plan()));
+}
+
+TEST(ModelIo, RoundTripPreservesEveryPrediction) {
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  const Estimator original = fitted_estimator(spec);
+  const Estimator loaded =
+      estimator_from_string(spec, estimator_to_string(original));
+
+  const ConfigSpace space = ConfigSpace::paper_eval();
+  for (const auto& cfg : space.all()) {
+    ASSERT_EQ(original.covers(cfg), loaded.covers(cfg)) << cfg.to_string();
+    if (!original.covers(cfg)) continue;
+    for (const int n : {800, 1600, 4800, 9600})
+      EXPECT_DOUBLE_EQ(original.estimate(cfg, n), loaded.estimate(cfg, n))
+          << cfg.to_string() << " N=" << n;
+  }
+}
+
+TEST(ModelIo, RoundTripPreservesModelInventory) {
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  const Estimator original = fitted_estimator(spec);
+  const Estimator loaded =
+      estimator_from_string(spec, estimator_to_string(original));
+  EXPECT_EQ(original.nt_entries().size(), loaded.nt_entries().size());
+  EXPECT_EQ(original.pt_entries().size(), loaded.pt_entries().size());
+  EXPECT_EQ(original.adjust_entries().size(),
+            loaded.adjust_entries().size());
+  EXPECT_EQ(original.options().nb, loaded.options().nb);
+  EXPECT_EQ(original.options().comm_uses_processors,
+            loaded.options().comm_uses_processors);
+}
+
+TEST(ModelIo, FingerprintDetectsClusterMismatch) {
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  const std::string text = estimator_to_string(fitted_estimator(spec));
+
+  cluster::ClusterSpec other = spec;
+  other.nodes[0].kind.peak_flops *= 1.5;  // a different Athlon
+  EXPECT_THROW(estimator_from_string(other, text), Error);
+
+  cluster::ClusterSpec gigabit =
+      cluster::paper_cluster(cluster::mpich_122(), cluster::gigabit_ethernet());
+  EXPECT_THROW(estimator_from_string(gigabit, text), Error);
+}
+
+TEST(ModelIo, FingerprintStableForEqualSpecs) {
+  EXPECT_EQ(cluster_fingerprint(cluster::paper_cluster()),
+            cluster_fingerprint(cluster::paper_cluster()));
+  EXPECT_NE(cluster_fingerprint(cluster::paper_cluster()),
+            cluster_fingerprint(cluster::paper_cluster(
+                cluster::mpich_121())));
+}
+
+TEST(ModelIo, RejectsGarbage) {
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  EXPECT_THROW(estimator_from_string(spec, ""), Error);
+  EXPECT_THROW(estimator_from_string(spec, "not a model file"), Error);
+  EXPECT_THROW(estimator_from_string(spec, "hetsched-models v99\n"), Error);
+}
+
+TEST(ModelIo, RejectsTruncation) {
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  std::string text = estimator_to_string(fitted_estimator(spec));
+  // Drop the trailing "end\n".
+  text.resize(text.rfind("end"));
+  EXPECT_THROW(estimator_from_string(spec, text), Error);
+}
+
+TEST(ModelIo, RejectsUnknownRecord) {
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  std::string text = estimator_to_string(fitted_estimator(spec));
+  text.insert(text.rfind("end"), "mystery 1 2 3\n");
+  EXPECT_THROW(estimator_from_string(spec, text), Error);
+}
+
+TEST(ModelIo, DescribeListsInventory) {
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  const Estimator est = fitted_estimator(spec);
+  const std::string d = est.describe();
+  EXPECT_NE(d.find("N-T models"), std::string::npos);
+  EXPECT_NE(d.find("P-T models"), std::string::npos);
+  EXPECT_NE(d.find(cluster::athlon_1330().name), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched::core

@@ -1,0 +1,90 @@
+#include "core/nt_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hetsched::core {
+namespace {
+
+NtModel known_model() {
+  return NtModel({2.0e-10, 3.0e-7, 1.0e-4, 0.02}, {5.0e-8, 2.0e-5, 0.3});
+}
+
+TEST(NtModel, EvaluatesPolynomials) {
+  const NtModel m = known_model();
+  const double n = 1000.0;
+  EXPECT_NEAR(m.tai(n), 2.0e-10 * 1e9 + 3.0e-7 * 1e6 + 1.0e-4 * 1e3 + 0.02,
+              1e-12);
+  EXPECT_NEAR(m.tci(n), 5.0e-8 * 1e6 + 2.0e-5 * 1e3 + 0.3, 1e-12);
+  EXPECT_NEAR(m.total(n), m.tai(n) + m.tci(n), 1e-15);
+}
+
+TEST(NtModel, FitRecoversExactCoefficients) {
+  const NtModel truth = known_model();
+  std::vector<NtModel::Point> pts;
+  for (const double n : {400.0, 800.0, 1600.0, 3200.0, 6400.0})
+    pts.push_back({n, truth.tai(n), truth.tci(n)});
+  const NtModel fitted = NtModel::fit(pts);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NEAR(fitted.compute_coeffs()[static_cast<std::size_t>(i)],
+                truth.compute_coeffs()[static_cast<std::size_t>(i)],
+                std::abs(truth.compute_coeffs()[static_cast<std::size_t>(i)]) *
+                        1e-6 +
+                    1e-15);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_NEAR(fitted.comm_coeffs()[static_cast<std::size_t>(i)],
+                truth.comm_coeffs()[static_cast<std::size_t>(i)],
+                std::abs(truth.comm_coeffs()[static_cast<std::size_t>(i)]) *
+                        1e-6 +
+                    1e-15);
+  EXPECT_NEAR(fitted.tai_r2(), 1.0, 1e-9);
+  EXPECT_NEAR(fitted.tci_r2(), 1.0, 1e-9);
+}
+
+TEST(NtModel, MinimumFourSizesEnforced) {
+  std::vector<NtModel::Point> pts{{400, 1, 1}, {800, 2, 1}, {1600, 3, 1}};
+  EXPECT_THROW(NtModel::fit(pts), Error);
+}
+
+TEST(NtModel, ExactlyFourSizesInterpolates) {
+  // The paper's NS setting: four sizes, four Tai coefficients — zero
+  // degrees of freedom, so the fit passes through every point.
+  const NtModel truth = known_model();
+  std::vector<NtModel::Point> pts;
+  for (const double n : {400.0, 800.0, 1200.0, 1600.0})
+    pts.push_back({n, truth.tai(n) * 1.01, truth.tci(n)});
+  const NtModel fitted = NtModel::fit(pts);
+  for (const auto& p : pts) EXPECT_NEAR(fitted.tai(p.n), p.tai, p.tai * 1e-9);
+}
+
+TEST(NtModel, NonPositiveSizeRejected) {
+  std::vector<NtModel::Point> pts{{0, 1, 1}, {800, 2, 1}, {1600, 3, 1},
+                                  {3200, 4, 1}};
+  EXPECT_THROW(NtModel::fit(pts), Error);
+}
+
+TEST(NtModel, NoisyFitPredictionsStayTight) {
+  const NtModel truth = known_model();
+  Rng rng(77);
+  std::vector<NtModel::Point> pts;
+  for (double n = 400; n <= 6400; n += 400)
+    pts.push_back({n, truth.tai(n) * rng.lognormal_factor(0.01),
+                   truth.tci(n) * rng.lognormal_factor(0.01)});
+  const NtModel fitted = NtModel::fit(pts);
+  for (const double n : {1000.0, 3000.0, 5000.0})
+    EXPECT_NEAR(fitted.tai(n), truth.tai(n), truth.tai(n) * 0.05);
+}
+
+TEST(NtKey, EqualityAndProcs) {
+  const NtKey a{"kind", 4, 2};
+  EXPECT_EQ(a.total_procs(), 8);
+  EXPECT_EQ(a, (NtKey{"kind", 4, 2}));
+  EXPECT_FALSE(a == (NtKey{"kind", 4, 3}));
+}
+
+}  // namespace
+}  // namespace hetsched::core

@@ -1,0 +1,149 @@
+#include "core/pt_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hetsched::core {
+namespace {
+
+// Builds a family of N-T models that follows the P-T law exactly:
+//   tai(N)|P = k7 * A(N)/P + k8,  tci(N)|Q = k9*Q*C(N) + k10*C(N)/Q + k11
+// with A(N) = p_base * base_tai(N) and C(N) = base_tci(N).
+struct SyntheticFamily {
+  std::vector<NtModel> models;
+  std::vector<int> ps;
+  std::vector<int> qs;
+  std::vector<double> ns{400, 800, 1600, 3200, 6400};
+};
+
+SyntheticFamily make_family(double k7, double k8, double k9, double k10,
+                            double k11) {
+  const NtModel base({1.0e-9, 1.0e-6, 1.0e-3, 0.1}, {2.0e-7, 1.0e-4, 0.5});
+  SyntheticFamily fam;
+  const int p_base = 2;
+  for (const int q : {2, 4, 6, 8}) {
+    const int p = q;  // m = 1 family: processes == processors
+    // Solve for per-P polynomial coefficients so the family is consistent:
+    // tai_P(n) = k7 * p_base * base.tai(n) / p + k8.
+    std::array<double, 4> ka{};
+    for (int i = 0; i < 4; ++i)
+      ka[static_cast<std::size_t>(i)] =
+          k7 * p_base * base.compute_coeffs()[static_cast<std::size_t>(i)] / p;
+    ka[3] += k8;
+    std::array<double, 3> kc{};
+    for (int i = 0; i < 3; ++i)
+      kc[static_cast<std::size_t>(i)] =
+          (k9 * q + k10 / q) * base.comm_coeffs()[static_cast<std::size_t>(i)];
+    kc[2] += k11;
+    fam.models.emplace_back(ka, kc);
+    fam.ps.push_back(p);
+    fam.qs.push_back(q);
+  }
+  return fam;
+}
+
+TEST(PtModel, FitRecoversConsistentFamily) {
+  // When the family exactly satisfies the P-T law, predictions must match
+  // every member at every size. (Zero offsets k8/k11: with the base curve
+  // taken from a family member, non-zero offsets make the family
+  // representable only approximately — covered by the noisy tests.)
+  SyntheticFamily fam = make_family(1.3, 0.0, 0.02, 0.4, 0.0);
+  const PtModel pt = PtModel::fit(fam.models, fam.ps, fam.qs, fam.ns);
+  for (std::size_t i = 0; i < fam.models.size(); ++i) {
+    for (const double n : fam.ns) {
+      EXPECT_NEAR(pt.tai(n, fam.ps[i]), fam.models[i].tai(n),
+                  std::abs(fam.models[i].tai(n)) * 1e-8 + 1e-9);
+      EXPECT_NEAR(pt.tci(n, fam.qs[i]), fam.models[i].tci(n),
+                  std::abs(fam.models[i].tci(n)) * 1e-8 + 1e-9);
+    }
+  }
+}
+
+TEST(PtModel, InterpolatesBetweenMeasuredP) {
+  SyntheticFamily fam = make_family(1.0, 0.0, 0.05, 0.0, 0.0);
+  const PtModel pt = PtModel::fit(fam.models, fam.ps, fam.qs, fam.ns);
+  // P = 5 was never measured; the law still holds by construction.
+  const double n = 3200;
+  const NtModel base = fam.models[0];  // p = q = 2 member
+  const double expect_tai = 2.0 * base.tai(n) / 5.0;
+  EXPECT_NEAR(pt.tai(n, 5), expect_tai, expect_tai * 1e-8);
+}
+
+TEST(PtModel, TaiDecreasesWithP) {
+  SyntheticFamily fam = make_family(1.1, 0.5, 0.02, 0.1, 0.3);
+  const PtModel pt = PtModel::fit(fam.models, fam.ps, fam.qs, fam.ns);
+  double prev = pt.tai(3200, 2);
+  for (int p = 3; p <= 12; ++p) {
+    const double cur = pt.tai(3200, p);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(PtModel, TciGrowsWithQAtLargeQ) {
+  SyntheticFamily fam = make_family(1.0, 0.0, 0.05, 0.5, 0.1);
+  const PtModel pt = PtModel::fit(fam.models, fam.ps, fam.qs, fam.ns);
+  EXPECT_GT(pt.tci(3200, 12), pt.tci(3200, 6));
+}
+
+TEST(PtModel, RequiresTwoDistinctP) {
+  SyntheticFamily fam = make_family(1.0, 0.0, 0.05, 0.0, 0.0);
+  const std::vector<NtModel> one{fam.models[0]};
+  const std::vector<int> ps{2};
+  EXPECT_THROW(PtModel::fit(one, ps, ps, fam.ns), Error);
+}
+
+TEST(PtModel, TwoDistinctQUsesDegradedCommForm) {
+  SyntheticFamily fam = make_family(1.0, 0.0, 0.05, 0.0, 0.0);
+  // Only members 1 and 3 (q = 4, 8) anchor the comm fit.
+  const std::vector<bool> mask{false, true, false, true};
+  const PtModel pt = PtModel::fit(fam.models, fam.ps, fam.qs, fam.ns, mask);
+  // k10 term dropped; with the synthetic k10 = 0 family the fit is exact.
+  EXPECT_DOUBLE_EQ(pt.comm_coeffs()[1], 0.0);
+  EXPECT_NEAR(pt.tci(3200, 8), fam.models[3].tci(3200),
+              std::abs(fam.models[3].tci(3200)) * 1e-8);
+}
+
+TEST(PtModel, EmptyNGridRejected) {
+  SyntheticFamily fam = make_family(1.0, 0.0, 0.05, 0.0, 0.0);
+  EXPECT_THROW(PtModel::fit(fam.models, fam.ps, fam.qs, {}), Error);
+}
+
+TEST(PtModel, ComposedScalesBothParts) {
+  SyntheticFamily fam = make_family(1.0, 0.0, 0.05, 0.2, 0.1);
+  const PtModel pt = PtModel::fit(fam.models, fam.ps, fam.qs, fam.ns);
+  const PtModel scaled = pt.composed(0.27, 0.85);
+  EXPECT_NEAR(scaled.tai(3200, 6), 0.27 * pt.tai(3200, 6), 1e-9);
+  EXPECT_NEAR(scaled.tci(3200, 6), 0.85 * pt.tci(3200, 6), 1e-9);
+}
+
+TEST(PtModel, ComposedRejectsNonPositiveScales) {
+  SyntheticFamily fam = make_family(1.0, 0.0, 0.05, 0.2, 0.1);
+  const PtModel pt = PtModel::fit(fam.models, fam.ps, fam.qs, fam.ns);
+  EXPECT_THROW(pt.composed(0.0, 1.0), Error);
+  EXPECT_THROW(pt.composed(1.0, -2.0), Error);
+}
+
+TEST(PtModel, HybridMixesComputeAndCommSources) {
+  SyntheticFamily f1 = make_family(1.0, 0.0, 0.05, 0.2, 0.1);
+  SyntheticFamily f2 = make_family(2.0, 1.0, 0.50, 0.0, 0.4);
+  const PtModel a = PtModel::fit(f1.models, f1.ps, f1.qs, f1.ns);
+  const PtModel b = PtModel::fit(f2.models, f2.ps, f2.qs, f2.ns);
+  const PtModel h = PtModel::hybrid(a, 0.5, b, 2.0);
+  EXPECT_NEAR(h.tai(3200, 6), 0.5 * a.tai(3200, 6), 1e-9);
+  EXPECT_NEAR(h.tci(3200, 6), 2.0 * b.tci(3200, 6), 1e-9);
+}
+
+TEST(PtModel, InvalidPRejected) {
+  SyntheticFamily fam = make_family(1.0, 0.0, 0.05, 0.2, 0.1);
+  const PtModel pt = PtModel::fit(fam.models, fam.ps, fam.qs, fam.ns);
+  EXPECT_THROW(pt.tai(1000, 0.5), Error);
+  EXPECT_THROW(pt.tci(1000, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace hetsched::core

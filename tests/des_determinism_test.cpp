@@ -1,0 +1,96 @@
+// Determinism stress: a randomized task graph (delays, barriers, queues)
+// must replay bit-for-bit across runs — the property every measurement
+// in this repository relies on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "des/sim.hpp"
+#include "des/sync.hpp"
+#include "des/task.hpp"
+#include "support/rng.hpp"
+
+namespace hetsched::des {
+namespace {
+
+struct World {
+  Simulator sim;
+  std::unique_ptr<Barrier> barrier;
+  std::unique_ptr<Queue<int>> queue;
+  std::vector<double> finish_times;
+  std::vector<int> consumed;
+};
+
+Task actor(World& w, int id, std::vector<double> delays, int sends,
+           int recvs) {
+  for (std::size_t round = 0; round < delays.size(); ++round) {
+    co_await w.sim.delay(delays[round]);
+    co_await w.barrier->arrive();
+  }
+  for (int i = 0; i < sends; ++i) w.queue->push(id * 100 + i);
+  for (int i = 0; i < recvs; ++i) {
+    const int v = co_await w.queue->pop();
+    w.consumed.push_back(v);
+  }
+  w.finish_times[static_cast<std::size_t>(id)] = w.sim.now();
+}
+
+struct RunResult {
+  std::vector<double> finish_times;
+  std::vector<int> consumed;
+  std::uint64_t events;
+  bool operator==(const RunResult&) const = default;
+};
+
+RunResult run_world(std::uint64_t seed, int actors, int rounds) {
+  Rng rng(seed);
+  World w;
+  w.barrier = std::make_unique<Barrier>(w.sim, static_cast<std::size_t>(actors));
+  w.queue = std::make_unique<Queue<int>>(w.sim);
+  w.finish_times.assign(static_cast<std::size_t>(actors), -1.0);
+
+  // Balanced sends/receives so the world always drains.
+  std::vector<int> sends(static_cast<std::size_t>(actors));
+  int total = 0;
+  for (auto& s : sends) {
+    s = static_cast<int>(rng.uniform_index(4));
+    total += s;
+  }
+  std::vector<int> recvs(static_cast<std::size_t>(actors), 0);
+  for (int i = 0; i < total; ++i)
+    ++recvs[static_cast<std::size_t>(rng.uniform_index(
+        static_cast<std::uint64_t>(actors)))];
+
+  for (int a = 0; a < actors; ++a) {
+    std::vector<double> delays;
+    for (int r = 0; r < rounds; ++r) delays.push_back(rng.uniform(0.01, 2.0));
+    w.sim.spawn(actor(w, a, std::move(delays),
+                      sends[static_cast<std::size_t>(a)],
+                      recvs[static_cast<std::size_t>(a)]));
+  }
+  w.sim.run();
+  return RunResult{w.finish_times, w.consumed, w.sim.events_dispatched()};
+}
+
+class DeterminismStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismStress, IdenticalReplay) {
+  const RunResult a = run_world(GetParam(), 12, 6);
+  const RunResult b = run_world(GetParam(), 12, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.events, 0u);
+  for (const double t : a.finish_times) EXPECT_GE(t, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismStress,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 999999u));
+
+TEST(DeterminismStress, DifferentSeedsDifferentSchedules) {
+  const RunResult a = run_world(1, 12, 6);
+  const RunResult b = run_world(2, 12, 6);
+  EXPECT_NE(a.finish_times, b.finish_times);
+}
+
+}  // namespace
+}  // namespace hetsched::des

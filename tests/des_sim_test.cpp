@@ -1,0 +1,230 @@
+#include "des/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "des/task.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::des {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, CancelledEventDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelIsIdempotent) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(1.0, [] {});
+  h.cancel();
+  h.cancel();
+  sim.run();
+  SUCCEED();
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(5.0, [&] {
+    EXPECT_THROW(sim.schedule_at(1.0, [] {}), Error);
+  });
+  sim.run();
+}
+
+TEST(Simulator, NestedSchedulingAdvancesTime) {
+  Simulator sim;
+  double observed = -1.0;
+  sim.schedule_at(1.0, [&] {
+    sim.schedule_after(2.5, [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(observed, 3.5);
+}
+
+TEST(Simulator, RunUntilStopsAtBound) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  sim.schedule_at(10.0, [&] { ++count; });
+  sim.run_until(5.0);
+  EXPECT_EQ(count, 2);
+}
+
+Task simple_delayer(Simulator& sim, double dt, double& finished_at) {
+  co_await sim.delay(dt);
+  finished_at = sim.now();
+}
+
+TEST(Simulator, TaskDelayAdvancesTime) {
+  Simulator sim;
+  double finished = -1.0;
+  sim.spawn(simple_delayer(sim, 4.5, finished));
+  sim.run();
+  EXPECT_DOUBLE_EQ(finished, 4.5);
+  EXPECT_TRUE(sim.all_tasks_done());
+}
+
+Task chained_delays(Simulator& sim, std::vector<double>& times) {
+  co_await sim.delay(1.0);
+  times.push_back(sim.now());
+  co_await sim.delay(2.0);
+  times.push_back(sim.now());
+  co_await sim.delay(0.0);  // zero delay must not suspend incorrectly
+  times.push_back(sim.now());
+}
+
+TEST(Simulator, ChainedDelaysAccumulate) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.spawn(chained_delays(sim, times));
+  sim.run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+  EXPECT_DOUBLE_EQ(times[2], 3.0);
+}
+
+Task child_task(Simulator& sim, std::vector<std::string>& log) {
+  log.push_back("child-start");
+  co_await sim.delay(1.0);
+  log.push_back("child-end");
+}
+
+Task parent_task(Simulator& sim, std::vector<std::string>& log) {
+  log.push_back("parent-start");
+  co_await child_task(sim, log);  // nested call runs in simulated time
+  log.push_back("parent-end");
+}
+
+TEST(Simulator, NestedTaskRunsLikeSubroutine) {
+  Simulator sim;
+  std::vector<std::string> log;
+  sim.spawn(parent_task(sim, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"parent-start", "child-start",
+                                           "child-end", "parent-end"}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+Task failing_task(Simulator& sim) {
+  co_await sim.delay(1.0);
+  throw Error("boom");
+}
+
+TEST(Simulator, TaskExceptionSurfacesFromRun) {
+  Simulator sim;
+  sim.spawn(failing_task(sim));
+  EXPECT_THROW(sim.run(), Error);
+}
+
+Task nested_failing_parent(Simulator& sim, bool& reached) {
+  co_await failing_task(sim);
+  reached = true;  // must not run
+}
+
+TEST(Simulator, NestedTaskExceptionPropagatesToParent) {
+  Simulator sim;
+  bool reached = false;
+  sim.spawn(nested_failing_parent(sim, reached));
+  EXPECT_THROW(sim.run(), Error);
+  EXPECT_FALSE(reached);
+}
+
+TEST(Simulator, SpawnAtFutureTime) {
+  Simulator sim;
+  double finished = -1.0;
+  sim.spawn(simple_delayer(sim, 1.0, finished), /*at=*/10.0);
+  sim.run();
+  EXPECT_DOUBLE_EQ(finished, 11.0);
+}
+
+TEST(Simulator, DeterministicEventCount) {
+  auto run_once = [] {
+    Simulator sim;
+    double f1 = 0, f2 = 0;
+    sim.spawn(simple_delayer(sim, 1.0, f1));
+    sim.spawn(simple_delayer(sim, 2.0, f2));
+    sim.run();
+    return sim.events_dispatched();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Simulator, ManyTasksAllComplete) {
+  Simulator sim;
+  std::vector<double> finished(100, -1.0);
+  for (int i = 0; i < 100; ++i)
+    sim.spawn(simple_delayer(sim, 0.1 * (i + 1), finished[static_cast<size_t>(i)]));
+  sim.run();
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(finished[static_cast<size_t>(i)], 0.1 * (i + 1));
+}
+
+TEST(Simulator, NegativeDelayRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.delay(-1.0), Error);
+}
+
+TEST(Simulator, EventHandleNotPendingAfterFire) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(h.pending());
+  sim.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // cancelling a fired event is a harmless no-op
+}
+
+TEST(Simulator, RunUntilThenRunResumes) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(5.0, [&] { order.push_back(5); });
+  sim.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 5}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, DefaultEventHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+}  // namespace
+}  // namespace hetsched::des

@@ -1,0 +1,197 @@
+#include "des/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "des/sim.hpp"
+#include "des/task.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::des {
+namespace {
+
+Task wait_on_gate(Simulator& sim, Gate& gate, double& released_at) {
+  co_await gate.wait();
+  released_at = sim.now();
+}
+
+Task open_gate_at(Simulator& sim, Gate& gate, double t) {
+  co_await sim.delay(t);
+  gate.open();
+}
+
+TEST(Gate, ReleasesAllWaitersAtOpenTime) {
+  Simulator sim;
+  Gate gate(sim);
+  double r1 = -1, r2 = -1;
+  sim.spawn(wait_on_gate(sim, gate, r1));
+  sim.spawn(wait_on_gate(sim, gate, r2));
+  sim.spawn(open_gate_at(sim, gate, 5.0));
+  sim.run();
+  EXPECT_DOUBLE_EQ(r1, 5.0);
+  EXPECT_DOUBLE_EQ(r2, 5.0);
+}
+
+TEST(Gate, AlreadyOpenPassesThrough) {
+  Simulator sim;
+  Gate gate(sim);
+  gate.open();
+  double r = -1;
+  sim.spawn(wait_on_gate(sim, gate, r));
+  sim.run();
+  EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(Gate, DoubleOpenIsIdempotent) {
+  Simulator sim;
+  Gate gate(sim);
+  gate.open();
+  gate.open();
+  EXPECT_TRUE(gate.is_open());
+}
+
+TEST(Gate, UnopenedGateDeadlockDetected) {
+  Simulator sim;
+  Gate gate(sim);
+  double r = -1;
+  sim.spawn(wait_on_gate(sim, gate, r));
+  EXPECT_THROW(sim.run(), Error);
+}
+
+Task producer(Simulator& sim, Queue<int>& q, int count, double spacing) {
+  for (int i = 0; i < count; ++i) {
+    co_await sim.delay(spacing);
+    q.push(i);
+  }
+}
+
+Task consumer(Simulator& sim, Queue<int>& q, int count,
+              std::vector<std::pair<int, double>>& got) {
+  for (int i = 0; i < count; ++i) {
+    int v = co_await q.pop();
+    got.emplace_back(v, sim.now());
+  }
+}
+
+TEST(Queue, ValuesArriveInOrderAtPushTimes) {
+  Simulator sim;
+  Queue<int> q(sim);
+  std::vector<std::pair<int, double>> got;
+  sim.spawn(producer(sim, q, 3, 1.0));
+  sim.spawn(consumer(sim, q, 3, got));
+  sim.run();
+  ASSERT_EQ(got.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)].first, i);
+    EXPECT_DOUBLE_EQ(got[static_cast<size_t>(i)].second, 1.0 * (i + 1));
+  }
+}
+
+TEST(Queue, PreloadedValuesPopImmediately) {
+  Simulator sim;
+  Queue<std::string> q(sim);
+  q.push("a");
+  q.push("b");
+  EXPECT_EQ(q.size(), 2u);
+  std::vector<std::string> got;
+  auto t = [](Simulator&, Queue<std::string>& qq,
+              std::vector<std::string>& out) -> Task {
+    out.push_back(co_await qq.pop());
+    out.push_back(co_await qq.pop());
+  };
+  sim.spawn(t(sim, q, got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Queue, ConsumerBlocksUntilProducerPushes) {
+  Simulator sim;
+  Queue<int> q(sim);
+  std::vector<std::pair<int, double>> got;
+  sim.spawn(consumer(sim, q, 1, got));
+  sim.spawn(producer(sim, q, 1, 7.5));
+  sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].second, 7.5);
+}
+
+TEST(Queue, StarvedConsumerIsDeadlock) {
+  Simulator sim;
+  Queue<int> q(sim);
+  std::vector<std::pair<int, double>> got;
+  sim.spawn(consumer(sim, q, 2, got));
+  sim.spawn(producer(sim, q, 1, 1.0));  // only one value for two pops
+  EXPECT_THROW(sim.run(), Error);
+}
+
+Task barrier_party(Simulator& sim, Barrier& b, double arrive_delay,
+                   double& passed_at) {
+  co_await sim.delay(arrive_delay);
+  co_await b.arrive();
+  passed_at = sim.now();
+}
+
+TEST(Barrier, AllPartiesLeaveAtLastArrival) {
+  Simulator sim;
+  Barrier b(sim, 3);
+  double t1 = -1, t2 = -1, t3 = -1;
+  sim.spawn(barrier_party(sim, b, 1.0, t1));
+  sim.spawn(barrier_party(sim, b, 5.0, t2));
+  sim.spawn(barrier_party(sim, b, 3.0, t3));
+  sim.run();
+  EXPECT_DOUBLE_EQ(t1, 5.0);
+  EXPECT_DOUBLE_EQ(t2, 5.0);
+  EXPECT_DOUBLE_EQ(t3, 5.0);
+  EXPECT_EQ(b.generation(), 1u);
+}
+
+Task barrier_looper(Simulator& sim, Barrier& b, int rounds, double step,
+                    std::vector<double>& times) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await sim.delay(step);
+    co_await b.arrive();
+    times.push_back(sim.now());
+  }
+}
+
+TEST(Barrier, ReusableAcrossRounds) {
+  Simulator sim;
+  Barrier b(sim, 2);
+  std::vector<double> fast, slow;
+  sim.spawn(barrier_looper(sim, b, 3, 1.0, fast));
+  sim.spawn(barrier_looper(sim, b, 3, 2.0, slow));
+  sim.run();
+  ASSERT_EQ(fast.size(), 3u);
+  // Each round completes when the slow party arrives: t = 2, 4, 6.
+  EXPECT_DOUBLE_EQ(fast[0], 2.0);
+  EXPECT_DOUBLE_EQ(fast[1], 4.0);
+  EXPECT_DOUBLE_EQ(fast[2], 6.0);
+  EXPECT_EQ(b.generation(), 3u);
+}
+
+TEST(Barrier, SinglePartyPassesImmediately) {
+  Simulator sim;
+  Barrier b(sim, 1);
+  double t = -1;
+  sim.spawn(barrier_party(sim, b, 2.0, t));
+  sim.run();
+  EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(Barrier, ZeroPartiesRejected) {
+  Simulator sim;
+  EXPECT_THROW(Barrier(sim, 0), Error);
+}
+
+TEST(Barrier, MissingPartyIsDeadlock) {
+  Simulator sim;
+  Barrier b(sim, 2);
+  double t = -1;
+  sim.spawn(barrier_party(sim, b, 1.0, t));
+  EXPECT_THROW(sim.run(), Error);
+}
+
+}  // namespace
+}  // namespace hetsched::des

@@ -1,0 +1,131 @@
+// Generality beyond the paper's two-kind cluster: the pipeline on a
+// three-kind heterogeneous cluster (Athlon + Pentium-III + Pentium-II).
+// Exercises the generic Config/ConfigSpace machinery, per-kind model
+// families, and composition for *multiple* under-represented kinds.
+#include <gtest/gtest.h>
+
+#include "core/model_builder.hpp"
+#include "core/optimizer.hpp"
+#include "measure/evaluation.hpp"
+#include "measure/plan.hpp"
+#include "measure/runner.hpp"
+
+namespace hetsched {
+namespace {
+
+cluster::PeKind pentium3_550() {
+  cluster::PeKind k = cluster::pentium2_400();
+  k.name = "PentiumIII-550MHz";
+  k.peak_flops = 0.42e9;
+  k.ramp_halfway = 6 * kMiB;
+  return k;
+}
+
+/// One Athlon node, two dual Pentium-III nodes, three dual Pentium-II
+/// nodes: three kinds, 11 processors.
+cluster::ClusterSpec three_kind_cluster() {
+  cluster::ClusterSpec spec;
+  spec.nodes.push_back(
+      cluster::NodeSpec{cluster::athlon_1330(), 1, 768 * kMiB});
+  for (int i = 0; i < 2; ++i)
+    spec.nodes.push_back(cluster::NodeSpec{pentium3_550(), 2, 768 * kMiB});
+  for (int i = 0; i < 3; ++i)
+    spec.nodes.push_back(
+        cluster::NodeSpec{cluster::pentium2_400(), 2, 768 * kMiB});
+  return spec;
+}
+
+measure::MeasurementPlan three_kind_plan() {
+  measure::MeasurementPlan plan;
+  plan.name = "3kind";
+  plan.ns = {1600, 3200, 4800, 6400};
+  plan.sweeps.push_back(
+      measure::KindSweep{cluster::athlon_1330().name, {1}, {1, 2, 3, 4}});
+  plan.sweeps.push_back(
+      measure::KindSweep{pentium3_550().name, {1, 2, 4}, {1, 2, 3}});
+  plan.sweeps.push_back(
+      measure::KindSweep{cluster::pentium2_400().name, {1, 2, 4, 6}, {1, 2}});
+  plan.adjust_ns = {4800, 6400};
+  for (int m1 = 3; m1 <= 4; ++m1) {
+    cluster::Config cfg;
+    cfg.usage.push_back(
+        cluster::KindUsage{cluster::athlon_1330().name, 1, m1});
+    cfg.usage.push_back(cluster::KindUsage{pentium3_550().name, 4, 1});
+    cfg.usage.push_back(
+        cluster::KindUsage{cluster::pentium2_400().name, 6, 1});
+    plan.adjust_configs.push_back(std::move(cfg));
+  }
+  return plan;
+}
+
+core::ConfigSpace three_kind_space() {
+  core::ConfigSpace::KindOptions ath{cluster::athlon_1330().name, {{0, 0}}};
+  for (int m = 1; m <= 4; ++m) ath.choices.emplace_back(1, m);
+  core::ConfigSpace::KindOptions p3{pentium3_550().name, {{0, 0}}};
+  for (int pes = 1; pes <= 4; ++pes) p3.choices.emplace_back(pes, 1);
+  core::ConfigSpace::KindOptions p2{cluster::pentium2_400().name, {{0, 0}}};
+  for (int pes = 1; pes <= 6; ++pes) p2.choices.emplace_back(pes, 1);
+  return core::ConfigSpace({ath, p3, p2});
+}
+
+TEST(ThreeKinds, PlanAndSpaceShapes) {
+  const measure::MeasurementPlan plan = three_kind_plan();
+  EXPECT_EQ(plan.construction_configs().size(), 4u + 9u + 8u);
+  const core::ConfigSpace space = three_kind_space();
+  EXPECT_EQ(space.size(), 5u * 5u * 7u - 1u);
+}
+
+TEST(ThreeKinds, ModelsBuiltForAllKinds) {
+  const cluster::ClusterSpec spec = three_kind_cluster();
+  measure::Runner runner(spec);
+  core::ModelBuilder builder(spec);
+  const core::Estimator est = builder.build(runner.run_plan(three_kind_plan()));
+
+  // All three kinds have single-PE N-T models; the sweepable kinds have
+  // fitted P-T models and the lone Athlon's are composed.
+  EXPECT_NE(est.nt(core::NtKey{cluster::athlon_1330().name, 1, 2}), nullptr);
+  EXPECT_NE(est.nt(core::NtKey{pentium3_550().name, 1, 1}), nullptr);
+  EXPECT_NE(est.pt(pentium3_550().name, 2), nullptr);
+  EXPECT_NE(est.pt(cluster::pentium2_400().name, 1), nullptr);
+  EXPECT_NE(est.pt(cluster::athlon_1330().name, 3), nullptr);
+  bool athlon_composed = false;
+  for (const auto& c : builder.compositions())
+    athlon_composed =
+        athlon_composed || c.kind == cluster::athlon_1330().name;
+  EXPECT_TRUE(athlon_composed);
+}
+
+TEST(ThreeKinds, SelectionsNearOptimal) {
+  const cluster::ClusterSpec spec = three_kind_cluster();
+  measure::Runner runner(spec);
+  const core::Estimator est =
+      core::ModelBuilder(spec).build(runner.run_plan(three_kind_plan()));
+  const core::ConfigSpace space = three_kind_space();
+  // 174 candidates from a deliberately small sweep; mid-size selections
+  // are looser than on the paper cluster, large sizes stay tight.
+  const measure::EvalRow mid = measure::evaluate_at(est, runner, space, 3200);
+  EXPECT_LE(mid.selection_error(), 0.25);
+  const measure::EvalRow big = measure::evaluate_at(est, runner, space, 6400);
+  EXPECT_LE(big.selection_error(), 0.15);
+}
+
+TEST(ThreeKinds, MixedThreeKindConfigCovered) {
+  const cluster::ClusterSpec spec = three_kind_cluster();
+  measure::Runner runner(spec);
+  const core::Estimator est =
+      core::ModelBuilder(spec).build(runner.run_plan(three_kind_plan()));
+  cluster::Config cfg;
+  cfg.usage.push_back(cluster::KindUsage{cluster::athlon_1330().name, 1, 2});
+  cfg.usage.push_back(cluster::KindUsage{pentium3_550().name, 3, 1});
+  cfg.usage.push_back(cluster::KindUsage{cluster::pentium2_400().name, 5, 1});
+  ASSERT_TRUE(est.covers(cfg));
+  const auto bd = est.breakdown(cfg, 4800);
+  EXPECT_EQ(bd.kinds.size(), 3u);
+  const double measured = runner.measure(cfg, 4800).wall;
+  // Three-kind mixes never appear in the construction sweep, so this is a
+  // pure model-composition extrapolation — sane, not precise.
+  EXPECT_NEAR(bd.total, measured, 0.45 * measured);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,179 @@
+#include "hpl/grid2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/model_builder.hpp"
+#include "hpl/cost_engine.hpp"
+#include "hpl/cost_engine_2d.hpp"
+#include "measure/evaluation.hpp"
+#include "measure/plan.hpp"
+#include "measure/runner.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::hpl {
+namespace {
+
+TEST(Grid2D, CoordinateMappingRoundTrips) {
+  Grid2D g(1000, 50, 3, 4);
+  EXPECT_EQ(g.nprocs(), 12);
+  for (int r = 0; r < g.nprocs(); ++r)
+    EXPECT_EQ(g.rank_at(g.row_of(r), g.col_of(r)), r);
+  // Column-major: ranks 0..2 are process column 0.
+  EXPECT_EQ(g.col_of(2), 0);
+  EXPECT_EQ(g.col_of(3), 1);
+  EXPECT_EQ(g.row_of(3), 0);
+}
+
+TEST(Grid2D, OwnershipCyclic) {
+  Grid2D g(1000, 50, 3, 4);
+  for (int b = 0; b < g.num_blocks(); ++b) {
+    EXPECT_EQ(g.owner_row(b), b % 3);
+    EXPECT_EQ(g.owner_col(b), b % 4);
+  }
+}
+
+TEST(Grid2D, LocalCountsPartitionMatrix) {
+  Grid2D g(1003, 32, 3, 5);
+  int rows = 0, cols = 0;
+  for (int pr = 0; pr < 3; ++pr) rows += g.local_rows_from(pr, 0);
+  for (int pcol = 0; pcol < 5; ++pcol) cols += g.local_cols_from(pcol, 0);
+  EXPECT_EQ(rows, 1003);
+  EXPECT_EQ(cols, 1003);
+}
+
+TEST(Grid2D, InvalidParamsRejected) {
+  EXPECT_THROW(Grid2D(0, 32, 2, 2), Error);
+  EXPECT_THROW(Grid2D(100, 0, 2, 2), Error);
+  EXPECT_THROW(Grid2D(100, 32, 0, 2), Error);
+}
+
+TEST(AutoProcessRows, NearSquareFactorization) {
+  EXPECT_EQ(auto_process_rows(1), 1);
+  EXPECT_EQ(auto_process_rows(12), 3);
+  EXPECT_EQ(auto_process_rows(16), 4);
+  EXPECT_EQ(auto_process_rows(7), 1);   // prime: degenerate 1 x 7
+  EXPECT_EQ(auto_process_rows(36), 6);
+}
+
+cluster::ClusterSpec quiet_cluster() {
+  cluster::ClusterSpec spec = cluster::paper_cluster();
+  spec.noise_sigma = 0.0;
+  return spec;
+}
+
+TEST(CostEngine2D, DegeneratesToOneByP) {
+  // pr = 1 must closely reproduce the 1xP engine (same schedule modulo
+  // the back-substitution collective shape).
+  HplParams p1;
+  p1.n = 2400;
+  Hpl2dParams p2;
+  p2.n = 2400;
+  p2.pr = 1;
+  const cluster::Config cfg = cluster::Config::paper(0, 0, 6, 1);
+  const double t1 = run_cost(quiet_cluster(), cfg, p1).makespan;
+  const double t2 = run_cost_2d(quiet_cluster(), cfg, p2).makespan;
+  EXPECT_NEAR(t2, t1, 0.10 * t1);
+}
+
+TEST(CostEngine2D, PhaseAccountingHolds) {
+  Hpl2dParams params;
+  params.n = 1600;
+  params.pr = 2;
+  const HplResult res =
+      run_cost_2d(quiet_cluster(), cluster::Config::paper(0, 0, 8, 1), params);
+  ASSERT_EQ(res.ranks.size(), 8u);
+  for (const auto& rt : res.ranks) {
+    const double sum = rt.pfact + rt.mxswp + rt.laswp + rt.update_core +
+                       rt.bcast + rt.uptrsv;
+    EXPECT_NEAR(sum, rt.wall, rt.wall * 1e-9 + 1e-12);
+    EXPECT_GT(rt.wall, 0.0);
+  }
+}
+
+TEST(CostEngine2D, MxswpAndLaswpBecomeRealCommunication) {
+  // The paper's 1xP grid makes mxswp O(1) bookkeeping and laswp local
+  // copying; on a 2-D grid both must show up as per-rank time.
+  Hpl2dParams p2d;
+  p2d.n = 2400;
+  p2d.pr = 2;
+  const HplResult two_d = run_cost_2d(
+      quiet_cluster(), cluster::Config::paper(0, 0, 8, 1), p2d);
+  HplParams p1d;
+  p1d.n = 2400;
+  const HplResult one_d =
+      run_cost(quiet_cluster(), cluster::Config::paper(0, 0, 8, 1), p1d);
+  double mx2 = 0, mx1 = 0;
+  for (const auto& rt : two_d.ranks) mx2 = std::max(mx2, rt.mxswp);
+  for (const auto& rt : one_d.ranks) mx1 = std::max(mx1, rt.mxswp);
+  EXPECT_GT(mx2, 5.0 * mx1);
+}
+
+TEST(CostEngine2D, AutoGridMatchesExplicit) {
+  Hpl2dParams auto_p;
+  auto_p.n = 1600;
+  Hpl2dParams explicit_p = auto_p;
+  explicit_p.pr = 2;  // 8 procs -> auto picks 2 x 4
+  const cluster::Config cfg = cluster::Config::paper(0, 0, 8, 1);
+  EXPECT_DOUBLE_EQ(run_cost_2d(quiet_cluster(), cfg, auto_p).makespan,
+                   run_cost_2d(quiet_cluster(), cfg, explicit_p).makespan);
+}
+
+TEST(CostEngine2D, InvalidPrRejected) {
+  Hpl2dParams params;
+  params.n = 800;
+  params.pr = 3;  // does not divide 8
+  EXPECT_THROW(run_cost_2d(quiet_cluster(),
+                           cluster::Config::paper(0, 0, 8, 1), params),
+               Error);
+}
+
+TEST(CostEngine2D, TwoDReducesBroadcastPressureAtScale) {
+  // The 2-D grid's point: panel broadcasts travel rings of length Pc
+  // instead of P. With many PEs and a comm-heavy size, bcast time per
+  // rank must drop versus 1-D.
+  HplParams p1;
+  p1.n = 1600;
+  Hpl2dParams p2;
+  p2.n = 1600;
+  p2.pr = 2;
+  const cluster::Config cfg = cluster::Config::paper(0, 0, 8, 1);
+  const HplResult one_d = run_cost(quiet_cluster(), cfg, p1);
+  const HplResult two_d = run_cost_2d(quiet_cluster(), cfg, p2);
+  double b1 = 0, b2 = 0;
+  for (const auto& rt : one_d.ranks) b1 += rt.bcast;
+  for (const auto& rt : two_d.ranks) b2 += rt.bcast;
+  EXPECT_LT(b2, b1);
+}
+
+TEST(CostEngine2D, EstimationPipelineWorksOnTwoDWorkload) {
+  // The estimation layer is grid-agnostic: plug the 2-D engine in as the
+  // measured workload and the paper's pipeline still selects well.
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  measure::WorkloadFn workload = [](const cluster::ClusterSpec& sp,
+                                    const cluster::Config& cfg, int n,
+                                    std::uint64_t salt) {
+    Hpl2dParams params;
+    params.n = n;
+    params.seed_salt = salt;
+    const HplResult res = run_cost_2d(sp, cfg, params);
+    core::Sample s;
+    s.config = cfg;
+    s.n = n;
+    s.wall = res.makespan;
+    s.measured_cost = res.makespan;
+    for (const auto& kt : res.by_kind(sp))
+      s.kinds.push_back(core::Sample::KindMeasure{kt.kind, kt.tai, kt.tci});
+    return s;
+  };
+  measure::Runner runner(spec, std::move(workload));
+  const core::Estimator est =
+      core::ModelBuilder(spec).build(runner.run_plan(measure::nl_plan()));
+  const core::ConfigSpace space = core::ConfigSpace::paper_eval();
+  for (const int n : {4800, 8000}) {
+    const measure::EvalRow row = measure::evaluate_at(est, runner, space, n);
+    EXPECT_LE(row.selection_error(), 0.15) << "N = " << n;
+  }
+}
+
+}  // namespace
+}  // namespace hetsched::hpl

@@ -1,0 +1,106 @@
+#include "hpl/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace hetsched::hpl {
+namespace {
+
+TEST(Grid, BlockCountCeiling) {
+  EXPECT_EQ(Grid1xP(100, 10, 2).num_blocks(), 10);
+  EXPECT_EQ(Grid1xP(101, 10, 2).num_blocks(), 11);
+  EXPECT_EQ(Grid1xP(9, 10, 2).num_blocks(), 1);
+}
+
+TEST(Grid, OwnershipIsCyclic) {
+  Grid1xP g(1000, 50, 3);
+  for (int k = 0; k < g.num_blocks(); ++k) EXPECT_EQ(g.owner(k), k % 3);
+}
+
+TEST(Grid, LastBlockWidthIsRemainder) {
+  Grid1xP g(105, 10, 2);
+  for (int k = 0; k < 10; ++k) EXPECT_EQ(g.block_width(k), 10);
+  EXPECT_EQ(g.block_width(10), 5);
+}
+
+TEST(Grid, BlockStartAndPanelRows) {
+  Grid1xP g(100, 25, 4);
+  EXPECT_EQ(g.block_start(2), 50);
+  EXPECT_EQ(g.panel_rows(0), 100);
+  EXPECT_EQ(g.panel_rows(3), 25);
+}
+
+TEST(Grid, OwnerOfColumn) {
+  Grid1xP g(100, 10, 3);
+  EXPECT_EQ(g.owner_of_col(0), 0);
+  EXPECT_EQ(g.owner_of_col(9), 0);
+  EXPECT_EQ(g.owner_of_col(10), 1);
+  EXPECT_EQ(g.owner_of_col(35), 0);  // block 3 -> rank 0
+}
+
+TEST(Grid, LocalColumnsPartitionN) {
+  for (int p = 1; p <= 7; ++p) {
+    Grid1xP g(103, 8, p);
+    int total = 0;
+    for (int r = 0; r < p; ++r) total += g.local_cols(r);
+    EXPECT_EQ(total, 103) << "p = " << p;
+  }
+}
+
+TEST(Grid, LocalColsFromCountsTrailingOnly) {
+  Grid1xP g(60, 10, 2);  // blocks 0..5, ranks alternate
+  // Rank 0 owns blocks 0, 2, 4; from block 3 it owns block 4 only.
+  EXPECT_EQ(g.local_cols_from(0, 3), 10);
+  EXPECT_EQ(g.local_cols_from(1, 3), 20);  // blocks 3 and 5
+  EXPECT_EQ(g.local_cols_from(0, 6), 0);
+}
+
+TEST(Grid, SingleProcessOwnsEverything) {
+  Grid1xP g(500, 32, 1);
+  EXPECT_EQ(g.local_cols(0), 500);
+  for (int k = 0; k < g.num_blocks(); ++k) EXPECT_EQ(g.owner(k), 0);
+}
+
+TEST(Grid, InvalidParametersThrow) {
+  EXPECT_THROW(Grid1xP(0, 10, 1), Error);
+  EXPECT_THROW(Grid1xP(10, 0, 1), Error);
+  EXPECT_THROW(Grid1xP(10, 10, 0), Error);
+  Grid1xP g(10, 5, 2);
+  EXPECT_THROW(g.local_cols_from(5, 0), Error);
+}
+
+TEST(Grid, LuFlopsFormula) {
+  EXPECT_NEAR(lu_flops(1000), 2.0 / 3.0 * 1e9 + 1.5e6, 1.0);
+  EXPECT_GT(lu_flops(2000) / lu_flops(1000), 7.5);  // ~cubic
+}
+
+// Property sweep: block widths sum to N for many (N, NB, P).
+struct GridCase {
+  int n, nb, p;
+};
+class GridPartition : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(GridPartition, WidthsSumToN) {
+  const auto [n, nb, p] = GetParam();
+  Grid1xP g(n, nb, p);
+  int total = 0;
+  for (int k = 0; k < g.num_blocks(); ++k) {
+    EXPECT_GE(g.block_width(k), 1);
+    EXPECT_LE(g.block_width(k), nb);
+    total += g.block_width(k);
+  }
+  EXPECT_EQ(total, n);
+  // panel_rows decreases by exactly the block width.
+  for (int k = 1; k < g.num_blocks(); ++k)
+    EXPECT_EQ(g.panel_rows(k - 1) - g.panel_rows(k), g.block_width(k - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GridPartition,
+    ::testing::Values(GridCase{64, 8, 1}, GridCase{65, 8, 2},
+                      GridCase{400, 64, 9}, GridCase{9600, 64, 12},
+                      GridCase{1, 64, 3}, GridCase{127, 32, 5}));
+
+}  // namespace
+}  // namespace hetsched::hpl

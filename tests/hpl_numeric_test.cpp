@@ -1,0 +1,176 @@
+#include "hpl/numeric_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hpl/grid.hpp"
+#include "linalg/lu.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hetsched::hpl {
+namespace {
+
+linalg::Matrix random_system(int n, Rng& rng, std::vector<double>& b) {
+  linalg::Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      a(i, j) = rng.uniform(-1.0, 1.0);
+  b.resize(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  return a;
+}
+
+cluster::ClusterSpec quiet_cluster() {
+  cluster::ClusterSpec spec = cluster::paper_cluster();
+  spec.noise_sigma = 0.0;
+  return spec;
+}
+
+TEST(Numeric, SingleProcessMatchesReference) {
+  Rng rng(1);
+  std::vector<double> b;
+  const linalg::Matrix a = random_system(64, rng, b);
+  HplParams params;
+  params.n = 64;
+  params.nb = 8;
+  const NumericResult res =
+      run_numeric(quiet_cluster(), cluster::Config::paper(1, 1, 0, 0), params,
+                  a, b);
+  const std::vector<double> ref = linalg::solve(a, b);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_NEAR(res.x[i], ref[i], 1e-9) << "i = " << i;
+}
+
+TEST(Numeric, DistributedResidualIsBackwardStable) {
+  Rng rng(2);
+  std::vector<double> b;
+  const linalg::Matrix a = random_system(96, rng, b);
+  HplParams params;
+  params.n = 96;
+  params.nb = 16;
+  const NumericResult res =
+      run_numeric(quiet_cluster(), cluster::Config::paper(1, 1, 4, 1), params,
+                  a, b);
+  EXPECT_LT(linalg::scaled_residual(a, res.x, b), 16.0);
+}
+
+TEST(Numeric, MultiprocessingConfigStillCorrect) {
+  Rng rng(3);
+  std::vector<double> b;
+  const linalg::Matrix a = random_system(80, rng, b);
+  HplParams params;
+  params.n = 80;
+  params.nb = 10;
+  // 3 processes multiprogrammed on the single Athlon + 2 Pentiums.
+  const NumericResult res =
+      run_numeric(quiet_cluster(), cluster::Config::paper(1, 3, 2, 1), params,
+                  a, b);
+  EXPECT_LT(linalg::scaled_residual(a, res.x, b), 16.0);
+}
+
+TEST(Numeric, BinomialBroadcastGivesSameSolution) {
+  Rng rng(4);
+  std::vector<double> b;
+  const linalg::Matrix a = random_system(60, rng, b);
+  HplParams ring, binom;
+  ring.n = binom.n = 60;
+  ring.nb = binom.nb = 12;
+  ring.bcast_algo = mpisim::BcastAlgo::kRing;
+  binom.bcast_algo = mpisim::BcastAlgo::kBinomial;
+  const cluster::Config cfg = cluster::Config::paper(1, 1, 3, 1);
+  const NumericResult r1 = run_numeric(quiet_cluster(), cfg, ring, a, b);
+  const NumericResult r2 = run_numeric(quiet_cluster(), cfg, binom, a, b);
+  for (std::size_t i = 0; i < r1.x.size(); ++i)
+    EXPECT_DOUBLE_EQ(r1.x[i], r2.x[i]);
+}
+
+TEST(Numeric, BlockWidthDoesNotChangeSolution) {
+  Rng rng(5);
+  std::vector<double> b;
+  const linalg::Matrix a = random_system(72, rng, b);
+  const cluster::Config cfg = cluster::Config::paper(1, 2, 2, 1);
+  std::vector<double> first;
+  for (int nb : {4, 8, 12, 24, 72}) {
+    HplParams params;
+    params.n = 72;
+    params.nb = nb;
+    const NumericResult res = run_numeric(quiet_cluster(), cfg, params, a, b);
+    EXPECT_LT(linalg::scaled_residual(a, res.x, b), 16.0) << "nb = " << nb;
+    if (first.empty()) {
+      first = res.x;
+    } else {
+      for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_NEAR(res.x[i], first[i], 1e-8) << "nb = " << nb;
+    }
+  }
+}
+
+TEST(Numeric, UnevenLastBlockHandled) {
+  Rng rng(6);
+  std::vector<double> b;
+  const linalg::Matrix a = random_system(70, rng, b);  // 70 = 4*16 + 6
+  HplParams params;
+  params.n = 70;
+  params.nb = 16;
+  const NumericResult res =
+      run_numeric(quiet_cluster(), cluster::Config::paper(1, 1, 2, 1), params,
+                  a, b);
+  EXPECT_LT(linalg::scaled_residual(a, res.x, b), 16.0);
+}
+
+TEST(Numeric, TimingPopulated) {
+  Rng rng(7);
+  std::vector<double> b;
+  const linalg::Matrix a = random_system(64, rng, b);
+  HplParams params;
+  params.n = 64;
+  params.nb = 8;
+  const NumericResult res =
+      run_numeric(quiet_cluster(), cluster::Config::paper(1, 1, 2, 1), params,
+                  a, b);
+  EXPECT_GT(res.timing.makespan, 0.0);
+  for (const auto& rt : res.timing.ranks) {
+    EXPECT_GT(rt.wall, 0.0);
+    EXPECT_GT(rt.update_core, 0.0);
+    EXPECT_GT(rt.bcast, 0.0);
+    EXPECT_LE(rt.tai() + rt.tci(), rt.wall * 1.000001);
+  }
+}
+
+TEST(Numeric, InputValidation) {
+  Rng rng(8);
+  std::vector<double> b;
+  const linalg::Matrix a = random_system(16, rng, b);
+  HplParams params;
+  params.n = 17;  // mismatch
+  EXPECT_THROW(run_numeric(quiet_cluster(),
+                           cluster::Config::paper(1, 1, 0, 0), params, a, b),
+               Error);
+}
+
+// Property sweep over process counts: distributed result equals reference.
+class NumericByP : public ::testing::TestWithParam<int> {};
+
+TEST_P(NumericByP, MatchesSequentialSolve) {
+  const int p2 = GetParam();
+  Rng rng(100 + p2);
+  std::vector<double> b;
+  const int n = 48;
+  const linalg::Matrix a = random_system(n, rng, b);
+  HplParams params;
+  params.n = n;
+  params.nb = 6;
+  const NumericResult res = run_numeric(
+      quiet_cluster(), cluster::Config::paper(0, 0, p2, 1), params, a, b);
+  const std::vector<double> ref = linalg::solve(a, b);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_NEAR(res.x[i], ref[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, NumericByP,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace hetsched::hpl

@@ -1,0 +1,193 @@
+// Property-style sweeps over the HPL cost engine: accounting invariants,
+// algorithm options, fabric effects, and cost/numeric engine consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpl/cost_engine.hpp"
+#include "hpl/grid.hpp"
+#include "hpl/numeric_engine.hpp"
+#include "linalg/matrix.hpp"
+#include "support/rng.hpp"
+
+namespace hetsched::hpl {
+namespace {
+
+cluster::ClusterSpec quiet_cluster(
+    cluster::FabricParams fabric = cluster::fast_ethernet()) {
+  cluster::ClusterSpec spec =
+      cluster::paper_cluster(cluster::mpich_122(), std::move(fabric));
+  spec.noise_sigma = 0.0;
+  return spec;
+}
+
+struct SweepCase {
+  int p1, m1, p2, m2, n;
+};
+
+class TimingInvariants : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(TimingInvariants, PhaseSumsBoundedByWall) {
+  const auto [p1, m1, p2, m2, n] = GetParam();
+  HplParams params;
+  params.n = n;
+  const HplResult res =
+      run_cost(quiet_cluster(), cluster::Config::paper(p1, m1, p2, m2),
+               params);
+  for (const auto& rt : res.ranks) {
+    // All phase buckets are non-negative and their sum is the wall time
+    // (each instant of a rank's life is attributed to exactly one phase).
+    EXPECT_GE(rt.pfact, 0.0);
+    EXPECT_GE(rt.mxswp, 0.0);
+    EXPECT_GE(rt.laswp, 0.0);
+    EXPECT_GE(rt.update_core, 0.0);
+    EXPECT_GE(rt.bcast, 0.0);
+    EXPECT_GE(rt.uptrsv, 0.0);
+    const double sum = rt.pfact + rt.mxswp + rt.laswp + rt.update_core +
+                       rt.bcast + rt.uptrsv;
+    EXPECT_NEAR(sum, rt.wall, rt.wall * 1e-9 + 1e-12);
+    // The paper's decomposition covers the same span.
+    EXPECT_NEAR(rt.tai() + rt.tci(), rt.wall, rt.wall * 1e-9 + 1e-12);
+  }
+  // Makespan is the slowest rank.
+  double max_wall = 0;
+  for (const auto& rt : res.ranks) max_wall = std::max(max_wall, rt.wall);
+  EXPECT_DOUBLE_EQ(res.makespan, max_wall);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TimingInvariants,
+    ::testing::Values(SweepCase{1, 1, 0, 0, 1600}, SweepCase{0, 0, 8, 1, 1600},
+                      SweepCase{1, 4, 8, 1, 1600}, SweepCase{1, 2, 3, 2, 2400},
+                      SweepCase{0, 0, 4, 6, 1600},
+                      SweepCase{1, 6, 8, 1, 3200}));
+
+TEST(HplProperties, RanksFinishTogether) {
+  // Synchronization couples the ranks: no rank can lag the makespan by
+  // more than the tail of the pipeline.
+  HplParams params;
+  params.n = 3200;
+  const HplResult res = run_cost(
+      quiet_cluster(), cluster::Config::paper(1, 3, 8, 1), params);
+  for (const auto& rt : res.ranks)
+    EXPECT_GT(rt.wall, 0.9 * res.makespan);
+}
+
+TEST(HplProperties, RingBcastWinsForBandwidthBoundPanels) {
+  // HPL defaults to ring broadcasts for a reason: a binomial tree makes
+  // the root serialize log2(P) panel copies onto its NIC, while the ring
+  // pipelines one copy per link. For panel-sized messages the ring must
+  // win.
+  HplParams ring, binom;
+  ring.n = binom.n = 600;
+  ring.bcast_algo = mpisim::BcastAlgo::kRing;
+  binom.bcast_algo = mpisim::BcastAlgo::kBinomial;
+  const cluster::Config cfg = cluster::Config::paper(0, 0, 8, 1);
+  const double t_ring = run_cost(quiet_cluster(), cfg, ring).makespan;
+  const double t_binom = run_cost(quiet_cluster(), cfg, binom).makespan;
+  EXPECT_LT(t_ring, t_binom);
+}
+
+TEST(HplProperties, GigabitFabricSpeedsUpCommBoundRuns) {
+  HplParams params;
+  params.n = 2400;
+  const cluster::Config cfg = cluster::Config::paper(0, 0, 8, 1);
+  const double fast =
+      run_cost(quiet_cluster(cluster::fast_ethernet()), cfg, params).makespan;
+  const double giga =
+      run_cost(quiet_cluster(cluster::gigabit_ethernet()), cfg, params)
+          .makespan;
+  EXPECT_LT(giga, fast);
+}
+
+TEST(HplProperties, GigabitShiftsOptimumTowardMorePes) {
+  // On a faster fabric, adding PEs keeps paying at sizes where Fast
+  // Ethernet has already saturated.
+  HplParams params;
+  params.n = 1600;
+  const auto ratio = [&](cluster::FabricParams fabric) {
+    const double p4 = run_cost(quiet_cluster(fabric),
+                               cluster::Config::paper(0, 0, 4, 1), params)
+                          .makespan;
+    const double p8 = run_cost(quiet_cluster(fabric),
+                               cluster::Config::paper(0, 0, 8, 1), params)
+                          .makespan;
+    return p4 / p8;  // > 1 means 8 PEs still help
+  };
+  EXPECT_GT(ratio(cluster::gigabit_ethernet()),
+            ratio(cluster::fast_ethernet()));
+}
+
+TEST(HplProperties, BlockSizeMattersButModestly) {
+  HplParams params;
+  params.n = 3200;
+  const cluster::Config cfg = cluster::Config::paper(1, 2, 8, 1);
+  double min_t = 1e300, max_t = 0;
+  for (const int nb : {32, 64, 128}) {
+    params.nb = nb;
+    const double t = run_cost(quiet_cluster(), cfg, params).makespan;
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  EXPECT_LT(max_t / min_t, 1.5);
+}
+
+TEST(HplProperties, CostAndNumericEnginesAgreeOnTiming) {
+  // Same schedule, same charges: at sizes the numeric engine can afford,
+  // the two engines' makespans must agree closely.
+  cluster::ClusterSpec spec = quiet_cluster();
+  HplParams params;
+  params.n = 192;
+  params.nb = 16;
+  const cluster::Config cfg = cluster::Config::paper(1, 1, 3, 1);
+
+  const HplResult cost = run_cost(spec, cfg, params);
+
+  Rng rng(5);
+  linalg::Matrix a(192, 192);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.uniform(-1, 1);
+  std::vector<double> b(192);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const NumericResult numeric = run_numeric(spec, cfg, params, a, b);
+
+  EXPECT_NEAR(numeric.timing.makespan, cost.makespan, cost.makespan * 0.02);
+}
+
+TEST(HplProperties, NoiseStatisticsMatchConfiguredSigma) {
+  cluster::ClusterSpec spec = cluster::paper_cluster();
+  spec.noise_sigma = 0.02;
+  HplParams params;
+  params.n = 1600;
+  std::vector<double> walls;
+  for (std::uint64_t salt = 0; salt < 12; ++salt) {
+    params.seed_salt = salt;
+    walls.push_back(
+        run_cost(spec, cluster::Config::paper(1, 1, 0, 0), params).makespan);
+  }
+  double mean = 0;
+  for (const double w : walls) mean += w;
+  mean /= static_cast<double>(walls.size());
+  double dev = 0;
+  for (const double w : walls) dev += (w - mean) * (w - mean);
+  dev = std::sqrt(dev / static_cast<double>(walls.size() - 1));
+  // Phase noise averages down across ~25 panels; run-level sigma must be
+  // positive but well below the per-phase 2 %.
+  EXPECT_GT(dev / mean, 0.0005);
+  EXPECT_LT(dev / mean, 0.02);
+}
+
+TEST(HplProperties, MakespanMonotoneInProblemSize) {
+  HplParams params;
+  const cluster::Config cfg = cluster::Config::paper(1, 2, 8, 1);
+  double prev = 0;
+  for (const int n : {400, 800, 1600, 3200, 6400}) {
+    params.n = n;
+    const double t = run_cost(quiet_cluster(), cfg, params).makespan;
+    EXPECT_GT(t, prev) << "N = " << n;
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace hetsched::hpl

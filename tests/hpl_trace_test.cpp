@@ -1,0 +1,105 @@
+#include "hpl/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hpl/cost_engine.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::hpl {
+namespace {
+
+TEST(Trace, RecordsAndAggregates) {
+  Trace t;
+  t.add(0, Phase::kUpdate, 0.0, 2.0);
+  t.add(1, Phase::kBcast, 1.0, 1.5);
+  t.add(0, Phase::kUpdate, 3.0, 4.0);
+  EXPECT_EQ(t.intervals().size(), 3u);
+  EXPECT_DOUBLE_EQ(t.total(Phase::kUpdate), 3.0);
+  EXPECT_DOUBLE_EQ(t.total(Phase::kBcast), 0.5);
+  EXPECT_DOUBLE_EQ(t.total(Phase::kPfact), 0.0);
+  EXPECT_DOUBLE_EQ(t.span(), 4.0);
+}
+
+TEST(Trace, DropsZeroLengthIntervals) {
+  Trace t;
+  t.add(0, Phase::kLaswp, 1.0, 1.0);
+  EXPECT_TRUE(t.intervals().empty());
+}
+
+TEST(Trace, RejectsInvalidIntervals) {
+  Trace t;
+  EXPECT_THROW(t.add(-1, Phase::kUpdate, 0, 1), Error);
+  EXPECT_THROW(t.add(0, Phase::kUpdate, 2, 1), Error);
+}
+
+TEST(Trace, GanttShapeAndLegend) {
+  Trace t;
+  t.add(0, Phase::kUpdate, 0.0, 10.0);
+  t.add(1, Phase::kBcast, 0.0, 5.0);
+  t.add(1, Phase::kUpdate, 5.0, 10.0);
+  const std::string g = t.render_gantt(40);
+  // Two rank rows plus the axis/legend lines.
+  EXPECT_NE(g.find("rank 0"), std::string::npos);
+  EXPECT_NE(g.find("rank 1"), std::string::npos);
+  EXPECT_NE(g.find("u=update"), std::string::npos);
+  // Rank 0 must be solid 'u'; rank 1 half 'B' half 'u'.
+  const std::size_t r0 = g.find("rank 0");
+  const std::size_t bar = g.find('|', r0);
+  EXPECT_EQ(g.substr(bar + 1, 40), std::string(40, 'u'));
+}
+
+TEST(Trace, EmptyRendersPlaceholder) {
+  Trace t;
+  EXPECT_EQ(t.render_gantt(), "(empty trace)\n");
+  EXPECT_THROW(t.render_gantt(5), Error);
+}
+
+TEST(Trace, GlyphsDistinct) {
+  const Phase all[] = {Phase::kPfact, Phase::kMxswp,  Phase::kBcast,
+                       Phase::kLaswp, Phase::kUpdate, Phase::kUptrsv};
+  for (const Phase a : all) {
+    for (const Phase b : all) {
+      if (a != b) {
+        EXPECT_NE(phase_glyph(a), phase_glyph(b));
+      }
+    }
+  }
+}
+
+TEST(Trace, CostEngineFillsTrace) {
+  cluster::ClusterSpec spec = cluster::paper_cluster();
+  spec.noise_sigma = 0.0;
+  Trace trace;
+  HplParams params;
+  params.n = 1600;
+  params.trace = &trace;
+  const HplResult res =
+      run_cost(spec, cluster::Config::paper(1, 2, 4, 1), params);
+
+  EXPECT_FALSE(trace.intervals().empty());
+  EXPECT_NEAR(trace.span(), res.makespan, res.makespan * 1e-9);
+  // Trace totals agree with the aggregate timers.
+  double update_sum = 0, bcast_sum = 0;
+  for (const auto& rt : res.ranks) {
+    update_sum += rt.update_core;
+    bcast_sum += rt.bcast;
+  }
+  EXPECT_NEAR(trace.total(Phase::kUpdate), update_sum, update_sum * 1e-9);
+  EXPECT_NEAR(trace.total(Phase::kBcast), bcast_sum, bcast_sum * 1e-9);
+  // A rendering exists and contains one row per rank.
+  const std::string g = trace.render_gantt(60);
+  EXPECT_NE(g.find("rank 5"), std::string::npos);
+}
+
+TEST(Trace, NullTraceIsDefaultAndHarmless) {
+  cluster::ClusterSpec spec = cluster::paper_cluster();
+  HplParams params;
+  params.n = 800;
+  EXPECT_EQ(params.trace, nullptr);
+  const HplResult res =
+      run_cost(spec, cluster::Config::paper(1, 1, 2, 1), params);
+  EXPECT_GT(res.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace hetsched::hpl

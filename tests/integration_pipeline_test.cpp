@@ -1,0 +1,168 @@
+// End-to-end reproduction tests: the paper's evaluation (§4) as
+// assertions. Each test runs a full measurement campaign on the simulated
+// cluster, builds the estimation models, and checks the headline claims:
+//
+//   * Basic/NL models pick configurations within a few percent of the
+//     actual optimum (paper: 0-3.6 % / 0-4.3 %),
+//   * the NS family (fitted on N <= 1600) degrades badly and
+//     *underestimates* at large N (paper Table 9),
+//   * measurement budgets rank Basic > NL >> NS (paper Tables 3 and 6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/model_builder.hpp"
+#include "core/optimizer.hpp"
+#include "measure/evaluation.hpp"
+#include "measure/plan.hpp"
+#include "measure/runner.hpp"
+
+namespace hetsched {
+namespace {
+
+struct Campaign {
+  cluster::ClusterSpec spec = cluster::paper_cluster();
+  measure::Runner runner{spec};
+  core::ConfigSpace space = core::ConfigSpace::paper_eval();
+
+  core::Estimator build(const measure::MeasurementPlan& plan) {
+    const core::MeasurementSet ms = runner.run_plan(plan);
+    return core::ModelBuilder(spec).build(ms);
+  }
+};
+
+TEST(Pipeline, BasicModelSelectionsNearOptimal) {
+  Campaign c;
+  const core::Estimator est = c.build(measure::basic_plan());
+  double worst = 0;
+  for (const int n : {3200, 4800, 6400, 8000, 9600}) {
+    const measure::EvalRow row =
+        measure::evaluate_at(est, c.runner, c.space, n);
+    EXPECT_GE(row.selection_error(), 0.0) << "N = " << n;
+    EXPECT_LE(row.selection_error(), 0.12) << "N = " << n;
+    worst = std::max(worst, row.selection_error());
+  }
+  // Paper: 0-3.6 %. Our substrate lands in the same band.
+  EXPECT_LE(worst, 0.12);
+}
+
+TEST(Pipeline, BasicModelPredictionsTrackMeasurements) {
+  Campaign c;
+  const core::Estimator est = c.build(measure::basic_plan());
+  for (const int n : {4800, 6400}) {
+    const auto pts = measure::correlation(est, c.runner, c.space, n);
+    ASSERT_GT(pts.size(), 50u);
+    // Median relative deviation of covered candidates stays small.
+    std::vector<double> devs;
+    for (const auto& p : pts)
+      devs.push_back(std::abs(p.estimate - p.measurement) / p.measurement);
+    std::sort(devs.begin(), devs.end());
+    EXPECT_LT(devs[devs.size() / 2], 0.12) << "N = " << n;
+  }
+}
+
+TEST(Pipeline, NlModelStillSelectsWell) {
+  Campaign c;
+  const core::Estimator est = c.build(measure::nl_plan());
+  for (const int n : {1600, 6400, 8000, 9600}) {
+    const measure::EvalRow row =
+        measure::evaluate_at(est, c.runner, c.space, n);
+    EXPECT_LE(row.selection_error(), 0.10) << "N = " << n;
+  }
+}
+
+TEST(Pipeline, NsModelDegradesAndUnderestimates) {
+  Campaign c;
+  const core::Estimator ns = c.build(measure::ns_plan());
+  const core::Estimator basic = c.build(measure::basic_plan());
+
+  double ns_total = 0, basic_total = 0;
+  double ns_est_err_9600 = 0;
+  for (const int n : {4800, 6400, 8000, 9600}) {
+    const measure::EvalRow ns_row =
+        measure::evaluate_at(ns, c.runner, c.space, n);
+    const measure::EvalRow basic_row =
+        measure::evaluate_at(basic, c.runner, c.space, n);
+    ns_total += ns_row.selection_error();
+    basic_total += basic_row.selection_error();
+    if (n == 9600) ns_est_err_9600 = ns_row.estimate_error();
+  }
+  // NS selections are clearly worse in aggregate (paper: 28-82 % vs <4 %).
+  EXPECT_GT(ns_total, 2.0 * basic_total);
+  // And the NS prediction *underestimates* at the largest size (Table 9's
+  // negative (tau - T^)/T^ column) — the extrapolation failure mechanism.
+  EXPECT_LT(ns_est_err_9600, -0.02);
+}
+
+TEST(Pipeline, MeasurementBudgetsRankLikeTables3And6) {
+  Campaign c;
+  const core::MeasurementSet basic = c.runner.run_plan(measure::basic_plan());
+  const core::MeasurementSet nl = c.runner.run_plan(measure::nl_plan());
+  const core::MeasurementSet ns = c.runner.run_plan(measure::ns_plan());
+  // Paper: ~6 h, ~3 h, ~10 min.
+  EXPECT_GT(basic.total_cost(), 1.2 * nl.total_cost());
+  EXPECT_GT(nl.total_cost(), 10.0 * ns.total_cost());
+  // Order-of-magnitude agreement with Table 3's 22869 s total.
+  EXPECT_GT(basic.total_cost(), 10000.0);
+  EXPECT_LT(basic.total_cost(), 60000.0);
+  // NS is minutes, not hours (Table 6: 571.7 s).
+  EXPECT_LT(ns.total_cost(), 1200.0);
+}
+
+TEST(Pipeline, CompositionFactorsResembleThePapers) {
+  Campaign c;
+  core::ModelBuilder builder(c.spec);
+  builder.build(c.runner.run_plan(measure::basic_plan()));
+  ASSERT_FALSE(builder.compositions().empty());
+  for (const auto& comp : builder.compositions()) {
+    // Paper §4.1 scales Pentium-II models by 0.27 (Ta) and 0.85 (Tc) to
+    // get Athlon models; our derived factors must live in the same
+    // ballpark: the Athlon is 4-5x faster (compute scale ~0.2-0.3) and
+    // its communication is same-order (scale 0.3-1.2).
+    EXPECT_GT(comp.compute_scale, 0.12) << comp.kind;
+    EXPECT_LT(comp.compute_scale, 0.35) << comp.kind;
+    EXPECT_GT(comp.comm_scale, 0.25) << comp.kind;
+    EXPECT_LT(comp.comm_scale, 1.3) << comp.kind;
+  }
+}
+
+TEST(Pipeline, AdjustmentTargetsHighMultiprocessingOnly) {
+  Campaign c;
+  core::ModelBuilder builder(c.spec);
+  builder.build(c.runner.run_plan(measure::basic_plan()));
+  ASSERT_FALSE(builder.adjustments().empty());
+  for (const auto& adj : builder.adjustments()) {
+    EXPECT_GE(adj.m, 3);  // the paper corrects M1 >= 3 only
+    EXPECT_GT(adj.map.a, 0.3);
+    EXPECT_LT(adj.map.a, 1.5);
+  }
+}
+
+TEST(Pipeline, GreedySearchNearExhaustiveOnRealModels) {
+  Campaign c;
+  const core::Estimator est = c.build(measure::basic_plan());
+  for (const int n : {3200, 6400, 9600}) {
+    const core::Ranked exact = core::best_exhaustive(est, c.space, n);
+    const core::GreedyResult greedy = core::best_greedy(est, c.space, n);
+    // The heuristic's pick predicts within 10 % of the exhaustive optimum
+    // and spends fewer estimator calls.
+    EXPECT_LE(greedy.best.estimate, exact.estimate * 1.10) << "N = " << n;
+    EXPECT_LT(greedy.evaluations, c.space.size());
+  }
+}
+
+TEST(Pipeline, EstimationIsFastEnoughForOnlineUse) {
+  // Paper §4.1: 62 estimates took ~35 ms on a 2003 desktop; ours must be
+  // far below a second for the whole space.
+  Campaign c;
+  const core::Estimator est = c.build(measure::basic_plan());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& cfg : c.space.all())
+    if (est.covers(cfg)) (void)est.estimate(cfg, 6400);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration<double>(dt).count(), 1.0);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,123 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hetsched::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+  return a;
+}
+
+TEST(Lu, Solves2x2) {
+  Matrix a{{3, 1}, {1, 2}};
+  const std::vector<double> b{9, 8};
+  const std::vector<double> x = solve(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  Matrix a{{0, 1}, {1, 0}};
+  const std::vector<double> b{2, 3};
+  const std::vector<double> x = solve(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(lu_factor(a), Error);
+}
+
+TEST(Lu, EmptyMatrixThrows) { EXPECT_THROW(lu_factor(Matrix()), Error); }
+
+TEST(Lu, NonSquareThrows) { EXPECT_THROW(lu_factor(Matrix(2, 3)), Error); }
+
+TEST(Lu, RhsSizeMismatchThrows) {
+  const LuFactors f = lu_factor(Matrix::identity(3));
+  EXPECT_THROW(lu_solve(f, {1.0, 2.0}), Error);
+}
+
+TEST(Lu, IdentityFactorsTrivially) {
+  const LuFactors f = lu_factor(Matrix::identity(4));
+  const std::vector<double> b{1, 2, 3, 4};
+  const std::vector<double> x = lu_solve(f, b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(x[i], b[i]);
+}
+
+TEST(Lu, PartialPivotKeepsMultipliersBounded) {
+  Rng rng(5);
+  const Matrix a = random_matrix(50, rng);
+  const LuFactors f = lu_factor(a);
+  // With partial pivoting every |L(i,j)| <= 1.
+  for (std::size_t i = 0; i < 50; ++i)
+    for (std::size_t j = 0; j < i; ++j) EXPECT_LE(std::abs(f.lu(i, j)), 1.0);
+}
+
+TEST(Lu, ScaledResidualSmallForRandomSystems) {
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 20 + 30 * static_cast<std::size_t>(trial);
+    const Matrix a = random_matrix(n, rng);
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+    const std::vector<double> x = solve(a, b);
+    // HPL accepts scaled residuals < 16; well-conditioned randoms are O(1).
+    EXPECT_LT(scaled_residual(a, x, b), 16.0) << "n = " << n;
+  }
+}
+
+TEST(Lu, ReconstructionPaEqualsLu) {
+  Rng rng(11);
+  const std::size_t n = 8;
+  const Matrix a = random_matrix(n, rng);
+  const LuFactors f = lu_factor(a);
+
+  // Build P*A by replaying the pivot swaps.
+  Matrix pa = a;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (f.piv[k] != k)
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(pa(k, j), pa(f.piv[k], j));
+  }
+  // Extract L and U and compare L*U with P*A.
+  Matrix l = Matrix::identity(n);
+  Matrix u(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i > j)
+        l(i, j) = f.lu(i, j);
+      else
+        u(i, j) = f.lu(i, j);
+    }
+  const Matrix prod = l * u;
+  EXPECT_LT((prod - pa).max_abs(), 1e-12);
+}
+
+// Parameterized residual sweep over sizes.
+class LuResidual : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuResidual, BackwardStable) {
+  Rng rng(100 + GetParam());
+  const std::size_t n = GetParam();
+  const Matrix a = random_matrix(n, rng);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const std::vector<double> x = solve(a, b);
+  EXPECT_LT(scaled_residual(a, x, b), 16.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuResidual,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64, 100));
+
+}  // namespace
+}  // namespace hetsched::linalg

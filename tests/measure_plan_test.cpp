@@ -1,0 +1,95 @@
+#include "measure/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/pe_kind.hpp"
+#include "core/sample.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::measure {
+namespace {
+
+TEST(Plan, BasicMatchesPaperTable2) {
+  const MeasurementPlan plan = basic_plan();
+  EXPECT_EQ(plan.name, "Basic");
+  // 9 sizes x (6 Athlon + 48 Pentium configurations) = 486 construction
+  // runs (paper §4.1), plus the adjustment anchors.
+  EXPECT_EQ(plan.ns.size(), 9u);
+  EXPECT_EQ(plan.construction_configs().size(), 54u);
+  EXPECT_EQ(plan.run_count(), 486u + plan.adjust_configs.size() *
+                                          plan.adjust_ns.size());
+}
+
+TEST(Plan, NlMatchesPaperTable5) {
+  const MeasurementPlan plan = nl_plan();
+  // 4 sizes x (6 + 24) = 120 construction runs (paper §4.2).
+  EXPECT_EQ(plan.ns, (std::vector<int>{1600, 3200, 4800, 6400}));
+  EXPECT_EQ(plan.construction_configs().size(), 30u);
+  EXPECT_EQ(plan.construction_configs().size() * plan.ns.size(), 120u);
+}
+
+TEST(Plan, NsMatchesPaperTable8) {
+  const MeasurementPlan plan = ns_plan();
+  EXPECT_EQ(plan.ns, (std::vector<int>{400, 800, 1200, 1600}));
+  EXPECT_EQ(plan.construction_configs().size() * plan.ns.size(), 120u);
+  // NS anchors stay inside its small-N budget.
+  for (const int n : plan.adjust_ns) EXPECT_LE(n, 1600);
+}
+
+TEST(Plan, ConstructionConfigsAreHomogeneous) {
+  for (const auto& plan : {basic_plan(), nl_plan(), ns_plan()}) {
+    for (const auto& cfg : plan.construction_configs()) {
+      EXPECT_EQ(cfg.usage.size(), 1u) << plan.name;
+      EXPECT_GT(cfg.total_procs(), 0);
+    }
+  }
+}
+
+TEST(Plan, AdjustConfigsAreHeterogeneousHighM) {
+  for (const auto& plan : {basic_plan(), nl_plan(), ns_plan()}) {
+    EXPECT_FALSE(plan.adjust_configs.empty());
+    for (const auto& cfg : plan.adjust_configs) {
+      EXPECT_EQ(cfg.usage.size(), 2u);
+      EXPECT_GE(cfg.usage[0].procs_per_pe, 3);  // Athlon M1 >= 3
+    }
+  }
+}
+
+TEST(Sample, MeasureOfFindsKind) {
+  core::Sample s;
+  s.kinds.push_back({cluster::athlon_1330().name, 1.0, 2.0});
+  const auto found = s.measure_of(cluster::athlon_1330().name);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_DOUBLE_EQ(found->tai, 1.0);
+  EXPECT_FALSE(s.measure_of("other").has_value());
+}
+
+TEST(MeasurementSet, QueriesAndCosts) {
+  core::MeasurementSet ms;
+  core::Sample a;
+  a.config = cluster::Config::paper(0, 0, 4, 2);
+  a.n = 800;
+  a.wall = 10.0;
+  a.kinds.push_back({cluster::pentium2_400().name, 8.0, 2.0});
+  ms.add(a);
+  core::Sample b = a;
+  b.n = 1600;
+  b.wall = 70.0;
+  ms.add(b);
+  core::Sample het;
+  het.config = cluster::Config::paper(1, 3, 8, 1);
+  het.n = 800;
+  het.wall = 5.0;
+  ms.add(het);
+
+  EXPECT_EQ(ms.homogeneous(cluster::pentium2_400().name, 4, 2).size(), 2u);
+  EXPECT_EQ(ms.homogeneous(cluster::pentium2_400().name, 4, 1).size(), 0u);
+  EXPECT_EQ(ms.of_config(a.config).size(), 2u);
+  // Heterogeneous runs do not count toward the per-kind cost columns.
+  EXPECT_DOUBLE_EQ(ms.cost_of_kind_at(cluster::pentium2_400().name, 800),
+                   10.0);
+  EXPECT_DOUBLE_EQ(ms.total_cost(), 85.0);
+}
+
+}  // namespace
+}  // namespace hetsched::measure

@@ -1,0 +1,171 @@
+#include "mpisim/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "des/sim.hpp"
+#include "mpisim/netpipe.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::mpisim {
+namespace {
+
+cluster::Placement spread_placement(const cluster::ClusterSpec& spec,
+                                    int nranks) {
+  // One rank per processor, walking nodes/cpus in order.
+  cluster::Placement p;
+  for (std::size_t n = 0; n < spec.nodes.size() && p.nprocs() < nranks; ++n)
+    for (int c = 0; c < spec.nodes[n].cpus && p.nprocs() < nranks; ++c)
+      p.rank_pe.push_back(cluster::PeRef{n, c});
+  HETSCHED_CHECK(p.nprocs() == nranks, "cluster too small for test");
+  return p;
+}
+
+des::Task bcast_party(Comm& comm, int me, int root, BcastAlgo algo,
+                      std::vector<double>* payload, double& done_at) {
+  co_await bcast(comm, me, root, /*tag=*/100, /*bytes=*/8.0 * 1000, algo,
+                 payload);
+  done_at = comm.machine().sim().now();
+}
+
+class BcastAlgos : public ::testing::TestWithParam<BcastAlgo> {};
+
+TEST_P(BcastAlgos, PayloadReachesEveryRank) {
+  des::Simulator sim;
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  cluster::Machine machine(sim, spec);
+  Comm comm(machine, spread_placement(spec, 7));
+
+  std::vector<std::vector<double>> bufs(7);
+  std::vector<double> done(7, -1.0);
+  bufs[2] = {3.14, 2.71};  // root's data
+  for (int r = 0; r < 7; ++r)
+    sim.spawn(bcast_party(comm, r, /*root=*/2, GetParam(),
+                          &bufs[static_cast<std::size_t>(r)],
+                          done[static_cast<std::size_t>(r)]));
+  sim.run();
+  for (int r = 0; r < 7; ++r) {
+    EXPECT_EQ(bufs[static_cast<std::size_t>(r)],
+              (std::vector<double>{3.14, 2.71}))
+        << "rank " << r;
+    EXPECT_GE(done[static_cast<std::size_t>(r)], 0.0);
+  }
+}
+
+TEST_P(BcastAlgos, SingleRankBroadcastIsInstant) {
+  des::Simulator sim;
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  cluster::Machine machine(sim, spec);
+  cluster::Placement p;
+  p.rank_pe = {cluster::PeRef{0, 0}};
+  Comm comm(machine, p);
+  std::vector<double> buf{1.0};
+  double done = -1.0;
+  sim.spawn(bcast_party(comm, 0, 0, GetParam(), &buf, done));
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, BcastAlgos,
+                         ::testing::Values(BcastAlgo::kRing,
+                                           BcastAlgo::kBinomial));
+
+TEST(Bcast, BinomialFewerRoundsThanRingForLatency) {
+  // With tiny messages, time is latency-dominated: ring needs P-1
+  // sequential hops, binomial ceil(log2 P).
+  auto run = [](BcastAlgo algo) {
+    des::Simulator sim;
+    const cluster::ClusterSpec spec = cluster::paper_cluster();
+    cluster::Machine machine(sim, spec);
+    Comm comm(machine, spread_placement(spec, 8));
+    std::vector<double> done(8, -1.0);
+    for (int r = 0; r < 8; ++r) {
+      auto party = [](Comm& c, int me, BcastAlgo a, double& d) -> des::Task {
+        co_await bcast(c, me, 0, 0, /*bytes=*/8.0, a);
+        d = c.machine().sim().now();
+      };
+      sim.spawn(party(comm, r, algo, done[static_cast<std::size_t>(r)]));
+    }
+    sim.run();
+    double max = 0;
+    for (double d : done) max = std::max(max, d);
+    return max;
+  };
+  EXPECT_LT(run(BcastAlgo::kBinomial), run(BcastAlgo::kRing));
+}
+
+TEST(Bcast, BadRootRejected) {
+  des::Simulator sim;
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  cluster::Machine machine(sim, spec);
+  Comm comm(machine, spread_placement(spec, 2));
+  // Coroutines are lazily started: the argument check fires on first
+  // resume, surfacing from Simulator::run().
+  sim.spawn(bcast(comm, 0, /*root=*/9, 0, 8.0, BcastAlgo::kRing));
+  EXPECT_THROW(sim.run(), Error);
+}
+
+TEST(Gather, RootCollectsAllContributions) {
+  des::Simulator sim;
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  cluster::Machine machine(sim, spec);
+  Comm comm(machine, spread_placement(spec, 4));
+
+  std::vector<std::vector<double>> collected;
+  for (int r = 0; r < 4; ++r) {
+    auto party = [](Comm& c, int me,
+                    std::vector<std::vector<double>>* into) -> des::Task {
+      const std::vector<double> mine{static_cast<double>(me)};
+      co_await gather_at(c, me, /*root=*/0, /*tag=*/5, 8.0, &mine, into);
+    };
+    sim.spawn(party(comm, r, r == 0 ? &collected : nullptr));
+  }
+  sim.run();
+  ASSERT_EQ(collected.size(), 3u);
+  EXPECT_EQ(collected[0], std::vector<double>{1.0});
+  EXPECT_EQ(collected[1], std::vector<double>{2.0});
+  EXPECT_EQ(collected[2], std::vector<double>{3.0});
+}
+
+TEST(Netpipe, ThroughputRisesWithBlockSize) {
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  const std::vector<Bytes> blocks{1 * kKiB, 4 * kKiB, 16 * kKiB, 64 * kKiB,
+                                  128 * kKiB};
+  const auto pts = run_netpipe(spec, blocks, /*intra_node=*/true);
+  ASSERT_EQ(pts.size(), blocks.size());
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_GT(pts[i].throughput, pts[i - 1].throughput);
+}
+
+TEST(Netpipe, PlateauApproachesChannelBandwidth) {
+  const cluster::ClusterSpec spec = cluster::paper_cluster(cluster::mpich_122());
+  const auto pts = run_netpipe(spec, {4 * kMiB}, /*intra_node=*/true);
+  // Large blocks approach the configured intra-node bandwidth.
+  EXPECT_GT(pts[0].throughput, 0.9 * cluster::mpich_122().intra_node_bandwidth);
+}
+
+TEST(Netpipe, Mpich121PlateauMuchLower) {
+  const auto p121 = run_netpipe(cluster::paper_cluster(cluster::mpich_121()),
+                                {1 * kMiB}, true);
+  const auto p122 = run_netpipe(cluster::paper_cluster(cluster::mpich_122()),
+                                {1 * kMiB}, true);
+  EXPECT_GT(p122[0].throughput, 3.0 * p121[0].throughput);
+}
+
+TEST(Netpipe, InterNodeLimitedByFabric) {
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  const auto pts = run_netpipe(spec, {1 * kMiB}, /*intra_node=*/false);
+  EXPECT_LT(pts[0].throughput, spec.fabric.link_bandwidth * 1.01);
+  EXPECT_GT(pts[0].throughput, spec.fabric.link_bandwidth * 0.5);
+}
+
+TEST(Netpipe, RejectsBadArguments) {
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  EXPECT_THROW(run_netpipe(spec, {0.0}, true), Error);
+  EXPECT_THROW(run_netpipe(spec, {kKiB}, true, 0), Error);
+}
+
+}  // namespace
+}  // namespace hetsched::mpisim

@@ -1,0 +1,113 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hetsched::stats {
+namespace {
+
+TEST(Summary, EmptyInputIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  const std::vector<double> xs{4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Summary, KnownSample) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(FitLine, ExactLineRecovered) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x - 7.0);
+  const Line l = fit_line(xs, ys);
+  EXPECT_NEAR(l.slope, 3.0, 1e-12);
+  EXPECT_NEAR(l.intercept, -7.0, 1e-12);
+  EXPECT_NEAR(l.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineHasReasonableR2) {
+  const std::vector<double> xs{0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<double> ys{0.1, 1.9, 4.2, 5.8, 8.1, 9.9, 12.2, 13.8};
+  const Line l = fit_line(xs, ys);
+  EXPECT_NEAR(l.slope, 2.0, 0.1);
+  EXPECT_GT(l.r2, 0.99);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  const std::vector<double> xs{2.0, 2.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_line(xs, ys), Error);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(fit_line(one, one), Error);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{10, 20, 30, 40};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesYieldsZero) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(MeanRelativeError, KnownValues) {
+  const std::vector<double> est{110.0, 90.0};
+  const std::vector<double> ref{100.0, 100.0};
+  EXPECT_NEAR(mean_relative_error(est, ref), 0.1, 1e-12);
+}
+
+TEST(MeanRelativeError, SkipsZeroReference) {
+  const std::vector<double> est{1.0, 110.0};
+  const std::vector<double> ref{0.0, 100.0};
+  EXPECT_NEAR(mean_relative_error(est, ref), 0.1, 1e-12);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({5, 9, 1}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5, 9, 1}, 100.0), 9.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50.0), Error);
+  EXPECT_THROW(percentile({1.0}, 101.0), Error);
+}
+
+}  // namespace
+}  // namespace hetsched::stats

@@ -1,0 +1,73 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").num(1.5, 2);
+  t.row().cell("b").integer(42);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"a", "b"});
+  t.row().cell("x,y").cell("say \"hi\"");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table t({"a"});
+  t.row().cell("plain");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\nplain\n");
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().cell("ok");
+  EXPECT_THROW(t.cell("overflow"), Error);
+}
+
+TEST(Table, RejectsCellWithoutRow) {
+  Table t({"c"});
+  EXPECT_THROW(t.cell("x"), Error);
+}
+
+TEST(Table, MissingTrailingCellsRenderEmpty) {
+  Table t({"a", "b"});
+  t.row().cell("x");
+  std::ostringstream os;
+  t.print(os);
+  SUCCEED();  // must not throw
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-0.5, 3), "-0.500");
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Table 4");
+  EXPECT_NE(os.str().find("Table 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,30 @@
+// Keeps the umbrella header (src/hetsched.hpp) compiling: every public
+// module must remain includable together, and a one-line smoke path
+// through the API must work.
+#include "hetsched.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetsched {
+namespace {
+
+TEST(Umbrella, EndToEndSmoke) {
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  EXPECT_EQ(spec.total_pes(), 9);
+
+  measure::Runner runner(spec);
+  const core::Estimator est =
+      core::ModelBuilder(spec).build(runner.run_plan(measure::ns_plan()));
+  const core::Ranked best =
+      core::best_exhaustive(est, core::ConfigSpace::paper_eval(), 1600);
+  EXPECT_GT(best.estimate, 0.0);
+
+  // Round-trip the models through the persistence layer.
+  const core::Estimator reloaded =
+      core::estimator_from_string(spec, core::estimator_to_string(est));
+  EXPECT_DOUBLE_EQ(reloaded.estimate(best.config, 1600),
+                   est.estimate(best.config, 1600));
+}
+
+}  // namespace
+}  // namespace hetsched

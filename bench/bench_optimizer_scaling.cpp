@@ -2,19 +2,28 @@
 //
 // The paper enumerates all candidates (62 on its cluster) and notes that
 // larger clusters need heuristics. This bench grows a synthetic candidate
-// space (more PE kinds, wider PE/process ranges) and compares exhaustive
-// search against coordinate hill-climbing: estimator calls spent and
-// quality of the found configuration.
+// space (more PE kinds, wider PE/process ranges) and compares three
+// searches for the argmin:
+//
+//  * serial exhaustive enumeration (core::best_exhaustive, the oracle),
+//  * the parallel pruned engine (search::Engine — branch-and-bound over
+//    a thread pool with memoized estimates, bit-identical answer),
+//  * coordinate hill-climbing (core::best_greedy, approximate).
+#include <chrono>
+#include <cmath>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "search/engine.hpp"
 
 using namespace hetsched;
 
 namespace {
 
-// A synthetic convex-ish estimator over `kinds` PE kinds: kind k is
-// (1 + k/2)x slower than kind 0; communication cost grows with Q.
+// A synthetic convex-ish estimator over `kinds` PE kinds spanning a wide
+// heterogeneous speed range — each generation 3x slower than the last, the
+// shape that makes old PE kinds *dominated* (the regime where the pruner
+// earns its keep); communication cost grows with Q.
 core::Estimator synthetic_estimator(const cluster::ClusterSpec& spec,
                                     int kinds, int max_pes, int max_m) {
   core::EstimatorOptions opts;
@@ -22,7 +31,7 @@ core::Estimator synthetic_estimator(const cluster::ClusterSpec& spec,
   core::Estimator est(spec, opts);
   for (int k = 0; k < kinds; ++k) {
     const std::string name = "kind" + std::to_string(k);
-    const double slow = 1.0 + 0.5 * k;
+    const double slow = std::pow(3.0, k);
     for (int m = 1; m <= max_m; ++m) {
       est.add_nt(core::NtKey{name, 1, m},
                  core::NtModel({0, 0, 0, 400.0 * slow * (1 + 0.08 * m)},
@@ -55,44 +64,81 @@ cluster::ClusterSpec synthetic_spec(int kinds, int max_pes) {
 }
 
 core::ConfigSpace synthetic_space(int kinds, int max_pes, int max_m) {
-  std::vector<core::ConfigSpace::KindOptions> opts;
-  for (int k = 0; k < kinds; ++k) {
-    core::ConfigSpace::KindOptions ko{"kind" + std::to_string(k), {{0, 0}}};
-    for (int pes = 1; pes <= max_pes; ++pes)
-      for (int m = 1; m <= max_m; ++m) ko.choices.emplace_back(pes, m);
-    opts.push_back(std::move(ko));
-  }
-  return core::ConfigSpace(std::move(opts));
+  std::vector<core::ConfigSpace::KindRange> ranges;
+  for (int k = 0; k < kinds; ++k)
+    ranges.push_back(core::ConfigSpace::KindRange{
+        "kind" + std::to_string(k), 1, max_pes, 1, max_m, true});
+  return core::ConfigSpace::ranges(ranges);
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 }  // namespace
 
 int main() {
   std::cout << "Paper §5: 'for larger clusters, it is essential to find a "
-               "way to reduce the search space'. Greedy hill-climbing vs "
-               "exhaustive enumeration:\n";
-  print_banner(std::cout, "Optimizer scaling — exhaustive vs greedy");
-  Table t({"kinds", "space size", "exhaustive evals", "greedy evals",
-           "greedy/optimal time", "greedy found optimum"});
+               "way to reduce the search space'. Serial exhaustive vs the "
+               "parallel pruned engine vs greedy hill-climbing:\n";
+  print_banner(std::cout,
+               "Optimizer scaling — exhaustive vs pruned engine vs greedy");
+
+  search::Engine engine;  // default: hardware threads, pruning, cache on
+  std::cout << "engine pool: " << engine.pool().size() << " thread(s)\n";
+
+  Table t({"kinds", "space size", "serial [ms]", "engine [ms]", "speedup",
+           "pruned %", "cached re-run [ms]", "greedy evals", "same argmin"});
   for (const int kinds : {2, 3, 4}) {
     const int max_pes = 6, max_m = 4;
     const cluster::ClusterSpec spec = synthetic_spec(kinds, max_pes);
-    const core::Estimator est = synthetic_estimator(spec, kinds, max_pes,
-                                                    max_m);
+    const core::Estimator est =
+        synthetic_estimator(spec, kinds, max_pes, max_m);
     const core::ConfigSpace space = synthetic_space(kinds, max_pes, max_m);
+
+    const auto t0 = std::chrono::steady_clock::now();
     const core::Ranked exact = core::best_exhaustive(est, space, 4000);
+    const double serial_ms = ms_since(t0);
+
+    engine.cache().clear();
+    const auto t1 = std::chrono::steady_clock::now();
+    const core::Ranked fast = engine.best(est, space, 4000);
+    const double engine_ms = ms_since(t1);
+    const search::EngineStats stats = engine.stats();
+
+    const auto t2 = std::chrono::steady_clock::now();
+    const core::Ranked warm = engine.best(est, space, 4000);
+    const double warm_ms = ms_since(t2);
+
     const core::GreedyResult greedy = core::best_greedy(est, space, 4000);
+
+    const bool same = fast.config == exact.config &&
+                      fast.estimate == exact.estimate &&
+                      warm.config == exact.config;
     t.row()
         .integer(kinds)
         .integer(static_cast<long long>(space.size()))
-        .integer(static_cast<long long>(space.size()))
+        .num(serial_ms, 1)
+        .num(engine_ms, 1)
+        .num(serial_ms / engine_ms, 1)
+        .num(100.0 * static_cast<double>(stats.pruned) /
+                 static_cast<double>(space.size()),
+             1)
+        .num(warm_ms, 1)
         .integer(static_cast<long long>(greedy.evaluations))
-        .num(greedy.best.estimate / exact.estimate, 4)
-        .cell(greedy.best.estimate <= exact.estimate * 1.0001 ? "yes" : "no");
+        .cell(same ? "yes" : "NO");
   }
   t.print(std::cout);
-  std::cout << "\n  greedy needs orders of magnitude fewer estimator calls "
-               "as the space grows; on smooth landscapes it finds the "
-               "optimum or lands within a few percent.\n";
+  std::cout
+      << "\n  the engine prices only the subtrees whose optimistic bound "
+         "(per-kind Tai + Tci, each minimized over the process/processor "
+         "counts the space can still reach) can still beat the incumbent, "
+         "in parallel, and "
+         "returns the serial answer bit-identically; the cached re-run "
+         "shows repeated sweeps (capacity planning, evaluation tables) "
+         "costing almost nothing. Greedy remains the cheap approximate "
+         "fallback.\n";
   return 0;
 }

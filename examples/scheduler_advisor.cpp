@@ -1,13 +1,15 @@
 // scheduler_advisor: a small CLI around the estimator.
 //
 //   scheduler_advisor <N> [--plan=basic|nl|ns] [--mpi=121|122]
-//                         [--greedy] [--top=K]
+//                         [--greedy] [--serial] [--threads=K] [--top=K]
 //                         [--save=FILE] [--load=FILE] [--describe]
 //
 // Prints the recommended configuration(s) for an HPL run of order N on
 // the paper's cluster, with the predicted execution time, the model bin
-// used, and memory warnings. `--greedy` uses the hill-climbing search
-// instead of exhaustive enumeration (paper §5 future work).
+// used, and memory warnings. Ranking runs on the parallel pruned search
+// engine by default (`--threads=K` sizes its pool, `--serial` falls back
+// to the serial enumeration); `--greedy` uses the hill-climbing search
+// instead (paper §5 future work).
 //
 // Fitted models are the valuable artifact (measuring costs hours,
 // estimating milliseconds): `--save` persists them after fitting and
@@ -23,6 +25,7 @@
 #include "core/optimizer.hpp"
 #include "measure/plan.hpp"
 #include "measure/runner.hpp"
+#include "search/engine.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
 
@@ -32,7 +35,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: scheduler_advisor <N> [--plan=basic|nl|ns] "
-               "[--mpi=121|122] [--greedy] [--top=K]\n";
+               "[--mpi=121|122] [--greedy] [--serial] [--threads=K] "
+               "[--top=K]\n";
   return 1;
 }
 
@@ -46,8 +50,8 @@ int main(int argc, char** argv) {
   std::string plan_name = "nl";
   std::string mpi = "122";
   std::string save_path, load_path;
-  bool greedy = false, describe = false;
-  int top = 5;
+  bool greedy = false, describe = false, serial = false;
+  int top = 5, threads = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--plan=", 0) == 0)
@@ -56,6 +60,10 @@ int main(int argc, char** argv) {
       mpi = arg.substr(6);
     else if (arg == "--greedy")
       greedy = true;
+    else if (arg == "--serial")
+      serial = true;
+    else if (arg.rfind("--threads=", 0) == 0)
+      threads = std::atoi(arg.c_str() + 10);
     else if (arg == "--describe")
       describe = true;
     else if (arg.rfind("--top=", 0) == 0)
@@ -108,7 +116,19 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto ranked = core::rank_all(est, space, n);
+  std::vector<core::Ranked> ranked;
+  if (serial) {
+    ranked = core::rank_all(est, space, n);
+  } else {
+    search::EngineOptions eopts;
+    eopts.threads = threads <= 0 ? 0 : static_cast<std::size_t>(threads);
+    search::Engine engine(eopts);
+    ranked = engine.rank_all(est, space, n);
+    const search::EngineStats& st = engine.stats();
+    std::cout << "\nengine: " << st.candidates << " candidates over "
+              << engine.pool().size() << " thread(s), " << st.cache_misses
+              << " priced, " << st.cache_hits << " cache hits\n";
+  }
   std::cout << "\ntop configurations for N = " << n << ":\n";
   Table t({"#", "configuration", "predicted [s]", "bin", "memory"});
   for (std::size_t i = 0; i < ranked.size() && i < static_cast<std::size_t>(top);

@@ -11,8 +11,20 @@ namespace hetsched::core {
 ConfigSpace::ConfigSpace(std::vector<KindOptions> kinds)
     : kinds_(std::move(kinds)) {
   HETSCHED_CHECK(!kinds_.empty(), "ConfigSpace requires at least one kind");
-  for (const auto& k : kinds_)
+  for (const auto& k : kinds_) {
     HETSCHED_CHECK(!k.choices.empty(), "ConfigSpace: empty choice list");
+    int absent = 0;
+    for (const auto& [pes, m] : k.choices) {
+      HETSCHED_CHECK(pes >= 0, "ConfigSpace: negative PE count");
+      if (pes == 0)
+        ++absent;
+      else
+        HETSCHED_CHECK(m >= 1, "ConfigSpace: procs_per_pe >= 1 required");
+    }
+    HETSCHED_CHECK(absent <= 1,
+                   "ConfigSpace: at most one absent choice per kind "
+                   "(duplicates would enumerate the same configuration)");
+  }
 }
 
 ConfigSpace ConfigSpace::paper_eval() {
@@ -39,6 +51,34 @@ cluster::Config config_from_choice(
 
 }  // namespace
 
+ConfigSpace ConfigSpace::ranges(const std::vector<KindRange>& kinds) {
+  std::vector<KindOptions> opts;
+  opts.reserve(kinds.size());
+  for (const auto& r : kinds) {
+    HETSCHED_CHECK(r.min_pes >= 1 && r.min_pes <= r.max_pes,
+                   "ConfigSpace::ranges: need 1 <= min_pes <= max_pes");
+    HETSCHED_CHECK(r.min_m >= 1 && r.min_m <= r.max_m,
+                   "ConfigSpace::ranges: need 1 <= min_m <= max_m");
+    KindOptions ko{r.kind, {}};
+    if (r.optional) ko.choices.emplace_back(0, 0);
+    for (int pes = r.min_pes; pes <= r.max_pes; ++pes)
+      for (int m = r.min_m; m <= r.max_m; ++m) ko.choices.emplace_back(pes, m);
+    opts.push_back(std::move(ko));
+  }
+  return ConfigSpace(std::move(opts));
+}
+
+ConfigSpace ConfigSpace::for_cluster(const cluster::ClusterSpec& spec,
+                                     int max_m) {
+  HETSCHED_CHECK(max_m >= 1, "ConfigSpace::for_cluster: max_m >= 1 required");
+  std::vector<KindRange> kinds;
+  for (const auto& name : spec.kind_names()) {
+    const int avail = static_cast<int>(spec.pes_of_kind(name).size());
+    kinds.push_back(KindRange{name, 1, avail, 1, max_m, /*optional=*/true});
+  }
+  return ranges(kinds);
+}
+
 std::vector<cluster::Config> ConfigSpace::all() const {
   std::vector<cluster::Config> out;
   std::vector<std::size_t> idx(kinds_.size(), 0);
@@ -56,10 +96,52 @@ std::vector<cluster::Config> ConfigSpace::all() const {
   return out;
 }
 
+std::size_t ConfigSpace::empty_rank() const {
+  std::size_t rank = 0, stride = 1;
+  for (const auto& k : kinds_) {
+    std::size_t absent = npos;
+    for (std::size_t c = 0; c < k.choices.size(); ++c)
+      if (k.choices[c].first == 0) absent = c;
+    if (absent == npos) return npos;  // no empty combination exists
+    rank += absent * stride;
+    stride *= k.choices.size();
+  }
+  return rank;
+}
+
 std::size_t ConfigSpace::size() const {
   std::size_t n = 1;
   for (const auto& k : kinds_) n *= k.choices.size();
-  return n - 1;  // minus the all-absent combination
+  return n - (empty_rank() == npos ? 0 : 1);
+}
+
+cluster::Config ConfigSpace::config_at(std::size_t index) const {
+  HETSCHED_CHECK(index < size(), "ConfigSpace::config_at: index out of range");
+  const std::size_t er = empty_rank();
+  std::size_t raw = index + (er != npos && index >= er ? 1 : 0);
+  std::vector<std::size_t> idx(kinds_.size());
+  for (std::size_t k = 0; k < kinds_.size(); ++k) {
+    idx[k] = raw % kinds_[k].choices.size();
+    raw /= kinds_[k].choices.size();
+  }
+  return config_from_choice(kinds_, idx);
+}
+
+std::size_t ConfigSpace::candidate_index(
+    const std::vector<std::size_t>& idx) const {
+  HETSCHED_CHECK(idx.size() == kinds_.size(),
+                 "ConfigSpace::candidate_index: wrong arity");
+  std::size_t rank = 0, stride = 1;
+  for (std::size_t k = 0; k < kinds_.size(); ++k) {
+    HETSCHED_CHECK(idx[k] < kinds_[k].choices.size(),
+                   "ConfigSpace::candidate_index: choice out of range");
+    rank += idx[k] * stride;
+    stride *= kinds_[k].choices.size();
+  }
+  const std::size_t er = empty_rank();
+  if (er == npos) return rank;
+  if (rank == er) return npos;
+  return rank - (rank > er ? 1 : 0);
 }
 
 std::vector<Ranked> rank_all(const Estimator& est, const ConfigSpace& space,
@@ -70,9 +152,12 @@ std::vector<Ranked> rank_all(const Estimator& est, const ConfigSpace& space,
     const Seconds t = est.estimate(cfg, n);
     out.push_back(Ranked{std::move(cfg), t});
   }
-  std::sort(out.begin(), out.end(), [](const Ranked& a, const Ranked& b) {
-    return a.estimate < b.estimate;
-  });
+  // Stable: ties keep enumeration order, making the ranking a total
+  // deterministic order the parallel engine can reproduce exactly.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     return a.estimate < b.estimate;
+                   });
   return out;
 }
 

@@ -5,20 +5,30 @@
 
 namespace hetsched::measure {
 
-EvalRow evaluate_at(const core::Estimator& est, Runner& runner,
-                    const core::ConfigSpace& space, int n) {
+search::Engine& shared_engine() {
+  static search::Engine engine;
+  return engine;
+}
+
+EvalRow evaluate_at(search::Engine& engine, const core::Estimator& est,
+                    Runner& runner, const core::ConfigSpace& space, int n) {
   EvalRow row;
   row.n = n;
 
-  bool have_est = false, have_act = false;
+  // Estimate side: parallel + memoized. rank_all's front is the min by
+  // (estimate, enumeration order) — the same candidate the old serial
+  // first-strict-improvement scan selected.
+  const std::vector<core::Ranked> ranked = engine.rank_all(est, space, n);
+  HETSCHED_CHECK(!ranked.empty(),
+                 "evaluate_at: no candidate covered by the models");
+  row.estimated_best = ranked.front().config;
+  row.tau = ranked.front().estimate;
+
+  // Measurement side: serial, in enumeration order, covered candidates
+  // only (the paper measured the same 62 candidates it priced).
+  bool have_act = false;
   for (const auto& config : space.all()) {
     if (!est.covers(config)) continue;
-    const Seconds tau = est.estimate(config, n);
-    if (!have_est || tau < row.tau) {
-      row.tau = tau;
-      row.estimated_best = config;
-      have_est = true;
-    }
     const core::Sample& s = runner.measure(config, n);
     if (!have_act || s.wall < row.t_hat) {
       row.t_hat = s.wall;
@@ -26,29 +36,42 @@ EvalRow evaluate_at(const core::Estimator& est, Runner& runner,
       have_act = true;
     }
   }
-  HETSCHED_CHECK(have_est && have_act,
-                 "evaluate_at: no candidate covered by the models");
+  HETSCHED_CHECK(have_act, "evaluate_at: no candidate covered by the models");
   row.tau_hat = runner.measure(row.estimated_best, n).wall;
   return row;
 }
 
-std::vector<CorrelationPoint> correlation(const core::Estimator& est,
+EvalRow evaluate_at(const core::Estimator& est, Runner& runner,
+                    const core::ConfigSpace& space, int n) {
+  return evaluate_at(shared_engine(), est, runner, space, n);
+}
+
+std::vector<CorrelationPoint> correlation(search::Engine& engine,
+                                          const core::Estimator& est,
                                           Runner& runner,
                                           const core::ConfigSpace& space,
                                           int n) {
   std::vector<CorrelationPoint> out;
   const std::string fast_kind = cluster::athlon_1330().name;
   for (const auto& config : space.all()) {
-    if (!est.covers(config)) continue;
+    const auto estimate = engine.try_estimate(est, config, n);
+    if (!estimate) continue;
     CorrelationPoint pt;
     pt.config = config;
     for (const auto& u : config.usage)
       if (u.kind == fast_kind) pt.fast_kind_m = u.procs_per_pe;
-    pt.estimate = est.estimate(config, n);
+    pt.estimate = *estimate;
     pt.measurement = runner.measure(config, n).wall;
     out.push_back(std::move(pt));
   }
   return out;
+}
+
+std::vector<CorrelationPoint> correlation(const core::Estimator& est,
+                                          Runner& runner,
+                                          const core::ConfigSpace& space,
+                                          int n) {
+  return correlation(shared_engine(), est, runner, space, n);
 }
 
 }  // namespace hetsched::measure

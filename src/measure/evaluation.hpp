@@ -1,6 +1,12 @@
 // Evaluation harness for Tables 4, 7 and 9: estimated-best vs actual-best
 // configurations and their errors, plus the estimate/measurement pairs
 // behind the correlation plots (Figs 6-15).
+//
+// The estimate side runs through the parallel search engine
+// (search/engine.hpp): predictions are evaluated over its thread pool
+// and memoized, so sweeping several sizes or model families over the
+// same space never re-prices a candidate. The measurement side stays
+// serial — the Runner's cache is the authority there.
 #pragma once
 
 #include <vector>
@@ -8,6 +14,7 @@
 #include "core/estimator.hpp"
 #include "core/optimizer.hpp"
 #include "measure/runner.hpp"
+#include "search/engine.hpp"
 
 namespace hetsched::measure {
 
@@ -26,10 +33,18 @@ struct EvalRow {
   double selection_error() const { return (tau_hat - t_hat) / t_hat; }
 };
 
-/// Evaluates one size: predicts all candidates, measures all candidates,
-/// reports both optima. (The paper measured all 62 candidates too.)
+/// Evaluates one size: predicts all candidates (through `engine`),
+/// measures all candidates, reports both optima. (The paper measured all
+/// 62 candidates too.)
+EvalRow evaluate_at(search::Engine& engine, const core::Estimator& est,
+                    Runner& runner, const core::ConfigSpace& space, int n);
+
+/// Same, over a process-wide shared engine (shared estimate cache).
 EvalRow evaluate_at(const core::Estimator& est, Runner& runner,
                     const core::ConfigSpace& space, int n);
+
+/// The process-wide engine the convenience overloads use.
+search::Engine& shared_engine();
 
 /// One point of a correlation plot: prediction vs measurement for a
 /// candidate configuration.
@@ -41,6 +56,13 @@ struct CorrelationPoint {
 };
 
 /// Estimate/measurement pairs for every covered candidate at size n.
+std::vector<CorrelationPoint> correlation(search::Engine& engine,
+                                          const core::Estimator& est,
+                                          Runner& runner,
+                                          const core::ConfigSpace& space,
+                                          int n);
+
+/// Same, over the process-wide shared engine.
 std::vector<CorrelationPoint> correlation(const core::Estimator& est,
                                           Runner& runner,
                                           const core::ConfigSpace& space,

@@ -1,0 +1,162 @@
+#include "search/cache.hpp"
+
+#include <cstring>
+#include <functional>
+
+#include "support/error.hpp"
+
+namespace hetsched::search {
+
+namespace {
+
+// FNV-1a, 64-bit: deterministic across processes (std::hash is not
+// guaranteed to be), cheap, and good enough to detect any coefficient
+// change.
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix_bytes(std::uint64_t& h, const void* p, std::size_t len) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= b[i];
+    h *= kFnvPrime;
+  }
+}
+
+void mix(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  mix_bytes(h, &bits, sizeof(bits));
+}
+
+void mix(std::uint64_t& h, int v) {
+  mix_bytes(h, &v, sizeof(v));
+}
+
+void mix(std::uint64_t& h, bool v) {
+  const unsigned char b = v ? 1 : 0;
+  mix_bytes(h, &b, 1);
+}
+
+void mix(std::uint64_t& h, const std::string& s) {
+  mix_bytes(h, s.data(), s.size());
+  mix_bytes(h, "\0", 1);  // length delimiter
+}
+
+template <std::size_t N>
+void mix(std::uint64_t& h, const std::array<double, N>& a) {
+  for (const double v : a) mix(h, v);
+}
+
+void mix(std::uint64_t& h, const core::NtModel& m) {
+  mix(h, m.compute_coeffs());
+  mix(h, m.comm_coeffs());
+}
+
+}  // namespace
+
+std::uint64_t estimator_fingerprint(const core::Estimator& est) {
+  std::uint64_t h = kFnvOffset;
+
+  const core::EstimatorOptions& o = est.options();
+  mix(h, o.use_binning);
+  mix(h, o.use_adjustment);
+  mix(h, o.check_memory);
+  mix(h, o.paged_penalty);
+  mix(h, o.nb);
+  mix(h, o.comm_uses_processors);
+
+  // The memory bin reads node geometry; include what it reads.
+  const cluster::ClusterSpec& spec = est.spec();
+  mix(h, static_cast<int>(spec.nodes.size()));
+  for (const auto& node : spec.nodes) {
+    mix(h, node.kind.name);
+    mix(h, node.cpus);
+    mix(h, node.memory);
+  }
+  mix(h, spec.os_reserved);
+  mix(h, spec.proc_overhead);
+
+  for (const auto& e : est.nt_entries()) {
+    mix(h, e.key.kind);
+    mix(h, e.key.pes);
+    mix(h, e.key.m);
+    mix(h, e.model);
+  }
+  for (const auto& e : est.pt_entries()) {
+    mix(h, e.kind);
+    mix(h, e.m);
+    const core::PtModel::State s = e.model.state();
+    mix(h, s.a_base);
+    mix(h, s.a_p_base);
+    mix(h, s.kt);
+    mix(h, s.compute_scale);
+    mix(h, s.c_base);
+    mix(h, s.kc);
+    mix(h, s.comm_scale);
+  }
+  for (const auto& e : est.adjust_entries()) {
+    mix(h, e.kind);
+    mix(h, e.m);
+    mix(h, e.map.a);
+    mix(h, e.map.b);
+  }
+  return h;
+}
+
+std::string estimate_key(const cluster::Config& config, int n) {
+  return config.to_string() + '@' + std::to_string(n);
+}
+
+EstimateCache::EstimateCache(std::size_t shards)
+    : shard_count_(shards == 0 ? 1 : shards),
+      shards_(new Shard[shard_count_]) {}
+
+EstimateCache::Shard& EstimateCache::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shard_count_];
+}
+
+void EstimateCache::bind(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> l(bind_mu_);
+  if (bound_ && bound_fingerprint_ == fingerprint) return;
+  bound_ = true;
+  bound_fingerprint_ = fingerprint;
+  clear();
+}
+
+std::optional<Seconds> EstimateCache::lookup(const std::string& key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> l(s.mu);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void EstimateCache::insert(const std::string& key, Seconds value) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> l(s.mu);
+  s.map.emplace(key, value);
+}
+
+void EstimateCache::clear() {
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> l(shards_[i].mu);
+    shards_[i].map.clear();
+  }
+}
+
+std::size_t EstimateCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> l(shards_[i].mu);
+    total += shards_[i].map.size();
+  }
+  return total;
+}
+
+}  // namespace hetsched::search

@@ -1,0 +1,76 @@
+// Sharded memoization cache for configuration estimates.
+//
+// Pricing a candidate is pure: the estimate depends only on the model
+// set, the configuration and the problem size. Repeated sweeps over the
+// same space — capacity planning binary searches, the Tables 4/7/9
+// evaluation harness, every `rank_all` a CLI session issues — therefore
+// re-derive identical numbers, and the fix (cf. open-lmake's memoized
+// ETA bookkeeping) is to cache them keyed on (config, n).
+//
+// The cache is bound to an *estimator epoch*: a content fingerprint of
+// the model set and options. Rebinding with a different fingerprint
+// (models refitted, an option flipped) drops every entry, so a stale
+// model can never serve an estimate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/estimator.hpp"
+#include "support/units.hpp"
+
+namespace hetsched::search {
+
+/// Content fingerprint of an estimator: options, cluster memory geometry,
+/// and every N-T / P-T / adjustment coefficient. Any rebuild that changes
+/// a prediction changes the fingerprint.
+std::uint64_t estimator_fingerprint(const core::Estimator& est);
+
+/// Cache key for one (config, n) estimate.
+std::string estimate_key(const cluster::Config& config, int n);
+
+class EstimateCache {
+ public:
+  explicit EstimateCache(std::size_t shards = 16);
+
+  /// Binds the cache to an estimator fingerprint, clearing all entries
+  /// if it differs from the currently bound one. Thread-safe, but
+  /// intended to be called between sweeps, not inside them.
+  void bind(std::uint64_t fingerprint);
+
+  /// Cached value for `key`, counting a hit or a miss. A stored NaN
+  /// payload means "the model set does not cover this configuration".
+  std::optional<Seconds> lookup(const std::string& key);
+
+  /// Stores `value` (NaN for uncovered) under `key`.
+  void insert(const std::string& key, Seconds value);
+
+  void clear();
+  std::size_t size() const;
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, Seconds> map;
+  };
+  Shard& shard_for(const std::string& key);
+
+  std::size_t shard_count_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::mutex bind_mu_;
+  std::uint64_t bound_fingerprint_ = 0;
+  bool bound_ = false;
+};
+
+}  // namespace hetsched::search

@@ -1,0 +1,90 @@
+// Parallel pruned configuration-search engine.
+//
+// Replaces the serial argmin loop of core/optimizer as the production
+// search path (the serial `best_exhaustive` stays as the test oracle).
+// Three mechanisms, all result-preserving:
+//
+//  * Parallel evaluation over a fixed support::ThreadPool. Candidates
+//    are indexed (ConfigSpace::config_at), results land in per-index
+//    slots, and the reduction runs serially in index order — so the
+//    answer is bit-identical to the serial one for any thread count.
+//  * Branch-and-bound pruning over the per-kind choice tree, kinds
+//    ordered slowest-first so the optimistic bound grows early. A
+//    subtree is cut only when its lower bound strictly exceeds the
+//    incumbent, which keeps every potential tie alive and the argmin
+//    (with its enumeration-order tie-break) exact. See DESIGN.md §5 for
+//    the bound derivation and the admissibility argument.
+//  * Sharded (config, n) estimate memoization (search/cache.hpp), bound
+//    to an estimator fingerprint so model rebuilds invalidate it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/optimizer.hpp"
+#include "search/cache.hpp"
+#include "support/thread_pool.hpp"
+
+namespace hetsched::search {
+
+struct EngineOptions {
+  std::size_t threads = 0;     ///< pool size; 0 = hardware concurrency
+  bool prune = true;           ///< branch-and-bound lower-bound cuts
+  bool use_cache = true;       ///< memoize (config, n) estimates
+  std::size_t cache_shards = 16;
+  /// Top-level subtree tasks generated per pool thread; more tasks =
+  /// better balance, more scheduling overhead.
+  std::size_t tasks_per_thread = 8;
+};
+
+/// Counters from the last best()/rank_all() call.
+struct EngineStats {
+  std::size_t candidates = 0;   ///< size of the searched space
+  std::size_t visited = 0;      ///< leaves priced (from cache or estimator)
+  std::size_t pruned = 0;       ///< leaves skipped by bound cuts
+  std::size_t uncovered = 0;    ///< visited leaves the models cannot price
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions opts = {});
+
+  /// The argmin configuration — config *and* estimate exactly equal to
+  /// core::best_exhaustive's answer. Throws if no candidate is covered.
+  core::Ranked best(const core::Estimator& est,
+                    const core::ConfigSpace& space, int n);
+
+  /// All covered candidates sorted by estimate (ties in enumeration
+  /// order) — element-wise equal to core::rank_all. Evaluated in
+  /// parallel, served from the cache where possible.
+  std::vector<core::Ranked> rank_all(const core::Estimator& est,
+                                     const core::ConfigSpace& space, int n);
+
+  /// Cached single-candidate estimate; nullopt if the models do not
+  /// cover `config`. Does not reset stats().
+  std::optional<Seconds> try_estimate(const core::Estimator& est,
+                                      const cluster::Config& config, int n);
+
+  const EngineStats& stats() const { return stats_; }
+  EstimateCache& cache() { return cache_; }
+  support::ThreadPool& pool() { return pool_; }
+  const EngineOptions& options() const { return opts_; }
+
+ private:
+  /// Estimate of `config`, through the cache when enabled; NaN when the
+  /// models do not cover it.
+  Seconds priced(const core::Estimator& est, const cluster::Config& config,
+                 int n);
+
+  EngineOptions opts_;
+  support::ThreadPool pool_;
+  EstimateCache cache_;
+  EngineStats stats_;
+};
+
+}  // namespace hetsched::search

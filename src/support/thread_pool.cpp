@@ -1,0 +1,147 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hetsched::support {
+
+namespace {
+
+// One parallel_for invocation. Lives in a shared_ptr so a worker that
+// wakes up late (after the loop already finished) still dereferences a
+// valid object, finds the cursor exhausted and goes back to sleep.
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> running{0};
+  std::atomic<bool> aborted{false};
+  std::exception_ptr error;  // guarded by the pool mutex
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv_work;  // workers wait for a new job epoch
+  std::condition_variable cv_done;  // caller waits for job completion
+  std::mutex serialize;             // one parallel_for at a time
+  std::shared_ptr<Job> job;         // guarded by mu
+  std::uint64_t epoch = 0;          // guarded by mu
+  bool stop = false;                // guarded by mu
+  std::vector<std::thread> workers;
+
+  void work(const std::shared_ptr<Job>& j) {
+    j->running.fetch_add(1, std::memory_order_acq_rel);
+    for (;;) {
+      const std::size_t i0 =
+          j->next.fetch_add(j->chunk, std::memory_order_relaxed);
+      if (i0 >= j->n) break;
+      const std::size_t i1 = std::min(i0 + j->chunk, j->n);
+      for (std::size_t i = i0; i < i1; ++i) {
+        if (j->aborted.load(std::memory_order_relaxed)) break;
+        try {
+          (*j->fn)(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> l(mu);
+            if (!j->error) j->error = std::current_exception();
+          }
+          j->aborted.store(true, std::memory_order_relaxed);
+          // Exhaust the cursor so everyone drains out quickly.
+          j->next.store(j->n, std::memory_order_relaxed);
+          break;
+        }
+      }
+      if (j->aborted.load(std::memory_order_relaxed)) break;
+    }
+    if (j->running.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last one out: take the lock empty so the caller cannot check the
+      // predicate and fall asleep between our decrement and the notify.
+      { std::lock_guard<std::mutex> l(mu); }
+      cv_done.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> j;
+      {
+        std::unique_lock<std::mutex> l(mu);
+        cv_work.wait(l, [&] { return stop || epoch != seen; });
+        if (stop) return;
+        seen = epoch;
+        j = job;
+      }
+      if (j) work(j);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  for (std::size_t i = 1; i < threads; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> l(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+std::size_t ThreadPool::size() const { return impl_->workers.size() + 1; }
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  HETSCHED_CHECK(static_cast<bool>(fn), "parallel_for: empty function");
+  if (n == 0) return;
+  if (impl_->workers.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> serial(impl_->serialize);
+  auto j = std::make_shared<Job>();
+  j->fn = &fn;
+  j->n = n;
+  // Blocks small enough to balance uneven bodies, big enough to keep the
+  // cursor off the hot path.
+  j->chunk = std::max<std::size_t>(1, n / (8 * size()));
+  {
+    std::lock_guard<std::mutex> l(impl_->mu);
+    impl_->job = j;
+    ++impl_->epoch;
+  }
+  impl_->cv_work.notify_all();
+
+  impl_->work(j);  // the caller participates
+
+  {
+    std::unique_lock<std::mutex> l(impl_->mu);
+    impl_->cv_done.wait(l, [&] {
+      return j->running.load(std::memory_order_acquire) == 0 &&
+             j->next.load(std::memory_order_relaxed) >= j->n;
+    });
+    impl_->job.reset();
+    if (j->error) std::rethrow_exception(j->error);
+  }
+}
+
+}  // namespace hetsched::support

@@ -1,0 +1,48 @@
+// Fixed-size thread pool with a deterministic-by-construction parallel
+// loop. No work stealing, no task graph: one blocking `parallel_for`
+// that hands out contiguous index blocks through an atomic cursor.
+//
+// Determinism contract: which *thread* runs index i is scheduling-
+// dependent, but the body receives every index in [0, n) exactly once,
+// so writing results into a slot indexed by i and reducing the slots
+// serially afterwards yields bit-identical output for any thread count.
+// This is the property the configuration-search engine (src/search)
+// builds on.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace hetsched::support {
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` execution contexts *including* the caller:
+  /// `threads - 1` workers are spawned, and the thread invoking
+  /// parallel_for always participates. `threads == 0` sizes the pool to
+  /// the hardware concurrency; `threads == 1` spawns nothing and runs
+  /// loops inline.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution contexts (workers + the participating caller).
+  std::size_t size() const;
+
+  /// Invokes fn(i) exactly once for every i in [0, n), distributed over
+  /// the pool, and blocks until all of them completed. If the body
+  /// throws, the first exception is rethrown on the caller after the
+  /// loop is abandoned (remaining indices are skipped). Concurrent
+  /// parallel_for calls from different threads are serialized.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hetsched::support

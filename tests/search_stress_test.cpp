@@ -1,0 +1,132 @@
+// Determinism stress (CTest label: stress): 50 repetitions of the full
+// ranked sweep and of the pruned argmin search on a heavily
+// oversubscribed pool must produce byte-identical output every time.
+// Determinism here is a hard product property — the engine's contract is
+// "bit-identical to the serial oracle for any thread count" — so the
+// comparison serializes configs AND the exact IEEE bit patterns of the
+// estimates, not values within a tolerance.
+#include "search/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/pe_kind.hpp"
+#include "core/optimizer.hpp"
+
+namespace hetsched::search {
+namespace {
+
+core::PtModel fitted_pt(double work, double per_q) {
+  std::vector<core::NtModel> models;
+  std::vector<int> ps;
+  for (const int p : {2, 4, 8}) {
+    models.push_back(core::NtModel({0, 0, 0, work / p}, {0, 0, per_q * p}));
+    ps.push_back(p);
+  }
+  const std::vector<double> ns{1000};
+  return core::PtModel::fit(models, ps, ps, ns);
+}
+
+struct Fixture {
+  core::Estimator est;
+  core::ConfigSpace space;
+};
+
+Fixture stress_fixture() {
+  const int kinds = 3, max_pes = 4, max_m = 2;
+  cluster::ClusterSpec spec;
+  core::EstimatorOptions opts;
+  opts.check_memory = false;
+  std::vector<core::ConfigSpace::KindRange> ranges;
+  for (int k = 0; k < kinds; ++k) {
+    const std::string name = "kind" + std::to_string(k);
+    cluster::PeKind kind = cluster::pentium2_400();
+    kind.name = name;
+    for (int p = 0; p < max_pes; ++p)
+      spec.nodes.push_back(cluster::NodeSpec{kind, 1, 768 * kMiB});
+    ranges.push_back(
+        core::ConfigSpace::KindRange{name, 1, max_pes, 1, max_m, true});
+  }
+  core::Estimator est(spec, opts);
+  for (int k = 0; k < kinds; ++k) {
+    const std::string name = "kind" + std::to_string(k);
+    const double slow = 1.0 + 0.5 * k;
+    for (int m = 1; m <= max_m; ++m) {
+      est.add_pt(name, m, fitted_pt(400.0 * slow * (1 + 0.08 * m), 1.2));
+      est.add_nt(core::NtKey{name, 1, m},
+                 core::NtModel({0, 0, 0, 400.0 * slow * (1 + 0.1 * m)},
+                               {0, 0, 0.5 * m}));
+    }
+  }
+  return Fixture{std::move(est), core::ConfigSpace::ranges(ranges)};
+}
+
+/// Exact serialization: config strings plus the raw IEEE-754 bits of
+/// every estimate. Two runs differing in any bit differ here.
+std::string bytes_of(const std::vector<core::Ranked>& ranked) {
+  std::string out;
+  for (const auto& r : ranked) {
+    out += r.config.to_string();
+    out += '=';
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(r.estimate));
+    std::memcpy(&bits, &r.estimate, sizeof(bits));
+    out += std::to_string(bits);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string bytes_of(const core::Ranked& r) {
+  return bytes_of(std::vector<core::Ranked>{r});
+}
+
+TEST(SearchStress, FiftyRankedSweepsAreByteIdentical) {
+  const Fixture fx = stress_fixture();
+  const int n = 3000;
+
+  // Reference: the serial oracle, computed once.
+  const std::string reference = bytes_of(core::rank_all(fx.est, fx.space, n));
+  const std::string best_reference =
+      bytes_of(core::best_exhaustive(fx.est, fx.space, n));
+
+  EngineOptions opts;
+  opts.threads = 32;  // heavily oversubscribed on any test machine
+  Engine engine(opts);
+  for (int rep = 0; rep < 50; ++rep) {
+    EXPECT_EQ(bytes_of(engine.rank_all(fx.est, fx.space, n)), reference)
+        << "rank_all rep=" << rep;
+    EXPECT_EQ(bytes_of(engine.best(fx.est, fx.space, n)), best_reference)
+        << "best rep=" << rep;
+  }
+}
+
+TEST(SearchStress, ColdCachesDoNotChangeTheBytes) {
+  // Same sweep with the cache cleared between repetitions (every run
+  // prices from scratch, in parallel) and with the cache disabled: the
+  // bytes must not move.
+  const Fixture fx = stress_fixture();
+  const int n = 3000;
+  const std::string reference = bytes_of(core::rank_all(fx.est, fx.space, n));
+
+  EngineOptions opts;
+  opts.threads = 32;
+  Engine engine(opts);
+  EngineOptions uncached = opts;
+  uncached.use_cache = false;
+  Engine raw(uncached);
+  for (int rep = 0; rep < 10; ++rep) {
+    engine.cache().clear();
+    EXPECT_EQ(bytes_of(engine.rank_all(fx.est, fx.space, n)), reference)
+        << "cold rep=" << rep;
+    EXPECT_EQ(bytes_of(raw.rank_all(fx.est, fx.space, n)), reference)
+        << "uncached rep=" << rep;
+  }
+}
+
+}  // namespace
+}  // namespace hetsched::search

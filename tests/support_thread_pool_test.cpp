@@ -1,0 +1,96 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hetsched::support {
+namespace {
+
+TEST(ThreadPool, SizeCountsCallerAndDefaultsToHardware) {
+  EXPECT_EQ(ThreadPool(1).size(), 1u);
+  EXPECT_EQ(ThreadPool(4).size(), 4u);
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  EXPECT_EQ(ThreadPool(0).size(), hw);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    for (const std::size_t n : {0u, 1u, 3u, 64u, 1000u}) {
+      std::vector<std::atomic<int>> counts(n);
+      pool.parallel_for(n, [&](std::size_t i) {
+        counts[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(counts[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, IndexedSlotsGiveDeterministicReduction) {
+  ThreadPool pool(8);
+  std::vector<long long> reference;
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<long long> slots(501);
+    pool.parallel_for(slots.size(), [&](std::size_t i) {
+      slots[i] = static_cast<long long>(i) * static_cast<long long>(i) % 97;
+    });
+    if (rep == 0)
+      reference = slots;
+    else
+      EXPECT_EQ(slots, reference);
+  }
+}
+
+TEST(ThreadPool, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool survives a failed loop.
+  std::atomic<std::size_t> ran{0};
+  pool.parallel_for(10, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 10u);
+}
+
+TEST(ThreadPool, RejectsEmptyFunction) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(4, std::function<void(std::size_t)>{}),
+               Error);
+}
+
+TEST(ThreadPool, OversubscribedPoolCompletes) {
+  ThreadPool pool(32);  // far more contexts than cores
+  std::atomic<long long> sum{0};
+  pool.parallel_for(10000, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int rep = 0; rep < 200; ++rep)
+    pool.parallel_for(17, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(total.load(), 200u * 17u);
+}
+
+}  // namespace
+}  // namespace hetsched::support

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_components.dir/bench_ablation_components.cpp.o"
+  "CMakeFiles/bench_ablation_components.dir/bench_ablation_components.cpp.o.d"
+  "bench_ablation_components"
+  "bench_ablation_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

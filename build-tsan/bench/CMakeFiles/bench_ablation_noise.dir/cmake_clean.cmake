@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_noise.dir/bench_ablation_noise.cpp.o"
+  "CMakeFiles/bench_ablation_noise.dir/bench_ablation_noise.cpp.o.d"
+  "bench_ablation_noise"
+  "bench_ablation_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

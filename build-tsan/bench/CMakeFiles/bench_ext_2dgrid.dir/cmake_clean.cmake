@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_2dgrid.dir/bench_ext_2dgrid.cpp.o"
+  "CMakeFiles/bench_ext_2dgrid.dir/bench_ext_2dgrid.cpp.o.d"
+  "bench_ext_2dgrid"
+  "bench_ext_2dgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_2dgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gigabit.dir/bench_ext_gigabit.cpp.o"
+  "CMakeFiles/bench_ext_gigabit.dir/bench_ext_gigabit.cpp.o.d"
+  "bench_ext_gigabit"
+  "bench_ext_gigabit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gigabit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

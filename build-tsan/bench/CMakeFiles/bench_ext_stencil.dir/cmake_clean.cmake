@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_stencil.dir/bench_ext_stencil.cpp.o"
+  "CMakeFiles/bench_ext_stencil.dir/bench_ext_stencil.cpp.o.d"
+  "bench_ext_stencil"
+  "bench_ext_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_15_ns_correlation.dir/bench_fig12_15_ns_correlation.cpp.o"
+  "CMakeFiles/bench_fig12_15_ns_correlation.dir/bench_fig12_15_ns_correlation.cpp.o.d"
+  "bench_fig12_15_ns_correlation"
+  "bench_fig12_15_ns_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_15_ns_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

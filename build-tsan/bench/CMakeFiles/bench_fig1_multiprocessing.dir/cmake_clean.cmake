@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_multiprocessing.dir/bench_fig1_multiprocessing.cpp.o"
+  "CMakeFiles/bench_fig1_multiprocessing.dir/bench_fig1_multiprocessing.cpp.o.d"
+  "bench_fig1_multiprocessing"
+  "bench_fig1_multiprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_multiprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

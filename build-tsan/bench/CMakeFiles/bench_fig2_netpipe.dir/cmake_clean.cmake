@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_netpipe.dir/bench_fig2_netpipe.cpp.o"
+  "CMakeFiles/bench_fig2_netpipe.dir/bench_fig2_netpipe.cpp.o.d"
+  "bench_fig2_netpipe"
+  "bench_fig2_netpipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_netpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

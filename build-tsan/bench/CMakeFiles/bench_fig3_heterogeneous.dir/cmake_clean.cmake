@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_heterogeneous.dir/bench_fig3_heterogeneous.cpp.o"
+  "CMakeFiles/bench_fig3_heterogeneous.dir/bench_fig3_heterogeneous.cpp.o.d"
+  "bench_fig3_heterogeneous"
+  "bench_fig3_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_7_basic_correlation.dir/bench_fig6_7_basic_correlation.cpp.o"
+  "CMakeFiles/bench_fig6_7_basic_correlation.dir/bench_fig6_7_basic_correlation.cpp.o.d"
+  "bench_fig6_7_basic_correlation"
+  "bench_fig6_7_basic_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_7_basic_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_11_nl_correlation.dir/bench_fig8_11_nl_correlation.cpp.o"
+  "CMakeFiles/bench_fig8_11_nl_correlation.dir/bench_fig8_11_nl_correlation.cpp.o.d"
+  "bench_fig8_11_nl_correlation"
+  "bench_fig8_11_nl_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_11_nl_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_11_nl_correlation.
+# This may be replaced when dependencies are built.

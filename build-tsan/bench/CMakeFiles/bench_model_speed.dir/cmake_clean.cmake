@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_speed.dir/bench_model_speed.cpp.o"
+  "CMakeFiles/bench_model_speed.dir/bench_model_speed.cpp.o.d"
+  "bench_model_speed"
+  "bench_model_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_scaling.dir/bench_optimizer_scaling.cpp.o"
+  "CMakeFiles/bench_optimizer_scaling.dir/bench_optimizer_scaling.cpp.o.d"
+  "bench_optimizer_scaling"
+  "bench_optimizer_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_measurement_cost.dir/bench_table3_measurement_cost.cpp.o"
+  "CMakeFiles/bench_table3_measurement_cost.dir/bench_table3_measurement_cost.cpp.o.d"
+  "bench_table3_measurement_cost"
+  "bench_table3_measurement_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_measurement_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

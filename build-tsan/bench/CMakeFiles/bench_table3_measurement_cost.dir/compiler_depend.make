@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table3_measurement_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_basic_errors.dir/bench_table4_basic_errors.cpp.o"
+  "CMakeFiles/bench_table4_basic_errors.dir/bench_table4_basic_errors.cpp.o.d"
+  "bench_table4_basic_errors"
+  "bench_table4_basic_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_basic_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

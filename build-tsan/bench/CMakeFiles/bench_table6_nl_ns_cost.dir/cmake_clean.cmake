@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_nl_ns_cost.dir/bench_table6_nl_ns_cost.cpp.o"
+  "CMakeFiles/bench_table6_nl_ns_cost.dir/bench_table6_nl_ns_cost.cpp.o.d"
+  "bench_table6_nl_ns_cost"
+  "bench_table6_nl_ns_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_nl_ns_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table9_ns_errors.cpp" "bench/CMakeFiles/bench_table9_ns_errors.dir/bench_table9_ns_errors.cpp.o" "gcc" "bench/CMakeFiles/bench_table9_ns_errors.dir/bench_table9_ns_errors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/measure/CMakeFiles/hetsched_measure.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/hetsched_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hpl/CMakeFiles/hetsched_hpl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/search/CMakeFiles/hetsched_search.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mpisim/CMakeFiles/hetsched_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/hetsched_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/hetsched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/des/CMakeFiles/hetsched_des.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/hetsched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_upgrade.dir/cluster_upgrade.cpp.o"
+  "CMakeFiles/cluster_upgrade.dir/cluster_upgrade.cpp.o.d"
+  "cluster_upgrade"
+  "cluster_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

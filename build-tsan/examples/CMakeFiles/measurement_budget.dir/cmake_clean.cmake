@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measurement_budget.dir/measurement_budget.cpp.o"
+  "CMakeFiles/measurement_budget.dir/measurement_budget.cpp.o.d"
+  "measurement_budget"
+  "measurement_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measurement_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

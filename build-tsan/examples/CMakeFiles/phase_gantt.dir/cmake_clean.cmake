@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_gantt.dir/phase_gantt.cpp.o"
+  "CMakeFiles/phase_gantt.dir/phase_gantt.cpp.o.d"
+  "phase_gantt"
+  "phase_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for phase_gantt.
+# This may be replaced when dependencies are built.

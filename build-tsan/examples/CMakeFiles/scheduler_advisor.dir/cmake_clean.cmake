@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_advisor.dir/scheduler_advisor.cpp.o"
+  "CMakeFiles/scheduler_advisor.dir/scheduler_advisor.cpp.o.d"
+  "scheduler_advisor"
+  "scheduler_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scheduler_advisor.
+# This may be replaced when dependencies are built.

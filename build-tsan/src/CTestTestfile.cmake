@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("linalg")
+subdirs("des")
+subdirs("cluster")
+subdirs("mpisim")
+subdirs("hpl")
+subdirs("core")
+subdirs("search")
+subdirs("measure")
+subdirs("apps")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_apps.dir/stencil.cpp.o"
+  "CMakeFiles/hetsched_apps.dir/stencil.cpp.o.d"
+  "libhetsched_apps.a"
+  "libhetsched_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/config.cpp" "src/cluster/CMakeFiles/hetsched_cluster.dir/config.cpp.o" "gcc" "src/cluster/CMakeFiles/hetsched_cluster.dir/config.cpp.o.d"
+  "/root/repo/src/cluster/cpu.cpp" "src/cluster/CMakeFiles/hetsched_cluster.dir/cpu.cpp.o" "gcc" "src/cluster/CMakeFiles/hetsched_cluster.dir/cpu.cpp.o.d"
+  "/root/repo/src/cluster/machine.cpp" "src/cluster/CMakeFiles/hetsched_cluster.dir/machine.cpp.o" "gcc" "src/cluster/CMakeFiles/hetsched_cluster.dir/machine.cpp.o.d"
+  "/root/repo/src/cluster/network.cpp" "src/cluster/CMakeFiles/hetsched_cluster.dir/network.cpp.o" "gcc" "src/cluster/CMakeFiles/hetsched_cluster.dir/network.cpp.o.d"
+  "/root/repo/src/cluster/pe_kind.cpp" "src/cluster/CMakeFiles/hetsched_cluster.dir/pe_kind.cpp.o" "gcc" "src/cluster/CMakeFiles/hetsched_cluster.dir/pe_kind.cpp.o.d"
+  "/root/repo/src/cluster/spec.cpp" "src/cluster/CMakeFiles/hetsched_cluster.dir/spec.cpp.o" "gcc" "src/cluster/CMakeFiles/hetsched_cluster.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/des/CMakeFiles/hetsched_des.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/hetsched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

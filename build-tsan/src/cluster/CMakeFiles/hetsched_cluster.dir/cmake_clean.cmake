@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_cluster.dir/config.cpp.o"
+  "CMakeFiles/hetsched_cluster.dir/config.cpp.o.d"
+  "CMakeFiles/hetsched_cluster.dir/cpu.cpp.o"
+  "CMakeFiles/hetsched_cluster.dir/cpu.cpp.o.d"
+  "CMakeFiles/hetsched_cluster.dir/machine.cpp.o"
+  "CMakeFiles/hetsched_cluster.dir/machine.cpp.o.d"
+  "CMakeFiles/hetsched_cluster.dir/network.cpp.o"
+  "CMakeFiles/hetsched_cluster.dir/network.cpp.o.d"
+  "CMakeFiles/hetsched_cluster.dir/pe_kind.cpp.o"
+  "CMakeFiles/hetsched_cluster.dir/pe_kind.cpp.o.d"
+  "CMakeFiles/hetsched_cluster.dir/spec.cpp.o"
+  "CMakeFiles/hetsched_cluster.dir/spec.cpp.o.d"
+  "libhetsched_cluster.a"
+  "libhetsched_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

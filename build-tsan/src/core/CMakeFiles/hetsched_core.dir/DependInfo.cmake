@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capacity.cpp" "src/core/CMakeFiles/hetsched_core.dir/capacity.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/capacity.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/hetsched_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/model_builder.cpp" "src/core/CMakeFiles/hetsched_core.dir/model_builder.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/model_builder.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/hetsched_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/nt_model.cpp" "src/core/CMakeFiles/hetsched_core.dir/nt_model.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/nt_model.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/hetsched_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/pt_model.cpp" "src/core/CMakeFiles/hetsched_core.dir/pt_model.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/pt_model.cpp.o.d"
+  "/root/repo/src/core/sample.cpp" "src/core/CMakeFiles/hetsched_core.dir/sample.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/sample.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/hpl/CMakeFiles/hetsched_hpl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/hetsched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/hetsched_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/hetsched_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mpisim/CMakeFiles/hetsched_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/des/CMakeFiles/hetsched_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

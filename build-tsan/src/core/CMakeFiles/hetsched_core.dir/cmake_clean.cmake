@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_core.dir/capacity.cpp.o"
+  "CMakeFiles/hetsched_core.dir/capacity.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/estimator.cpp.o"
+  "CMakeFiles/hetsched_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/model_builder.cpp.o"
+  "CMakeFiles/hetsched_core.dir/model_builder.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/model_io.cpp.o"
+  "CMakeFiles/hetsched_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/nt_model.cpp.o"
+  "CMakeFiles/hetsched_core.dir/nt_model.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/optimizer.cpp.o"
+  "CMakeFiles/hetsched_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/pt_model.cpp.o"
+  "CMakeFiles/hetsched_core.dir/pt_model.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/sample.cpp.o"
+  "CMakeFiles/hetsched_core.dir/sample.cpp.o.d"
+  "libhetsched_core.a"
+  "libhetsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

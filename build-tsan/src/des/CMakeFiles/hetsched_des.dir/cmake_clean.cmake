@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_des.dir/sim.cpp.o"
+  "CMakeFiles/hetsched_des.dir/sim.cpp.o.d"
+  "libhetsched_des.a"
+  "libhetsched_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpl/cost_engine.cpp" "src/hpl/CMakeFiles/hetsched_hpl.dir/cost_engine.cpp.o" "gcc" "src/hpl/CMakeFiles/hetsched_hpl.dir/cost_engine.cpp.o.d"
+  "/root/repo/src/hpl/cost_engine_2d.cpp" "src/hpl/CMakeFiles/hetsched_hpl.dir/cost_engine_2d.cpp.o" "gcc" "src/hpl/CMakeFiles/hetsched_hpl.dir/cost_engine_2d.cpp.o.d"
+  "/root/repo/src/hpl/grid.cpp" "src/hpl/CMakeFiles/hetsched_hpl.dir/grid.cpp.o" "gcc" "src/hpl/CMakeFiles/hetsched_hpl.dir/grid.cpp.o.d"
+  "/root/repo/src/hpl/grid2d.cpp" "src/hpl/CMakeFiles/hetsched_hpl.dir/grid2d.cpp.o" "gcc" "src/hpl/CMakeFiles/hetsched_hpl.dir/grid2d.cpp.o.d"
+  "/root/repo/src/hpl/numeric_engine.cpp" "src/hpl/CMakeFiles/hetsched_hpl.dir/numeric_engine.cpp.o" "gcc" "src/hpl/CMakeFiles/hetsched_hpl.dir/numeric_engine.cpp.o.d"
+  "/root/repo/src/hpl/timing.cpp" "src/hpl/CMakeFiles/hetsched_hpl.dir/timing.cpp.o" "gcc" "src/hpl/CMakeFiles/hetsched_hpl.dir/timing.cpp.o.d"
+  "/root/repo/src/hpl/trace.cpp" "src/hpl/CMakeFiles/hetsched_hpl.dir/trace.cpp.o" "gcc" "src/hpl/CMakeFiles/hetsched_hpl.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/mpisim/CMakeFiles/hetsched_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/hetsched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/des/CMakeFiles/hetsched_des.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/hetsched_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/hetsched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_hpl.dir/cost_engine.cpp.o"
+  "CMakeFiles/hetsched_hpl.dir/cost_engine.cpp.o.d"
+  "CMakeFiles/hetsched_hpl.dir/cost_engine_2d.cpp.o"
+  "CMakeFiles/hetsched_hpl.dir/cost_engine_2d.cpp.o.d"
+  "CMakeFiles/hetsched_hpl.dir/grid.cpp.o"
+  "CMakeFiles/hetsched_hpl.dir/grid.cpp.o.d"
+  "CMakeFiles/hetsched_hpl.dir/grid2d.cpp.o"
+  "CMakeFiles/hetsched_hpl.dir/grid2d.cpp.o.d"
+  "CMakeFiles/hetsched_hpl.dir/numeric_engine.cpp.o"
+  "CMakeFiles/hetsched_hpl.dir/numeric_engine.cpp.o.d"
+  "CMakeFiles/hetsched_hpl.dir/timing.cpp.o"
+  "CMakeFiles/hetsched_hpl.dir/timing.cpp.o.d"
+  "CMakeFiles/hetsched_hpl.dir/trace.cpp.o"
+  "CMakeFiles/hetsched_hpl.dir/trace.cpp.o.d"
+  "libhetsched_hpl.a"
+  "libhetsched_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_linalg.dir/lls.cpp.o"
+  "CMakeFiles/hetsched_linalg.dir/lls.cpp.o.d"
+  "CMakeFiles/hetsched_linalg.dir/lu.cpp.o"
+  "CMakeFiles/hetsched_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/hetsched_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/hetsched_linalg.dir/matrix.cpp.o.d"
+  "libhetsched_linalg.a"
+  "libhetsched_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_measure.dir/evaluation.cpp.o"
+  "CMakeFiles/hetsched_measure.dir/evaluation.cpp.o.d"
+  "CMakeFiles/hetsched_measure.dir/plan.cpp.o"
+  "CMakeFiles/hetsched_measure.dir/plan.cpp.o.d"
+  "CMakeFiles/hetsched_measure.dir/runner.cpp.o"
+  "CMakeFiles/hetsched_measure.dir/runner.cpp.o.d"
+  "libhetsched_measure.a"
+  "libhetsched_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

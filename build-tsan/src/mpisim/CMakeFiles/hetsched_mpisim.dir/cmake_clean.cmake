@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_mpisim.dir/collectives.cpp.o"
+  "CMakeFiles/hetsched_mpisim.dir/collectives.cpp.o.d"
+  "CMakeFiles/hetsched_mpisim.dir/comm.cpp.o"
+  "CMakeFiles/hetsched_mpisim.dir/comm.cpp.o.d"
+  "CMakeFiles/hetsched_mpisim.dir/netpipe.cpp.o"
+  "CMakeFiles/hetsched_mpisim.dir/netpipe.cpp.o.d"
+  "libhetsched_mpisim.a"
+  "libhetsched_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_search.dir/cache.cpp.o"
+  "CMakeFiles/hetsched_search.dir/cache.cpp.o.d"
+  "CMakeFiles/hetsched_search.dir/engine.cpp.o"
+  "CMakeFiles/hetsched_search.dir/engine.cpp.o.d"
+  "libhetsched_search.a"
+  "libhetsched_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

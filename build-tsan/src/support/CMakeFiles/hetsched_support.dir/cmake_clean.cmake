@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_support.dir/rng.cpp.o"
+  "CMakeFiles/hetsched_support.dir/rng.cpp.o.d"
+  "CMakeFiles/hetsched_support.dir/stats.cpp.o"
+  "CMakeFiles/hetsched_support.dir/stats.cpp.o.d"
+  "CMakeFiles/hetsched_support.dir/table.cpp.o"
+  "CMakeFiles/hetsched_support.dir/table.cpp.o.d"
+  "CMakeFiles/hetsched_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/hetsched_support.dir/thread_pool.cpp.o.d"
+  "libhetsched_support.a"
+  "libhetsched_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_stencil_test.dir/apps_stencil_test.cpp.o"
+  "CMakeFiles/apps_stencil_test.dir/apps_stencil_test.cpp.o.d"
+  "apps_stencil_test"
+  "apps_stencil_test.pdb"
+  "apps_stencil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_stencil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

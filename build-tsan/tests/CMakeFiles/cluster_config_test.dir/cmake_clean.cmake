@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_config_test.dir/cluster_config_test.cpp.o"
+  "CMakeFiles/cluster_config_test.dir/cluster_config_test.cpp.o.d"
+  "cluster_config_test"
+  "cluster_config_test.pdb"
+  "cluster_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_cpu_test.dir/cluster_cpu_test.cpp.o"
+  "CMakeFiles/cluster_cpu_test.dir/cluster_cpu_test.cpp.o.d"
+  "cluster_cpu_test"
+  "cluster_cpu_test.pdb"
+  "cluster_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

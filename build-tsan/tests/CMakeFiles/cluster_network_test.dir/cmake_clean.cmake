@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_network_test.dir/cluster_network_test.cpp.o"
+  "CMakeFiles/cluster_network_test.dir/cluster_network_test.cpp.o.d"
+  "cluster_network_test"
+  "cluster_network_test.pdb"
+  "cluster_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

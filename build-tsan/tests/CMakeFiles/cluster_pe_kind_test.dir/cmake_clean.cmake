@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_pe_kind_test.dir/cluster_pe_kind_test.cpp.o"
+  "CMakeFiles/cluster_pe_kind_test.dir/cluster_pe_kind_test.cpp.o.d"
+  "cluster_pe_kind_test"
+  "cluster_pe_kind_test.pdb"
+  "cluster_pe_kind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_pe_kind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cluster_pe_kind_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_validate_test.dir/cluster_validate_test.cpp.o"
+  "CMakeFiles/cluster_validate_test.dir/cluster_validate_test.cpp.o.d"
+  "cluster_validate_test"
+  "cluster_validate_test.pdb"
+  "cluster_validate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_capacity_test.dir/core_capacity_test.cpp.o"
+  "CMakeFiles/core_capacity_test.dir/core_capacity_test.cpp.o.d"
+  "core_capacity_test"
+  "core_capacity_test.pdb"
+  "core_capacity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_capacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

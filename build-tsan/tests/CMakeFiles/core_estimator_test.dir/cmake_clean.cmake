@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_estimator_test.dir/core_estimator_test.cpp.o"
+  "CMakeFiles/core_estimator_test.dir/core_estimator_test.cpp.o.d"
+  "core_estimator_test"
+  "core_estimator_test.pdb"
+  "core_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_model_builder_test.dir/core_model_builder_test.cpp.o"
+  "CMakeFiles/core_model_builder_test.dir/core_model_builder_test.cpp.o.d"
+  "core_model_builder_test"
+  "core_model_builder_test.pdb"
+  "core_model_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_model_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_nt_model_test.dir/core_nt_model_test.cpp.o"
+  "CMakeFiles/core_nt_model_test.dir/core_nt_model_test.cpp.o.d"
+  "core_nt_model_test"
+  "core_nt_model_test.pdb"
+  "core_nt_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_nt_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_optimizer_test.dir/core_optimizer_test.cpp.o"
+  "CMakeFiles/core_optimizer_test.dir/core_optimizer_test.cpp.o.d"
+  "core_optimizer_test"
+  "core_optimizer_test.pdb"
+  "core_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_determinism_test.dir/des_determinism_test.cpp.o"
+  "CMakeFiles/des_determinism_test.dir/des_determinism_test.cpp.o.d"
+  "des_determinism_test"
+  "des_determinism_test.pdb"
+  "des_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

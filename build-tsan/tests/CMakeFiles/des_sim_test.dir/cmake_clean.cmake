@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_sim_test.dir/des_sim_test.cpp.o"
+  "CMakeFiles/des_sim_test.dir/des_sim_test.cpp.o.d"
+  "des_sim_test"
+  "des_sim_test.pdb"
+  "des_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_sync_test.dir/des_sync_test.cpp.o"
+  "CMakeFiles/des_sync_test.dir/des_sync_test.cpp.o.d"
+  "des_sync_test"
+  "des_sync_test.pdb"
+  "des_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

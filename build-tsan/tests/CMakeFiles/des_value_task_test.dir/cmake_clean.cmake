@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_value_task_test.dir/des_value_task_test.cpp.o"
+  "CMakeFiles/des_value_task_test.dir/des_value_task_test.cpp.o.d"
+  "des_value_task_test"
+  "des_value_task_test.pdb"
+  "des_value_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_value_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for des_value_task_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generality_test.dir/generality_test.cpp.o"
+  "CMakeFiles/generality_test.dir/generality_test.cpp.o.d"
+  "generality_test"
+  "generality_test.pdb"
+  "generality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_cost_test.dir/hpl_cost_test.cpp.o"
+  "CMakeFiles/hpl_cost_test.dir/hpl_cost_test.cpp.o.d"
+  "hpl_cost_test"
+  "hpl_cost_test.pdb"
+  "hpl_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

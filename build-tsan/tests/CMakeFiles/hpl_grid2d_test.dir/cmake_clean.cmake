@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_grid2d_test.dir/hpl_grid2d_test.cpp.o"
+  "CMakeFiles/hpl_grid2d_test.dir/hpl_grid2d_test.cpp.o.d"
+  "hpl_grid2d_test"
+  "hpl_grid2d_test.pdb"
+  "hpl_grid2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_grid2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

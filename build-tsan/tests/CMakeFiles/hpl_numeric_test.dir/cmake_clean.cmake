@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_numeric_test.dir/hpl_numeric_test.cpp.o"
+  "CMakeFiles/hpl_numeric_test.dir/hpl_numeric_test.cpp.o.d"
+  "hpl_numeric_test"
+  "hpl_numeric_test.pdb"
+  "hpl_numeric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_numeric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

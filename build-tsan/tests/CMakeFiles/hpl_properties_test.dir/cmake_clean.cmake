@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_properties_test.dir/hpl_properties_test.cpp.o"
+  "CMakeFiles/hpl_properties_test.dir/hpl_properties_test.cpp.o.d"
+  "hpl_properties_test"
+  "hpl_properties_test.pdb"
+  "hpl_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

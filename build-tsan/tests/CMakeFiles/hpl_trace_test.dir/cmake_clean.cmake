@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_trace_test.dir/hpl_trace_test.cpp.o"
+  "CMakeFiles/hpl_trace_test.dir/hpl_trace_test.cpp.o.d"
+  "hpl_trace_test"
+  "hpl_trace_test.pdb"
+  "hpl_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_pipeline_test.dir/integration_pipeline_test.cpp.o"
+  "CMakeFiles/integration_pipeline_test.dir/integration_pipeline_test.cpp.o.d"
+  "integration_pipeline_test"
+  "integration_pipeline_test.pdb"
+  "integration_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_lls_test.dir/linalg_lls_test.cpp.o"
+  "CMakeFiles/linalg_lls_test.dir/linalg_lls_test.cpp.o.d"
+  "linalg_lls_test"
+  "linalg_lls_test.pdb"
+  "linalg_lls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_lls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_lu_test.dir/linalg_lu_test.cpp.o"
+  "CMakeFiles/linalg_lu_test.dir/linalg_lu_test.cpp.o.d"
+  "linalg_lu_test"
+  "linalg_lu_test.pdb"
+  "linalg_lu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_lu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_matrix_test.dir/linalg_matrix_test.cpp.o"
+  "CMakeFiles/linalg_matrix_test.dir/linalg_matrix_test.cpp.o.d"
+  "linalg_matrix_test"
+  "linalg_matrix_test.pdb"
+  "linalg_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

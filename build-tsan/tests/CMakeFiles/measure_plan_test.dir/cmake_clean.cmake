@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_plan_test.dir/measure_plan_test.cpp.o"
+  "CMakeFiles/measure_plan_test.dir/measure_plan_test.cpp.o.d"
+  "measure_plan_test"
+  "measure_plan_test.pdb"
+  "measure_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_runner_test.dir/measure_runner_test.cpp.o"
+  "CMakeFiles/measure_runner_test.dir/measure_runner_test.cpp.o.d"
+  "measure_runner_test"
+  "measure_runner_test.pdb"
+  "measure_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_collectives_test.dir/mpisim_collectives_test.cpp.o"
+  "CMakeFiles/mpisim_collectives_test.dir/mpisim_collectives_test.cpp.o.d"
+  "mpisim_collectives_test"
+  "mpisim_collectives_test.pdb"
+  "mpisim_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

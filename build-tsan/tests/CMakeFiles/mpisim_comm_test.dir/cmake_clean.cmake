@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_comm_test.dir/mpisim_comm_test.cpp.o"
+  "CMakeFiles/mpisim_comm_test.dir/mpisim_comm_test.cpp.o.d"
+  "mpisim_comm_test"
+  "mpisim_comm_test.pdb"
+  "mpisim_comm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_engine_test.dir/search_engine_test.cpp.o"
+  "CMakeFiles/search_engine_test.dir/search_engine_test.cpp.o.d"
+  "search_engine_test"
+  "search_engine_test.pdb"
+  "search_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

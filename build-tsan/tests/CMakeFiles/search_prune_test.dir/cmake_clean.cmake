@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_prune_test.dir/search_prune_test.cpp.o"
+  "CMakeFiles/search_prune_test.dir/search_prune_test.cpp.o.d"
+  "search_prune_test"
+  "search_prune_test.pdb"
+  "search_prune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_prune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

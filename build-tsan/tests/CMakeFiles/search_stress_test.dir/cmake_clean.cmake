@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_stress_test.dir/search_stress_test.cpp.o"
+  "CMakeFiles/search_stress_test.dir/search_stress_test.cpp.o.d"
+  "search_stress_test"
+  "search_stress_test.pdb"
+  "search_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

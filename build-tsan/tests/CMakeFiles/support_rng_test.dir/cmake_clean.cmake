@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_rng_test.dir/support_rng_test.cpp.o"
+  "CMakeFiles/support_rng_test.dir/support_rng_test.cpp.o.d"
+  "support_rng_test"
+  "support_rng_test.pdb"
+  "support_rng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_stats_test.dir/support_stats_test.cpp.o"
+  "CMakeFiles/support_stats_test.dir/support_stats_test.cpp.o.d"
+  "support_stats_test"
+  "support_stats_test.pdb"
+  "support_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_table_test.dir/support_table_test.cpp.o"
+  "CMakeFiles/support_table_test.dir/support_table_test.cpp.o.d"
+  "support_table_test"
+  "support_table_test.pdb"
+  "support_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_thread_pool_test.dir/support_thread_pool_test.cpp.o"
+  "CMakeFiles/support_thread_pool_test.dir/support_thread_pool_test.cpp.o.d"
+  "support_thread_pool_test"
+  "support_thread_pool_test.pdb"
+  "support_thread_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_thread_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

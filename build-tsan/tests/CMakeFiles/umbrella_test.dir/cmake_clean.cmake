@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umbrella_test.dir/umbrella_test.cpp.o"
+  "CMakeFiles/umbrella_test.dir/umbrella_test.cpp.o.d"
+  "umbrella_test"
+  "umbrella_test.pdb"
+  "umbrella_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umbrella_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

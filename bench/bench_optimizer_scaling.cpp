@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "obs/io.hpp"
 #include "search/engine.hpp"
 
 using namespace hetsched;
@@ -79,7 +80,13 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (!obs::consume_arg(argv[i])) {
+      std::cerr << "usage: bench_optimizer_scaling " << obs::cli_help()
+                << "\n";
+      return 1;
+    }
   std::cout << "Paper §5: 'for larger clusters, it is essential to find a "
                "way to reduce the search space'. Serial exhaustive vs the "
                "parallel pruned engine vs greedy hill-climbing:\n";

@@ -1,0 +1,28 @@
+# CTest script behind the `trace_artifact_check` test (registered in
+# tools/CMakeLists.txt): runs the scheduler_advisor CLI with
+# --trace-out/--metrics-out, then validates both artifacts with
+# trace_check. Inputs (via -D): ADVISOR, TRACE_CHECK, WORK_DIR,
+# CHECK_ARGS (a cmake list of extra trace_check arguments; empty in
+# HETSCHED_OBS=OFF builds, where only JSON well-formedness is checked).
+set(trace "${WORK_DIR}/trace_artifact_check.trace.json")
+set(metrics "${WORK_DIR}/trace_artifact_check.metrics.json")
+
+execute_process(
+  COMMAND "${ADVISOR}" 1600 --plan=ns
+          "--trace-out=${trace}" "--metrics-out=${metrics}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "scheduler_advisor exited with ${rc}:\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${TRACE_CHECK}" "${trace}" "--metrics=${metrics}" ${CHECK_ARGS}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_check exited with ${rc}:\n${out}\n${err}")
+endif()
+message(STATUS "${out}")

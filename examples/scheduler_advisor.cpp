@@ -3,6 +3,7 @@
 //   scheduler_advisor <N> [--plan=basic|nl|ns] [--mpi=121|122]
 //                         [--greedy] [--serial] [--threads=K] [--top=K]
 //                         [--save=FILE] [--load=FILE] [--describe]
+//                         [--trace-out=FILE] [--metrics-out=FILE]
 //
 // Prints the recommended configuration(s) for an HPL run of order N on
 // the paper's cluster, with the predicted execution time, the model bin
@@ -14,6 +15,11 @@
 // Fitted models are the valuable artifact (measuring costs hours,
 // estimating milliseconds): `--save` persists them after fitting and
 // `--load` skips the measurement campaign entirely.
+//
+// `--trace-out=FILE` captures a Perfetto-loadable trace of the whole
+// session (measurement spans, simulator event loops, the search sweep)
+// and `--metrics-out=FILE` dumps the metrics registry — see
+// docs/OBSERVABILITY.md.
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -25,6 +31,7 @@
 #include "core/optimizer.hpp"
 #include "measure/plan.hpp"
 #include "measure/runner.hpp"
+#include "obs/io.hpp"
 #include "search/engine.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
@@ -36,7 +43,8 @@ namespace {
 int usage() {
   std::cerr << "usage: scheduler_advisor <N> [--plan=basic|nl|ns] "
                "[--mpi=121|122] [--greedy] [--serial] [--threads=K] "
-               "[--top=K]\n";
+               "[--top=K] "
+            << obs::cli_help() << "\n";
   return 1;
 }
 
@@ -54,7 +62,9 @@ int main(int argc, char** argv) {
   int top = 5, threads = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--plan=", 0) == 0)
+    if (obs::consume_arg(arg))
+      continue;
+    else if (arg.rfind("--plan=", 0) == 0)
       plan_name = arg.substr(7);
     else if (arg.rfind("--mpi=", 0) == 0)
       mpi = arg.substr(6);

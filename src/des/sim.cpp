@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/hooks.hpp"
+
 namespace hetsched::des {
 
 Simulator::~Simulator() {
@@ -23,7 +25,10 @@ void Simulator::spawn(Task task, SimTime at) {
   HETSCHED_CHECK(start >= now_, "cannot spawn a task in the past");
   auto h = task.release();
   tasks_.push_back(h);
-  schedule_at(start, [h] { h.resume(); });
+  schedule_at(start, [h] {
+    HETSCHED_COUNTER_ADD("des.coroutine_resumes", 1);
+    h.resume();
+  });
 }
 
 void Simulator::drain(SimTime t_end, bool bounded) {
@@ -34,17 +39,30 @@ void Simulator::drain(SimTime t_end, bool bounded) {
     ~Unflag() { flag = false; }
   } unflag{running_};
 
+  HETSCHED_TRACE_SPAN_VAR(obs_span, "des", "drain");
+  std::uint64_t dispatched_here = 0;
+  std::uint64_t cancelled_here = 0;
   while (!queue_.empty()) {
     Event ev = queue_.top();
     if (bounded && ev.t > t_end) break;
     queue_.pop();
-    if (!*ev.alive) continue;  // cancelled
+    if (!*ev.alive) {  // cancelled
+      ++cancelled_here;
+      continue;
+    }
     HETSCHED_ASSERT(ev.t >= now_, "event queue went backwards in time");
+    HETSCHED_HISTOGRAM_RECORD("des.vt_advance_s", ev.t - now_);
     now_ = ev.t;
     ++dispatched_;
+    ++dispatched_here;
     *ev.alive = false;  // fired: EventHandle::pending() turns false
     ev.fn();
   }
+  HETSCHED_COUNTER_ADD("des.events_dispatched", dispatched_here);
+  HETSCHED_COUNTER_ADD("des.events_cancelled", cancelled_here);
+  HETSCHED_GAUGE_SET("des.virtual_time_s", now_);
+  obs_span.arg("events", static_cast<long long>(dispatched_here))
+      .arg("virtual_time_s", now_);
   // Task exceptions are captured by the promise; surface the first one here
   // (checking per-event would cost O(tasks) on every dispatch).
   for (auto h : tasks_)

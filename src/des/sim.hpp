@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "des/task.hpp"
+#include "obs/hooks.hpp"
 #include "support/error.hpp"
 #include "support/units.hpp"
 
@@ -90,7 +91,10 @@ class Simulator {
     SimTime dt;
     bool await_ready() const { return dt <= 0.0; }
     void await_suspend(std::coroutine_handle<> h) {
-      sim.schedule_after(dt, [h] { h.resume(); });
+      sim.schedule_after(dt, [h] {
+        HETSCHED_COUNTER_ADD("des.coroutine_resumes", 1);
+        h.resume();
+      });
     }
     void await_resume() const {}
   };

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "hpl/cost_engine.hpp"
+#include "obs/hooks.hpp"
 #include "support/error.hpp"
 
 namespace hetsched::measure {
@@ -46,14 +47,23 @@ std::string Runner::cache_key(const cluster::Config& config, int n) const {
 const core::Sample& Runner::measure(const cluster::Config& config, int n) {
   const std::string key = cache_key(config, n);
   auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    HETSCHED_COUNTER_ADD("measure.cache_hits", 1);
+    return it->second;
+  }
 
   // Distinct noise per (campaign, config, size): hash the cache key.
   std::uint64_t h = salt_ * 0x100000001b3ULL;
   for (const char c : key)
     h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
 
+  // One span per simulated run, tagged with the (kind, PEs, Mi) quadruple
+  // and problem size — the per-sample cost breakdown of a campaign.
+  HETSCHED_TRACE_SPAN_VAR(obs_span, "measure", "sample");
+  obs_span.arg("config", config.to_string()).arg("n", n);
+  HETSCHED_COUNTER_ADD("measure.runs", 1);
   core::Sample s = workload_(spec_, config, n, h);
+  HETSCHED_HISTOGRAM_RECORD("measure.sample_wall_s", s.wall);
   ++runs_;
   return cache_.emplace(key, std::move(s)).first->second;
 }
@@ -74,7 +84,11 @@ const core::Sample& Runner::measure_repeated(const cluster::Config& config,
                       0x100000001b3ULL;
     for (const char c : key)
       h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+    HETSCHED_TRACE_SPAN_VAR(obs_span, "measure", "sample");
+    obs_span.arg("config", config.to_string()).arg("n", n).arg("trial", trial);
+    HETSCHED_COUNTER_ADD("measure.runs", 1);
     core::Sample s = workload_(spec_, config, n, h);
+    HETSCHED_HISTOGRAM_RECORD("measure.sample_wall_s", s.wall);
     ++runs_;
     if (trial == 0) {
       avg = std::move(s);
@@ -100,6 +114,8 @@ const core::Sample& Runner::measure_repeated(const cluster::Config& config,
 }
 
 core::MeasurementSet Runner::run_plan(const MeasurementPlan& plan) {
+  HETSCHED_TRACE_SPAN_VAR(obs_span, "measure", "run_plan");
+  obs_span.arg("plan", plan.name);
   core::MeasurementSet ms;
   for (const auto& config : plan.construction_configs())
     for (const int n : plan.ns)

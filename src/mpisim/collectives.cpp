@@ -1,5 +1,6 @@
 #include "mpisim/collectives.hpp"
 
+#include "obs/hooks.hpp"
 #include "support/error.hpp"
 
 namespace hetsched::mpisim {
@@ -53,6 +54,14 @@ des::Task bcast(Comm& comm, int me, int root, int tag, Bytes bytes,
                 BcastAlgo algo, std::vector<double>* payload) {
   HETSCHED_CHECK(root >= 0 && root < comm.size(), "bcast: bad root");
   if (comm.size() == 1) co_return;
+  // Async span: the coroutine suspends mid-collective, so a synchronous
+  // span would interleave wrongly with other ranks on the sim thread.
+  HETSCHED_TRACE_ASYNC_VAR(obs_span, "mpisim", "bcast");
+  obs_span.arg("rank", me)
+      .arg("root", root)
+      .arg("bytes", bytes)
+      .arg("algo", algo == BcastAlgo::kRing ? "ring" : "binomial");
+  HETSCHED_COUNTER_ADD("mpisim.collectives", 1);
   switch (algo) {
     case BcastAlgo::kRing:
       co_await bcast_ring(comm, me, root, tag, bytes, payload);
@@ -69,6 +78,9 @@ des::Task gather_at(Comm& comm, int me, int root, int tag, Bytes bytes,
   HETSCHED_CHECK(root >= 0 && root < comm.size(), "gather_at: bad root");
   const int p = comm.size();
   if (p == 1) co_return;
+  HETSCHED_TRACE_ASYNC_VAR(obs_span, "mpisim", "gather");
+  obs_span.arg("rank", me).arg("root", root).arg("bytes", bytes);
+  HETSCHED_COUNTER_ADD("mpisim.collectives", 1);
   if (me == root) {
     if (into) into->clear();
     for (int r = 0; r < p; ++r) {

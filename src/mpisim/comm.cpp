@@ -1,5 +1,6 @@
 #include "mpisim/comm.hpp"
 
+#include "obs/hooks.hpp"
 #include "support/error.hpp"
 
 namespace hetsched::mpisim {
@@ -53,6 +54,9 @@ des::Task Comm::send_impl(int src, int dst, int tag, Bytes bytes,
   auto& st = stats_[static_cast<std::size_t>(src)];
   ++st.sends;
   st.bytes_sent += bytes;
+  HETSCHED_COUNTER_ADD("mpisim.sends", 1);
+  HETSCHED_COUNTER_ADD("mpisim.bytes_sent", bytes);
+  HETSCHED_HISTOGRAM_RECORD("mpisim.msg_bytes", bytes);
 
   const cluster::TransferTimes times = machine_.network().plan_transfer(
       sim.now(), pe_of(src).node, pe_of(dst).node, bytes);
@@ -75,6 +79,7 @@ des::ValueTask<Message> Comm::recv_impl(int dst, int src, int tag) {
   des::Queue<Message>& box = mailbox(dst, src, tag);
   Message m = co_await box.pop();
   ++stats_[static_cast<std::size_t>(dst)].recvs;
+  HETSCHED_COUNTER_ADD("mpisim.recvs", 1);
   co_return m;
 }
 

@@ -1,0 +1,36 @@
+// Command-line plumbing for observability outputs.
+//
+// Any binary gains `--trace-out=FILE` / `--metrics-out=FILE` support by
+// filtering its argv through consume_arg():
+//
+//   for (int i = 1; i < argc; ++i) {
+//     if (obs::consume_arg(argv[i])) continue;
+//     ... normal flag handling ...
+//   }
+//
+// `--trace-out=` enables the tracer immediately; both flags register an
+// atexit hook so the artifacts are written even when the binary exits
+// through a framework (BENCHMARK_MAIN, gtest). flush_outputs() can be
+// called earlier for deterministic ordering; it is idempotent.
+//
+// Thread-safety: consume_arg/flush_outputs are meant for main(); they
+// are not hardened against concurrent callers.
+#pragma once
+
+#include <string>
+
+namespace hetsched::obs {
+
+/// Recognizes and applies `--trace-out=FILE` and `--metrics-out=FILE`.
+/// Returns true if `arg` was consumed, false to let the caller parse it.
+bool consume_arg(const std::string& arg);
+
+/// Writes any requested artifacts now (and not again at exit). Returns
+/// the number of files written. Reports failures to stderr rather than
+/// throwing — an unwritable trace should not abort the computation.
+int flush_outputs();
+
+/// One-line usage text describing the flags, for --help output.
+const char* cli_help();
+
+}  // namespace hetsched::obs

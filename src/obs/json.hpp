@@ -1,0 +1,81 @@
+// Minimal strict JSON parser — just enough to validate and inspect the
+// artifacts this library emits (trace and metrics files) without an
+// external dependency. Not a general-purpose JSON library: no comments,
+// no trailing commas, \uXXXX escapes are preserved verbatim rather than
+// decoded (the emitters never produce non-ASCII).
+//
+// Thread-safety: parse() is pure; Value is a plain value type.
+// Complexity: O(input length), recursion depth bounded by kMaxDepth.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hetsched::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::kNumber), num_(d) {}
+  explicit Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit Value(Array a)
+      : kind_(Kind::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : kind_(Kind::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw hetsched::obs::json::TypeError on mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Thrown on malformed input (with byte offset) or accessor misuse.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+class TypeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses exactly one JSON document; trailing non-whitespace is an error.
+Value parse(const std::string& text);
+
+/// Convenience: parse the whole contents of a file. Throws ParseError
+/// if the file cannot be read.
+Value parse_file(const std::string& path);
+
+}  // namespace hetsched::obs::json

@@ -1,0 +1,181 @@
+// Structured tracing: Chrome-trace / Perfetto-compatible JSON events.
+//
+// The tracer records timestamped events into per-thread buffers and, on
+// demand, serializes them as a Chrome Trace Event Format document
+// (load it at chrome://tracing or https://ui.perfetto.dev):
+//
+//  * `Span`      — a scoped duration ("X" complete event) on the calling
+//                  thread's track. Spans must nest within a thread,
+//                  which RAII scoping guarantees.
+//  * `AsyncSpan` — a begin/end pair ("b"/"e") with a unique id, for
+//                  operations that suspend and resume (coroutines: a
+//                  collective phase overlaps other ranks' work on the
+//                  same thread). Rendered on a separate async track.
+//  * `instant()` — a point event ("i").
+//
+// Cost model: when the tracer is disabled (the default), every emit
+// degenerates to one relaxed atomic load and a branch; RAII spans also
+// skip the clock reads. When enabled, an emit is a clock read plus an
+// append to a per-thread buffer under that buffer's (uncontended) mutex.
+// Compile with HETSCHED_OBS_DISABLED (cmake -DHETSCHED_OBS=OFF) and the
+// obs/hooks.hpp macros remove the call sites entirely.
+//
+// Thread-safety: all public members are safe from any thread. Buffers
+// of exited threads stay owned by the tracer, so their events survive
+// into write_json().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hetsched::obs {
+
+/// Microseconds since process start (steady clock).
+double now_us() noexcept;
+
+/// One recorded trace event (Chrome Trace Event Format fields).
+struct TraceEvent {
+  double ts_us = 0.0;       ///< "ts"
+  double dur_us = 0.0;      ///< "dur" (complete events only)
+  const char* cat = "";     ///< "cat" — layer: des, mpisim, search, ...
+  std::string name;         ///< "name"
+  char phase = 'X';         ///< "ph": X, i, b, e
+  std::uint64_t id = 0;     ///< "id" (async events only)
+  std::string args_json;    ///< pre-rendered contents of "args", no braces
+};
+
+class Tracer {
+ public:
+  /// The singleton. Never destroyed (atexit writers and detached
+  /// threads may touch it arbitrarily late).
+  static Tracer& instance();
+
+  /// Starts capturing. Events emitted while disabled are dropped.
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends `ev` to the calling thread's buffer (no-op when disabled).
+  void emit(TraceEvent ev);
+
+  /// Fresh id for an AsyncSpan begin/end pair.
+  std::uint64_t next_async_id() noexcept {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Total buffered events across all threads.
+  std::size_t event_count() const;
+
+  /// Drops all buffered events (keeps enabled state).
+  void clear();
+
+  /// Serializes all buffered events as a Chrome trace JSON document:
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}. Events are not
+  /// consumed; per-thread tracks get thread_name metadata records.
+  void write_json(std::ostream& os) const;
+
+ private:
+  Tracer() = default;
+  struct ThreadBuf {
+    int tid = 0;
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+  ThreadBuf& local_buf();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex bufs_mu_;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+  int next_tid_ = 1;
+};
+
+/// Appends `"key": <value>` fragments into a TraceEvent::args_json.
+/// Values are JSON-escaped. Cheap enough for per-sample (not per-event)
+/// call sites.
+class ArgList {
+ public:
+  ArgList& add(const char* key, const std::string& value);
+  ArgList& add(const char* key, const char* value);
+  ArgList& add(const char* key, double value);
+  ArgList& add(const char* key, long long value);
+  ArgList& add(const char* key, int value) {
+    return add(key, static_cast<long long>(value));
+  }
+  ArgList& add(const char* key, std::size_t value) {
+    return add(key, static_cast<long long>(value));
+  }
+  const std::string& json() const { return json_; }
+  std::string take() { return std::move(json_); }
+
+ private:
+  std::string json_;
+};
+
+/// Scoped synchronous span: emits one complete ("X") event covering the
+/// object's lifetime on the current thread's track. Inactive (and
+/// nearly free) when the tracer is disabled at construction.
+class Span {
+ public:
+  Span(const char* cat, const char* name) {
+    if (Tracer::instance().enabled()) begin(cat, name);
+  }
+  ~Span() {
+    if (active_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches an argument to the event (no-op when inactive).
+  template <typename T>
+  Span& arg(const char* key, T&& value) {
+    if (active_) args_.add(key, std::forward<T>(value));
+    return *this;
+  }
+  bool active() const { return active_; }
+
+ private:
+  void begin(const char* cat, const char* name);
+  void end();
+  bool active_ = false;
+  double t0_ = 0.0;
+  const char* cat_ = "";
+  const char* name_ = "";
+  ArgList args_;
+};
+
+/// Async span: begin/end events tied by id, safe to hold across
+/// coroutine suspension points (the pair may bracket other spans on the
+/// same thread without nesting).
+class AsyncSpan {
+ public:
+  AsyncSpan(const char* cat, const char* name);
+  ~AsyncSpan();
+  AsyncSpan(const AsyncSpan&) = delete;
+  AsyncSpan& operator=(const AsyncSpan&) = delete;
+
+  template <typename T>
+  AsyncSpan& arg(const char* key, T&& value) {
+    if (active_) args_.add(key, std::forward<T>(value));
+    return *this;
+  }
+
+ private:
+  bool active_ = false;
+  std::uint64_t id_ = 0;
+  const char* cat_ = "";
+  const char* name_ = "";
+  ArgList args_;
+};
+
+/// Emits a point ("i") event on the current thread's track.
+void instant(const char* cat, const char* name);
+
+}  // namespace hetsched::obs

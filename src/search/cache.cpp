@@ -109,8 +109,10 @@ std::string estimate_key(const cluster::Config& config, int n) {
   return config.to_string() + '@' + std::to_string(n);
 }
 
-EstimateCache::EstimateCache(std::size_t shards)
+EstimateCache::EstimateCache(std::size_t shards,
+                             std::size_t max_entries_per_shard)
     : shard_count_(shards == 0 ? 1 : shards),
+      max_entries_per_shard_(max_entries_per_shard),
       shards_(new Shard[shard_count_]) {}
 
 EstimateCache::Shard& EstimateCache::shard_for(const std::string& key) {
@@ -130,9 +132,11 @@ std::optional<Seconds> EstimateCache::lookup(const std::string& key) {
   std::lock_guard<std::mutex> l(s.mu);
   const auto it = s.map.find(key);
   if (it == s.map.end()) {
+    ++s.misses;
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
+  ++s.hits;
   hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second;
 }
@@ -140,7 +144,17 @@ std::optional<Seconds> EstimateCache::lookup(const std::string& key) {
 void EstimateCache::insert(const std::string& key, Seconds value) {
   Shard& s = shard_for(key);
   std::lock_guard<std::mutex> l(s.mu);
-  s.map.emplace(key, value);
+  const auto [it, inserted] = s.map.emplace(key, value);
+  if (!inserted || max_entries_per_shard_ == 0 ||
+      s.map.size() <= max_entries_per_shard_)
+    return;
+  // Over capacity: evict an arbitrary resident entry other than the one
+  // just inserted (begin() may be it after rehashing).
+  auto victim = s.map.begin();
+  if (victim == it) ++victim;
+  s.map.erase(victim);
+  ++s.evictions;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void EstimateCache::clear() {
@@ -157,6 +171,16 @@ std::size_t EstimateCache::size() const {
     total += shards_[i].map.size();
   }
   return total;
+}
+
+std::vector<ShardStats> EstimateCache::shard_stats() const {
+  std::vector<ShardStats> out(shard_count_);
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> l(shards_[i].mu);
+    out[i] = ShardStats{shards_[i].hits, shards_[i].misses,
+                        shards_[i].evictions, shards_[i].map.size()};
+  }
+  return out;
 }
 
 }  // namespace hetsched::search

@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/estimator.hpp"
 #include "support/units.hpp"
@@ -29,14 +30,40 @@ namespace hetsched::search {
 /// Content fingerprint of an estimator: options, cluster memory geometry,
 /// and every N-T / P-T / adjustment coefficient. Any rebuild that changes
 /// a prediction changes the fingerprint.
+///
+/// Complexity: O(model count); called once per sweep, not per estimate.
 std::uint64_t estimator_fingerprint(const core::Estimator& est);
 
 /// Cache key for one (config, n) estimate.
 std::string estimate_key(const cluster::Config& config, int n);
 
+/// Point-in-time statistics of one cache shard (see shard_stats()).
+struct ShardStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+};
+
+/// Sharded (config, n) → estimate map.
+///
+/// Thread-safety: every member is safe to call concurrently. Entries are
+/// spread over `shards` independently locked maps, so concurrent
+/// lookups/inserts from the search engine's pool contend only when two
+/// threads hash to the same shard. Aggregate hit/miss/eviction counters
+/// are relaxed atomics.
+///
+/// Complexity: lookup/insert are O(1) expected (one shard lock, one hash
+/// map probe). size()/shard_stats()/clear() lock every shard in turn.
 class EstimateCache {
  public:
-  explicit EstimateCache(std::size_t shards = 16);
+  /// `shards`: lock striping width (0 is treated as 1).
+  /// `max_entries_per_shard`: capacity bound; 0 means unbounded. When a
+  /// full shard takes a new entry, one resident entry is evicted
+  /// (arbitrary victim — the access pattern is sweep-shaped, so
+  /// recency tracking would cost more than re-pricing the odd victim).
+  explicit EstimateCache(std::size_t shards = 16,
+                         std::size_t max_entries_per_shard = 0);
 
   /// Binds the cache to an estimator fingerprint, clearing all entries
   /// if it differs from the currently bound one. Thread-safe, but
@@ -47,27 +74,45 @@ class EstimateCache {
   /// payload means "the model set does not cover this configuration".
   std::optional<Seconds> lookup(const std::string& key);
 
-  /// Stores `value` (NaN for uncovered) under `key`.
+  /// Stores `value` (NaN for uncovered) under `key`. May evict when the
+  /// shard is at capacity.
   void insert(const std::string& key, Seconds value);
 
   void clear();
+
+  /// Total resident entries (locks every shard; O(shards)).
   std::size_t size() const;
+
+  /// Per-shard hit/miss/eviction/occupancy counters, index = shard id.
+  /// Feeds the `search.cache.*` metrics and the observability docs'
+  /// cache-thrash walkthrough (docs/OBSERVABILITY.md).
+  std::vector<ShardStats> shard_stats() const;
+
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Shard {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::unordered_map<std::string, Seconds> map;
+    // Guarded by mu (updated under the same lock as map).
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
   };
   Shard& shard_for(const std::string& key);
 
   std::size_t shard_count_;
+  std::size_t max_entries_per_shard_;
   std::unique_ptr<Shard[]> shards_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
   std::mutex bind_mu_;
   std::uint64_t bound_fingerprint_ = 0;
   bool bound_ = false;

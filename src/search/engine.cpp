@@ -7,6 +7,7 @@
 #include <numeric>
 #include <utility>
 
+#include "obs/hooks.hpp"
 #include "support/error.hpp"
 
 namespace hetsched::search {
@@ -21,6 +22,17 @@ void atomic_min(std::atomic<double>& a, double v) {
   while (v < cur &&
          !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
+}
+
+// Accumulates one sweep's EngineStats into the process-wide `search.*`
+// metrics (cross-engine, cross-call totals; see docs/OBSERVABILITY.md).
+void flush_stats_to_metrics(const EngineStats& st) {
+  HETSCHED_COUNTER_ADD("search.nodes_visited", st.visited);
+  HETSCHED_COUNTER_ADD("search.nodes_pruned", st.pruned);
+  HETSCHED_COUNTER_ADD("search.nodes_uncovered", st.uncovered);
+  HETSCHED_COUNTER_ADD("search.cache.hits", st.cache_hits);
+  HETSCHED_COUNTER_ADD("search.cache.misses", st.cache_misses);
+  HETSCHED_COUNTER_ADD("search.cache.evictions", st.cache_evictions);
 }
 
 cluster::Config config_from_idx(
@@ -38,7 +50,9 @@ cluster::Config config_from_idx(
 }  // namespace
 
 Engine::Engine(EngineOptions opts)
-    : opts_(opts), pool_(opts.threads), cache_(opts.cache_shards) {}
+    : opts_(opts),
+      pool_(opts.threads),
+      cache_(opts.cache_shards, opts.cache_max_entries_per_shard) {}
 
 Seconds Engine::priced(const core::Estimator& est,
                        const cluster::Config& config, int n) {
@@ -63,12 +77,14 @@ std::optional<Seconds> Engine::try_estimate(const core::Estimator& est,
 std::vector<core::Ranked> Engine::rank_all(const core::Estimator& est,
                                            const core::ConfigSpace& space,
                                            int n) {
+  HETSCHED_TRACE_SPAN_VAR(obs_span, "search", "rank_all");
   if (opts_.use_cache) cache_.bind(estimator_fingerprint(est));
   const std::size_t count = space.size();
   stats_ = EngineStats{};
   stats_.candidates = count;
   const std::uint64_t hits0 = cache_.hits();
   const std::uint64_t misses0 = cache_.misses();
+  const std::uint64_t evictions0 = cache_.evictions();
 
   std::vector<core::Ranked> out(count);
   pool_.parallel_for(count, [&](std::size_t i) {
@@ -91,11 +107,18 @@ std::vector<core::Ranked> Engine::rank_all(const core::Estimator& est,
                    });
   stats_.cache_hits = cache_.hits() - hits0;
   stats_.cache_misses = cache_.misses() - misses0;
+  stats_.cache_evictions = cache_.evictions() - evictions0;
+  flush_stats_to_metrics(stats_);
+  HETSCHED_GAUGE_SET("search.cache.entries", cache_.size());
+  obs_span.arg("candidates", static_cast<long long>(count))
+      .arg("n", n)
+      .arg("cache_hits", static_cast<long long>(stats_.cache_hits));
   return out;
 }
 
 core::Ranked Engine::best(const core::Estimator& est,
                           const core::ConfigSpace& space, int n) {
+  HETSCHED_TRACE_SPAN_VAR(obs_span, "search", "best");
   if (opts_.use_cache) cache_.bind(estimator_fingerprint(est));
   const auto& kinds = space.kinds();
   const std::size_t K = kinds.size();
@@ -103,6 +126,7 @@ core::Ranked Engine::best(const core::Estimator& est,
   stats_.candidates = space.size();
   const std::uint64_t hits0 = cache_.hits();
   const std::uint64_t misses0 = cache_.misses();
+  const std::uint64_t evictions0 = cache_.evictions();
   const double nn = n;
   const core::EstimatorOptions& eo = est.options();
 
@@ -306,6 +330,9 @@ core::Ranked Engine::best(const core::Estimator& est,
     stats_.visited += L.visited;
     stats_.pruned += L.pruned;
     stats_.uncovered += L.uncovered;
+    // Leaves priced per top-level task: the spread of this histogram is
+    // the work-balance story of the sweep.
+    HETSCHED_HISTOGRAM_RECORD("search.task_leaves", L.visited);
     if (L.idx == core::ConfigSpace::npos) continue;
     if (best == nullptr || L.est < best->est ||
         (L.est == best->est && L.idx < best->idx))
@@ -313,6 +340,13 @@ core::Ranked Engine::best(const core::Estimator& est,
   }
   stats_.cache_hits = cache_.hits() - hits0;
   stats_.cache_misses = cache_.misses() - misses0;
+  stats_.cache_evictions = cache_.evictions() - evictions0;
+  flush_stats_to_metrics(stats_);
+  HETSCHED_GAUGE_SET("search.cache.entries", cache_.size());
+  obs_span.arg("candidates", static_cast<long long>(stats_.candidates))
+      .arg("n", n)
+      .arg("visited", static_cast<long long>(stats_.visited))
+      .arg("pruned", static_cast<long long>(stats_.pruned));
   HETSCHED_CHECK(best != nullptr,
                  "search::Engine::best: models cover no candidate "
                  "configuration");

@@ -35,12 +35,19 @@ struct EngineOptions {
   bool prune = true;           ///< branch-and-bound lower-bound cuts
   bool use_cache = true;       ///< memoize (config, n) estimates
   std::size_t cache_shards = 16;
+  /// Estimate-cache capacity per shard; 0 = unbounded. Bounding it
+  /// trades re-pricing for memory; watch `search.cache.evictions` (and
+  /// `EstimateCache::shard_stats()`) for thrash — see
+  /// docs/OBSERVABILITY.md for the worked diagnosis.
+  std::size_t cache_max_entries_per_shard = 0;
   /// Top-level subtree tasks generated per pool thread; more tasks =
   /// better balance, more scheduling overhead.
   std::size_t tasks_per_thread = 8;
 };
 
-/// Counters from the last best()/rank_all() call.
+/// Counters from the last best()/rank_all() call. The same quantities
+/// are accumulated process-wide into the `search.*` metrics
+/// (hetsched::obs::snapshot()) across all engines and calls.
 struct EngineStats {
   std::size_t candidates = 0;   ///< size of the searched space
   std::size_t visited = 0;      ///< leaves priced (from cache or estimator)
@@ -48,20 +55,36 @@ struct EngineStats {
   std::size_t uncovered = 0;    ///< visited leaves the models cannot price
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;  ///< entries displaced (bounded cache)
 };
 
+/// Parallel branch-and-bound configuration search.
+///
+/// Thread-safety: an Engine owns one thread pool and one cache; its
+/// search entry points (best / rank_all / try_estimate) are *not*
+/// reentrant — issue them from one thread at a time (the pool
+/// parallelizes internally). Distinct Engine instances are fully
+/// independent.
+///
+/// Complexity: best() visits the candidate tree minus pruned subtrees —
+/// O(space.size()) worst case, typically ≪ (the `search.nodes_pruned`
+/// metric and stats().pruned report the savings); rank_all() is
+/// Θ(space.size()) estimates plus an O(k log k) sort of the covered k.
 class Engine {
  public:
   explicit Engine(EngineOptions opts = {});
 
   /// The argmin configuration — config *and* estimate exactly equal to
   /// core::best_exhaustive's answer. Throws if no candidate is covered.
+  /// Emits a "search/best" trace span and accumulates `search.*`
+  /// metrics.
   core::Ranked best(const core::Estimator& est,
                     const core::ConfigSpace& space, int n);
 
   /// All covered candidates sorted by estimate (ties in enumeration
   /// order) — element-wise equal to core::rank_all. Evaluated in
-  /// parallel, served from the cache where possible.
+  /// parallel, served from the cache where possible. Emits a
+  /// "search/rank_all" trace span.
   std::vector<core::Ranked> rank_all(const core::Estimator& est,
                                      const core::ConfigSpace& space, int n);
 
@@ -70,6 +93,7 @@ class Engine {
   std::optional<Seconds> try_estimate(const core::Estimator& est,
                                       const cluster::Config& config, int n);
 
+  /// Counters of the most recent best()/rank_all() on this engine.
   const EngineStats& stats() const { return stats_; }
   EstimateCache& cache() { return cache_; }
   support::ThreadPool& pool() { return pool_; }

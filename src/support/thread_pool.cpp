@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/hooks.hpp"
 #include "support/error.hpp"
 
 namespace hetsched::support {
@@ -42,11 +43,19 @@ struct ThreadPool::Impl {
 
   void work(const std::shared_ptr<Job>& j) {
     j->running.fetch_add(1, std::memory_order_acq_rel);
+    // Per-context work accounting: how many chunks this execution
+    // context claimed off the shared cursor and how many indices it ran.
+    // The spread of pool.indices_per_context across a job is the
+    // work-distribution (steal-balance) picture of the pool.
+    std::uint64_t chunks_claimed = 0;
+    std::uint64_t indices_run = 0;
     for (;;) {
       const std::size_t i0 =
           j->next.fetch_add(j->chunk, std::memory_order_relaxed);
       if (i0 >= j->n) break;
       const std::size_t i1 = std::min(i0 + j->chunk, j->n);
+      ++chunks_claimed;
+      indices_run += i1 - i0;
       for (std::size_t i = i0; i < i1; ++i) {
         if (j->aborted.load(std::memory_order_relaxed)) break;
         try {
@@ -64,6 +73,9 @@ struct ThreadPool::Impl {
       }
       if (j->aborted.load(std::memory_order_relaxed)) break;
     }
+    HETSCHED_COUNTER_ADD("pool.chunks_claimed", chunks_claimed);
+    if (indices_run > 0)
+      HETSCHED_HISTOGRAM_RECORD("pool.indices_per_context", indices_run);
     if (j->running.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last one out: take the lock empty so the caller cannot check the
       // predicate and fall asleep between our decrement and the notify.
@@ -118,6 +130,9 @@ void ThreadPool::parallel_for(std::size_t n,
   }
 
   std::lock_guard<std::mutex> serial(impl_->serialize);
+  HETSCHED_TRACE_SPAN_VAR(obs_span, "support", "parallel_for");
+  obs_span.arg("n", static_cast<long long>(n));
+  HETSCHED_COUNTER_ADD("pool.parallel_for_calls", 1);
   auto j = std::make_shared<Job>();
   j->fn = &fn;
   j->n = n;

@@ -1,0 +1,81 @@
+// Compiled with HETSCHED_OBS_DISABLED forced on for this translation
+// unit (see tests/CMakeLists.txt): asserts that the obs/hooks.hpp
+// macros really are no-ops in the disabled configuration — nothing is
+// registered, nothing is traced, and the span objects have no surface
+// beyond arg-chaining. This is the compile-to-nothing contract the
+// HETSCHED_OBS=OFF build relies on; the same source also builds in the
+// OFF cmake matrix leg, where the whole library carries the define.
+#ifndef HETSCHED_OBS_DISABLED
+#define HETSCHED_OBS_DISABLED
+#endif
+
+#include "obs/hooks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <type_traits>
+
+namespace obs = hetsched::obs;
+
+static_assert(HETSCHED_OBS_ACTIVE == 0,
+              "HETSCHED_OBS_DISABLED must force HETSCHED_OBS_ACTIVE to 0");
+
+namespace {
+
+// What the disabled span macros must declare: NullSpan, an empty type.
+static_assert(std::is_empty_v<obs::NullSpan>);
+
+int expensive_side_effect_calls = 0;
+// [[maybe_unused]]: the whole point is that the disabled macro drops the
+// call, so the compiler rightly sees this function as unreferenced.
+[[maybe_unused]] int expensive_side_effect() {
+  ++expensive_side_effect_calls;
+  return 1;
+}
+
+}  // namespace
+
+TEST(ObsDisabled, MacrosRegisterNoMetrics) {
+  // The registry itself still links (the library is compiled with obs
+  // on in this build); the macros must never reach it.
+  HETSCHED_COUNTER_ADD("disabled.counter", 5);
+  HETSCHED_GAUGE_SET("disabled.gauge", 1.0);
+  HETSCHED_HISTOGRAM_RECORD("disabled.histo", 2.0);
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  EXPECT_FALSE(snap.has("disabled.counter"));
+  EXPECT_FALSE(snap.has("disabled.gauge"));
+  EXPECT_FALSE(snap.has("disabled.histo"));
+}
+
+TEST(ObsDisabled, MacrosEmitNoTraceEvents) {
+  obs::Tracer& tr = obs::Tracer::instance();
+  tr.clear();
+  tr.enable();  // even with the tracer runtime-enabled...
+  {
+    HETSCHED_TRACE_SPAN("disabled", "anon");
+    HETSCHED_TRACE_SPAN_VAR(sp, "disabled", "named");
+    sp.arg("k", 1).arg("s", std::string("v"));
+    HETSCHED_TRACE_ASYNC_VAR(as, "disabled", "async");
+    as.arg("rank", 0);
+    HETSCHED_TRACE_INSTANT("disabled", "tick");
+  }
+  tr.disable();
+  EXPECT_EQ(tr.event_count(), 0u);  // ...the macros emit nothing
+}
+
+TEST(ObsDisabled, SpanMacrosYieldInertObjects) {
+  HETSCHED_TRACE_SPAN_VAR(sp, "disabled", "inert");
+  static_assert(std::is_same_v<decltype(sp), obs::NullSpan>);
+  EXPECT_FALSE(sp.active());
+}
+
+TEST(ObsDisabled, ValueArgumentsStillEvaluate) {
+  // do{}while(false) no-ops swallow the statement, but C++ macro
+  // arguments inside the dropped body are dropped entirely — document
+  // and pin that call sites must not rely on side effects in metric
+  // arguments (the instrumented code never does).
+  expensive_side_effect_calls = 0;
+  HETSCHED_COUNTER_ADD("disabled.side", expensive_side_effect());
+  EXPECT_EQ(expensive_side_effect_calls, 0);
+}

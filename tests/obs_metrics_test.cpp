@@ -1,0 +1,173 @@
+// Metrics registry: counter/gauge semantics, histogram bin edges, and
+// the snapshot + JSON scrape path (validated with the obs JSON parser).
+//
+// The registry is process-wide, so every test uses its own metric-name
+// prefix; values are asserted as deltas where the registry may already
+// hold state from other tests in this binary.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace obs = hetsched::obs;
+
+TEST(ObsCounter, AddsAndResets) {
+  obs::Counter* c = obs::MetricsRegistry::instance().counter("t.counter.add");
+  const std::uint64_t before = c->value();
+  c->add();
+  c->add(41);
+  EXPECT_EQ(c->value(), before + 42);
+  c->reset();
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST(ObsCounter, InternedByName) {
+  auto& reg = obs::MetricsRegistry::instance();
+  EXPECT_EQ(reg.counter("t.counter.same"), reg.counter("t.counter.same"));
+  EXPECT_NE(reg.counter("t.counter.same"), reg.counter("t.counter.other"));
+}
+
+TEST(ObsGauge, LastWriteWinsAndAdds) {
+  obs::Gauge* g = obs::MetricsRegistry::instance().gauge("t.gauge");
+  g->set(2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 2.5);
+  g->set(-1.0);
+  EXPECT_DOUBLE_EQ(g->value(), -1.0);
+  g->add(0.5);
+  EXPECT_DOUBLE_EQ(g->value(), -0.5);
+  g->reset();
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+}
+
+TEST(ObsHistogram, BinEdgesArePowersOfTwo) {
+  using H = obs::Histogram;
+  // Interior bin b covers [2^(kMinExp+b-1), 2^(kMinExp+b)).
+  for (std::size_t b = 1; b + 1 < H::kBins; ++b) {
+    const double lo = H::bin_lower(b);
+    const double hi = H::bin_upper(b);
+    EXPECT_DOUBLE_EQ(hi, 2.0 * lo) << "bin " << b;
+    EXPECT_EQ(H::bin_index(lo), b) << "lower edge of bin " << b;
+    // The upper edge is exclusive: it belongs to the next bin.
+    EXPECT_EQ(H::bin_index(hi), b + 1) << "upper edge of bin " << b;
+    // An interior sample stays in its bin.
+    EXPECT_EQ(H::bin_index(lo * 1.5), b) << "midpoint of bin " << b;
+  }
+  EXPECT_EQ(H::bin_lower(0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(H::bin_upper(H::kBins - 1),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(ObsHistogram, KnownSamplesLandInKnownBins) {
+  using H = obs::Histogram;
+  // 1.0 = 2^0: bins 1.. hold exponents kMinExp.., so exponent 0 lands in
+  // bin (0 - kMinExp) + 1.
+  const std::size_t one = static_cast<std::size_t>(-H::kMinExp) + 1;
+  EXPECT_EQ(H::bin_index(1.0), one);
+  EXPECT_DOUBLE_EQ(H::bin_lower(one), 1.0);
+  EXPECT_DOUBLE_EQ(H::bin_upper(one), 2.0);
+  EXPECT_EQ(H::bin_index(1.999), one);
+  EXPECT_EQ(H::bin_index(2.0), one + 1);
+  EXPECT_EQ(H::bin_index(0.5), one - 1);
+}
+
+TEST(ObsHistogram, UnderflowOverflowAndNonFinite) {
+  using H = obs::Histogram;
+  EXPECT_EQ(H::bin_index(0.0), 0u);
+  EXPECT_EQ(H::bin_index(-3.0), 0u);
+  EXPECT_EQ(H::bin_index(std::ldexp(1.0, H::kMinExp - 1)), 0u);
+  EXPECT_EQ(H::bin_index(std::ldexp(1.0, H::kMinExp)), 1u);
+  EXPECT_EQ(H::bin_index(std::ldexp(1.0, H::kMaxExp - 1)), H::kBins - 2);
+  EXPECT_EQ(H::bin_index(std::ldexp(1.0, H::kMaxExp)), H::kBins - 1);
+  EXPECT_EQ(H::bin_index(std::numeric_limits<double>::infinity()),
+            H::kBins - 1);
+  EXPECT_EQ(H::bin_index(std::numeric_limits<double>::quiet_NaN()), 0u);
+}
+
+TEST(ObsHistogram, RecordAccumulatesCountAndSum) {
+  obs::Histogram* h =
+      obs::MetricsRegistry::instance().histogram("t.histo.record");
+  h->reset();
+  h->record(1.5);
+  h->record(1.5);
+  h->record(3.0);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->sum(), 6.0);
+  const std::size_t one = static_cast<std::size_t>(-obs::Histogram::kMinExp) + 1;
+  EXPECT_EQ(h->bin_count(one), 2u);      // [1, 2)
+  EXPECT_EQ(h->bin_count(one + 1), 1u);  // [2, 4)
+  EXPECT_EQ(h->bin_count(one + 2), 0u);
+}
+
+TEST(ObsSnapshot, ReportsRegisteredMetrics) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("t.snap.counter")->add(7);
+  reg.gauge("t.snap.gauge")->set(1.25);
+  reg.histogram("t.snap.histo")->record(4.0);
+
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  EXPECT_GE(snap.counter_value("t.snap.counter"), 7u);
+  EXPECT_EQ(snap.counter_value("t.snap.absent"), 0u);
+  EXPECT_TRUE(snap.has("t.snap.counter"));
+  EXPECT_TRUE(snap.has("t.snap.gauge"));
+  EXPECT_TRUE(snap.has("t.snap.histo"));
+  EXPECT_FALSE(snap.has("t.snap.absent"));
+
+  // Snapshots are sorted by name within each metric type.
+  for (std::size_t i = 1; i < snap.counters.size(); ++i)
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+}
+
+TEST(ObsSnapshot, JsonScrapeRoundTrips) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("t.json.counter")->add(3);
+  reg.gauge("t.json.gauge")->set(0.125);
+  obs::Histogram* h = reg.histogram("t.json.histo");
+  h->reset();
+  h->record(2.0);
+  h->record(2.0);
+
+  std::ostringstream os;
+  obs::write_metrics_json(os, obs::snapshot());
+  const obs::json::Value doc = obs::json::parse(os.str());
+
+  const obs::json::Value* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::json::Value* c = counters->find("t.json.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_GE(c->as_number(), 3.0);
+
+  const obs::json::Value* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const obs::json::Value* g = gauges->find("t.json.gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->as_number(), 0.125);
+
+  const obs::json::Value* histos = doc.find("histograms");
+  ASSERT_NE(histos, nullptr);
+  const obs::json::Value* hv = histos->find("t.json.histo");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_DOUBLE_EQ(hv->find("count")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(hv->find("sum")->as_number(), 4.0);
+  const obs::json::Array& bins = hv->find("bins")->as_array();
+  ASSERT_EQ(bins.size(), 1u);  // both samples share the [2, 4) bin
+  const obs::json::Array& bin = bins[0].as_array();
+  ASSERT_EQ(bin.size(), 3u);
+  EXPECT_DOUBLE_EQ(bin[0].as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(bin[1].as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(bin[2].as_number(), 2.0);
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsRegistrations) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Counter* c = reg.counter("t.reset.counter");
+  c->add(5);
+  reg.reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_TRUE(obs::snapshot().has("t.reset.counter"));
+  EXPECT_EQ(reg.counter("t.reset.counter"), c);
+}

@@ -1,0 +1,196 @@
+// Tracer: span/async/instant emission and Chrome-trace JSON validity,
+// checked by parsing the emitted document with the obs JSON parser.
+//
+// The tracer is process-wide; each test clears its buffers and owns the
+// enabled flag for its duration.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/json.hpp"
+
+namespace obs = hetsched::obs;
+
+namespace {
+
+// RAII: enable the tracer on a clean buffer, disable + clear on exit so
+// tests cannot leak events into each other.
+struct ScopedTrace {
+  ScopedTrace() {
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().enable();
+  }
+  ~ScopedTrace() {
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().clear();
+  }
+};
+
+obs::json::Value written_doc() {
+  std::ostringstream os;
+  obs::Tracer::instance().write_json(os);
+  return obs::json::parse(os.str());
+}
+
+}  // namespace
+
+TEST(ObsTracer, DisabledTracerDropsEverything) {
+  obs::Tracer& tr = obs::Tracer::instance();
+  tr.disable();
+  tr.clear();
+  {
+    obs::Span s("test", "dropped");
+    s.arg("k", 1);
+    EXPECT_FALSE(s.active());
+    obs::AsyncSpan a("test", "dropped_async");
+    obs::instant("test", "dropped_instant");
+  }
+  EXPECT_EQ(tr.event_count(), 0u);
+}
+
+TEST(ObsTracer, SpanEmitsCompleteEventWithArgs) {
+  ScopedTrace guard;
+  {
+    obs::Span s("test", "work");
+    EXPECT_TRUE(s.active());
+    s.arg("n", 1600).arg("plan", "ns").arg("ratio", 0.5);
+  }
+  const obs::json::Value doc = written_doc();
+  const obs::json::Array& evs = doc.find("traceEvents")->as_array();
+
+  bool found = false;
+  for (const auto& ev : evs) {
+    if (ev.find("ph")->as_string() != "X") continue;
+    ASSERT_EQ(ev.find("name")->as_string(), "work");
+    EXPECT_EQ(ev.find("cat")->as_string(), "test");
+    EXPECT_GE(ev.find("ts")->as_number(), 0.0);
+    EXPECT_GE(ev.find("dur")->as_number(), 0.0);
+    EXPECT_TRUE(ev.find("pid")->is_number());
+    EXPECT_TRUE(ev.find("tid")->is_number());
+    const obs::json::Value* args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_DOUBLE_EQ(args->find("n")->as_number(), 1600.0);
+    EXPECT_EQ(args->find("plan")->as_string(), "ns");
+    EXPECT_DOUBLE_EQ(args->find("ratio")->as_number(), 0.5);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsTracer, AsyncSpanEmitsMatchedBeginEndPair) {
+  ScopedTrace guard;
+  {
+    obs::AsyncSpan a("test", "collective");
+    a.arg("rank", 3);
+  }
+  const obs::json::Value doc = written_doc();
+  const obs::json::Array& evs = doc.find("traceEvents")->as_array();
+
+  const obs::json::Value* begin = nullptr;
+  const obs::json::Value* end = nullptr;
+  for (const auto& ev : evs) {
+    const std::string& ph = ev.find("ph")->as_string();
+    if (ph == "b") begin = &ev;
+    if (ph == "e") end = &ev;
+  }
+  ASSERT_NE(begin, nullptr);
+  ASSERT_NE(end, nullptr);
+  EXPECT_EQ(begin->find("name")->as_string(), "collective");
+  EXPECT_EQ(begin->find("id")->as_number(), end->find("id")->as_number());
+  EXPECT_LE(begin->find("ts")->as_number(), end->find("ts")->as_number());
+}
+
+TEST(ObsTracer, InstantAndThreadMetadata) {
+  ScopedTrace guard;
+  obs::instant("test", "tick");
+  std::thread([] { obs::instant("test", "tock"); }).join();
+
+  const obs::json::Value doc = written_doc();
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  const obs::json::Array& evs = doc.find("traceEvents")->as_array();
+
+  std::set<double> instant_tids;
+  std::set<double> named_tids;
+  for (const auto& ev : evs) {
+    const std::string& ph = ev.find("ph")->as_string();
+    if (ph == "i") instant_tids.insert(ev.find("tid")->as_number());
+    if (ph == "M") {
+      EXPECT_EQ(ev.find("name")->as_string(), "thread_name");
+      named_tids.insert(ev.find("tid")->as_number());
+    }
+  }
+  // Two instants on two different thread tracks, each with metadata.
+  EXPECT_EQ(instant_tids.size(), 2u);
+  for (const double tid : instant_tids) EXPECT_TRUE(named_tids.count(tid));
+}
+
+TEST(ObsTracer, ArgStringsAreEscaped) {
+  ScopedTrace guard;
+  {
+    obs::Span s("test", "escape");
+    s.arg("payload", std::string("a\"b\\c\n\td"));
+  }
+  // parse() throws on malformed JSON; round-tripping the exact string
+  // proves the escaper.
+  const obs::json::Value doc = written_doc();
+  const obs::json::Array& evs = doc.find("traceEvents")->as_array();
+  bool found = false;
+  for (const auto& ev : evs) {
+    if (ev.find("ph")->as_string() != "X") continue;
+    EXPECT_EQ(ev.find("args")->find("payload")->as_string(), "a\"b\\c\n\td");
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsTracer, WrittenFileParses) {
+  ScopedTrace guard;
+  { obs::Span s("test", "to_file"); }
+  const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out);
+    obs::Tracer::instance().write_json(out);
+  }
+  const obs::json::Value doc = obs::json::parse_file(path);
+  EXPECT_TRUE(doc.find("traceEvents")->is_array());
+  std::remove(path.c_str());
+}
+
+TEST(ObsTracer, ClearDropsBufferedEvents) {
+  ScopedTrace guard;
+  obs::instant("test", "gone");
+  EXPECT_GT(obs::Tracer::instance().event_count(), 0u);
+  obs::Tracer::instance().clear();
+  EXPECT_EQ(obs::Tracer::instance().event_count(), 0u);
+}
+
+// The JSON parser itself: strictness the artifact checks rely on.
+TEST(ObsJson, RejectsMalformedDocuments) {
+  EXPECT_THROW(obs::json::parse(""), obs::json::ParseError);
+  EXPECT_THROW(obs::json::parse("{\"a\": 1,}"), obs::json::ParseError);
+  EXPECT_THROW(obs::json::parse("[1, 2"), obs::json::ParseError);
+  EXPECT_THROW(obs::json::parse("{} extra"), obs::json::ParseError);
+  EXPECT_THROW(obs::json::parse("{'a': 1}"), obs::json::ParseError);
+  EXPECT_THROW(obs::json::parse("nul"), obs::json::ParseError);
+}
+
+TEST(ObsJson, ParsesScalarsAndNesting) {
+  const obs::json::Value v =
+      obs::json::parse("{\"a\": [1, -2.5e2, true, null, \"s\"]}");
+  const obs::json::Array& a = v.find("a")->as_array();
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_DOUBLE_EQ(a[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(a[1].as_number(), -250.0);
+  EXPECT_TRUE(a[2].as_bool());
+  EXPECT_TRUE(a[3].is_null());
+  EXPECT_EQ(a[4].as_string(), "s");
+  EXPECT_THROW(a[0].as_string(), obs::json::TypeError);
+}

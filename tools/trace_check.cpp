@@ -1,0 +1,193 @@
+// trace_check: validates the observability artifacts the binaries emit.
+//
+//   trace_check TRACE.json [--metrics=FILE] [--require-cats=a,b,c]
+//               [--require-counter=NAME]... [--min-events=N]
+//
+// Checks, via the in-tree strict JSON parser (src/obs/json.hpp):
+//
+//  * the trace file is one well-formed JSON document shaped like a
+//    Chrome Trace Event Format trace: {"traceEvents": [...]}, every
+//    event an object with a one-character "ph", numeric "ts"/"pid"/
+//    "tid", complete events carrying a non-negative "dur", async
+//    begin/end events carrying matched "id"s;
+//  * every category in --require-cats appears on at least one event
+//    (how CTest asserts that the des/mpisim/search/measure layers all
+//    actually traced something);
+//  * the metrics file, when given, is well-formed and each
+//    --require-counter names a counter with a value greater than zero.
+//
+// Exit code 0 on success; 1 with a diagnostic on stderr otherwise.
+// Used by cmake/run_trace_check.cmake (the `trace_artifact_check` CTest
+// test) and handy interactively after any --trace-out run.
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace json = hetsched::obs::json;
+
+namespace {
+
+int fail(const std::string& msg) {
+  std::cerr << "trace_check: " << msg << "\n";
+  return 1;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+const json::Value* require(const json::Value& obj, const char* key,
+                           std::string* err, const std::string& where) {
+  const json::Value* v = obj.find(key);
+  if (!v) *err = where + ": missing \"" + key + "\"";
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, metrics_path;
+  std::vector<std::string> require_cats;
+  std::vector<std::string> require_counters;
+  std::size_t min_events = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics=", 0) == 0)
+      metrics_path = arg.substr(10);
+    else if (arg.rfind("--require-cats=", 0) == 0)
+      require_cats = split_csv(arg.substr(15));
+    else if (arg.rfind("--require-counter=", 0) == 0)
+      require_counters.push_back(arg.substr(18));
+    else if (arg.rfind("--min-events=", 0) == 0)
+      min_events = static_cast<std::size_t>(std::stoull(arg.substr(13)));
+    else if (arg.rfind("--", 0) == 0 || !trace_path.empty())
+      return fail("usage: trace_check TRACE.json [--metrics=FILE] "
+                  "[--require-cats=a,b,c] [--require-counter=NAME]... "
+                  "[--min-events=N]");
+    else
+      trace_path = arg;
+  }
+  if (trace_path.empty()) return fail("no trace file given");
+
+  // -- the trace document ---------------------------------------------------
+  json::Value trace;
+  try {
+    trace = json::parse_file(trace_path);
+  } catch (const json::ParseError& e) {
+    return fail(trace_path + ": " + e.what());
+  }
+  if (!trace.is_object()) return fail("trace root is not an object");
+  const json::Value* events = trace.find("traceEvents");
+  if (!events || !events->is_array())
+    return fail("trace has no \"traceEvents\" array");
+
+  std::set<std::string> cats;
+  std::multiset<double> async_begins, async_ends;
+  std::size_t spans = 0, instants = 0, metas = 0;
+  std::size_t idx = 0;
+  for (const json::Value& ev : events->as_array()) {
+    const std::string where = "traceEvents[" + std::to_string(idx++) + "]";
+    if (!ev.is_object()) return fail(where + ": not an object");
+    std::string err;
+    const json::Value* ph = require(ev, "ph", &err, where);
+    if (!ph) return fail(err);
+    if (!ph->is_string() || ph->as_string().size() != 1)
+      return fail(where + ": \"ph\" is not a one-character string");
+    for (const char* key : {"pid", "tid"}) {
+      const json::Value* v = require(ev, key, &err, where);
+      if (!v) return fail(err);
+      if (!v->is_number()) return fail(where + ": \"" + key + "\" not numeric");
+    }
+    const char phase = ph->as_string()[0];
+    if (phase == 'M') {
+      ++metas;
+      continue;  // metadata records carry no ts
+    }
+    const json::Value* ts = require(ev, "ts", &err, where);
+    if (!ts) return fail(err);
+    if (!ts->is_number() || ts->as_number() < 0.0)
+      return fail(where + ": \"ts\" not a non-negative number");
+    if (const json::Value* cat = ev.find("cat"))
+      cats.insert(cat->as_string());
+    switch (phase) {
+      case 'X': {
+        const json::Value* dur = require(ev, "dur", &err, where);
+        if (!dur) return fail(err);
+        if (!dur->is_number() || dur->as_number() < 0.0)
+          return fail(where + ": \"dur\" not a non-negative number");
+        ++spans;
+        break;
+      }
+      case 'b':
+      case 'e': {
+        const json::Value* id = require(ev, "id", &err, where);
+        if (!id) return fail(err);
+        if (!id->is_number()) return fail(where + ": \"id\" not numeric");
+        (phase == 'b' ? async_begins : async_ends).insert(id->as_number());
+        break;
+      }
+      case 'i':
+        ++instants;
+        break;
+      default:
+        return fail(where + ": unexpected phase '" + std::string(1, phase) +
+                    "'");
+    }
+  }
+  if (async_begins != async_ends)
+    return fail("async begin/end ids do not pair up (" +
+                std::to_string(async_begins.size()) + " begins, " +
+                std::to_string(async_ends.size()) + " ends)");
+  if (idx < min_events)
+    return fail("only " + std::to_string(idx) + " events, expected >= " +
+                std::to_string(min_events));
+  for (const std::string& cat : require_cats)
+    if (!cats.count(cat))
+      return fail("required category \"" + cat + "\" has no events");
+
+  // -- the metrics document -------------------------------------------------
+  std::size_t counters_seen = 0;
+  if (!metrics_path.empty()) {
+    json::Value metrics;
+    try {
+      metrics = json::parse_file(metrics_path);
+    } catch (const json::ParseError& e) {
+      return fail(metrics_path + ": " + e.what());
+    }
+    const json::Value* counters = metrics.find("counters");
+    if (!counters || !counters->is_object())
+      return fail("metrics file has no \"counters\" object");
+    for (const char* key : {"gauges", "histograms"}) {
+      const json::Value* v = metrics.find(key);
+      if (!v || !v->is_object())
+        return fail("metrics file has no \"" + std::string(key) +
+                    "\" object");
+    }
+    counters_seen = counters->as_object().size();
+    for (const std::string& name : require_counters) {
+      const json::Value* v = counters->find(name);
+      if (!v) return fail("required counter \"" + name + "\" absent");
+      if (!(v->as_number() > 0.0))
+        return fail("required counter \"" + name + "\" is zero");
+    }
+  }
+
+  std::cout << "trace_check: ok — " << idx << " events (" << spans
+            << " spans, " << async_begins.size() << " async pairs, "
+            << instants << " instants, " << metas << " thread records), "
+            << cats.size() << " categories";
+  if (!metrics_path.empty()) std::cout << ", " << counters_seen << " counters";
+  std::cout << "\n";
+  return 0;
+}

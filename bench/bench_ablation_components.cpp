@@ -15,11 +15,13 @@ namespace {
 
 struct Variant {
   std::string name;
+  std::string slug;  ///< report family suffix ("Basic-<slug>")
   core::BuilderOptions opts;
 };
 
 void report(bench::Campaign& c, const Variant& v) {
   const core::Estimator est = c.build(measure::basic_plan(), v.opts);
+  bench::set_family("Basic-" + v.slug);
   double worst = 0, sum = 0;
   const std::vector<int> ns{3200, 4800, 6400, 8000, 9600};
   Table t({"N", "est best", "sel err", "est err"});
@@ -43,35 +45,36 @@ void report(bench::Campaign& c, const Variant& v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_ablation_components");
   std::cout << "Each paper component removed in turn (Basic family); "
                "larger selection errors = the component matters.\n";
   bench::Campaign c;
 
   std::vector<Variant> variants;
-  variants.push_back({"full estimator", {}});
+  variants.push_back({"full estimator", "full", {}});
   {
-    Variant v{"no binning (P-T everywhere)", {}};
+    Variant v{"no binning (P-T everywhere)", "no-binning", {}};
     v.opts.estimator.use_binning = false;
     variants.push_back(v);
   }
   {
-    Variant v{"no adjustment (raw models)", {}};
+    Variant v{"no adjustment (raw models)", "no-adjustment", {}};
     v.opts.estimator.use_adjustment = false;
     variants.push_back(v);
   }
   {
-    Variant v{"no memory bin (paging unguarded)", {}};
+    Variant v{"no memory bin (paging unguarded)", "no-memory-bin", {}};
     v.opts.estimator.check_memory = false;
     variants.push_back(v);
   }
   {
-    Variant v{"comm scaled by processes (paper's P)", {}};
+    Variant v{"comm scaled by processes (paper's P)", "comm-by-procs", {}};
     v.opts.estimator.comm_uses_processors = false;
     variants.push_back(v);
   }
   {
-    Variant v{"composition comm from same-m family", {}};
+    Variant v{"composition comm from same-m family", "compose-same-m", {}};
     v.opts.compose_comm_from_m1 = false;
     variants.push_back(v);
   }

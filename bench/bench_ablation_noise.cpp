@@ -19,7 +19,9 @@ struct Row {
   double mean = 0;
 };
 
-Row evaluate(cluster::ClusterSpec spec, int repeats) {
+Row evaluate(cluster::ClusterSpec spec, int repeats,
+             const std::string& family) {
+  bench::set_family(family);
   measure::Runner runner(spec);
   measure::MeasurementPlan plan = measure::basic_plan();
   plan.repeats = repeats;
@@ -36,12 +38,15 @@ Row evaluate(cluster::ClusterSpec spec, int repeats) {
     ++count;
   }
   row.mean /= count;
+  bench::record_scalar("error." + family + ".selection.max_abs", row.worst);
+  bench::record_scalar("error." + family + ".selection.mean_abs", row.mean);
   return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_ablation_noise");
   std::cout << "Selection quality vs measurement noise (Basic family); "
                "repeats > 1 averages independent trials.\n";
   print_banner(std::cout, "Ablation — measurement noise");
@@ -49,13 +54,14 @@ int main() {
   for (const double sigma : {0.0, 0.01, 0.03, 0.06}) {
     cluster::ClusterSpec spec = cluster::paper_cluster();
     spec.noise_sigma = sigma;
-    const Row r = evaluate(spec, 1);
+    const Row r =
+        evaluate(spec, 1, "Basic-noise-" + format_fixed(sigma, 2) + "-x1");
     t.row().num(sigma, 2).integer(1).num(r.worst, 3).num(r.mean, 3);
   }
   {
     cluster::ClusterSpec spec = cluster::paper_cluster();
     spec.noise_sigma = 0.06;
-    const Row r = evaluate(spec, 4);
+    const Row r = evaluate(spec, 4, "Basic-noise-0.06-x4");
     t.row().num(0.06, 2).integer(4).num(r.worst, 3).num(r.mean, 3);
   }
   t.print(std::cout);

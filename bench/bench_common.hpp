@@ -2,9 +2,13 @@
 //
 // Every binary prints (a) what the paper reported and (b) what this
 // reproduction measures, through the same Table renderer, so the outputs
-// can be compared side by side and diffed between runs.
+// can be compared side by side and diffed between runs — and, when run
+// with `--report-out=FILE`, additionally records every prediction /
+// measurement pair plus its table-level error statistics as a versioned
+// run-report artifact (obs/report.hpp, tools/hetsched_report).
 #pragma once
 
+#include <cmath>
 #include <iostream>
 #include <string>
 
@@ -13,10 +17,37 @@
 #include "measure/evaluation.hpp"
 #include "measure/plan.hpp"
 #include "measure/runner.hpp"
+#include "obs/io.hpp"
+#include "obs/report.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
 namespace hetsched::bench {
+
+/// Bench binary prologue: names the report context after the binary and
+/// consumes the shared observability flags (--trace-out / --metrics-out
+/// / --report-out), compacting argv so the caller sees only its own
+/// arguments.
+inline void init(int& argc, char** argv, const std::string& name) {
+  obs::report::Recorder::instance().set_bench(name);
+  int out = 1;
+  for (int i = 1; i < argc; ++i)
+    if (!obs::consume_arg(argv[i])) argv[out++] = argv[i];
+  argc = out;
+}
+
+/// Tags subsequent evaluation records with a model family / variant
+/// ("Basic", "NL-raw", ...). Campaign::build sets it to the plan name;
+/// benches that sweep variants re-tag between phases.
+inline void set_family(const std::string& family) {
+  obs::report::Recorder::instance().set_family(family);
+}
+
+/// Records a named scalar result into the run report (no-op without
+/// --report-out).
+inline void record_scalar(const std::string& name, double value) {
+  obs::report::Recorder::instance().set_scalar(name, value);
+}
 
 /// One measurement campaign: the paper's cluster, a shared run cache, and
 /// the evaluation configuration space.
@@ -27,6 +58,7 @@ struct Campaign {
 
   core::Estimator build(const measure::MeasurementPlan& plan,
                         core::BuilderOptions opts = {}) {
+    set_family(plan.name);
     const core::MeasurementSet ms = runner.run_plan(plan);
     return core::ModelBuilder(spec, opts).build(ms);
   }
@@ -49,13 +81,16 @@ inline std::string paper_quadruple(const cluster::Config& cfg) {
          std::to_string(p2) + "," + std::to_string(m2);
 }
 
-/// Emits a Table-4/7/9-style error table for one model family.
+/// Emits a Table-4/7/9-style error table for one model family, and — when
+/// reporting — the table's mean/max error magnitudes as `error.<family>.*`
+/// scalars (the gate metrics of tools/hetsched_report diff).
 inline void print_error_table(Campaign& c, const core::Estimator& est,
                               const std::vector<int>& eval_ns,
                               const std::string& title) {
   print_banner(std::cout, title);
   Table t({"N", "est best (P1,M1,P2,M2)", "tau", "tau^", "actual best",
            "T^", "(tau-T^)/T^", "(tau^-T^)/T^"});
+  double est_mean = 0, est_max = 0, sel_mean = 0, sel_max = 0;
   for (const int n : eval_ns) {
     const measure::EvalRow row = measure::evaluate_at(est, c.runner, c.space, n);
     t.row()
@@ -67,8 +102,21 @@ inline void print_error_table(Campaign& c, const core::Estimator& est,
         .num(row.t_hat, 1)
         .num(row.estimate_error(), 3)
         .num(row.selection_error(), 3);
+    est_mean += std::abs(row.estimate_error());
+    est_max = std::max(est_max, std::abs(row.estimate_error()));
+    sel_mean += std::abs(row.selection_error());
+    sel_max = std::max(sel_max, std::abs(row.selection_error()));
   }
   t.print(std::cout);
+  if (!eval_ns.empty()) {
+    const double n_rows = static_cast<double>(eval_ns.size());
+    const std::string family = obs::report::Recorder::instance().family();
+    record_scalar("error." + family + ".estimate.mean_abs", est_mean / n_rows);
+    record_scalar("error." + family + ".estimate.max_abs", est_max);
+    record_scalar("error." + family + ".selection.mean_abs",
+                  sel_mean / n_rows);
+    record_scalar("error." + family + ".selection.max_abs", sel_max);
+  }
 }
 
 /// Emits a Fig-6..15-style correlation listing plus its summary line.

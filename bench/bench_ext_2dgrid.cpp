@@ -41,7 +41,8 @@ cluster::ClusterSpec big_p2_cluster(int nodes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_ext_2dgrid");
   std::cout << "1xP vs Pr x Pc process grids (same HPL, same cluster).\n";
 
   {

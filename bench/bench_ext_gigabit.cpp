@@ -19,6 +19,7 @@ void report(const cluster::FabricParams& fabric) {
   c.spec = cluster::paper_cluster(cluster::mpich_122(), fabric);
   c.runner = measure::Runner(c.spec);
   const core::Estimator est = c.build(measure::nl_plan());
+  bench::set_family("NL-" + fabric.name);
 
   print_banner(std::cout, "Best configurations on " + fabric.name);
   Table t({"N", "est best (P1,M1,P2,M2)", "tau [s]", "actual best",
@@ -39,7 +40,8 @@ void report(const cluster::FabricParams& fabric) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_ext_gigabit");
   std::cout << "What if the paper had used its 1000base-SX interfaces?\n"
                "Faster fabric -> the full cluster pays off at smaller N "
                "and the absolute times drop for comm-bound sizes.\n";

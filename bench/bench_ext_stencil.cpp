@@ -11,11 +11,13 @@
 
 using namespace hetsched;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_ext_stencil");
   std::cout << "Paper §5 extension: the estimation method applied to a "
                "5-point iterative stencil (halo-exchange SPMD code) "
                "instead of HPL.\n";
   const cluster::ClusterSpec spec = cluster::paper_cluster();
+  bench::set_family("Stencil-NL");
   measure::Runner runner(spec, apps::stencil_workload());
   const core::MeasurementSet ms = runner.run_plan(measure::nl_plan());
   const core::Estimator est = core::ModelBuilder(spec).build(ms);

@@ -7,7 +7,8 @@
 
 using namespace hetsched;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_fig12_15_ns_correlation");
   std::cout << "Paper Figs 12-15: NS fits N = 1600 tolerably; at N = 6400 "
                "the extrapolation deviates beyond what a linear transform "
                "can repair.\n";
@@ -15,11 +16,13 @@ int main() {
   core::Estimator est = c.build(measure::ns_plan());
 
   est.options().use_adjustment = false;
+  bench::set_family("NS-raw");
   bench::print_correlation(c, est, 1600,
                            "Fig 12 — NS before adjustment (N = 1600)");
   bench::print_correlation(c, est, 6400,
                            "Fig 14 — NS before adjustment (N = 6400)");
   est.options().use_adjustment = true;
+  bench::set_family("NS");
   bench::print_correlation(c, est, 1600,
                            "Fig 13 — NS after adjustment (N = 1600)");
   bench::print_correlation(c, est, 6400,

@@ -32,7 +32,8 @@ void run_profile(const cluster::MpiProfile& profile) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_fig1_multiprocessing");
   std::cout << "Paper Fig 1: 1.2.1 shows drastic degradation with n "
                "(0.3-0.5 Gflops at 4P); 1.2.2 keeps ~0.9-1.1 Gflops.\n";
   run_profile(cluster::mpich_121());

@@ -10,7 +10,8 @@
 
 using namespace hetsched;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_fig2_netpipe");
   std::cout << "Paper Fig 2: intra-node plateaus ~0.4 Gb/s (1.2.1) vs "
                "~2.2 Gb/s (1.2.2).\n";
   const std::vector<Bytes> blocks{1 * kKiB,  2 * kKiB,  4 * kKiB,  8 * kKiB,

@@ -24,7 +24,8 @@ double gflops(const cluster::ClusterSpec& spec, const cluster::Config& cfg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_fig3_heterogeneous");
   const cluster::ClusterSpec spec = cluster::paper_cluster();
   const std::vector<int> ns{1000, 2000, 3000, 5000, 7000, 8000, 10000};
 

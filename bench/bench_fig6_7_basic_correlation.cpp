@@ -11,7 +11,8 @@
 
 using namespace hetsched;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_fig6_7_basic_correlation");
   std::cout << "Paper Figs 6/7: Basic model at N = 6400 — raw estimates "
                "deviate systematically; the per-M1 linear adjustment "
                "restores the diagonal.\n";
@@ -19,9 +20,11 @@ int main() {
   core::Estimator est = c.build(measure::basic_plan());
 
   est.options().use_adjustment = false;
+  bench::set_family("Basic-raw");
   bench::print_correlation(c, est, 6400,
                            "Fig 6 — before adjustment (N = 6400)");
   est.options().use_adjustment = true;
+  bench::set_family("Basic");
   bench::print_correlation(c, est, 6400,
                            "Fig 7 — after adjustment (N = 6400)");
   return 0;

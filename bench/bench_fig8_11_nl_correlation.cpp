@@ -6,7 +6,8 @@
 
 using namespace hetsched;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_fig8_11_nl_correlation");
   std::cout << "Paper Figs 8-11: NL model correlations at N = 1600 and "
                "6400; systematic deviation before adjustment, diagonal "
                "after.\n";
@@ -14,11 +15,13 @@ int main() {
   core::Estimator est = c.build(measure::nl_plan());
 
   est.options().use_adjustment = false;
+  bench::set_family("NL-raw");
   bench::print_correlation(c, est, 1600,
                            "Fig 8 — NL before adjustment (N = 1600)");
   bench::print_correlation(c, est, 6400,
                            "Fig 9 — NL before adjustment (N = 6400)");
   est.options().use_adjustment = true;
+  bench::set_family("NL");
   bench::print_correlation(c, est, 1600,
                            "Fig 10 — NL after adjustment (N = 1600)");
   bench::print_correlation(c, est, 6400,

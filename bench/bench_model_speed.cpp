@@ -7,6 +7,7 @@
 // construction and estimation are *negligible* next to measurement time.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/model_builder.hpp"
 #include "core/optimizer.hpp"
 #include "measure/plan.hpp"
@@ -79,4 +80,11 @@ BENCHMARK(BM_GreedySearch)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_model_speed");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

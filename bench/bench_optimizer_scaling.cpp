@@ -81,12 +81,11 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
-    if (!obs::consume_arg(argv[i])) {
-      std::cerr << "usage: bench_optimizer_scaling " << obs::cli_help()
-                << "\n";
-      return 1;
-    }
+  bench::init(argc, argv, "bench_optimizer_scaling");
+  if (argc > 1) {
+    std::cerr << "usage: bench_optimizer_scaling " << obs::cli_help() << "\n";
+    return 1;
+  }
   std::cout << "Paper §5: 'for larger clusters, it is essential to find a "
                "way to reduce the search space'. Serial exhaustive vs the "
                "parallel pruned engine vs greedy hill-climbing:\n";

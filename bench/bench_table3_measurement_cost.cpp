@@ -9,7 +9,8 @@
 
 using namespace hetsched;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_table3_measurement_cost");
   std::cout << "Paper Table 3 totals: Athlon 2180 s, Pentium-II 20689 s "
                "(~6 h of measurements).\n";
   bench::Campaign c;
@@ -33,5 +34,8 @@ int main() {
             << " (paper: 486 + anchors), grand total "
             << format_fixed(ms.total_cost(), 0) << " s of simulated "
             << "measurements (paper: 22869 s)\n";
+  bench::record_scalar("cost.Basic.athlon_s", ath_total);
+  bench::record_scalar("cost.Basic.pentium2_s", p2_total);
+  bench::record_scalar("cost.Basic.total_s", ms.total_cost());
   return 0;
 }

@@ -9,7 +9,8 @@
 
 using namespace hetsched;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_table4_basic_errors");
   std::cout << "Paper Table 4 (Basic): selection errors 0.000-0.036, "
                "estimate errors -0.019..+0.037.\n";
   bench::Campaign c;

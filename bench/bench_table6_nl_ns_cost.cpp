@@ -24,11 +24,13 @@ void report(bench::Campaign& c, const measure::MeasurementPlan& plan) {
   std::cout << "  total (incl. adjustment anchors): "
             << format_fixed(ms.total_cost(), 1) << " s over "
             << plan.run_count() << " runs\n";
+  bench::record_scalar("cost." + plan.name + ".total_s", ms.total_cost());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_table6_nl_ns_cost");
   std::cout << "Paper Table 6: NL total ~12235 s (~3 h); NS total ~571.7 s "
                "(~10 min).\n";
   bench::Campaign c;

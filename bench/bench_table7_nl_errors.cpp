@@ -8,7 +8,8 @@
 
 using namespace hetsched;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_table7_nl_errors");
   std::cout << "Paper Table 7 (NL): selection errors 0.000-0.043 over "
                "N = 1600..9600.\n";
   bench::Campaign c;

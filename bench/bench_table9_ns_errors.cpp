@@ -12,7 +12,8 @@
 
 using namespace hetsched;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_table9_ns_errors");
   std::cout << "Paper Table 9 (NS): estimate errors -0.304..-0.942, "
                "selection errors +0.276..+0.818 for N >= 3200.\n";
   bench::Campaign c;

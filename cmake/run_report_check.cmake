@@ -1,0 +1,89 @@
+# CTest script behind the `report_artifact_check` test (registered in
+# tools/CMakeLists.txt): exercises the run-report pipeline end to end.
+# A bench binary writes a report via --report-out; hetsched_report then
+# validates it (check), pretty-prints it (summarize), merges it, diffs
+# it against itself (must pass) and against a doctored too-good baseline
+# (must fail naming the offending metric). Inputs (via -D): BENCH,
+# REPORT_TOOL, WORK_DIR.
+set(report "${WORK_DIR}/report_check.report.json")
+set(merged "${WORK_DIR}/report_check.merged.json")
+set(doctored "${WORK_DIR}/report_check.doctored.json")
+
+execute_process(
+  COMMAND "${BENCH}" "--report-out=${report}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench exited with ${rc}:\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${REPORT_TOOL}" check "${report}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hetsched_report check exited with ${rc}:\n${out}\n${err}")
+endif()
+message(STATUS "${out}")
+
+execute_process(
+  COMMAND "${REPORT_TOOL}" summarize "${report}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "hetsched_report summarize exited with ${rc}:\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${REPORT_TOOL}" merge -o "${merged}" --name=report_check "${report}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hetsched_report merge exited with ${rc}:\n${out}\n${err}")
+endif()
+
+# Self-diff: the merged report as baseline for the original must pass.
+execute_process(
+  COMMAND "${REPORT_TOOL}" diff --baseline "${merged}" --fail-on-regress
+          "${report}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "self-diff regressed (rc ${rc}):\n${out}\n${err}")
+endif()
+
+# Doctored baseline with impossibly good NS statistics: the gate must
+# trip with a nonzero exit and name the offending metric.
+file(WRITE "${doctored}" [=[
+{"schema": "hetsched.run_report.v1",
+ "name": "doctored",
+ "hist_edges": [0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1],
+ "records": [],
+ "scalars": {},
+ "accuracy": {
+  "NS": {"all": {"count": 1, "mean_rel_err": 0, "mean_abs_rel_err": 1e-06,
+                 "max_abs_rel_err": 1e-06, "pearson_r": 0.5,
+                 "hist": [1, 0, 0, 0, 0, 0, 0, 0]},
+         "bins": {}}}}
+]=])
+execute_process(
+  COMMAND "${REPORT_TOOL}" diff --baseline "${doctored}" --fail-on-regress
+          "${report}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+      "doctored-baseline diff passed but must regress:\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "accuracy\\.NS\\.all\\.mean_abs_rel_err")
+  message(FATAL_ERROR
+      "doctored-baseline diff did not name the offending metric:\n${out}")
+endif()
+message(STATUS "report pipeline ok; doctored baseline tripped the gate")

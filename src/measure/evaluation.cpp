@@ -1,9 +1,38 @@
 #include "measure/evaluation.hpp"
 
 #include "cluster/pe_kind.hpp"
+#include "obs/report.hpp"
 #include "support/error.hpp"
 
 namespace hetsched::measure {
+
+namespace {
+
+/// Feeds one prediction/measurement pair to the accuracy recorder
+/// (obs/report.hpp), tagged with the estimator bin that served the
+/// prediction and the binding kind's Tai/Tci components. Callers gate
+/// on Recorder::enabled() — breakdown() re-prices the candidate, which
+/// is only worth doing when a report was requested.
+void record_prediction(const core::Estimator& est,
+                       const cluster::Config& config, int n, Seconds predicted,
+                       Seconds measured) {
+  const core::Estimator::Breakdown bd = est.breakdown(config, n);
+  obs::report::PredictionRecord r;
+  r.config = config.to_string();
+  r.n = n;
+  r.bin = bd.paged ? "paged" : bd.single_pe_bin ? "single-pe" : "multi-pe";
+  r.adjusted = bd.adjusted;
+  for (const auto& k : bd.kinds)
+    if (k.tai + k.tci > r.tai + r.tci) {
+      r.tai = k.tai;
+      r.tci = k.tci;
+    }
+  r.predicted = predicted;
+  r.measured = measured;
+  obs::report::Recorder::instance().record(std::move(r));
+}
+
+}  // namespace
 
 search::Engine& shared_engine() {
   static search::Engine engine;
@@ -26,10 +55,14 @@ EvalRow evaluate_at(search::Engine& engine, const core::Estimator& est,
 
   // Measurement side: serial, in enumeration order, covered candidates
   // only (the paper measured the same 62 candidates it priced).
+  const bool recording = obs::report::Recorder::instance().enabled();
   bool have_act = false;
   for (const auto& config : space.all()) {
     if (!est.covers(config)) continue;
     const core::Sample& s = runner.measure(config, n);
+    if (recording)
+      if (const auto estimate = engine.try_estimate(est, config, n))
+        record_prediction(est, config, n, *estimate, s.wall);
     if (!have_act || s.wall < row.t_hat) {
       row.t_hat = s.wall;
       row.actual_best = config;
@@ -52,6 +85,7 @@ std::vector<CorrelationPoint> correlation(search::Engine& engine,
                                           const core::ConfigSpace& space,
                                           int n) {
   std::vector<CorrelationPoint> out;
+  const bool recording = obs::report::Recorder::instance().enabled();
   const std::string fast_kind = cluster::athlon_1330().name;
   for (const auto& config : space.all()) {
     const auto estimate = engine.try_estimate(est, config, n);
@@ -62,6 +96,8 @@ std::vector<CorrelationPoint> correlation(search::Engine& engine,
       if (u.kind == fast_kind) pt.fast_kind_m = u.procs_per_pe;
     pt.estimate = *estimate;
     pt.measurement = runner.measure(config, n).wall;
+    if (recording)
+      record_prediction(est, config, n, pt.estimate, pt.measurement);
     out.push_back(std::move(pt));
   }
   return out;

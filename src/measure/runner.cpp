@@ -52,6 +52,8 @@ const core::Sample& Runner::measure(const cluster::Config& config, int n) {
     return it->second;
   }
 
+  HETSCHED_COUNTER_ADD("measure.cache_misses", 1);
+
   // Distinct noise per (campaign, config, size): hash the cache key.
   std::uint64_t h = salt_ * 0x100000001b3ULL;
   for (const char c : key)
@@ -76,7 +78,11 @@ const core::Sample& Runner::measure_repeated(const cluster::Config& config,
   const std::string key =
       cache_key(config, n) + "#x" + std::to_string(repeats);
   auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    HETSCHED_COUNTER_ADD("measure.cache_hits", 1);
+    return it->second;
+  }
+  HETSCHED_COUNTER_ADD("measure.cache_misses", 1);
 
   core::Sample avg;
   for (int trial = 0; trial < repeats; ++trial) {

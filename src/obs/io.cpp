@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 
 namespace hetsched::obs {
@@ -13,6 +14,7 @@ namespace {
 
 std::string g_trace_path;
 std::string g_metrics_path;
+std::string g_report_path;
 bool g_atexit_registered = false;
 
 void flush_at_exit() { flush_outputs(); }
@@ -36,6 +38,13 @@ bool consume_arg(const std::string& arg) {
   }
   if (arg.rfind(kMetrics, 0) == 0) {
     g_metrics_path = arg.substr(sizeof(kMetrics) - 1);
+    register_atexit();
+    return true;
+  }
+  constexpr const char kReport[] = "--report-out=";
+  if (arg.rfind(kReport, 0) == 0) {
+    g_report_path = arg.substr(sizeof(kReport) - 1);
+    report::Recorder::instance().enable();
     register_atexit();
     return true;
   }
@@ -69,11 +78,26 @@ int flush_outputs() {
       ++written;
     }
   }
+  if (!g_report_path.empty()) {
+    const std::string path = std::move(g_report_path);
+    g_report_path.clear();
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "obs: cannot write report file " << path << "\n";
+    } else {
+      const report::RunReport rep = report::Recorder::instance().build();
+      rep.write_json(out);
+      std::cerr << "obs: report written to " << path << " ("
+                << rep.records.size() << " records, " << rep.scalars.size()
+                << " scalars)\n";
+      ++written;
+    }
+  }
   return written;
 }
 
 const char* cli_help() {
-  return "[--trace-out=FILE] [--metrics-out=FILE]";
+  return "[--trace-out=FILE] [--metrics-out=FILE] [--report-out=FILE]";
 }
 
 }  // namespace hetsched::obs

@@ -1,14 +1,16 @@
 // Command-line plumbing for observability outputs.
 //
-// Any binary gains `--trace-out=FILE` / `--metrics-out=FILE` support by
-// filtering its argv through consume_arg():
+// Any binary gains `--trace-out=FILE` / `--metrics-out=FILE` /
+// `--report-out=FILE` support by filtering its argv through
+// consume_arg():
 //
 //   for (int i = 1; i < argc; ++i) {
 //     if (obs::consume_arg(argv[i])) continue;
 //     ... normal flag handling ...
 //   }
 //
-// `--trace-out=` enables the tracer immediately; both flags register an
+// `--trace-out=` enables the tracer and `--report-out=` the accuracy
+// recorder (obs/report.hpp) immediately; every flag registers an
 // atexit hook so the artifacts are written even when the binary exits
 // through a framework (BENCHMARK_MAIN, gtest). flush_outputs() can be
 // called earlier for deterministic ordering; it is idempotent.
@@ -21,7 +23,8 @@
 
 namespace hetsched::obs {
 
-/// Recognizes and applies `--trace-out=FILE` and `--metrics-out=FILE`.
+/// Recognizes and applies `--trace-out=FILE`, `--metrics-out=FILE` and
+/// `--report-out=FILE`.
 /// Returns true if `arg` was consumed, false to let the caller parse it.
 bool consume_arg(const std::string& arg);
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "measure/evaluation.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace hetsched::measure {
@@ -89,6 +91,27 @@ TEST(Runner, RunPlanCoversConstructionAndAnchors) {
   runner.run_plan(plan);
   EXPECT_EQ(runner.runs_executed(), plan.run_count());
 }
+
+#if HETSCHED_OBS_ACTIVE
+TEST(Runner, CacheHitAndMissCounters) {
+  obs::MetricsRegistry::instance().reset();
+  Runner runner(cluster::paper_cluster());
+  const cluster::Config cfg = cluster::Config::paper(1, 1, 2, 1);
+  runner.measure(cfg, 800);   // miss
+  runner.measure(cfg, 800);   // hit
+  runner.measure(cfg, 1600);  // miss (new size)
+  obs::MetricsSnapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.counter_value("measure.cache_misses"), 2u);
+  EXPECT_EQ(snap.counter_value("measure.cache_hits"), 1u);
+
+  // measure_repeated has its own cache keyed on (config, n, repeats).
+  runner.measure_repeated(cfg, 800, 3);  // miss + 3 runs
+  runner.measure_repeated(cfg, 800, 3);  // hit
+  snap = obs::snapshot();
+  EXPECT_EQ(snap.counter_value("measure.cache_misses"), 3u);
+  EXPECT_EQ(snap.counter_value("measure.cache_hits"), 2u);
+}
+#endif
 
 TEST(Evaluation, RowErrorsConsistent) {
   EvalRow row;

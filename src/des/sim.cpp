@@ -13,6 +13,8 @@ Simulator::~Simulator() {
 }
 
 EventHandle Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  HETSCHED_CHECK(!finalized_,
+                 "cannot schedule an event after the simulation finalized");
   HETSCHED_CHECK(t >= now_, "cannot schedule an event in the past");
   auto alive = std::make_shared<bool>(true);
   queue_.push(Event{t, next_seq_++, std::move(fn), alive});
@@ -20,6 +22,8 @@ EventHandle Simulator::schedule_at(SimTime t, std::function<void()> fn) {
 }
 
 void Simulator::spawn(Task task, SimTime at) {
+  HETSCHED_CHECK(!finalized_,
+                 "cannot spawn a task after the simulation finalized");
   HETSCHED_CHECK(task.valid(), "spawn requires a valid task");
   const SimTime start = at < 0.0 ? now_ : at;
   HETSCHED_CHECK(start >= now_, "cannot spawn a task in the past");
@@ -32,6 +36,7 @@ void Simulator::spawn(Task task, SimTime at) {
 }
 
 void Simulator::drain(SimTime t_end, bool bounded) {
+  HETSCHED_CHECK(!finalized_, "Simulator::run after finalize");
   HETSCHED_CHECK(!running_, "Simulator::run is not reentrant");
   running_ = true;
   struct Unflag {
@@ -75,6 +80,7 @@ void Simulator::run() {
   HETSCHED_CHECK(all_tasks_done(),
                  "simulation deadlock: event queue drained but tasks are "
                  "still suspended");
+  finalized_ = true;
 }
 
 void Simulator::run_until(SimTime t_end) { drain(t_end, /*bounded=*/true); }

@@ -70,12 +70,20 @@ class Simulator {
 
   /// Runs until the event queue drains. Throws if any spawned task is
   /// still suspended afterwards (deadlock: a task awaits an event nobody
-  /// will produce), or if a task failed with an exception.
+  /// will produce), or if a task failed with an exception. A successful
+  /// run() *finalizes* the simulation: the virtual timeline is complete,
+  /// and any later schedule_at/spawn/run throws (an event scheduled into
+  /// a finished simulation would silently never fire — the measurement
+  /// pipeline's reproducibility contract forbids that).
   void run();
 
   /// Runs until simulated time exceeds `t_end` or the queue drains.
-  /// Does not perform the deadlock check (partial runs are legitimate).
+  /// Does not perform the deadlock check and does not finalize (partial
+  /// runs legitimately resume).
   void run_until(SimTime t_end);
+
+  /// True once run() has completed; the simulator is then immutable.
+  bool finalized() const { return finalized_; }
 
   /// Number of events dispatched so far (diagnostics / determinism tests).
   std::uint64_t events_dispatched() const { return dispatched_; }
@@ -127,6 +135,7 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<std::coroutine_handle<Task::promise_type>> tasks_;
   bool running_ = false;
+  bool finalized_ = false;
 };
 
 }  // namespace hetsched::des

@@ -63,6 +63,17 @@ LlsResult solve_lls(const Matrix& a, std::span<const double> b) {
   HETSCHED_CHECK(b.size() == a.rows(), "solve_lls: b size mismatch");
   const std::size_t n = a.cols();
 
+  // NaN/Inf guard: a single non-finite sample would propagate through
+  // the Householder reflections into *every* coefficient and surface
+  // much later as a nonsense prediction. Fail at the boundary instead.
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      HETSCHED_CHECK(std::isfinite(a(i, j)),
+                     "solve_lls: non-finite entry in design matrix");
+  for (const double v : b)
+    HETSCHED_CHECK(std::isfinite(v),
+                   "solve_lls: non-finite entry in right-hand side");
+
   // Column scaling: equilibrate so R's rank test is meaningful when columns
   // span many orders of magnitude (N^3 vs 1 over N in [400, 9600]).
   Matrix as = a;
@@ -79,8 +90,11 @@ LlsResult solve_lls(const Matrix& a, std::span<const double> b) {
 
   QrFactors f = householder_qr(std::move(as), {b.begin(), b.end()});
 
-  double rmax = 0.0;
-  for (std::size_t i = 0; i < n; ++i) rmax = std::max(rmax, std::abs(f.r(i, i)));
+  double rmax = 0.0, rmin = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    rmax = std::max(rmax, std::abs(f.r(i, i)));
+    rmin = std::min(rmin, std::abs(f.r(i, i)));
+  }
   const double tol = static_cast<double>(a.rows()) *
                      std::numeric_limits<double>::epsilon() * rmax;
   for (std::size_t i = 0; i < n; ++i)
@@ -95,9 +109,18 @@ LlsResult solve_lls(const Matrix& a, std::span<const double> b) {
     x[ii] = s / f.r(ii, ii);
   }
   for (std::size_t j = 0; j < n; ++j) x[j] *= scale[j];
+  // The input guard plus the rank guard make a non-finite coefficient
+  // impossible in exact arithmetic; this catches the remaining route
+  // (overflow during substitution) before it leaves the solver.
+  for (const double v : x)
+    HETSCHED_ASSERT(std::isfinite(v),
+                    "solve_lls: non-finite coefficient after back "
+                    "substitution");
 
   LlsResult res;
   res.coeffs = std::move(x);
+  res.cond = rmin > 0.0 ? rmax / rmin
+                        : std::numeric_limits<double>::infinity();
   res.residual_norm = f.tail_norm;
   // R^2 against the mean model.
   double mean_b = 0.0;

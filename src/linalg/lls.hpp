@@ -19,11 +19,17 @@ struct LlsResult {
   std::vector<double> coeffs;   ///< minimizer of ||A x - b||_2
   double residual_norm = 0.0;   ///< ||A x - b||_2 at the minimizer
   double r2 = 0.0;              ///< coefficient of determination vs mean(b)
+  /// Conditioning estimate of the equilibrated system: max|R_ii| /
+  /// min|R_ii| of the QR factor. A cheap lower bound on cond_2(A after
+  /// column scaling); the rank guard caps it at rows / eps, so fits
+  /// that pass are numerically meaningful.
+  double cond = 0.0;
 };
 
 /// Solves min ||A x - b||. Requires A.rows() >= A.cols() >= 1 and
-/// b.size() == A.rows(). Throws hetsched::Error on rank deficiency
-/// (a diagonal of R smaller than rows * eps * max|R|).
+/// b.size() == A.rows(). Throws hetsched::Error on non-finite input
+/// (a NaN measurement would silently poison every coefficient) and on
+/// rank deficiency (a diagonal of R smaller than rows * eps * max|R|).
 LlsResult solve_lls(const Matrix& a, std::span<const double> b);
 
 /// In-place Householder QR: returns R (upper triangular, cols x cols) and

@@ -113,7 +113,7 @@ EstimateCache::EstimateCache(std::size_t shards,
                              std::size_t max_entries_per_shard)
     : shard_count_(shards == 0 ? 1 : shards),
       max_entries_per_shard_(max_entries_per_shard),
-      shards_(new Shard[shard_count_]) {}
+      shards_(std::make_unique<Shard[]>(shard_count_)) {}
 
 EstimateCache::Shard& EstimateCache::shard_for(const std::string& key) {
   return shards_[std::hash<std::string>{}(key) % shard_count_];

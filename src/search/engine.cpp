@@ -305,6 +305,14 @@ core::Ranked Engine::best(const core::Estimator& est,
           ++L.uncovered;
           return;
         }
+        // Admissibility sweep: the path bound must never exceed the true
+        // leaf value, or a cut could discard the argmin. Tolerance covers
+        // rounding between the bound's and the estimator's evaluation
+        // order of the same closed forms.
+        if (opts_.debug_check_bounds)
+          HETSCHED_ASSERT(bound(cur_lb) <= v * (1.0 + 1e-9) + 1e-12,
+                          "search::Engine::best: pruning bound exceeds "
+                          "true leaf estimate (inadmissible bound)");
         if (v < L.est || (v == L.est && cand < L.idx)) {
           L.est = v;
           L.idx = cand;

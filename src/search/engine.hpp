@@ -43,6 +43,13 @@ struct EngineOptions {
   /// Top-level subtree tasks generated per pool thread; more tasks =
   /// better balance, more scheduling overhead.
   std::size_t tasks_per_thread = 8;
+  /// Debug sweep: at every priced leaf, assert that the branch-and-bound
+  /// lower bound along its path does not exceed the leaf's true
+  /// estimate (admissibility — the property DESIGN.md §5 argues makes
+  /// pruning exact). Costs one extra bound() per leaf; off by default,
+  /// turned on by the contract tests and available for field diagnosis
+  /// of wrong-argmin reports.
+  bool debug_check_bounds = false;
 };
 
 /// Counters from the last best()/rank_all() call. The same quantities

@@ -1,0 +1,7 @@
+// Fixture: an assert without a message is a debugging dead end. Must
+// trip `assert-message` exactly once.
+namespace hetsched::des {
+
+void check_count(int n) { HETSCHED_ASSERT(n >= 0); }
+
+}  // namespace hetsched::des

@@ -1,0 +1,7 @@
+// Fixture: model code is bit-reproducible; std::rand injects entropy.
+// Must trip `banned-construct` exactly once.
+namespace hetsched::core {
+
+int noisy_seed() { return std::rand(); }
+
+}  // namespace hetsched::core

@@ -1,0 +1,19 @@
+#include "des/clean_widget.hpp"
+
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace hetsched::des {
+
+// Free function exercising strings and comments the lexer must not
+// misread: "new delete rand time(x) float MetricsRegistry" stays inert
+// inside literals, and so does /* std::rand() */ in comments.
+double clean_sum(const CleanWidget& w) {
+  std::vector<double> copy(w.size(), 1.0);
+  const char* label = "time() and rand() are fine in strings";
+  HETSCHED_CHECK(label != nullptr, "label must exist");
+  return std::accumulate(copy.begin(), copy.end(), 0.0);
+}
+
+}  // namespace hetsched::des

@@ -1,0 +1,29 @@
+// A well-behaved header: pragma-once guarded, layer-legal includes,
+// asserts with messages. The clean-tree fixture must stay finding-free.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hetsched::des {
+
+class CleanWidget {
+ public:
+  explicit CleanWidget(std::size_t slots) : slots_(slots, 0.0) {
+    HETSCHED_CHECK(slots > 0, "CleanWidget needs at least one slot");
+  }
+
+  void put(std::size_t i, double v) {
+    HETSCHED_ASSERT(i < slots_.size(), "slot index out of range");
+    slots_[i] = v;
+  }
+
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  std::vector<double> slots_;
+};
+
+}  // namespace hetsched::des

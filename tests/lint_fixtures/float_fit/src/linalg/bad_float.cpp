@@ -1,0 +1,11 @@
+// Fixture: fit paths are double-precision only — a float silently
+// halves the mantissa under N^3-scale design columns. Must trip
+// `float-fit` exactly once.
+namespace hetsched::linalg {
+
+double lossy_scale() {
+  float half = 0.5f;
+  return half;
+}
+
+}  // namespace hetsched::linalg

@@ -1,0 +1,10 @@
+// Fixture: headers open with #pragma once; classic ifndef guards are
+// drift-prone here. Must trip `include-guard` exactly once.
+#ifndef HETSCHED_TESTS_LINT_FIXTURES_BAD_GUARD_HPP
+#define HETSCHED_TESTS_LINT_FIXTURES_BAD_GUARD_HPP
+
+namespace hetsched::des {
+struct Guardless {};
+}  // namespace hetsched::des
+
+#endif

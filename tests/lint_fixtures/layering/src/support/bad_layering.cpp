@@ -1,0 +1,9 @@
+// Fixture: `support` is the bottom layer; reaching up into `core`
+// inverts the dependency graph. Must trip `layering` exactly once.
+#include "core/estimator.hpp"
+
+namespace hetsched::support {
+
+int uses_upper_layer() { return 0; }
+
+}  // namespace hetsched::support

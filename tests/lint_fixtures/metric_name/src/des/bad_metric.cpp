@@ -1,0 +1,14 @@
+// Fixture: hook-macro metric literals must appear in the naming table
+// (this fixture tree carries its own docs/OBSERVABILITY.md). The first
+// two calls use listed names; the third must trip `metric-name`
+// exactly once.
+namespace hetsched::des {
+
+void emit_metrics() {
+  HETSCHED_COUNTER_ADD("des.events_dispatched", 1);
+  HETSCHED_COUNTER_ADD("mpisim.recvs", 1);
+  HETSCHED_COUNTER_ADD("des.bogus_metric", 1);
+  HETSCHED_TRACE_SPAN("des", "drain");
+}
+
+}  // namespace hetsched::des

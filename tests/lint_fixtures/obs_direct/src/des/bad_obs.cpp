@@ -1,0 +1,11 @@
+// Fixture: instrumented code must go through the obs/hooks.hpp macros.
+// Touching the registry singleton directly must trip `obs-direct`
+// exactly once.
+namespace hetsched::des {
+
+void count_by_hand() {
+  auto* c = obs::MetricsRegistry::instance().counter("des.events_dispatched");
+  (void)c;
+}
+
+}  // namespace hetsched::des

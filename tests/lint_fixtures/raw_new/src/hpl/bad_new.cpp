@@ -1,0 +1,7 @@
+// Fixture: model/DES code allocates through containers and smart
+// pointers. Must trip `raw-new` exactly once.
+namespace hetsched::hpl {
+
+double* leaky_buffer() { return new double[4]; }
+
+}  // namespace hetsched::hpl

@@ -1,0 +1,12 @@
+// Fixture: a layer .cpp must include its own header first (the
+// self-contained-header check). Must trip `self-include-first`
+// exactly once.
+#include <vector>
+
+#include "des/widget.hpp"
+
+namespace hetsched::des {
+
+int widget_id(const Widget& w) { return w.id; }
+
+}  // namespace hetsched::des

@@ -1,0 +1,8 @@
+// Fixture sibling header for the self-include-first rule.
+#pragma once
+
+namespace hetsched::des {
+struct Widget {
+  int id = 0;
+};
+}  // namespace hetsched::des

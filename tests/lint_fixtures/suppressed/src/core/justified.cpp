@@ -1,0 +1,14 @@
+// Fixture: each violation below carries a justified inline
+// suppression, so the tree lints clean; the round-trip test then
+// strips the comments and expects every finding to reappear.
+namespace hetsched::core {
+
+void scratch_buffer_demo() {
+  // hetsched-lint: allow(banned-construct) — fixture: suppression on the line above the hit
+  const int noise = std::rand();
+  double* raw = new double[2];  // hetsched-lint: allow(raw-new) — fixture: trailing suppression
+  raw[0] = noise;
+  delete[] raw;  // hetsched-lint: allow(raw-new) — fixture: trailing suppression
+}
+
+}  // namespace hetsched::core

@@ -1,0 +1,9 @@
+// Fixture: a justified upward include, suppressed in place.
+// hetsched-lint: allow(layering) — fixture: demonstrating a standalone suppression comment
+#include "core/optimizer.hpp"
+
+namespace hetsched::support {
+
+int peeks_upward() { return 1; }
+
+}  // namespace hetsched::support

@@ -1,0 +1,137 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hetsched::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_file(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// All `` `token` `` spans in a markdown table cell. Rows may pack
+/// variants into one cell (`` `mpisim.sends` / `mpisim.recvs` ``) and
+/// abbreviate a shared prefix (`` `search.cache.hits` / `.misses` ``);
+/// a leading-dot shorthand is expanded against the first full name.
+std::vector<std::string> backticked_names(std::string_view cell) {
+  std::vector<std::string> names;
+  std::size_t at = 0;
+  while (true) {
+    const std::size_t a = cell.find('`', at);
+    if (a == std::string_view::npos) break;
+    const std::size_t b = cell.find('`', a + 1);
+    if (b == std::string_view::npos) break;
+    std::string name(cell.substr(a + 1, b - a - 1));
+    if (!name.empty() && name[0] == '.' && !names.empty()) {
+      const std::string& full = names.front();
+      const std::size_t dot = full.rfind('.');
+      if (dot != std::string::npos) name = full.substr(0, dot) + name;
+    }
+    if (!name.empty()) names.push_back(std::move(name));
+    at = b + 1;
+  }
+  return names;
+}
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+LintConfig load_naming_table(const std::string& doc_path) {
+  LintConfig cfg;
+  std::string doc;
+  if (doc_path.empty() || !read_file(doc_path, &doc)) return cfg;
+  std::istringstream lines(doc);
+  std::string line;
+  while (std::getline(lines, line)) {
+    // Inventory rows look like: | `des.events_dispatched` | counter | ... |
+    std::string_view v = line;
+    if (v.empty() || v[0] != '|') continue;
+    const std::size_t second = v.find('|', 1);
+    if (second == std::string_view::npos) continue;
+    const std::size_t third = v.find('|', second + 1);
+    if (third == std::string_view::npos) continue;
+    const std::vector<std::string> names =
+        backticked_names(v.substr(1, second - 1));
+    const std::string_view type =
+        v.substr(second + 1, third - second - 1);
+    if (type.find("counter") == std::string_view::npos &&
+        type.find("gauge") == std::string_view::npos &&
+        type.find("histogram") == std::string_view::npos)
+      continue;
+    for (const std::string& name : names)
+      if (name.find('.') != std::string::npos) cfg.metric_names.insert(name);
+  }
+  cfg.have_naming_table = !cfg.metric_names.empty();
+  return cfg;
+}
+
+DriverResult run_driver(const DriverOptions& opts) {
+  DriverResult result;
+  const fs::path root(opts.root);
+  const LintConfig cfg =
+      load_naming_table(opts.naming_doc.empty()
+                            ? std::string()
+                            : (root / opts.naming_doc).string());
+
+  std::vector<fs::path> files;
+  for (const std::string& sub : opts.subdirs) {
+    const fs::path dir = root / sub;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (fs::recursive_directory_iterator it(dir, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file() || !is_cpp_source(it->path())) continue;
+      files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& p : files) {
+    std::string rel = fs::relative(p, root).generic_string();
+    const bool excluded =
+        std::any_of(opts.excludes.begin(), opts.excludes.end(),
+                    [&](const std::string& e) {
+                      return rel.rfind(e, 0) == 0;
+                    });
+    if (excluded) continue;
+
+    FileInput in;
+    in.path = std::move(rel);
+    if (!read_file(p, &in.content)) continue;
+    if (in.path.ends_with(".cpp")) {
+      fs::path sibling = p;
+      sibling.replace_extension(".hpp");
+      std::error_code ec;
+      in.sibling_header_exists = fs::exists(sibling, ec);
+    }
+    ++result.files_scanned;
+    std::vector<Finding> found = lint_file(in, cfg);
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(found.begin()),
+                           std::make_move_iterator(found.end()));
+  }
+
+  std::stable_sort(result.findings.begin(), result.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     return a.line < b.line;
+                   });
+  return result;
+}
+
+}  // namespace hetsched::lint

@@ -1,0 +1,47 @@
+// Tree driver for hetsched_lint: walks the repository's source
+// directories, loads the docs/OBSERVABILITY.md naming inventory, and
+// runs the rule passes (rules.hpp) over every C++ file. Shared between
+// the CLI (main.cpp) and the fixture tests
+// (tests/lint_fixture_test.cpp), which point it at mini-trees under
+// tests/lint_fixtures/.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace hetsched::lint {
+
+struct DriverOptions {
+  /// Repository (or fixture-tree) root; paths in findings are relative
+  /// to it.
+  std::string root = ".";
+  /// Top-level directories scanned under root (missing ones are
+  /// skipped, so fixture trees containing only src/ work unchanged).
+  std::vector<std::string> subdirs = {"src", "tools", "bench", "tests",
+                                      "examples"};
+  /// Root-relative prefixes never scanned. The fixture corpus is a
+  /// directory of deliberate violations; linting it would make the
+  /// tree permanently red.
+  std::vector<std::string> excludes = {"tests/lint_fixtures"};
+  /// Root-relative markdown file holding the metric inventory table.
+  /// Empty or missing file disables the metric-name rule.
+  std::string naming_doc = "docs/OBSERVABILITY.md";
+};
+
+struct DriverResult {
+  std::vector<Finding> findings;
+  int files_scanned = 0;
+};
+
+/// Parses the `| \`metric.name\` | counter/gauge/histogram | ...` rows
+/// of the naming table. Returns have_naming_table=false when the file
+/// cannot be read or holds no rows.
+LintConfig load_naming_table(const std::string& doc_path);
+
+/// Walks and lints the tree. Findings come back sorted by path, then
+/// line.
+DriverResult run_driver(const DriverOptions& opts);
+
+}  // namespace hetsched::lint

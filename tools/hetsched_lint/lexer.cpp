@@ -1,0 +1,303 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace hetsched::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses `hetsched-lint: allow(rule-a, rule-b)` out of a comment body;
+/// returns the listed rule names (empty when the marker is absent).
+std::vector<std::string> parse_allow(std::string_view comment) {
+  std::vector<std::string> rules;
+  const std::string_view marker = "hetsched-lint:";
+  const std::size_t at = comment.find(marker);
+  if (at == std::string_view::npos) return rules;
+  std::size_t i = at + marker.size();
+  while (i < comment.size() && std::isspace(static_cast<unsigned char>(comment[i]))) ++i;
+  const std::string_view verb = "allow";
+  if (comment.substr(i, verb.size()) != verb) return rules;
+  i += verb.size();
+  while (i < comment.size() && std::isspace(static_cast<unsigned char>(comment[i]))) ++i;
+  if (i >= comment.size() || comment[i] != '(') return rules;
+  ++i;
+  std::string cur;
+  for (; i < comment.size() && comment[i] != ')'; ++i) {
+    const char c = comment[i];
+    if (c == ',') {
+      if (!cur.empty()) rules.push_back(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur += c;
+    }
+  }
+  if (!cur.empty() && i < comment.size()) rules.push_back(cur);
+  return rules;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexedFile run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      note_content();
+      if (c == '#' && directive_position_) {
+        directive();
+        at_line_start_ = false;
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"' || is_string_prefix()) {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+        continue;
+      }
+      out_.tokens.push_back({TokKind::kPunct, std::string(1, c), line_});
+      ++pos_;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  // Only whitespace/comments may precede '#' on its line.
+  bool directive_position_ = true;
+  bool at_line_start_ = true;
+
+  void note_content() {
+    if (out_.first_content_line == 0) out_.first_content_line = line_;
+    if (!at_line_start_) directive_position_ = false;
+    else directive_position_ = true;
+  }
+
+  void add_suppressions(std::string_view comment, int line) {
+    for (auto& r : parse_allow(comment)) out_.suppressions[line].insert(r);
+  }
+
+  void line_comment() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    add_suppressions(src_.substr(start, pos_ - start), line_);
+  }
+
+  void block_comment() {
+    const std::size_t start = pos_;
+    const int start_line = line_;
+    pos_ += 2;
+    while (pos_ < src_.size() &&
+           !(src_[pos_] == '*' && peek(1) == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) pos_ += 2;
+    add_suppressions(src_.substr(start, pos_ - start), start_line);
+  }
+
+  void directive() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && (peek(1) == '\n' ||
+                        (peek(1) == '\r' && peek(2) == '\n'))) {
+        // Joined continuation: the directive swallows the next line too.
+        pos_ += peek(1) == '\n' ? 2 : 3;
+        ++line_;
+        text += ' ';
+        continue;
+      }
+      if (c == '\n') break;
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        break;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        text += ' ';
+        continue;
+      }
+      text += c;
+      ++pos_;
+    }
+    out_.tokens.push_back({TokKind::kDirective, text, start_line});
+    scan_directive(text, start_line);
+  }
+
+  void scan_directive(const std::string& text, int line) {
+    std::size_t i = 1;  // past '#'
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t j = i;
+    while (j < text.size() && ident_cont(text[j])) ++j;
+    const std::string_view word = std::string_view(text).substr(i, j - i);
+    if (word == "pragma") {
+      std::size_t k = j;
+      while (k < text.size() && std::isspace(static_cast<unsigned char>(text[k]))) ++k;
+      if (std::string_view(text).substr(k, 4) == "once" &&
+          out_.first_content_line == line)
+        out_.starts_with_pragma_once = true;
+      return;
+    }
+    if (word != "include") return;
+    std::size_t k = j;
+    while (k < text.size() && std::isspace(static_cast<unsigned char>(text[k]))) ++k;
+    if (k >= text.size()) return;
+    const char open = text[k];
+    const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+    if (close == '\0') return;
+    const std::size_t end = text.find(close, k + 1);
+    if (end == std::string::npos) return;
+    out_.includes.push_back(
+        {text.substr(k + 1, end - k - 1), open == '<', line});
+  }
+
+  bool is_string_prefix() const {
+    // u8"..."  u"..."  U"..."  L"..."  R"(...)" and compounds like u8R.
+    std::size_t i = pos_;
+    if (src_[i] == 'u' && peek(1) == '8') i += 2;
+    else if (src_[i] == 'u' || src_[i] == 'U' || src_[i] == 'L') i += 1;
+    if (i < src_.size() && src_[i] == 'R') i += 1;
+    return i > pos_ && i < src_.size() && src_[i] == '"' &&
+           !ident_cont_before();
+  }
+
+  bool ident_cont_before() const {
+    return pos_ > 0 && ident_cont(src_[pos_ - 1]);
+  }
+
+  void string_literal() {
+    const int start_line = line_;
+    bool raw = false;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == 'R') raw = true;
+      ++pos_;
+    }
+    if (pos_ >= src_.size()) return;
+    ++pos_;  // past opening quote
+    std::string text;
+    if (raw) {
+      std::string delim;
+      while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+      if (pos_ < src_.size()) ++pos_;
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src_.find(closer, pos_);
+      const std::size_t stop = end == std::string_view::npos ? src_.size() : end;
+      for (std::size_t i = pos_; i < stop; ++i)
+        if (src_[i] == '\n') ++line_;
+      text.assign(src_.substr(pos_, stop - pos_));
+      pos_ = stop + (end == std::string_view::npos ? 0 : closer.size());
+    } else {
+      while (pos_ < src_.size() && src_[pos_] != '"') {
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+          text += src_[pos_];
+          text += src_[pos_ + 1];
+          pos_ += 2;
+          continue;
+        }
+        if (src_[pos_] == '\n') break;  // unterminated; recover
+        text += src_[pos_++];
+      }
+      if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    }
+    out_.tokens.push_back({TokKind::kString, std::move(text), start_line});
+  }
+
+  void char_literal() {
+    const int start_line = line_;
+    ++pos_;
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text += src_[pos_];
+        text += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;
+      text += src_[pos_++];
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    out_.tokens.push_back({TokKind::kChar, std::move(text), start_line});
+  }
+
+  void identifier() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && ident_cont(src_[pos_])) ++pos_;
+    out_.tokens.push_back(
+        {TokKind::kIdent, std::string(src_.substr(start, pos_ - start)),
+         line_});
+  }
+
+  void number() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (ident_cont(src_[pos_]) || src_[pos_] == '.' ||
+            ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
+             (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+              src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P'))))
+      ++pos_;
+    out_.tokens.push_back(
+        {TokKind::kNumber, std::string(src_.substr(start, pos_ - start)),
+         line_});
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view source) { return Lexer(source).run(); }
+
+bool is_suppressed(const LexedFile& file, int line, const std::string& rule) {
+  for (const int l : {line, line - 1}) {
+    const auto it = file.suppressions.find(l);
+    if (it != file.suppressions.end() && it->second.count(rule)) return true;
+  }
+  return false;
+}
+
+}  // namespace hetsched::lint

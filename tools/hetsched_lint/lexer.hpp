@@ -1,0 +1,70 @@
+// Minimal C++ tokenizer for hetsched_lint.
+//
+// Deliberately not a compiler front end: the project invariants the
+// linter enforces (docs/STATIC_ANALYSIS.md) are all expressible over a
+// comment-and-string-aware token stream plus the preprocessor include
+// list, so a few hundred lines of lexer beat a libclang dependency the
+// container cannot ship. The lexer understands line/block comments
+// (harvesting `hetsched-lint: allow(...)` suppressions), string and
+// character literals (including raw strings), preprocessor directives
+// (joined across backslash continuations, with `#include` targets
+// extracted), identifiers, numbers and punctuation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace hetsched::lint {
+
+enum class TokKind {
+  kIdent,        ///< identifier or keyword
+  kString,       ///< string literal, text excludes quotes/prefix
+  kChar,         ///< character literal
+  kNumber,       ///< numeric literal
+  kPunct,        ///< one punctuation character
+  kDirective,    ///< whole preprocessor directive (continuations joined)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+};
+
+/// One `#include` extracted from the directive stream.
+struct Include {
+  std::string path;    ///< include target without quotes/brackets
+  bool angled = false; ///< <...> (system) vs "..." (project)
+  int line = 0;
+};
+
+/// Lexed view of one source file.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  /// line -> rule names suppressed on that line via
+  /// `// hetsched-lint: allow(rule-a, rule-b)`. A suppression comment
+  /// covers its own line and the line after it, so it can either trail
+  /// the offending statement or sit on its own line above it.
+  std::unordered_map<int, std::unordered_set<std::string>> suppressions;
+  /// First line holding anything other than comments/whitespace
+  /// (0 when the file is all comments). Directives count as content.
+  int first_content_line = 0;
+  /// True when that first content is exactly `#pragma once`.
+  bool starts_with_pragma_once = false;
+};
+
+/// Tokenizes `source`. Never fails: malformed input degrades to
+/// punctuation tokens rather than erroring (the linter must not die on
+/// the code it is judging).
+LexedFile lex(std::string_view source);
+
+/// True if `rule` is suppressed at `line` in `file` (the comment may be
+/// on the flagged line or on the line directly above).
+bool is_suppressed(const LexedFile& file, int line, const std::string& rule);
+
+}  // namespace hetsched::lint

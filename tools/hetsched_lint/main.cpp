@@ -1,0 +1,66 @@
+// hetsched_lint CLI — project-invariant static analysis over the
+// hetsched tree. See docs/STATIC_ANALYSIS.md for the rule catalog and
+// suppression syntax.
+//
+//   hetsched_lint --root=/path/to/repo          # lint the whole tree
+//   hetsched_lint --root=. src tools            # restrict to subdirs
+//   hetsched_lint --list-rules
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error — the `lint`
+// CTest (tools/hetsched_lint/CMakeLists.txt) and the CI lint step gate
+// on them.
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driver.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root=DIR] [--naming-doc=REL.md] "
+               "[--list-rules] [subdir...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetsched::lint;
+  DriverOptions opts;
+  std::vector<std::string> subdirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const RuleInfo& r : rule_catalog())
+        std::printf("%-20s %s\n", r.name.c_str(), r.description.c_str());
+      return 0;
+    }
+    if (arg.rfind("--root=", 0) == 0) {
+      opts.root = std::string(arg.substr(7));
+    } else if (arg.rfind("--naming-doc=", 0) == 0) {
+      opts.naming_doc = std::string(arg.substr(13));
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    } else {
+      subdirs.emplace_back(arg);
+    }
+  }
+  if (!subdirs.empty()) opts.subdirs = std::move(subdirs);
+
+  const DriverResult res = run_driver(opts);
+  if (res.files_scanned == 0) {
+    std::fprintf(stderr, "hetsched_lint: no sources found under %s\n",
+                 opts.root.c_str());
+    return 2;
+  }
+  for (const Finding& f : res.findings)
+    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  std::fprintf(stderr, "hetsched_lint: %zu finding(s) in %d file(s)\n",
+               res.findings.size(), res.files_scanned);
+  return res.findings.empty() ? 0 : 1;
+}

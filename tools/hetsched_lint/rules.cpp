@@ -1,0 +1,351 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string_view>
+
+namespace hetsched::lint {
+
+namespace {
+
+// ---- path classification ---------------------------------------------------
+
+/// `src/<layer>/...` -> `<layer>`; empty otherwise (umbrella header,
+/// tests, bench, tools, examples).
+std::string layer_of(std::string_view path) {
+  if (!path.starts_with("src/")) return {};
+  const std::string_view rest = path.substr(4);
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return {};
+  return std::string(rest.substr(0, slash));
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Allowed include targets per source layer: the transitive closure of
+/// the target_link_libraries graph in src/*/CMakeLists.txt. A file in
+/// layer L may include "X/..." only when X is in allowed(L) — this is
+/// the strict layering `support` <- `linalg` <- `des`/`mpisim` <- `hpl`
+/// <- `core` <- `search` <- `measure` <- `apps`, with `obs` a leaf
+/// every layer may observe through and `cluster` between des and
+/// mpisim. Keep this table in sync with the CMake link graph; the
+/// linter is the machine check that source includes do not outgrow it.
+const std::map<std::string, std::unordered_set<std::string>>& layer_deps() {
+  static const std::map<std::string, std::unordered_set<std::string>> deps = {
+      {"obs", {"obs"}},
+      {"support", {"support", "obs"}},
+      {"linalg", {"linalg", "support", "obs"}},
+      {"des", {"des", "support", "obs"}},
+      {"cluster", {"cluster", "des", "support", "obs"}},
+      {"mpisim", {"mpisim", "cluster", "des", "support", "obs"}},
+      {"hpl",
+       {"hpl", "mpisim", "cluster", "des", "linalg", "support", "obs"}},
+      {"core",
+       {"core", "hpl", "mpisim", "cluster", "des", "linalg", "support",
+        "obs"}},
+      {"search",
+       {"search", "core", "hpl", "mpisim", "cluster", "des", "linalg",
+        "support", "obs"}},
+      {"measure",
+       {"measure", "search", "core", "hpl", "mpisim", "cluster", "des",
+        "linalg", "support", "obs"}},
+      {"apps",
+       {"apps", "measure", "search", "core", "hpl", "mpisim", "cluster",
+        "des", "linalg", "support", "obs"}},
+  };
+  return deps;
+}
+
+/// Layers whose code must stay deterministic and allocation-disciplined:
+/// everything that prices, simulates or measures. `support` (pool, rng
+/// wrappers) and `obs` (tracer needs a real clock) are infrastructure
+/// and exempt.
+bool is_model_layer(const std::string& layer) {
+  static const std::unordered_set<std::string> model = {
+      "des",  "linalg", "cluster", "mpisim", "hpl",
+      "core", "search", "measure", "apps"};
+  return model.count(layer) > 0;
+}
+
+/// Fit paths: where double-precision least squares lives; `float` there
+/// silently halves the mantissa of N^3-scale design columns.
+bool is_fit_layer(const std::string& layer) {
+  return layer == "linalg" || layer == "core";
+}
+
+// ---- token helpers ---------------------------------------------------------
+
+struct TokenCursor {
+  const std::vector<Token>& toks;
+  std::size_t i = 0;
+  bool done() const { return i >= toks.size(); }
+  const Token& tok() const { return toks[i]; }
+  const Token* next() const {
+    return i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+  }
+  const Token* prev() const { return i > 0 ? &toks[i - 1] : nullptr; }
+};
+
+bool is_punct(const Token* t, char c) {
+  return t && t->kind == TokKind::kPunct && t->text.size() == 1 &&
+         t->text[0] == c;
+}
+
+/// With toks[open] == "(", returns the index one past the matching ")".
+/// Fills `top_level_commas` with the indices of depth-1 commas.
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open,
+                        std::vector<std::size_t>* top_level_commas) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+    else if (t.text == ")" || t.text == "]" || t.text == "}") {
+      --depth;
+      if (depth == 0) return j + 1;
+    } else if (t.text == "," && depth == 1 && top_level_commas) {
+      top_level_commas->push_back(j);
+    }
+  }
+  return toks.size();
+}
+
+/// First string-literal token strictly inside the parens opened at
+/// `open`; nullptr when none.
+const Token* first_string_in_call(const std::vector<Token>& toks,
+                                  std::size_t open) {
+  const std::size_t end = match_paren(toks, open, nullptr);
+  for (std::size_t j = open + 1; j < end; ++j)
+    if (toks[j].kind == TokKind::kString) return &toks[j];
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      {"layering",
+       "src/<layer> may only include layers at or below it in the "
+       "dependency graph (mirrors src/*/CMakeLists.txt)"},
+      {"obs-direct",
+       "outside src/obs, instrumentation goes through the obs/hooks.hpp "
+       "macros — no direct MetricsRegistry/Tracer use or "
+       "obs/metrics.hpp / obs/trace.hpp includes"},
+      {"metric-name",
+       "metric literals in hook macros and trace categories must appear "
+       "in the docs/OBSERVABILITY.md naming inventory"},
+      {"banned-construct",
+       "model/DES code must stay deterministic: no std::rand/srand, "
+       "time()/clock(), gettimeofday or std::chrono wall clocks"},
+      {"raw-new",
+       "model/DES code allocates through containers and smart pointers, "
+       "never raw new/delete"},
+      {"float-fit",
+       "fit paths (src/linalg, src/core) are double-precision only; no "
+       "float"},
+      {"assert-message",
+       "HETSCHED_ASSERT / HETSCHED_CHECK need a non-empty message "
+       "argument"},
+      {"include-guard", "headers must open with #pragma once"},
+      {"self-include-first",
+       "src/<layer>/<base>.cpp includes its own header first, proving "
+       "the header is self-contained"},
+  };
+  return catalog;
+}
+
+std::vector<Finding> lint_file(const FileInput& in, const LintConfig& cfg) {
+  std::vector<Finding> out;
+  const LexedFile lexed = lex(in.content);
+  const std::string layer = layer_of(in.path);
+  const bool in_src = in.path.starts_with("src/");
+  const bool is_header = ends_with(in.path, ".hpp") || ends_with(in.path, ".h");
+  const bool in_tests = in.path.starts_with("tests/");
+
+  const auto emit = [&](const std::string& rule, int line,
+                        std::string message) {
+    if (is_suppressed(lexed, line, rule)) return;
+    out.push_back({rule, in.path, line, std::move(message)});
+  };
+
+  // -- layering --------------------------------------------------------------
+  if (!layer.empty()) {
+    const auto& deps = layer_deps();
+    const auto self = deps.find(layer);
+    for (const Include& inc : lexed.includes) {
+      if (inc.angled) continue;
+      const std::size_t slash = inc.path.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string target = inc.path.substr(0, slash);
+      if (!deps.count(target)) continue;  // not a layer-qualified include
+      if (self == deps.end() || !self->second.count(target))
+        emit("layering", inc.line,
+             "layer '" + layer + "' must not include \"" + inc.path +
+                 "\" (depends upward on '" + target + "')");
+    }
+  }
+
+  // -- obs-direct ------------------------------------------------------------
+  if (in_src && layer != "obs") {
+    for (const Include& inc : lexed.includes) {
+      if (inc.angled) continue;
+      if (inc.path == "obs/metrics.hpp" || inc.path == "obs/trace.hpp")
+        emit("obs-direct", inc.line,
+             "include \"obs/hooks.hpp\" and use the hook macros instead "
+             "of \"" + inc.path + "\"");
+    }
+    for (const Token& t : lexed.tokens)
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "MetricsRegistry" || t.text == "Tracer"))
+        emit("obs-direct", t.line,
+             "direct " + t.text +
+                 " access outside src/obs; use the hook macros");
+  }
+
+  // -- metric-name (skipped in tests/, which exercise synthetic names) -------
+  if (cfg.have_naming_table && !in_tests) {
+    static const std::unordered_set<std::string> metric_macros = {
+        "HETSCHED_COUNTER_ADD", "HETSCHED_GAUGE_SET",
+        "HETSCHED_HISTOGRAM_RECORD"};
+    static const std::unordered_set<std::string> trace_macros = {
+        "HETSCHED_TRACE_SPAN", "HETSCHED_TRACE_SPAN_VAR",
+        "HETSCHED_TRACE_ASYNC_VAR", "HETSCHED_TRACE_INSTANT"};
+    const auto& toks = lexed.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+      const bool metric = metric_macros.count(toks[i].text) > 0;
+      const bool trace = trace_macros.count(toks[i].text) > 0;
+      if ((!metric && !trace) || !is_punct(&toks[i + 1], '(')) continue;
+      const Token* name = first_string_in_call(toks, i + 1);
+      if (!name) continue;  // non-literal name: nothing to look up
+      if (metric && !cfg.metric_names.count(name->text))
+        emit("metric-name", name->line,
+             "metric \"" + name->text +
+                 "\" is not in the docs/OBSERVABILITY.md inventory table");
+      else if (trace && !cfg.trace_categories.count(name->text))
+        emit("metric-name", name->line,
+             "trace category \"" + name->text +
+                 "\" is not an instrumented layer name");
+    }
+  }
+
+  // -- banned-construct / raw-new (model layers only) ------------------------
+  if (is_model_layer(layer)) {
+    static const std::unordered_set<std::string> banned_always = {
+        "rand", "srand", "system_clock", "steady_clock",
+        "high_resolution_clock", "gettimeofday"};
+    static const std::unordered_set<std::string> banned_calls = {"time",
+                                                                 "clock"};
+    const auto& toks = lexed.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (banned_always.count(t.text)) {
+        emit("banned-construct", t.line,
+             "'" + t.text +
+                 "' injects nondeterminism into model/DES code "
+                 "(bit-reproducibility contract)");
+        continue;
+      }
+      if (banned_calls.count(t.text) && i + 1 < toks.size() &&
+          is_punct(&toks[i + 1], '(')) {
+        // Member calls like `obj.time()` are someone else's method, not
+        // the libc wall clock.
+        const Token* prev = i > 0 ? &toks[i - 1] : nullptr;
+        const bool member = is_punct(prev, '.') ||
+                            (prev && prev->kind == TokKind::kPunct &&
+                             prev->text == ">");
+        if (!member)
+          emit("banned-construct", t.line,
+               "'" + t.text + "()' reads the wall clock in model/DES code");
+        continue;
+      }
+      if (t.text == "new") {
+        emit("raw-new", t.line,
+             "raw 'new' in model/DES code; use std::make_unique / "
+             "containers");
+        continue;
+      }
+      if (t.text == "delete") {
+        const Token* prev = i > 0 ? &toks[i - 1] : nullptr;
+        if (!is_punct(prev, '='))  // `= delete` declarations are fine
+          emit("raw-new", t.line,
+               "raw 'delete' in model/DES code; use RAII ownership");
+      }
+    }
+  }
+
+  // -- float-fit -------------------------------------------------------------
+  if (is_fit_layer(layer)) {
+    for (const Token& t : lexed.tokens)
+      if (t.kind == TokKind::kIdent && t.text == "float")
+        emit("float-fit", t.line,
+             "'float' in a fit path; coefficient extraction is "
+             "double-precision only");
+  }
+
+  // -- assert-message --------------------------------------------------------
+  {
+    const auto& toks = lexed.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent ||
+          (toks[i].text != "HETSCHED_ASSERT" &&
+           toks[i].text != "HETSCHED_CHECK") ||
+          !is_punct(&toks[i + 1], '('))
+        continue;
+      std::vector<std::size_t> commas;
+      const std::size_t end = match_paren(toks, i + 1, &commas);
+      if (commas.empty()) {
+        emit("assert-message", toks[i].line,
+             toks[i].text + " without a message argument");
+        continue;
+      }
+      // Last argument: tokens after the final top-level comma. Accept a
+      // non-empty string literal, or an identifier/number (a message
+      // built from an expression or variable); an empty literal or
+      // nothing at all is a missing message.
+      bool has_text = false;
+      for (std::size_t j = commas.back() + 1; j + 1 < end; ++j) {
+        if ((toks[j].kind == TokKind::kString && !toks[j].text.empty()) ||
+            toks[j].kind == TokKind::kIdent ||
+            toks[j].kind == TokKind::kNumber)
+          has_text = true;
+      }
+      if (!has_text)
+        emit("assert-message", toks[i].line,
+             toks[i].text + " message must be a non-empty string");
+    }
+  }
+
+  // -- include-guard ---------------------------------------------------------
+  if (is_header && !lexed.starts_with_pragma_once)
+    emit("include-guard",
+         lexed.first_content_line == 0 ? 1 : lexed.first_content_line,
+         "header must open with #pragma once");
+
+  // -- self-include-first ----------------------------------------------------
+  if (!layer.empty() && ends_with(in.path, ".cpp") &&
+      in.sibling_header_exists) {
+    const std::size_t slash = in.path.rfind('/');
+    const std::string base =
+        in.path.substr(slash + 1, in.path.size() - slash - 1 - 4);
+    const std::string expect = layer + "/" + base + ".hpp";
+    if (lexed.includes.empty() || lexed.includes.front().angled ||
+        lexed.includes.front().path != expect)
+      emit("self-include-first",
+           lexed.includes.empty() ? 1 : lexed.includes.front().line,
+           "first include must be \"" + expect +
+               "\" (self-contained-header check)");
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+}  // namespace hetsched::lint

@@ -1,0 +1,61 @@
+// Rule catalog for hetsched_lint.
+//
+// Every rule has a stable kebab-case name: findings print it, and
+// `// hetsched-lint: allow(<rule>)` suppresses it for the line the
+// comment is on (or the line below a standalone comment). The catalog
+// with rationale lives in docs/STATIC_ANALYSIS.md; adding a rule means
+// adding an entry to rule_catalog() and a branch in lint_file(), plus a
+// fixture under tests/lint_fixtures/ that trips it exactly once.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace hetsched::lint {
+
+/// One reported violation.
+struct Finding {
+  std::string rule;
+  std::string path;  ///< repo-relative, '/'-separated
+  int line = 0;
+  std::string message;
+};
+
+/// Name + one-line description, for --list-rules and the docs.
+struct RuleInfo {
+  std::string name;
+  std::string description;
+};
+
+/// All rules, in reporting order.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Project-wide knowledge the rules check against.
+struct LintConfig {
+  /// Metric names from the docs/OBSERVABILITY.md inventory table;
+  /// HETSCHED_COUNTER_ADD / _GAUGE_SET / _HISTOGRAM_RECORD literals must
+  /// be listed there. Empty + !have_naming_table disables the rule.
+  std::unordered_set<std::string> metric_names;
+  /// Allowed trace categories (the instrumented layer names).
+  std::unordered_set<std::string> trace_categories = {
+      "des", "mpisim", "search", "measure", "support"};
+  bool have_naming_table = false;
+};
+
+/// One file handed to the rule passes.
+struct FileInput {
+  std::string path;     ///< repo-relative, '/'-separated
+  std::string content;
+  /// For src/<layer>/<base>.cpp: whether <layer>/<base>.hpp exists
+  /// (drives the self-include-first rule).
+  bool sibling_header_exists = false;
+};
+
+/// Runs every applicable rule over one file. Suppressions are already
+/// honoured: the returned findings are only the unsuppressed ones.
+std::vector<Finding> lint_file(const FileInput& in, const LintConfig& cfg);
+
+}  // namespace hetsched::lint

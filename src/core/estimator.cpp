@@ -24,15 +24,37 @@ std::string pt_key(const std::string& kind, int m) {
 
 }  // namespace
 
+const char* to_string(Provenance p) {
+  switch (p) {
+    case Provenance::kMeasured:
+      return "measured";
+    case Provenance::kComposed:
+      return "composed";
+    case Provenance::kFallback:
+      return "fallback";
+  }
+  HETSCHED_ASSERT(false, "to_string: invalid Provenance value");
+  return "measured";
+}
+
+Provenance provenance_from_string(const std::string& tag) {
+  if (tag == "measured") return Provenance::kMeasured;
+  if (tag == "composed") return Provenance::kComposed;
+  if (tag == "fallback") return Provenance::kFallback;
+  throw Error("unknown provenance tag '" + tag + "'");
+}
+
 Estimator::Estimator(cluster::ClusterSpec spec, EstimatorOptions opts)
     : spec_(std::move(spec)), opts_(opts) {}
 
-void Estimator::add_nt(const NtKey& key, NtModel model) {
-  nt_[nt_key(key)] = NtEntry{key, std::move(model)};
+void Estimator::add_nt(const NtKey& key, NtModel model,
+                       Provenance provenance) {
+  nt_[nt_key(key)] = NtEntry{key, std::move(model), provenance};
 }
 
-void Estimator::add_pt(const std::string& kind, int m, PtModel model) {
-  pt_[pt_key(kind, m)] = PtEntry{kind, m, std::move(model)};
+void Estimator::add_pt(const std::string& kind, int m, PtModel model,
+                       Provenance provenance) {
+  pt_[pt_key(kind, m)] = PtEntry{kind, m, std::move(model), provenance};
 }
 
 void Estimator::add_adjustment(const std::string& kind, int m, LinearMap map) {
@@ -47,6 +69,16 @@ const NtModel* Estimator::nt(const NtKey& key) const {
 const PtModel* Estimator::pt(const std::string& kind, int m) const {
   const auto it = pt_.find(pt_key(kind, m));
   return it == pt_.end() ? nullptr : &it->second.model;
+}
+
+Provenance Estimator::nt_provenance(const NtKey& key) const {
+  const auto it = nt_.find(nt_key(key));
+  return it == nt_.end() ? Provenance::kMeasured : it->second.provenance;
+}
+
+Provenance Estimator::pt_provenance(const std::string& kind, int m) const {
+  const auto it = pt_.find(pt_key(kind, m));
+  return it == pt_.end() ? Provenance::kMeasured : it->second.provenance;
 }
 
 std::vector<Estimator::NtEntry> Estimator::nt_entries() const {
@@ -79,13 +111,15 @@ std::string Estimator::describe() const {
     os << "    " << e.key.kind << " pes=" << e.key.pes << " m=" << e.key.m
        << "  k0=" << e.model.compute_coeffs()[0]
        << " tai(4800)=" << e.model.tai(4800)
-       << "s tci(4800)=" << e.model.tci(4800) << "s\n";
+       << "s tci(4800)=" << e.model.tci(4800) << "s ["
+       << to_string(e.provenance) << "]\n";
   }
   os << "  P-T models (" << pt_.size() << "):\n";
   for (const auto& [k, e] : pt_) {
     os << "    " << e.kind << " m=" << e.m
        << "  tai(4800,P=10)=" << e.model.tai(4800, 10)
-       << "s tci(4800,Q=9)=" << e.model.tci(4800, 9) << "s\n";
+       << "s tci(4800,Q=9)=" << e.model.tci(4800, 9) << "s ["
+       << to_string(e.provenance) << "]\n";
   }
   os << "  adjustments (" << adjust_.size() << "):\n";
   for (const auto& [k, e] : adjust_)
@@ -110,8 +144,14 @@ bool Estimator::covers(const cluster::Config& config) const {
   return true;
 }
 
-bool Estimator::predicted_paged(const cluster::Config& config, int n) const {
-  // Mirror of the engines' memory model: exact block-cyclic column shares.
+std::vector<Bytes> Estimator::predicted_footprint(
+    const cluster::Config& config, int n) const {
+  HETSCHED_CHECK(n >= 1, "predicted_footprint: n >= 1 required");
+  // Mirror of the engines' memory model: exact block-cyclic column
+  // shares. Grid1xP::local_cols attributes remainder column blocks (and
+  // the short final block when nb does not divide N) to their owning
+  // ranks, so footprints are exact for non-dividing (N, P) pairs — the
+  // regression test core_estimator_test.PagedFootprint* pins this.
   const cluster::Placement placement = make_placement(spec_, config);
   const hpl::Grid1xP grid(n, opts_.nb, placement.nprocs());
   std::vector<Bytes> footprint(spec_.nodes.size(), spec_.os_reserved);
@@ -122,6 +162,11 @@ bool Estimator::predicted_paged(const cluster::Config& config, int n) const {
     footprint[placement.rank_pe[static_cast<std::size_t>(r)].node] +=
         ws + spec_.proc_overhead;
   }
+  return footprint;
+}
+
+bool Estimator::predicted_paged(const cluster::Config& config, int n) const {
+  const std::vector<Bytes> footprint = predicted_footprint(config, n);
   for (std::size_t node = 0; node < footprint.size(); ++node)
     if (footprint[node] > spec_.nodes[node].memory) return true;
   return false;
@@ -143,6 +188,13 @@ Estimator::Breakdown Estimator::breakdown(const cluster::Config& config,
   // coincides with a measured homogeneous group keeps its own N-T model
   // (exact bin); single-PE configurations *must* have one (different
   // physics: no inter-PE traffic); everything else goes through P-T.
+  //
+  // A single-PE configuration with Mi > 1 (one processor, several
+  // co-resident processes) is multiprogrammed but still communicates
+  // over intra-PE channels only — §3.4's "P = Mi" regime *is* the N-T
+  // bin, so it takes the exact path like Mi = 1. The N-T key carries m,
+  // so each multiprogramming level keeps its own curve. Pinned by
+  // core_estimator_test.SinglePeMultiprogrammed*.
   const NtModel* exact = nullptr;
   if (opts_.use_binning && config.usage.size() == 1) {
     const auto& u = config.usage.front();
@@ -155,6 +207,9 @@ Estimator::Breakdown Estimator::breakdown(const cluster::Config& config,
   if (exact != nullptr) {
     const auto& u = config.usage.front();
     bd.single_pe_bin = true;
+    bd.provenance =
+        std::max(bd.provenance,
+                 nt_provenance(NtKey{u.kind, u.pes, u.procs_per_pe}));
     bd.kinds.push_back(
         KindEstimate{u.kind, u.procs_per_pe, exact->tai(nn), exact->tci(nn)});
   } else {
@@ -164,6 +219,8 @@ Estimator::Breakdown Estimator::breakdown(const cluster::Config& config,
       HETSCHED_CHECK(m != nullptr, "no P-T model for kind " + u.kind +
                                        " at m = " +
                                        std::to_string(u.procs_per_pe));
+      bd.provenance =
+          std::max(bd.provenance, pt_provenance(u.kind, u.procs_per_pe));
       // Clamp components at zero: a fitted quadratic Tci can cross zero
       // below the measured range (latency-bound workloads), and a
       // negative time component would poison the argmin.

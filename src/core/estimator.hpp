@@ -46,6 +46,21 @@ struct LinearMap {
   Seconds apply(Seconds t) const { return a * t + b; }
 };
 
+/// Where a model came from — the trust gradient reports split accuracy
+/// by (see docs/ROBUSTNESS.md):
+///   measured  — fitted directly from this configuration class's samples;
+///   composed  — §3.5 scaled copy of another kind's model (the class has
+///               single-PE data but no PE sweep);
+///   fallback  — degraded-mode composition after fault retries exhausted
+///               the class's samples (little or no own data).
+enum class Provenance { kMeasured, kComposed, kFallback };
+
+/// Stable lowercase tag ("measured" / "composed" / "fallback").
+const char* to_string(Provenance p);
+
+/// Inverse of to_string; throws hetsched::Error on unknown tags.
+Provenance provenance_from_string(const std::string& tag);
+
 class Estimator {
  public:
   /// Per-kind prediction detail.
@@ -60,6 +75,9 @@ class Estimator {
     bool single_pe_bin = false;  ///< which model bin served the prediction
     bool paged = false;          ///< memory-bin flag
     bool adjusted = false;
+    /// Least trusted provenance among the models that served the
+    /// prediction (measured < composed < fallback).
+    Provenance provenance = Provenance::kMeasured;
     Seconds total = 0;
   };
 
@@ -73,28 +91,44 @@ class Estimator {
   /// True if estimate() would succeed for this configuration.
   bool covers(const cluster::Config& config) const;
 
+  /// Predicted per-node memory footprint of `config` at size n, in bytes
+  /// (OS reservation + per-process working set and overhead, exact
+  /// block-cyclic column shares). The memory bin flags the config paged
+  /// when any entry exceeds its node's physical memory.
+  std::vector<Bytes> predicted_footprint(const cluster::Config& config,
+                                         int n) const;
+
   const EstimatorOptions& options() const { return opts_; }
   /// Mutable options (ablation benches flip components on one model set).
   EstimatorOptions& options() { return opts_; }
 
   // -- wiring (used by ModelBuilder and tests) ------------------------------
   Estimator(cluster::ClusterSpec spec, EstimatorOptions opts);
-  void add_nt(const NtKey& key, NtModel model);
-  void add_pt(const std::string& kind, int m, PtModel model);
+  void add_nt(const NtKey& key, NtModel model,
+              Provenance provenance = Provenance::kMeasured);
+  void add_pt(const std::string& kind, int m, PtModel model,
+              Provenance provenance = Provenance::kMeasured);
   void add_adjustment(const std::string& kind, int m, LinearMap map);
 
   const NtModel* nt(const NtKey& key) const;
   const PtModel* pt(const std::string& kind, int m) const;
 
+  /// Provenance of a stored model; kMeasured if the key is absent (the
+  /// degenerate default keeps call sites branch-free).
+  Provenance nt_provenance(const NtKey& key) const;
+  Provenance pt_provenance(const std::string& kind, int m) const;
+
   // -- introspection (persistence, diagnostics) -----------------------------
   struct NtEntry {
     NtKey key;
     NtModel model;
+    Provenance provenance = Provenance::kMeasured;
   };
   struct PtEntry {
     std::string kind;
     int m = 0;
     PtModel model;
+    Provenance provenance = Provenance::kMeasured;
   };
   struct AdjustEntry {
     std::string kind;

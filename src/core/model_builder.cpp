@@ -1,10 +1,12 @@
 #include "core/model_builder.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 
 #include "linalg/lls.hpp"
+#include "obs/hooks.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
 
@@ -17,6 +19,26 @@ struct GroupData {
   std::vector<NtModel::Point> points;  // one per measured N
 };
 
+/// A copy of `model` with the computation polynomial scaled by `sa` and
+/// the communication polynomial by `sc` — §3.5 composition applied at the
+/// N-T level (scaling every coefficient scales the whole curve).
+NtModel scaled_nt(const NtModel& model, double sa, double sc) {
+  std::array<double, 4> ka = model.compute_coeffs();
+  std::array<double, 3> kc = model.comm_coeffs();
+  for (double& k : ka) k *= sa;
+  for (double& k : kc) k *= sc;
+  return NtModel(ka, kc);
+}
+
+/// Aggregates §3.5 scale ratios: plain mean normally, the median when
+/// robust fitting is on. A fit rebuilt from a faulty campaign can put a
+/// grossly wrong (even negative) prediction at one grid point; the mean
+/// of the ratios then collapses into the positivity clamp, while the
+/// median ignores the one bad point.
+double scale_of(const std::vector<double>& ratios, bool robust) {
+  return robust ? stats::percentile(ratios, 50.0) : stats::mean(ratios);
+}
+
 }  // namespace
 
 ModelBuilder::ModelBuilder(cluster::ClusterSpec spec, BuilderOptions opts)
@@ -25,6 +47,8 @@ ModelBuilder::ModelBuilder(cluster::ClusterSpec spec, BuilderOptions opts)
 Estimator ModelBuilder::build(const MeasurementSet& ms) const {
   compositions_.clear();
   adjustments_.clear();
+  fallbacks_.clear();
+  skipped_adjustments_.clear();
 
   // ---- 1. group homogeneous samples and fit N-T models -------------------
   std::map<std::string, GroupData> groups;  // "kind/pes/m" -> data
@@ -72,7 +96,7 @@ Estimator ModelBuilder::build(const MeasurementSet& ms) const {
     if (g.points.size() < 4) continue;  // not enough sizes for k0..k3
     std::sort(g.points.begin(), g.points.end(),
               [](const auto& a, const auto& b) { return a.n < b.n; });
-    const NtModel model = NtModel::fit(g.points);
+    const NtModel model = NtModel::fit(g.points, opts_.fit);
     // Estimator keys single-PE N-T models as (kind, 1, m).
     est.add_nt(g.key, model);
     ++fitted;
@@ -93,6 +117,79 @@ Estimator ModelBuilder::build(const MeasurementSet& ms) const {
                  "ModelBuilder: no group had the four sizes an N-T model "
                  "needs");
 
+  // ---- 1b. degraded-mode N-T fallbacks (docs/ROBUSTNESS.md) ---------------
+  // A class the measurement plan *tried* to cover (it has recorded
+  // failures) but faults hollowed out below the four sizes an N-T fit
+  // needs gets a scaled copy of the nearest measured kind's curve at the
+  // same (PEs, m) shape — §3.5 composition applied one level down. Scales
+  // come from surviving own samples when any exist, else from the spec's
+  // peak-rate ratio. Classes with no failures are left alone: absence
+  // without failure means the plan never intended them.
+  if (opts_.degraded_fallback) {
+    std::map<std::string, NtKey> failed_keys;
+    for (const auto& f : ms.failures()) {
+      if (f.config.usage.size() != 1) continue;  // anchor failures: step 4
+      const auto& u = f.config.usage.front();
+      failed_keys.emplace(u.kind + "/" + std::to_string(u.pes) + "/" +
+                              std::to_string(u.procs_per_pe),
+                          NtKey{u.kind, u.pes, u.procs_per_pe});
+    }
+    for (const auto& [key, ntk] : failed_keys) {
+      if (est.nt(ntk)) continue;  // enough sizes survived; fit is real
+      const double own_flops = spec_.kind(ntk.kind).peak_flops;
+      // Nearest measured kind (by peak rate) with an N-T model of the
+      // same shape — the same-shape constraint keeps PE-count and
+      // multiprogramming effects out of the scale factors.
+      const NtModel* ref_nt = nullptr;
+      std::string ref_kind;
+      double ref_flops = 0;
+      for (const auto& [gk, g] : groups) {
+        if (g.key.kind == ntk.kind || g.key.pes != ntk.pes ||
+            g.key.m != ntk.m)
+          continue;
+        const NtModel* cand = est.nt(g.key);
+        if (cand == nullptr ||
+            est.nt_provenance(g.key) != Provenance::kMeasured)
+          continue;
+        const double cf = spec_.kind(g.key.kind).peak_flops;
+        if (ref_nt == nullptr ||
+            std::abs(cf - own_flops) < std::abs(ref_flops - own_flops)) {
+          ref_nt = cand;
+          ref_kind = g.key.kind;
+          ref_flops = cf;
+        }
+      }
+      if (ref_nt == nullptr) continue;  // nothing measured to degrade from
+
+      double sa = 0, sc = 0;
+      int used = 0;
+      const auto git = groups.find(key);
+      if (git != groups.end() && !git->second.points.empty()) {
+        std::vector<double> ra, rc;
+        for (const auto& p : git->second.points) {
+          if (ref_nt->tai(p.n) > 0) ra.push_back(p.tai / ref_nt->tai(p.n));
+          if (ref_nt->tci(p.n) > 0) rc.push_back(p.tci / ref_nt->tci(p.n));
+        }
+        if (!ra.empty() && !rc.empty()) {
+          sa = scale_of(ra, opts_.fit.robust);
+          sc = scale_of(rc, opts_.fit.robust);
+          used = static_cast<int>(git->second.points.size());
+        }
+      }
+      if (used == 0) {
+        // No surviving samples at all: computation scales inversely with
+        // the peak rate; communication is fabric-bound, not rate-bound.
+        sa = ref_flops / own_flops;
+        sc = 1.0;
+      }
+      sa = std::max(1e-6, sa);
+      sc = std::max(1e-6, sc);
+      est.add_nt(ntk, scaled_nt(*ref_nt, sa, sc), Provenance::kFallback);
+      fallbacks_.push_back(FallbackInfo{ntk, ref_kind, sa, sc, used});
+      HETSCHED_COUNTER_ADD("core.model_fallbacks", 1);
+    }
+  }
+
   // ---- 2. P-T models where the PE sweep allows ----------------------------
   std::set<std::string> kinds_with_pt;
   for (auto& [key, fam] : families) {
@@ -111,7 +208,7 @@ Estimator ModelBuilder::build(const MeasurementSet& ms) const {
     if (multi_node.size() < 2) comm_mask.assign(fam.models.size(), true);
     const std::vector<double> ns(fam.ns.begin(), fam.ns.end());
     const PtModel pt = PtModel::fit(fam.models, fam.total_procs, fam.pes, ns,
-                                    comm_mask);
+                                    comm_mask, opts_.fit);
     const std::string kind = key.substr(0, key.find('/'));
     const int m = std::stoi(key.substr(key.find('/') + 1));
     est.add_pt(kind, m, pt);
@@ -142,16 +239,57 @@ Estimator ModelBuilder::build(const MeasurementSet& ms) const {
         if (ref_tci > 0) rc.push_back(own_nt->tci(p.n) / ref_tci);
       }
       if (ra.empty() || rc.empty()) continue;
-      const double sa = std::max(1e-6, stats::mean(ra));
-      const double sc = std::max(1e-6, stats::mean(rc));
+      const double sa = std::max(1e-6, scale_of(ra, opts_.fit.robust));
+      const double sc = std::max(1e-6, scale_of(rc, opts_.fit.robust));
       // Computation from the same-m family (how m co-resident processes
       // compute); communication from the m = 1 family (in mixed
       // configurations the broadcast ring is shared and does not multiply
       // with one PE's process count).
       est.add_pt(g.key.kind, g.key.m,
-                 PtModel::hybrid(*ref_pt_m, sa, *ref_pt_1, sc));
+                 PtModel::hybrid(*ref_pt_m, sa, *ref_pt_1, sc),
+                 Provenance::kComposed);
       compositions_.push_back(
           CompositionInfo{g.key.kind, ref, g.key.m, sa, sc});
+      break;
+    }
+  }
+
+  // ---- 3b. composition on top of fallback N-T models ----------------------
+  // A single-PE class that only exists as a degraded fallback still needs
+  // a P-T model for mixed configurations. Same §3.5 construction as step
+  // 3, but the scale ratios come from the (fallback) model predictions
+  // over the reference family's N grid — the class may have no measured
+  // points of its own. The result inherits the weakest provenance.
+  for (const auto& fb : fallbacks_) {
+    if (fb.key.pes != 1) continue;
+    if (est.pt(fb.key.kind, fb.key.m) != nullptr) continue;
+    for (const auto& ref : kinds_with_pt) {
+      const PtModel* ref_pt_m = est.pt(ref, fb.key.m);
+      const PtModel* ref_pt_1 =
+          opts_.compose_comm_from_m1 ? est.pt(ref, 1) : ref_pt_m;
+      const NtModel* ref_nt = est.nt(NtKey{ref, 1, fb.key.m});
+      const NtModel* own_nt = est.nt(fb.key);
+      if (!ref_pt_m || !ref_pt_1 || !ref_nt || !own_nt) continue;
+      const auto fit = families.find(ref + "/" + std::to_string(fb.key.m));
+      std::vector<double> grid;
+      if (fit != families.end())
+        grid.assign(fit->second.ns.begin(), fit->second.ns.end());
+      else
+        grid = {800, 1600, 3200, 6400};
+      std::vector<double> ra, rc;
+      for (const double n : grid) {
+        if (ref_nt->tai(n) > 0) ra.push_back(own_nt->tai(n) / ref_nt->tai(n));
+        if (ref_nt->tci(n) > 0) rc.push_back(own_nt->tci(n) / ref_nt->tci(n));
+      }
+      if (ra.empty() || rc.empty()) continue;
+      const double sa = std::max(1e-6, scale_of(ra, opts_.fit.robust));
+      const double sc = std::max(1e-6, scale_of(rc, opts_.fit.robust));
+      est.add_pt(fb.key.kind, fb.key.m,
+                 PtModel::hybrid(*ref_pt_m, sa, *ref_pt_1, sc),
+                 Provenance::kFallback);
+      compositions_.push_back(
+          CompositionInfo{fb.key.kind, ref, fb.key.m, sa, sc});
+      HETSCHED_COUNTER_ADD("core.model_fallbacks", 1);
       break;
     }
   }
@@ -184,18 +322,50 @@ Estimator ModelBuilder::build(const MeasurementSet& ms) const {
     // A free intercept matches the anchors slightly better but its
     // extrapolation below the anchor size is catastrophic (predictions
     // cross zero), so the slope is constrained through the origin.
-    double num = 0, den = 0;
-    for (const auto& [tau, t] : pts) {
-      num += tau * t;
-      den += tau * tau;
-    }
-    if (den <= 0) continue;
     LinearMap map;
-    map.a = num / den;
+    if (opts_.fit.robust) {
+      // Robust variant: the through-origin LS slope is a weighted mean of
+      // the per-anchor ratios t/tau, so one corrupted anchor drags it
+      // directly (observed a = 2.6 under injected faults) — and with only
+      // a couple of anchor runs per class no majority-vote estimator can
+      // save it either. Timing corruption is one-sided (a fault only ever
+      // makes the run slower), so the *minimum* ratio is the
+      // least-corrupted anchor — the usual best-of-k defence for scarce
+      // timing data.
+      double best = 0.0;
+      for (const auto& [tau, t] : pts)
+        if (tau > 0 && (best == 0.0 || t / tau < best)) best = t / tau;
+      if (best <= 0.0) continue;
+      map.a = best;
+    } else {
+      double num = 0, den = 0;
+      for (const auto& [tau, t] : pts) {
+        num += tau * t;
+        den += tau * tau;
+      }
+      if (den <= 0) continue;
+      map.a = num / den;
+    }
     const std::string kind = key.substr(0, key.find('/'));
     const int m = std::stoi(key.substr(key.find('/') + 1));
     est.add_adjustment(kind, m, map);
     adjustments_.push_back(AdjustmentInfo{kind, m, map});
+  }
+
+  // Guard (§4.1): a composed class in adjustment range whose anchor runs
+  // were never measured (failed, or absent from the plan) degrades to the
+  // unadjusted composed model — record it rather than aborting, so the
+  // caller and hetsched_report can see which classes fly uncorrected.
+  for (const auto& c : compositions_) {
+    if (c.m < opts_.adjust_min_m) continue;
+    const bool adjusted =
+        std::any_of(adjustments_.begin(), adjustments_.end(),
+                    [&](const AdjustmentInfo& a) {
+                      return a.kind == c.kind && a.m == c.m;
+                    });
+    if (adjusted) continue;
+    skipped_adjustments_.push_back(SkippedAdjustment{c.kind, c.m});
+    HETSCHED_COUNTER_ADD("core.adjustments_skipped", 1);
   }
 
   return est;

@@ -23,6 +23,9 @@ namespace hetsched::core {
 
 struct BuilderOptions {
   EstimatorOptions estimator;
+  /// How the N-T / P-T coefficients are extracted (robust IRLS or plain
+  /// least squares) — see core/nt_model.hpp.
+  FitOptions fit;
   /// Smallest multiprocessing level that receives an anchor adjustment
   /// (the paper corrects M1 >= 3 only; below that the raw model fits).
   int adjust_min_m = 3;
@@ -33,6 +36,13 @@ struct BuilderOptions {
   /// the same-m family (the paper's §3.5 choice) measures best — see
   /// bench_ablation_components.
   bool compose_comm_from_m1 = false;
+  /// Degraded-mode building: a model class whose samples were exhausted
+  /// by measurement failures (MeasurementSet::failures()) falls back to
+  /// a §3.5-style composition from the nearest measured kind instead of
+  /// silently dropping out of coverage. Resulting models carry
+  /// Provenance::kFallback. Only classes with recorded failures degrade;
+  /// a class that simply was never planned stays absent.
+  bool degraded_fallback = true;
 };
 
 /// Composition factors derived for a kind (diagnostics; cf. the paper's
@@ -43,6 +53,17 @@ struct CompositionInfo {
   int m = 0;
   double compute_scale = 0;
   double comm_scale = 0;
+};
+
+/// A degraded-mode N-T model substituted for a fault-exhausted class
+/// (diagnostics; the model itself lands in the estimator tagged
+/// Provenance::kFallback).
+struct FallbackInfo {
+  NtKey key;                   ///< the class that lost its samples
+  std::string reference_kind;  ///< measured kind the curve was scaled from
+  double compute_scale = 0;
+  double comm_scale = 0;
+  int points_used = 0;  ///< surviving own samples the scales rest on
 };
 
 class ModelBuilder {
@@ -68,11 +89,28 @@ class ModelBuilder {
     return adjustments_;
   }
 
+  /// Degraded-mode fallback models built during the last build().
+  const std::vector<FallbackInfo>& fallbacks() const { return fallbacks_; }
+
+  /// Composed (kind, m) classes at m >= adjust_min_m whose §4.1 anchor was
+  /// never measured (or degenerate) in the last build(): they serve the
+  /// *unadjusted* composed model. Each entry also bumps the
+  /// core.adjustments_skipped counter.
+  struct SkippedAdjustment {
+    std::string kind;
+    int m = 0;
+  };
+  const std::vector<SkippedAdjustment>& skipped_adjustments() const {
+    return skipped_adjustments_;
+  }
+
  private:
   cluster::ClusterSpec spec_;
   BuilderOptions opts_;
   mutable std::vector<CompositionInfo> compositions_;
   mutable std::vector<AdjustmentInfo> adjustments_;
+  mutable std::vector<FallbackInfo> fallbacks_;
+  mutable std::vector<SkippedAdjustment> skipped_adjustments_;
 };
 
 }  // namespace hetsched::core

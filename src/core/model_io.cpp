@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <string>
 
 #include "support/error.hpp"
 
@@ -88,6 +89,19 @@ void save_estimator(const Estimator& est, std::ostream& os) {
     os << "adjust " << e.kind << ' ' << e.m << ' ' << e.map.a << ' '
        << e.map.b << '\n';
   }
+  // Provenance is additive: absent = measured, so estimators with only
+  // measured models serialize byte-identically to files written before
+  // this record existed. The records follow the nt/pt entries they tag.
+  for (const auto& e : est.nt_entries()) {
+    if (e.provenance == Provenance::kMeasured) continue;
+    os << "prov nt " << e.key.kind << ' ' << e.key.pes << ' ' << e.key.m
+       << ' ' << to_string(e.provenance) << '\n';
+  }
+  for (const auto& e : est.pt_entries()) {
+    if (e.provenance == Provenance::kMeasured) continue;
+    os << "prov pt " << e.kind << ' ' << e.m << ' '
+       << to_string(e.provenance) << '\n';
+  }
   os << "end\n";
   HETSCHED_CHECK(static_cast<bool>(os), "save_estimator: stream failure");
 }
@@ -146,8 +160,40 @@ Estimator load_estimator(const cluster::ClusterSpec& spec, std::istream& is) {
       HETSCHED_CHECK(static_cast<bool>(is),
                      "load_estimator: malformed adjust");
       est.add_adjustment(kind, m, map);
+    } else if (tag == "prov") {
+      std::string which;
+      is >> which;
+      if (which == "nt") {
+        NtKey key;
+        std::string ptag;
+        is >> key.kind >> key.pes >> key.m >> ptag;
+        HETSCHED_CHECK(static_cast<bool>(is),
+                       "load_estimator: malformed prov nt");
+        const NtModel* m = est.nt(key);
+        HETSCHED_CHECK(m != nullptr,
+                       "load_estimator: prov nt references an absent model");
+        est.add_nt(key, *m, provenance_from_string(ptag));
+      } else if (which == "pt") {
+        std::string kind, ptag;
+        int m = 0;
+        is >> kind >> m >> ptag;
+        HETSCHED_CHECK(static_cast<bool>(is),
+                       "load_estimator: malformed prov pt");
+        const PtModel* p = est.pt(kind, m);
+        HETSCHED_CHECK(p != nullptr,
+                       "load_estimator: prov pt references an absent model");
+        est.add_pt(kind, m, *p, provenance_from_string(ptag));
+      } else {
+        // A prov flavor from a future writer: skip the rest of the line.
+        std::string rest;
+        std::getline(is, rest);
+      }
     } else {
-      throw Error("load_estimator: unknown record '" + tag + "'");
+      // Forward compatibility: records are line-oriented, so a tag this
+      // version does not know is skipped wholesale. Truncation is still
+      // caught by the missing 'end' sentinel below.
+      std::string rest;
+      std::getline(is, rest);
     }
   }
   throw Error("load_estimator: missing 'end' record (truncated file)");

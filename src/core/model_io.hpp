@@ -26,8 +26,10 @@ namespace hetsched::core {
 void save_estimator(const Estimator& est, std::ostream& os);
 
 /// Reads an estimator saved by save_estimator. Throws hetsched::Error on
-/// malformed input, version mismatch, or a cluster fingerprint that does
-/// not match `spec`.
+/// malformed input, version mismatch, a cluster fingerprint that does
+/// not match `spec`, or a file truncated before its 'end' sentinel.
+/// Record tags this version does not know are skipped line-wise, so
+/// files written by a newer (additive) writer still load.
 Estimator load_estimator(const cluster::ClusterSpec& spec, std::istream& is);
 
 /// Convenience: round-trip through a string (tests, small caches).

@@ -8,7 +8,7 @@ namespace hetsched::core {
 NtModel::NtModel(std::array<double, 4> ka, std::array<double, 3> kc)
     : ka_(ka), kc_(kc) {}
 
-NtModel NtModel::fit(std::span<const Point> points) {
+NtModel NtModel::fit(std::span<const Point> points, const FitOptions& opts) {
   HETSCHED_CHECK(points.size() >= 4,
                  "NtModel::fit requires at least four sizes (k0..k3)");
   std::vector<double> ns, tais, tcis;
@@ -22,14 +22,27 @@ NtModel NtModel::fit(std::span<const Point> points) {
 
   const linalg::Basis cubic = linalg::Basis::polynomial(3, 0);
   const linalg::Basis quad = linalg::Basis::polynomial(2, 0);
-  const linalg::LlsResult ra = linalg::fit(cubic, ns, tais);
-  const linalg::LlsResult rc = linalg::fit(quad, ns, tcis);
+  // Time curves span orders of magnitude over the N sweep and
+  // measurement corruption is multiplicative (a straggler is 3x slower
+  // at every size), so the robust loss must judge relative residuals —
+  // absolute ones would let a 3x outlier at small N hide under the MAD
+  // scale set by the large-N samples.
+  linalg::RobustOptions ropts = opts.robust_opts;
+  ropts.relative_residuals = true;
+  const linalg::LlsResult ra =
+      opts.robust ? linalg::fit_robust(cubic, ns, tais, ropts)
+                  : linalg::fit(cubic, ns, tais);
+  const linalg::LlsResult rc =
+      opts.robust ? linalg::fit_robust(quad, ns, tcis, ropts)
+                  : linalg::fit(quad, ns, tcis);
 
   NtModel m;
   for (int i = 0; i < 4; ++i) m.ka_[static_cast<std::size_t>(i)] = ra.coeffs[static_cast<std::size_t>(i)];
   for (int i = 0; i < 3; ++i) m.kc_[static_cast<std::size_t>(i)] = rc.coeffs[static_cast<std::size_t>(i)];
   m.tai_r2_ = ra.r2;
   m.tci_r2_ = rc.r2;
+  m.tai_outliers_ = static_cast<int>(ra.outlier_count());
+  m.tci_outliers_ = static_cast<int>(rc.outlier_count());
   return m;
 }
 

@@ -14,9 +14,21 @@
 #include <string>
 #include <vector>
 
+#include "linalg/lls.hpp"
 #include "support/units.hpp"
 
 namespace hetsched::core {
+
+/// How the model coefficients are extracted from measurements. Shared by
+/// NtModel::fit and PtModel::fit; ModelBuilder passes its copy through
+/// (BuilderOptions::fit).
+struct FitOptions {
+  /// Use Huber-weighted IRLS (linalg::solve_robust_lls) instead of plain
+  /// least squares: outlying samples (paged runs, stragglers that slipped
+  /// past retries) are downweighted instead of dragging the coefficients.
+  bool robust = false;
+  linalg::RobustOptions robust_opts;
+};
 
 class NtModel {
  public:
@@ -30,7 +42,8 @@ class NtModel {
   NtModel() = default;
 
   /// Fits k0..k6 from at least four points with distinct N.
-  static NtModel fit(std::span<const Point> points);
+  static NtModel fit(std::span<const Point> points,
+                     const FitOptions& opts = {});
 
   /// Constructs directly from coefficients (tests, composition).
   NtModel(std::array<double, 4> ka, std::array<double, 3> kc);
@@ -48,11 +61,18 @@ class NtModel {
   double tai_r2() const { return tai_r2_; }
   double tci_r2() const { return tci_r2_; }
 
+  /// Samples the robust fit flagged as outliers (0 for a plain fit or a
+  /// coefficient-constructed model). Diagnostics for reports/benches.
+  int tai_outliers() const { return tai_outliers_; }
+  int tci_outliers() const { return tci_outliers_; }
+
  private:
   std::array<double, 4> ka_{};
   std::array<double, 3> kc_{};
   double tai_r2_ = 1.0;
   double tci_r2_ = 1.0;
+  int tai_outliers_ = 0;
+  int tci_outliers_ = 0;
 };
 
 /// Identifies which configuration an N-T model describes.

@@ -10,7 +10,8 @@ namespace hetsched::core {
 
 PtModel PtModel::fit(std::span<const NtModel> models, std::span<const int> ps,
                      std::span<const int> qs, std::span<const double> ns,
-                     const std::vector<bool>& comm_member) {
+                     const std::vector<bool>& comm_member,
+                     const FitOptions& opts) {
   HETSCHED_CHECK(models.size() == ps.size() && models.size() == qs.size(),
                  "PtModel::fit: size mismatch");
   HETSCHED_CHECK(comm_member.empty() || comm_member.size() == models.size(),
@@ -55,6 +56,12 @@ PtModel PtModel::fit(std::span<const NtModel> models, std::span<const int> ps,
   out.a_p_base_ = ps[a_base];
   out.c_base_ = models[c_base];
 
+  // As in NtModel::fit: the target times span orders of magnitude and
+  // corruption is multiplicative, so the robust loss works on relative
+  // residuals.
+  linalg::RobustOptions ropts = opts.robust_opts;
+  ropts.relative_residuals = true;
+
   // Compute fit: one row per (member, N).
   {
     const std::size_t rows = models.size() * ns.size();
@@ -69,7 +76,9 @@ PtModel PtModel::fit(std::span<const NtModel> models, std::span<const int> ps,
         ++r;
       }
     }
-    const linalg::LlsResult ra = linalg::solve_lls(da, ya);
+    const linalg::LlsResult ra =
+        opts.robust ? linalg::solve_robust_lls(da, ya, ropts)
+                    : linalg::solve_lls(da, ya);
     out.kt_ = {ra.coeffs[0], ra.coeffs[1]};
   }
 
@@ -97,7 +106,9 @@ PtModel PtModel::fit(std::span<const NtModel> models, std::span<const int> ps,
         ++r;
       }
     }
-    const linalg::LlsResult rc = linalg::solve_lls(dc, yc);
+    const linalg::LlsResult rc =
+        opts.robust ? linalg::solve_robust_lls(dc, yc, ropts)
+                    : linalg::solve_lls(dc, yc);
     if (full_comm)
       out.kc_ = {rc.coeffs[0], rc.coeffs[1], rc.coeffs[2]};
     else

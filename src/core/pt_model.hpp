@@ -50,7 +50,8 @@ class PtModel {
   /// degrades to k9*Q*C + k11 with exactly two.
   static PtModel fit(std::span<const NtModel> models, std::span<const int> ps,
                      std::span<const int> qs, std::span<const double> ns,
-                     const std::vector<bool>& comm_member = {});
+                     const std::vector<bool>& comm_member = {},
+                     const FitOptions& opts = {});
 
   /// Computation time at size n with p total *processes*.
   Seconds tai(double n, double p) const;

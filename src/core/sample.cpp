@@ -11,6 +11,10 @@ std::optional<Sample::KindMeasure> Sample::measure_of(
 
 void MeasurementSet::add(Sample s) { samples_.push_back(std::move(s)); }
 
+void MeasurementSet::add_failure(cluster::Config config, int n) {
+  failures_.push_back(FailedMeasurement{std::move(config), n});
+}
+
 std::vector<const Sample*> MeasurementSet::homogeneous(const std::string& kind,
                                                        int pes, int m) const {
   std::vector<const Sample*> out;

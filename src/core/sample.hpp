@@ -32,12 +32,25 @@ struct Sample {
   std::optional<KindMeasure> measure_of(const std::string& kind) const;
 };
 
+/// A measurement the campaign scheduled but could not complete (every
+/// retry failed). ModelBuilder uses these to know which model classes
+/// lost their data and must degrade instead of silently thinning out.
+struct FailedMeasurement {
+  cluster::Config config;
+  int n = 0;
+};
+
 /// A set of samples plus the cost bookkeeping for Tables 3 and 6.
 class MeasurementSet {
  public:
   void add(Sample s);
 
+  /// Records a permanently failed (config, n) measurement.
+  void add_failure(cluster::Config config, int n);
+
   const std::vector<Sample>& samples() const { return samples_; }
+
+  const std::vector<FailedMeasurement>& failures() const { return failures_; }
 
   /// Samples whose configuration uses exactly one PE kind named `kind`
   /// with `pes` processors and `m` processes per PE.
@@ -56,6 +69,7 @@ class MeasurementSet {
 
  private:
   std::vector<Sample> samples_;
+  std::vector<FailedMeasurement> failures_;
 };
 
 }  // namespace hetsched::core

@@ -1,5 +1,6 @@
 #include "linalg/lls.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -133,6 +134,151 @@ LlsResult solve_lls(const Matrix& a, std::span<const double> b) {
   return res;
 }
 
+std::size_t LlsResult::outlier_count() const {
+  return static_cast<std::size_t>(
+      std::count(outliers.begin(), outliers.end(), std::uint8_t{1}));
+}
+
+namespace {
+
+/// Unweighted residuals b - A x.
+std::vector<double> residuals(const Matrix& a, std::span<const double> b,
+                              std::span<const double> x) {
+  std::vector<double> r(b.size());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double yi = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) yi += a(i, j) * x[j];
+    r[i] = b[i] - yi;
+  }
+  return r;
+}
+
+/// Median absolute deviation about zero (residuals of an LS fit are
+/// already centered enough for a scale estimate), scaled to be
+/// consistent with the Gaussian standard deviation.
+double mad_scale(std::vector<double> r) {
+  for (double& v : r) v = std::abs(v);
+  const std::size_t mid = r.size() / 2;
+  std::nth_element(r.begin(), r.begin() + static_cast<std::ptrdiff_t>(mid),
+                   r.end());
+  double med = r[mid];
+  if (r.size() % 2 == 0) {
+    const double lo =
+        *std::max_element(r.begin(), r.begin() + static_cast<std::ptrdiff_t>(mid));
+    med = 0.5 * (lo + med);
+  }
+  return 1.4826 * med;
+}
+
+/// Recomputes residual_norm / r2 of `res` against the unweighted data so
+/// a robust result stays comparable to a plain solve_lls.
+void refresh_unweighted_stats(const Matrix& a, std::span<const double> b,
+                              LlsResult* res) {
+  const std::vector<double> r = residuals(a, b, res->coeffs);
+  double ss_res = 0.0;
+  for (const double v : r) ss_res += v * v;
+  res->residual_norm = std::sqrt(ss_res);
+  double mean_b = 0.0;
+  for (const double v : b) mean_b += v;
+  mean_b /= static_cast<double>(b.size());
+  double ss_tot = 0.0;
+  for (const double v : b) ss_tot += (v - mean_b) * (v - mean_b);
+  res->r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+}
+
+}  // namespace
+
+LlsResult solve_robust_lls(const Matrix& a, std::span<const double> b,
+                           const RobustOptions& opts) {
+  HETSCHED_CHECK(opts.huber_k > 0.0, "solve_robust_lls: huber_k > 0 required");
+  HETSCHED_CHECK(opts.max_iterations >= 1,
+                 "solve_robust_lls: max_iterations >= 1 required");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  // Relative-residual mode: scale each row to unit |b| and run the
+  // ordinary absolute-residual IRLS on the scaled system. The scaled
+  // residual b_i/|b_i| - (A x)_i/|b_i| is exactly the signed relative
+  // error of sample i, so the MAD / Huber machinery below needs no other
+  // changes. Weights and outlier flags keep their row order; the final
+  // stats are refreshed against the original system so residual_norm /
+  // r2 stay comparable to a plain solve.
+  if (opts.relative_residuals) {
+    Matrix sa(m, n);
+    std::vector<double> sb(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double scale = b[i] != 0.0 ? 1.0 / std::abs(b[i]) : 1.0;
+      for (std::size_t j = 0; j < n; ++j) sa(i, j) = scale * a(i, j);
+      sb[i] = scale * b[i];
+    }
+    RobustOptions inner = opts;
+    inner.relative_residuals = false;
+    LlsResult res = solve_robust_lls(sa, sb, inner);
+    refresh_unweighted_stats(a, b, &res);
+    return res;
+  }
+
+  LlsResult res = solve_lls(a, b);
+  res.weights.assign(m, 1.0);
+  res.outliers.assign(m, 0);
+  // A square system interpolates every sample — there is no redundancy
+  // to reject from, so the LS solution is already the robust one.
+  if (m <= n) return res;
+
+  Matrix wa(m, n);
+  std::vector<double> wb(m);
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    const std::vector<double> r = residuals(a, b, res.coeffs);
+    const double s = mad_scale(r);
+    // MAD of zero: a majority of the samples sit exactly on the model
+    // (synthetic data, or an exact polynomial). Any nonzero residual is
+    // then an outlier by definition; mark them and stop — downweighting
+    // by 1/|r| with s = 0 would zero their rows and change the rank.
+    if (s <= 0.0) {
+      for (std::size_t i = 0; i < m; ++i)
+        if (std::abs(r[i]) > 0.0) {
+          res.weights[i] = 0.0;
+          res.outliers[i] = 1;
+        }
+      break;
+    }
+    const double threshold = opts.huber_k * s;
+    bool reweighted = false;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double w =
+          std::abs(r[i]) <= threshold ? 1.0 : threshold / std::abs(r[i]);
+      if (w != res.weights[i]) reweighted = true;
+      res.weights[i] = w;
+    }
+    // A fixed point of the weights is a fixed point of the solve.
+    if (!reweighted) break;
+
+    // Weighted solve: scale each row by sqrt(w). Huber weights are
+    // strictly positive, so the scaling cannot create rank deficiency.
+    for (std::size_t i = 0; i < m; ++i) {
+      const double sw = std::sqrt(res.weights[i]);
+      for (std::size_t j = 0; j < n; ++j) wa(i, j) = sw * a(i, j);
+      wb[i] = sw * b[i];
+    }
+    const LlsResult step = solve_lls(wa, wb);
+    res.robust_iterations = iter + 1;
+    bool converged = true;
+    for (std::size_t j = 0; j < n; ++j)
+      converged = converged &&
+                  std::abs(step.coeffs[j] - res.coeffs[j]) <=
+                      opts.tol * (1.0 + std::abs(res.coeffs[j]));
+    res.coeffs = step.coeffs;
+    res.cond = step.cond;
+    if (converged) break;
+  }
+
+  for (std::size_t i = 0; i < m; ++i)
+    res.outliers[i] =
+        res.weights[i] < opts.outlier_weight ? std::uint8_t{1} : res.outliers[i];
+  refresh_unweighted_stats(a, b, &res);
+  return res;
+}
+
 Basis::Basis(std::vector<Fn> fns) : fns_(std::move(fns)) {
   HETSCHED_CHECK(!fns_.empty(), "Basis requires at least one function");
 }
@@ -165,6 +311,14 @@ LlsResult fit(const Basis& basis, std::span<const double> xs,
   HETSCHED_CHECK(xs.size() >= basis.size(),
                  "fit: fewer samples than coefficients");
   return solve_lls(basis.design(xs), ys);
+}
+
+LlsResult fit_robust(const Basis& basis, std::span<const double> xs,
+                     std::span<const double> ys, const RobustOptions& opts) {
+  HETSCHED_CHECK(xs.size() == ys.size(), "fit_robust: xs/ys size mismatch");
+  HETSCHED_CHECK(xs.size() >= basis.size(),
+                 "fit_robust: fewer samples than coefficients");
+  return solve_robust_lls(basis.design(xs), ys, opts);
 }
 
 }  // namespace hetsched::linalg

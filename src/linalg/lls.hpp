@@ -6,6 +6,8 @@
 // matrices (columns like N^3 span ten orders of magnitude over the sweep).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -24,6 +26,19 @@ struct LlsResult {
   /// column scaling); the rank guard caps it at rows / eps, so fits
   /// that pass are numerically meaningful.
   double cond = 0.0;
+  /// Robust solves only (solve_robust_lls / fit_robust): the final IRLS
+  /// Huber weight of each sample, in row order (1 = trusted, < 1 =
+  /// downweighted). Empty for a plain solve_lls.
+  std::vector<double> weights;
+  /// Robust solves only: 1 where the sample's final weight fell below
+  /// RobustOptions::outlier_weight (the sample was effectively rejected),
+  /// else 0. Row order; empty for a plain solve_lls.
+  std::vector<std::uint8_t> outliers;
+  /// IRLS iterations executed (0 for a plain solve_lls).
+  int robust_iterations = 0;
+
+  /// Number of set entries in `outliers`.
+  std::size_t outlier_count() const;
 };
 
 /// Solves min ||A x - b||. Requires A.rows() >= A.cols() >= 1 and
@@ -31,6 +46,44 @@ struct LlsResult {
 /// (a NaN measurement would silently poison every coefficient) and on
 /// rank deficiency (a diagonal of R smaller than rows * eps * max|R|).
 LlsResult solve_lls(const Matrix& a, std::span<const double> b);
+
+/// Tuning knobs of the Huber IRLS solve (see solve_robust_lls).
+struct RobustOptions {
+  /// Huber tuning constant in units of the robust residual scale:
+  /// residuals within k*s keep weight 1, larger ones are downweighted
+  /// by k*s/|r|. 1.345 gives 95% efficiency on clean Gaussian data.
+  double huber_k = 1.345;
+  /// Iteration cap; IRLS with Huber weights converges monotonically, so
+  /// a small cap only truncates the last digits.
+  int max_iterations = 25;
+  /// Convergence: stop when no coefficient moved by more than
+  /// tol * (1 + |coeff|) between iterations.
+  double tol = 1e-10;
+  /// Samples whose final weight is below this are flagged in
+  /// LlsResult::outliers (diagnostic only; weights already applied).
+  double outlier_weight = 0.5;
+  /// Run the IRLS on the *relative* residuals: row i of (A, b) is scaled
+  /// by 1/|b_i| before iterating, so the Huber loss judges each sample
+  /// by its fractional error instead of its absolute one. This is the
+  /// right loss when b spans orders of magnitude and the corruption is
+  /// multiplicative (a straggler making a run 3x slower is 3x slower at
+  /// every N) — with absolute residuals the largest samples set the MAD
+  /// scale and a 3x outlier at small N hides inside it. Rows with
+  /// b_i == 0 keep scale 1. The reported residual_norm / r2 are still
+  /// computed against the unscaled samples.
+  bool relative_residuals = false;
+};
+
+/// Robust variant of solve_lls: Huber-weighted iteratively reweighted
+/// least squares. Starts from the plain LS solution, estimates the
+/// residual scale by the MAD, downweights large residuals, and re-solves
+/// until the coefficients settle. Degrades to plain LS when the system
+/// is square (no redundancy to reject from) or when the MAD collapses to
+/// zero (a majority of residuals already sit on the model). The returned
+/// residual_norm / r2 are computed against the *unweighted* samples, so
+/// they stay comparable to a plain solve.
+LlsResult solve_robust_lls(const Matrix& a, std::span<const double> b,
+                           const RobustOptions& opts = {});
 
 /// In-place Householder QR: returns R (upper triangular, cols x cols) and
 /// applies the implicit Q^T to `b`. Exposed for testing.
@@ -70,5 +123,10 @@ class Basis {
 /// basis.size() samples.
 LlsResult fit(const Basis& basis, std::span<const double> xs,
               std::span<const double> ys);
+
+/// Robust (Huber IRLS) variant of fit(); same requirements.
+LlsResult fit_robust(const Basis& basis, std::span<const double> xs,
+                     std::span<const double> ys,
+                     const RobustOptions& opts = {});
 
 }  // namespace hetsched::linalg

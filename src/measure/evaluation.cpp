@@ -21,6 +21,7 @@ void record_prediction(const core::Estimator& est,
   r.config = config.to_string();
   r.n = n;
   r.bin = bd.paged ? "paged" : bd.single_pe_bin ? "single-pe" : "multi-pe";
+  r.provenance = core::to_string(bd.provenance);
   r.adjusted = bd.adjusted;
   for (const auto& k : bd.kinds)
     if (k.tai + k.tci > r.tai + r.tci) {

@@ -1,0 +1,129 @@
+#include "measure/faults.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace hetsched::measure {
+
+namespace {
+
+std::uint64_t fnv_mix(std::uint64_t h, const std::string& s) {
+  for (const char c : s)
+    h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  return h;
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xffULL)) * 0x100000001b3ULL;
+    v >>= 8;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool KindFaultSpec::active() const {
+  return failure_prob > 0.0 || straggler_prob > 0.0 || noise_sigma > 0.0 ||
+         outlier_prob > 0.0;
+}
+
+bool FaultPlan::enabled() const {
+  if (seed == 0) return false;
+  if (default_spec.active()) return true;
+  return std::any_of(per_kind.begin(), per_kind.end(),
+                     [](const auto& kv) { return kv.second.active(); });
+}
+
+const KindFaultSpec& FaultPlan::spec_for(const std::string& kind) const {
+  const auto it = per_kind.find(kind);
+  return it == per_kind.end() ? default_spec : it->second;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  const auto validate = [](const KindFaultSpec& spec,
+                           const std::string& label) {
+    HETSCHED_CHECK(spec.failure_prob >= 0.0 && spec.failure_prob <= 1.0 &&
+                       spec.straggler_prob >= 0.0 &&
+                       spec.straggler_prob <= 1.0 &&
+                       spec.outlier_prob >= 0.0 && spec.outlier_prob <= 1.0,
+                   "FaultInjector: probabilities of " + label +
+                       " must lie in [0, 1]");
+    HETSCHED_CHECK(spec.straggler_factor >= 1.0 && spec.outlier_factor >= 1.0,
+                   "FaultInjector: fault factors of " + label +
+                       " must be >= 1");
+  };
+  validate(plan_.default_spec, "the default spec");
+  for (const auto& [kind, spec] : plan_.per_kind)
+    validate(spec, "kind '" + kind + "'");
+}
+
+FaultOutcome FaultInjector::draw(const cluster::Config& config, int n,
+                                 int attempt) const {
+  FaultOutcome out;
+  out.kind_factors.assign(config.usage.size(), 1.0);
+  if (!enabled()) return out;
+
+  // One independent stream per (plan, config, size, attempt, kind):
+  // salted-hash seeding, the same decorrelation device the runner uses
+  // for workload noise. Draw order within a stream is fixed, so the
+  // outcome cannot depend on which campaigns ran before.
+  std::uint64_t base = fnv_mix(plan_.seed * 0x100000001b3ULL + 0x9e37,
+                               config.to_string());
+  base = fnv_mix(base, static_cast<std::uint64_t>(n));
+  base = fnv_mix(base, static_cast<std::uint64_t>(attempt) + 1);
+
+  for (std::size_t i = 0; i < config.usage.size(); ++i) {
+    const auto& u = config.usage[i];
+    if (u.pes == 0) continue;
+    const KindFaultSpec& spec = plan_.spec_for(u.kind);
+    if (!spec.active()) continue;
+    Rng rng(fnv_mix(base, u.kind));
+    if (rng.uniform() < spec.failure_prob) {
+      out.failed = true;
+      ++out.events;
+    }
+    if (rng.uniform() < spec.straggler_prob) {
+      out.straggler = true;
+      out.kind_factors[i] *= spec.straggler_factor;
+      ++out.events;
+    }
+    if (rng.uniform() < spec.outlier_prob) {
+      out.outlier = true;
+      out.kind_factors[i] *= spec.outlier_factor;
+      ++out.events;
+    }
+    if (spec.noise_sigma > 0.0)
+      out.kind_factors[i] *= rng.lognormal_factor(spec.noise_sigma);
+  }
+  return out;
+}
+
+void FaultInjector::apply(const FaultOutcome& outcome, core::Sample* s) {
+  HETSCHED_CHECK(s != nullptr, "FaultInjector::apply: null sample");
+  HETSCHED_CHECK(!outcome.failed,
+                 "FaultInjector::apply: a failed attempt has no sample");
+  HETSCHED_CHECK(outcome.kind_factors.size() == s->config.usage.size(),
+                 "FaultInjector::apply: outcome drawn for a different "
+                 "configuration shape");
+  // The makespan is bound by the slowest kind, so the wall factor is
+  // the largest per-kind factor (which may be < 1 under pure noise).
+  double wall_factor = 0.0;
+  for (std::size_t i = 0; i < s->config.usage.size(); ++i) {
+    const auto& u = s->config.usage[i];
+    if (u.pes == 0) continue;
+    const double f = outcome.kind_factors[i];
+    wall_factor = std::max(wall_factor, f);
+    for (auto& km : s->kinds)
+      if (km.kind == u.kind) {
+        km.tai *= f;
+        km.tci *= f;
+      }
+  }
+  if (wall_factor <= 0.0) wall_factor = 1.0;
+  s->wall *= wall_factor;
+  s->measured_cost *= wall_factor;
+}
+
+}  // namespace hetsched::measure

@@ -1,0 +1,108 @@
+// Deterministic fault injection for the measurement runner.
+//
+// Real measurement campaigns on heterogeneous clusters do not complete
+// cleanly: nodes straggle, runs die, a paged run (§3.4's memory bin)
+// produces a wild outlier, and everything carries multiplicative timing
+// noise. The simulator is too polite to exercise any of the pipeline's
+// defenses, so this layer injects those pathologies *after* the workload
+// runs — per PE kind, with independently seeded, fully deterministic
+// draws: the outcome of (seed, config, n, attempt) is a pure function,
+// which is what makes retry tests and the fault-ablation bench
+// reproducible (see docs/ROBUSTNESS.md).
+//
+// The runner consumes FaultOutcome via Runner::set_faults /
+// Runner::set_retry (measure/runner.hpp); a run whose retry budget is
+// exhausted surfaces as MeasurementFailure.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "core/sample.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::measure {
+
+/// Fault rates and magnitudes for one PE kind. All probabilities are
+/// per *run attempt* of a configuration that uses the kind.
+struct KindFaultSpec {
+  /// The attempt aborts entirely (node crash, MPI failure). The runner
+  /// retries it under its RetryPolicy.
+  double failure_prob = 0.0;
+  /// One PE of this kind straggles: the kind's times (and the makespan)
+  /// are multiplied by straggler_factor.
+  double straggler_prob = 0.0;
+  double straggler_factor = 3.0;
+  /// Extra multiplicative lognormal noise, exp(N(0, sigma)), applied to
+  /// the kind's times on every attempt (on top of the simulator's own
+  /// ClusterSpec::noise_sigma).
+  double noise_sigma = 0.0;
+  /// A paged-run style outlier: the kind's times are multiplied by
+  /// outlier_factor. Not retried by default (a real campaign cannot
+  /// recognize a silent outlier) — robust fitting is the defense.
+  double outlier_prob = 0.0;
+  double outlier_factor = 8.0;
+
+  /// True if any fault can fire under this spec.
+  bool active() const;
+};
+
+/// Fault configuration of a measurement campaign: one spec per PE kind,
+/// a default for kinds without one, and the seed every draw derives
+/// from. seed = 0 disables injection entirely.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  KindFaultSpec default_spec;
+  std::map<std::string, KindFaultSpec> per_kind;
+
+  bool enabled() const;
+  const KindFaultSpec& spec_for(const std::string& kind) const;
+};
+
+/// What the injector decided for one run attempt.
+struct FaultOutcome {
+  bool failed = false;     ///< the attempt aborted; no sample produced
+  bool straggler = false;  ///< some kind straggled
+  bool outlier = false;    ///< some kind produced an outlier
+  int events = 0;          ///< injected fault events (metrics accounting)
+  /// Multiplicative time factor per config.usage entry (same order).
+  std::vector<double> kind_factors;
+};
+
+/// Thrown by Runner::measure when a run keeps failing after the retry
+/// budget is spent. Distinct from Error so plan execution can skip the
+/// entry without swallowing genuine precondition violations.
+class MeasurementFailure : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Draws and applies fault outcomes. Copyable value type; stateless
+/// between draws (all randomness is derived from the plan seed and the
+/// draw coordinates).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan);
+
+  bool enabled() const { return plan_.enabled(); }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Decides the fate of attempt `attempt` of (config, n). Deterministic:
+  /// equal arguments and equal plans yield equal outcomes, independent of
+  /// call order.
+  FaultOutcome draw(const cluster::Config& config, int n, int attempt) const;
+
+  /// Applies a non-failed outcome to the workload's sample: per-kind
+  /// times are scaled by kind_factors and the makespan by the largest
+  /// factor (the slowest kind binds the run).
+  static void apply(const FaultOutcome& outcome, core::Sample* s);
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace hetsched::measure

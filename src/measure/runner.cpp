@@ -1,6 +1,7 @@
 #include "measure/runner.hpp"
 
 #include <sstream>
+#include <utility>
 
 #include "hpl/cost_engine.hpp"
 #include "obs/hooks.hpp"
@@ -38,10 +39,91 @@ Runner::Runner(cluster::ClusterSpec spec, WorkloadFn workload,
                  "Runner: workload must be callable");
 }
 
+void Runner::set_faults(FaultPlan plan) {
+  injector_ = FaultInjector(std::move(plan));
+}
+
+void Runner::set_retry(RetryPolicy policy) {
+  HETSCHED_CHECK(policy.max_attempts >= 1,
+                 "set_retry: max_attempts >= 1 required");
+  HETSCHED_CHECK(policy.backoff_base_s >= 0.0 && policy.backoff_mult >= 1.0,
+                 "set_retry: backoff_base_s >= 0 and backoff_mult >= 1 "
+                 "required");
+  retry_ = policy;
+}
+
 std::string Runner::cache_key(const cluster::Config& config, int n) const {
   std::ostringstream os;
   os << config.to_string() << '@' << n;
   return os.str();
+}
+
+void Runner::register_failure(const std::string& key,
+                              const cluster::Config& config, int n) {
+  failed_keys_.insert(key);
+  failures_.push_back(FailedRun{config, n, retry_.max_attempts});
+  HETSCHED_COUNTER_ADD("measure.runs_abandoned", 1);
+  throw MeasurementFailure("measure: run " + key + " failed after " +
+                           std::to_string(retry_.max_attempts) + " attempts");
+}
+
+core::Sample Runner::attempt_run(const cluster::Config& config, int n,
+                                 std::uint64_t h_base,
+                                 const std::string& key) {
+  // Simulated seconds burned by failed attempts and backoff waits; folded
+  // into measured_cost so the Tables 3/6 cost accounting reflects the
+  // campaign's real price, not just the surviving run.
+  double wasted_s = 0.0;
+  double backoff_s = retry_.backoff_base_s;
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    // Attempt 0 keeps the historical hash so fault-free campaigns are
+    // bit-identical to pre-fault builds; re-runs decorrelate by mixing
+    // the attempt index in.
+    std::uint64_t h = h_base;
+    if (attempt > 0)
+      h = (h ^ static_cast<std::uint64_t>(attempt)) * 0x100000001b3ULL;
+
+    const FaultOutcome outcome = injector_.draw(config, n, attempt);
+    if (outcome.events > 0) {
+      faults_injected_ += static_cast<std::size_t>(outcome.events);
+      HETSCHED_COUNTER_ADD("measure.faults_injected", outcome.events);
+    }
+    if (outcome.failed) {
+      HETSCHED_COUNTER_ADD("measure.run_failures", 1);
+      if (attempt + 1 >= retry_.max_attempts) break;
+      ++retries_;
+      HETSCHED_COUNTER_ADD("measure.retries", 1);
+      HETSCHED_HISTOGRAM_RECORD("measure.backoff_wait_s", backoff_s);
+      wasted_s += backoff_s;
+      backoff_s *= retry_.backoff_mult;
+      continue;
+    }
+
+    HETSCHED_TRACE_SPAN_VAR(obs_span, "measure", "sample");
+    obs_span.arg("config", config.to_string()).arg("n", n);
+    if (attempt > 0) obs_span.arg("attempt", attempt);
+    HETSCHED_COUNTER_ADD("measure.runs", 1);
+    core::Sample s = workload_(spec_, config, n, h);
+    ++runs_;
+    if (injector_.enabled()) FaultInjector::apply(outcome, &s);
+    HETSCHED_HISTOGRAM_RECORD("measure.sample_wall_s", s.wall);
+
+    if (outcome.outlier && retry_.retry_outliers &&
+        attempt + 1 < retry_.max_attempts) {
+      // A watchdog caught the outlier: burn the run and go again.
+      wasted_s += s.wall;
+      ++retries_;
+      HETSCHED_COUNTER_ADD("measure.retries", 1);
+      HETSCHED_HISTOGRAM_RECORD("measure.backoff_wait_s", backoff_s);
+      wasted_s += backoff_s;
+      backoff_s *= retry_.backoff_mult;
+      continue;
+    }
+
+    s.measured_cost += wasted_s;
+    return s;
+  }
+  register_failure(key, config, n);
 }
 
 const core::Sample& Runner::measure(const cluster::Config& config, int n) {
@@ -51,6 +133,9 @@ const core::Sample& Runner::measure(const cluster::Config& config, int n) {
     HETSCHED_COUNTER_ADD("measure.cache_hits", 1);
     return it->second;
   }
+  if (failed_keys_.count(key))
+    throw MeasurementFailure("measure: run " + key +
+                             " already failed permanently");
 
   HETSCHED_COUNTER_ADD("measure.cache_misses", 1);
 
@@ -59,14 +144,7 @@ const core::Sample& Runner::measure(const cluster::Config& config, int n) {
   for (const char c : key)
     h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
 
-  // One span per simulated run, tagged with the (kind, PEs, Mi) quadruple
-  // and problem size — the per-sample cost breakdown of a campaign.
-  HETSCHED_TRACE_SPAN_VAR(obs_span, "measure", "sample");
-  obs_span.arg("config", config.to_string()).arg("n", n);
-  HETSCHED_COUNTER_ADD("measure.runs", 1);
-  core::Sample s = workload_(spec_, config, n, h);
-  HETSCHED_HISTOGRAM_RECORD("measure.sample_wall_s", s.wall);
-  ++runs_;
+  core::Sample s = attempt_run(config, n, h, key);
   return cache_.emplace(key, std::move(s)).first->second;
 }
 
@@ -82,6 +160,9 @@ const core::Sample& Runner::measure_repeated(const cluster::Config& config,
     HETSCHED_COUNTER_ADD("measure.cache_hits", 1);
     return it->second;
   }
+  if (failed_keys_.count(key))
+    throw MeasurementFailure("measure: run " + key +
+                             " already failed permanently");
   HETSCHED_COUNTER_ADD("measure.cache_misses", 1);
 
   core::Sample avg;
@@ -90,20 +171,17 @@ const core::Sample& Runner::measure_repeated(const cluster::Config& config,
                       0x100000001b3ULL;
     for (const char c : key)
       h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
-    HETSCHED_TRACE_SPAN_VAR(obs_span, "measure", "sample");
-    obs_span.arg("config", config.to_string()).arg("n", n).arg("trial", trial);
-    HETSCHED_COUNTER_ADD("measure.runs", 1);
-    core::Sample s = workload_(spec_, config, n, h);
-    HETSCHED_HISTOGRAM_RECORD("measure.sample_wall_s", s.wall);
-    ++runs_;
+    core::Sample s = attempt_run(config, n, h, key);
+    // measured_cost includes retry/backoff waste, so accumulate it (equal
+    // to wall on a clean run — the historical accounting).
     if (trial == 0) {
       avg = std::move(s);
-      avg.measured_cost = avg.wall;
+      avg.measured_cost = avg.measured_cost > 0 ? avg.measured_cost : avg.wall;
     } else {
       HETSCHED_CHECK(s.kinds.size() == avg.kinds.size(),
                      "measure_repeated: inconsistent kind count");
       avg.wall += s.wall;
-      avg.measured_cost += s.wall;
+      avg.measured_cost += s.measured_cost > 0 ? s.measured_cost : s.wall;
       for (std::size_t k = 0; k < s.kinds.size(); ++k) {
         avg.kinds[k].tai += s.kinds[k].tai;
         avg.kinds[k].tci += s.kinds[k].tci;
@@ -123,12 +201,19 @@ core::MeasurementSet Runner::run_plan(const MeasurementPlan& plan) {
   HETSCHED_TRACE_SPAN_VAR(obs_span, "measure", "run_plan");
   obs_span.arg("plan", plan.name);
   core::MeasurementSet ms;
+  const auto measure_into = [&](const cluster::Config& config, int n) {
+    // A permanently failed run is a hole in the campaign, not the end of
+    // it: record the gap (ModelBuilder degrades around it) and move on.
+    try {
+      ms.add(measure_repeated(config, n, plan.repeats));
+    } catch (const MeasurementFailure&) {
+      ms.add_failure(config, n);
+    }
+  };
   for (const auto& config : plan.construction_configs())
-    for (const int n : plan.ns)
-      ms.add(measure_repeated(config, n, plan.repeats));
+    for (const int n : plan.ns) measure_into(config, n);
   for (const auto& config : plan.adjust_configs)
-    for (const int n : plan.adjust_ns)
-      ms.add(measure_repeated(config, n, plan.repeats));
+    for (const int n : plan.adjust_ns) measure_into(config, n);
   return ms;
 }
 

@@ -9,11 +9,14 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "cluster/config.hpp"
 #include "cluster/spec.hpp"
 #include "core/sample.hpp"
+#include "measure/faults.hpp"
 #include "measure/plan.hpp"
 
 namespace hetsched::measure {
@@ -29,6 +32,29 @@ using WorkloadFn = std::function<core::Sample(
 /// The default workload: simulated HPL with block size nb.
 WorkloadFn hpl_workload(int nb = 64);
 
+/// Bounded re-runs of faulted measurements. A run gets `max_attempts`
+/// tries; failed attempts wait an exponentially growing backoff in
+/// *simulated* time (accounted into Sample::measured_cost, never a wall
+/// clock) before the re-run. When every attempt fails, the run is
+/// abandoned and Runner::measure throws MeasurementFailure.
+struct RetryPolicy {
+  int max_attempts = 3;
+  /// Also re-run attempts whose outcome was a detected outlier (a
+  /// watchdog that notices a wildly slow run). Off by default: a real
+  /// campaign cannot recognize a silent outlier — robust fitting is the
+  /// defense of record (docs/ROBUSTNESS.md).
+  bool retry_outliers = false;
+  double backoff_base_s = 1.0;  ///< wait before the first re-run
+  double backoff_mult = 2.0;    ///< growth per further re-run
+};
+
+/// A (config, n) measurement abandoned after exhausting the retry budget.
+struct FailedRun {
+  cluster::Config config;
+  int n = 0;
+  int attempts = 0;  ///< attempts spent before giving up
+};
+
 class Runner {
  public:
   /// `salt` decorrelates the noise of independent measurement campaigns.
@@ -39,31 +65,72 @@ class Runner {
   Runner(cluster::ClusterSpec spec, WorkloadFn workload,
          std::uint64_t salt = 1);
 
-  /// Runs (or fetches from cache) one configuration at size n.
+  /// Runs (or fetches from cache) one configuration at size n. Throws
+  /// MeasurementFailure when fault injection exhausts the retry budget
+  /// (also on any later call for the same key — a failed run is failed
+  /// exactly once, with one round of accounting).
   const core::Sample& measure(const cluster::Config& config, int n);
 
   /// Runs `repeats` independent trials and averages them into one sample
   /// (wall and per-kind times averaged, measuring cost accumulated).
+  /// Throws MeasurementFailure when any trial exhausts the retry budget.
   const core::Sample& measure_repeated(const cluster::Config& config, int n,
                                        int repeats);
 
   /// Executes a full plan: every construction configuration at every
-  /// construction size, plus the adjustment anchors.
+  /// construction size, plus the adjustment anchors. Permanently failed
+  /// runs are skipped (recorded via MeasurementSet::failures() and
+  /// failures() here) instead of aborting the campaign.
   core::MeasurementSet run_plan(const MeasurementPlan& plan);
+
+  /// Installs a fault-injection plan (measure/faults.hpp). Replaces any
+  /// previous plan; a default-constructed FaultPlan disables injection.
+  void set_faults(FaultPlan plan);
+
+  /// Installs the retry policy applied when injected faults fail runs.
+  void set_retry(RetryPolicy policy);
 
   /// Number of actual (non-cached) simulated runs so far.
   std::size_t runs_executed() const { return runs_; }
+
+  /// Re-runs scheduled by the retry policy so far.
+  std::size_t retries_executed() const { return retries_; }
+
+  /// Fault events injected so far (failures + stragglers + outliers).
+  std::size_t faults_injected() const { return faults_injected_; }
+
+  /// Runs abandoned after exhausting the retry budget, in order.
+  const std::vector<FailedRun>& failures() const { return failures_; }
+
+  const FaultInjector& faults() const { return injector_; }
+  const RetryPolicy& retry() const { return retry_; }
 
   const cluster::ClusterSpec& spec() const { return spec_; }
 
  private:
   std::string cache_key(const cluster::Config& config, int n) const;
 
+  /// Runs (config, n) under the retry policy, starting from per-trial
+  /// hash `h_base`. Throws MeasurementFailure after max_attempts failed
+  /// attempts; `key` only labels the error message.
+  core::Sample attempt_run(const cluster::Config& config, int n,
+                           std::uint64_t h_base, const std::string& key);
+
+  /// Registers the permanent failure of `key` (exactly once per key).
+  [[noreturn]] void register_failure(const std::string& key,
+                                     const cluster::Config& config, int n);
+
   cluster::ClusterSpec spec_;
   WorkloadFn workload_;
   std::uint64_t salt_;
   std::size_t runs_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t faults_injected_ = 0;
   std::map<std::string, core::Sample> cache_;
+  FaultInjector injector_;
+  RetryPolicy retry_;
+  std::vector<FailedRun> failures_;
+  std::set<std::string> failed_keys_;
 };
 
 }  // namespace hetsched::measure

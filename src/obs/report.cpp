@@ -204,15 +204,18 @@ void RunReport::recompute_accuracy() {
   std::map<std::string, std::vector<const PredictionRecord*>> by_family;
   std::map<std::pair<std::string, std::string>,
            std::vector<const PredictionRecord*>>
-      by_bin;
+      by_bin, by_prov;
   for (const PredictionRecord& r : records) {
     by_family[r.family].push_back(&r);
     by_bin[{r.family, r.bin}].push_back(&r);
+    by_prov[{r.family, r.provenance}].push_back(&r);
   }
   for (const auto& [family, recs] : by_family)
     accuracy[family].all = aggregate(recs);
   for (const auto& [key, recs] : by_bin)
     accuracy[key.first].bins[key.second] = aggregate(recs);
+  for (const auto& [key, recs] : by_prov)
+    accuracy[key.first].provenance[key.second] = aggregate(recs);
 }
 
 void RunReport::write_json(std::ostream& os) const {
@@ -242,6 +245,8 @@ void RunReport::write_json(std::ostream& os) const {
     out += std::to_string(r.n);
     out += ", \"bin\": ";
     append_escaped(out, r.bin);
+    out += ", \"provenance\": ";
+    append_escaped(out, r.provenance);
     out += ", \"adjusted\": ";
     out += r.adjusted ? "true" : "false";
     out += ", \"tai\": ";
@@ -277,6 +282,15 @@ void RunReport::write_json(std::ostream& os) const {
       if (!bfirst) out += ", ";
       bfirst = false;
       append_escaped(out, bin);
+      out += ": ";
+      append_stats(out, st);
+    }
+    out += "}, \"provenance\": {";
+    bfirst = true;
+    for (const auto& [prov, st] : fam.provenance) {
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      append_escaped(out, prov);
       out += ": ";
       append_stats(out, st);
     }
@@ -318,6 +332,14 @@ RunReport RunReport::from_json(const json::Value& doc) {
     if (n != std::floor(n)) bad(where, "\"n\" not an integer");
     r.n = static_cast<int>(n);
     r.bin = expect_string(ro, "bin", where);
+    // Optional (added after v1 baselines were committed): absent means
+    // the record predates provenance tracking — "measured".
+    const auto prov_it = ro.find("provenance");
+    if (prov_it != ro.end()) {
+      if (!prov_it->second.is_string())
+        bad(where, "\"provenance\" not a string");
+      r.provenance = prov_it->second.as_string();
+    }
     r.adjusted = expect_bool(ro, "adjusted", where);
     r.tai = expect_number(ro, "tai", where);
     r.tci = expect_number(ro, "tci", where);
@@ -345,6 +367,15 @@ RunReport RunReport::from_json(const json::Value& doc) {
     if (!bins.is_object()) bad(where, "\"bins\" not an object");
     for (const auto& [bin, bv] : bins.as_object())
       fam.bins[bin] = parse_stats(bv, where + ".bins[\"" + bin + "\"]");
+    // Optional (added after v1 baselines were committed).
+    const auto prov_it = fo.find("provenance");
+    if (prov_it != fo.end()) {
+      if (!prov_it->second.is_object())
+        bad(where, "\"provenance\" not an object");
+      for (const auto& [prov, pv] : prov_it->second.as_object())
+        fam.provenance[prov] =
+            parse_stats(pv, where + ".provenance[\"" + prov + "\"]");
+    }
     rep.accuracy[family] = std::move(fam);
   }
   return rep;
@@ -469,6 +500,19 @@ DiffResult diff_reports(const RunReport& baseline, const RunReport& current,
         continue;
       }
       diff_stats(prefix, base_stats, bin_it->second, opts, &out);
+    }
+    for (const auto& [prov, base_stats] : base_fam.provenance) {
+      const auto pit = cur_it->second.provenance.find(prov);
+      const std::string prefix = "accuracy." + family + ".prov." + prov;
+      if (pit == cur_it->second.provenance.end()) {
+        if (opts.require_all)
+          out.checked.push_back(DiffItem{
+              prefix, static_cast<double>(base_stats.count), 0, 0, true});
+        else
+          out.skipped.push_back(prefix);
+        continue;
+      }
+      diff_stats(prefix, base_stats, pit->second, opts, &out);
     }
   }
 

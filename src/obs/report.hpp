@@ -63,6 +63,11 @@ struct PredictionRecord {
   std::string config;  ///< cluster::Config::to_string() of the candidate
   int n = 0;           ///< problem size
   std::string bin;     ///< estimator bin: "single-pe", "multi-pe", "paged"
+  /// Least trusted model behind the prediction: "measured", "composed"
+  /// (§3.5 scaled copy) or "fallback" (degraded mode after measurement
+  /// failures, docs/ROBUSTNESS.md). Optional in the artifact — records
+  /// written before this field default to "measured".
+  std::string provenance = "measured";
   bool adjusted = false;  ///< §4.1 anchor correction applied
   double tai = 0;         ///< predicted Tai of the binding PE kind [s]
   double tci = 0;         ///< predicted Tci of the binding PE kind [s]
@@ -88,10 +93,13 @@ struct AccuracyStats {
 /// Aggregates records (all of them — callers pre-filter by family/bin).
 AccuracyStats aggregate(const std::vector<const PredictionRecord*>& recs);
 
-/// Per-family roll-up: everything, plus a per-estimator-bin split.
+/// Per-family roll-up: everything, plus per-estimator-bin and
+/// per-model-provenance splits (the latter is how composed/fallback
+/// accuracy is told apart from measured accuracy).
 struct FamilyAccuracy {
   AccuracyStats all;
   std::map<std::string, AccuracyStats> bins;
+  std::map<std::string, AccuracyStats> provenance;
 };
 
 /// Thrown by from_json() and the merge/diff helpers on malformed or

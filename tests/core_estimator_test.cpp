@@ -163,5 +163,90 @@ TEST(Estimator, InvalidArgumentsRejected) {
   EXPECT_THROW(est.estimate(cluster::Config{}, 1000), Error);
 }
 
+// Independent block-cyclic share computation: walk the column blocks and
+// hand each to its owning rank, including the short final block when nb
+// does not divide N. This is the ground truth the memory model must match.
+std::vector<int> cyclic_cols(int n, int nb, int p) {
+  std::vector<int> cols(static_cast<std::size_t>(p), 0);
+  const int blocks = (n + nb - 1) / nb;
+  for (int b = 0; b < blocks; ++b)
+    cols[static_cast<std::size_t>(b % p)] +=
+        std::min(nb, n - b * nb);
+  return cols;
+}
+
+void check_footprint_exact(const cluster::Config& cfg, int n) {
+  const cluster::ClusterSpec spec = cluster::paper_cluster();
+  const EstimatorOptions opts;  // nb = 64 memory model
+  const Estimator est(spec, opts);
+  const cluster::Placement pl = make_placement(spec, cfg);
+  const std::vector<int> cols = cyclic_cols(n, opts.nb, pl.nprocs());
+
+  // Every column must be attributed to exactly one rank.
+  int total_cols = 0;
+  for (const int c : cols) total_cols += c;
+  ASSERT_EQ(total_cols, n);
+
+  std::vector<Bytes> want(spec.nodes.size(), spec.os_reserved);
+  for (int r = 0; r < pl.nprocs(); ++r) {
+    const Bytes ws =
+        static_cast<double>(n) * cols[static_cast<std::size_t>(r)] * 8.0 +
+        static_cast<double>(n) * opts.nb * 8.0;
+    want[pl.rank_pe[static_cast<std::size_t>(r)].node] +=
+        ws + spec.proc_overhead;
+  }
+  const std::vector<Bytes> got = est.predicted_footprint(cfg, n);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_DOUBLE_EQ(got[i], want[i]);
+}
+
+TEST(Estimator, PagedFootprintExactForNonDividingNandP) {
+  // N = 1000, nb = 64, P = 3: 15 full blocks + one 40-column block over
+  // 3 ranks — rank 0 holds 360 columns, ranks 1-2 hold 320. A naive
+  // floor(N / (nb * P)) attribution loses the remainder blocks entirely.
+  check_footprint_exact(cluster::Config::paper(1, 1, 2, 1), 1000);
+}
+
+TEST(Estimator, PagedFootprintExactForRaggedRemainder) {
+  // P = 7 over 16 blocks: ranks 0-1 own 3 blocks, the rest own 2, and
+  // the short block lands mid-cycle (block 15 -> rank 1).
+  check_footprint_exact(cluster::Config::paper(1, 1, 6, 1), 1000);
+  // And a dividing case for contrast — still exact.
+  check_footprint_exact(cluster::Config::paper(0, 0, 4, 1), 1024);
+}
+
+TEST(Estimator, SinglePeMultiprogrammedTakesExactNtBin) {
+  // §3.4's "P = Mi" regime: one processor, m co-resident processes. Even
+  // with a P-T model registered for the same (kind, m), the single-PE
+  // configuration must use its own N-T bin — intra-PE channels only.
+  Estimator est = make_estimator();
+  est.add_nt(NtKey{kAth, 1, 3}, nt_with_level(130.0, 3.0));
+  est.add_pt(kAth, 3, simple_pt(500.0, 0.5));
+  const auto bd = est.breakdown(cluster::Config::paper(1, 3, 0, 0), 1000);
+  EXPECT_TRUE(bd.single_pe_bin);
+  EXPECT_NEAR(bd.total, 133.0, 1e-9);
+}
+
+TEST(Estimator, SinglePeMultiprogrammedBinsAreKeyedByM) {
+  // Each multiprogramming level keeps its own curve: m = 1 and m = 2
+  // land in different N-T bins with different predictions.
+  const Estimator est = make_estimator();
+  const auto m1 = est.breakdown(cluster::Config::paper(1, 1, 0, 0), 1000);
+  const auto m2 = est.breakdown(cluster::Config::paper(1, 2, 0, 0), 1000);
+  EXPECT_TRUE(m1.single_pe_bin);
+  EXPECT_TRUE(m2.single_pe_bin);
+  EXPECT_NEAR(m1.total, 101.0, 1e-9);
+  EXPECT_NEAR(m2.total, 112.0, 1e-9);
+}
+
+TEST(Estimator, SinglePeMultiprogrammedWithoutBinIsUncovered) {
+  // A P-T model alone must not serve a single-PE multiprogrammed
+  // configuration: different physics, so it is uncovered, not approximated.
+  Estimator est = make_estimator();
+  est.add_pt(kAth, 3, simple_pt(500.0, 0.5));
+  EXPECT_FALSE(est.covers(cluster::Config::paper(1, 3, 0, 0)));
+  EXPECT_THROW(est.estimate(cluster::Config::paper(1, 3, 0, 0), 1000), Error);
+}
+
 }  // namespace
 }  // namespace hetsched::core

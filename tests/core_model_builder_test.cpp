@@ -7,6 +7,8 @@
 #include <cmath>
 
 #include "cluster/pe_kind.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace hetsched::core {
@@ -166,6 +168,188 @@ TEST(ModelBuilder, AdjustMinMConfigurable) {
   for (const auto& adj : b2.adjustments()) has_m2 = has_m2 || adj.m == 2;
   EXPECT_TRUE(has_m2);
 }
+
+// ---- degraded-mode fallbacks (docs/ROBUSTNESS.md) -------------------------
+
+TEST(ModelBuilderDegraded, FallbackNtScaledFromSurvivingSamples) {
+  const Truth truth;
+  MeasurementSet ms;
+  // Athlon (1 PE, m = 1): full coverage — the measured reference.
+  for (const int n : {400, 800, 1600, 3200, 6400})
+    ms.add(truth.make(cluster::Config::paper(1, 1, 0, 0), n));
+  // P-II (1 PE, m = 1): faults ate all but two sizes; the rest are
+  // recorded failures, so the plan demonstrably tried to cover the class.
+  for (const int n : {400, 800})
+    ms.add(truth.make(cluster::Config::paper(0, 0, 1, 1), n));
+  for (const int n : {1600, 3200, 6400})
+    ms.add_failure(cluster::Config::paper(0, 0, 1, 1), n);
+
+  ModelBuilder builder(cluster::paper_cluster());
+  const Estimator est = builder.build(ms);
+
+  const NtKey p2_key{kP2, 1, 1};
+  const NtModel* fb = est.nt(p2_key);
+  ASSERT_NE(fb, nullptr);
+  EXPECT_EQ(est.nt_provenance(p2_key), Provenance::kFallback);
+  EXPECT_EQ(est.nt_provenance(NtKey{kAth, 1, 1}), Provenance::kMeasured);
+
+  ASSERT_EQ(builder.fallbacks().size(), 1u);
+  const auto& info = builder.fallbacks().front();
+  EXPECT_EQ(info.key.kind, kP2);
+  EXPECT_EQ(info.reference_kind, kAth);
+  EXPECT_EQ(info.points_used, 2);
+  // Surviving samples pin the compute scale at the true rate ratio.
+  EXPECT_NEAR(info.compute_scale, truth.ath_rate / truth.p2_rate, 0.05);
+  // Extrapolation through the scaled curve lands on the true P-II time.
+  const double want = truth.work(6400) / truth.p2_rate;
+  EXPECT_NEAR(fb->tai(6400), want, 0.02 * want);
+}
+
+TEST(ModelBuilderDegraded, FallbackUsesSpecRatioWithoutSurvivors) {
+  const Truth truth;
+  MeasurementSet ms;
+  for (const int n : {400, 800, 1600, 3200, 6400})
+    ms.add(truth.make(cluster::Config::paper(1, 2, 0, 0), n));
+  // Every P-II (1 PE, m = 2) run failed: no samples at all.
+  for (const int n : {400, 800, 1600})
+    ms.add_failure(cluster::Config::paper(0, 0, 1, 2), n);
+
+  ModelBuilder builder(cluster::paper_cluster());
+  const Estimator est = builder.build(ms);
+
+  ASSERT_NE(est.nt(NtKey{kP2, 1, 2}), nullptr);
+  ASSERT_EQ(builder.fallbacks().size(), 1u);
+  const auto& info = builder.fallbacks().front();
+  EXPECT_EQ(info.points_used, 0);
+  // With nothing measured, compute scales by the spec's peak-rate ratio
+  // and communication is left untouched (fabric-bound, not rate-bound).
+  const double want = cluster::athlon_1330().peak_flops /
+                      cluster::pentium2_400().peak_flops;
+  EXPECT_NEAR(info.compute_scale, want, 1e-12);
+  EXPECT_NEAR(info.comm_scale, 1.0, 1e-12);
+}
+
+TEST(ModelBuilderDegraded, NoFallbackWithoutRecordedFailures) {
+  const Truth truth;
+  MeasurementSet ms;
+  for (const int n : {400, 800, 1600, 3200, 6400})
+    ms.add(truth.make(cluster::Config::paper(1, 1, 0, 0), n));
+  // Two sizes and *no* failures: the plan never intended more, so the
+  // class must stay absent instead of being silently invented.
+  for (const int n : {400, 800})
+    ms.add(truth.make(cluster::Config::paper(0, 0, 1, 1), n));
+
+  ModelBuilder builder(cluster::paper_cluster());
+  const Estimator est = builder.build(ms);
+  EXPECT_EQ(est.nt(NtKey{kP2, 1, 1}), nullptr);
+  EXPECT_TRUE(builder.fallbacks().empty());
+}
+
+TEST(ModelBuilderDegraded, FallbackDisabledByOption) {
+  const Truth truth;
+  MeasurementSet ms;
+  for (const int n : {400, 800, 1600, 3200, 6400})
+    ms.add(truth.make(cluster::Config::paper(1, 1, 0, 0), n));
+  for (const int n : {400, 800, 1600})
+    ms.add_failure(cluster::Config::paper(0, 0, 1, 1), n);
+
+  BuilderOptions opts;
+  opts.degraded_fallback = false;
+  ModelBuilder builder(cluster::paper_cluster(), opts);
+  const Estimator est = builder.build(ms);
+  EXPECT_EQ(est.nt(NtKey{kP2, 1, 1}), nullptr);
+  EXPECT_TRUE(builder.fallbacks().empty());
+}
+
+/// Full degraded pipeline: a fault-exhausted single-PE class gets a
+/// fallback N-T model, a composed P-T model on top of it, and — because
+/// its anchors were never measured — a recorded skipped adjustment.
+MeasurementSet degraded_pipeline_set(const Truth& truth) {
+  MeasurementSet ms;
+  const std::vector<int> ns{400, 800, 1600, 3200, 6400};
+  for (const int m : {1, 3})
+    for (const int pes : {1, 2, 4, 8})
+      for (const int n : ns)
+        ms.add(truth.make(cluster::Config::paper(0, 0, pes, m), n));
+  for (const int n : ns)
+    ms.add(truth.make(cluster::Config::paper(1, 1, 0, 0), n));
+  // Athlon m = 3: wiped out by faults.
+  for (const int n : ns)
+    ms.add_failure(cluster::Config::paper(1, 3, 0, 0), n);
+  return ms;
+}
+
+TEST(ModelBuilderDegraded, FallbackComposesPtAndRecordsSkippedAdjustment) {
+  const Truth truth;
+  const MeasurementSet ms = degraded_pipeline_set(truth);
+  ModelBuilder builder(cluster::paper_cluster());
+  const Estimator est = builder.build(ms);
+
+  // N-T: scaled from the same-shape P-II class, zero surviving points.
+  EXPECT_EQ(est.nt_provenance(NtKey{kAth, 1, 3}), Provenance::kFallback);
+  ASSERT_EQ(builder.fallbacks().size(), 1u);
+  EXPECT_EQ(builder.fallbacks().front().points_used, 0);
+
+  // P-T: composed on top of the fallback, inheriting its provenance;
+  // the measured Athlon m = 1 class composes as usual.
+  ASSERT_NE(est.pt(kAth, 3), nullptr);
+  EXPECT_EQ(est.pt_provenance(kAth, 3), Provenance::kFallback);
+  ASSERT_NE(est.pt(kAth, 1), nullptr);
+  EXPECT_EQ(est.pt_provenance(kAth, 1), Provenance::kComposed);
+  EXPECT_EQ(est.pt_provenance(kP2, 3), Provenance::kMeasured);
+
+  // §4.1 guard: (Athlon, m = 3) is composed and in adjustment range but
+  // has no anchors — it degrades to unadjusted and is recorded, not fatal.
+  ASSERT_EQ(builder.skipped_adjustments().size(), 1u);
+  EXPECT_EQ(builder.skipped_adjustments().front().kind, kAth);
+  EXPECT_EQ(builder.skipped_adjustments().front().m, 3);
+  EXPECT_TRUE(builder.adjustments().empty());
+}
+
+TEST(ModelBuilderDegraded, RobustFitOptionSurvivesCorruptedSample) {
+  const Truth truth;
+  MeasurementSet clean, dirty;
+  for (const int n : {400, 800, 1200, 1600, 2400, 3200, 4800, 6400}) {
+    Sample s = truth.make(cluster::Config::paper(1, 1, 0, 0), n);
+    clean.add(s);
+    if (n == 1600) {
+      s.kinds[0].tai *= 25.0;  // one paged/straggler run slipped through
+      s.wall = s.kinds[0].tai + s.kinds[0].tci;
+    }
+    dirty.add(s);
+  }
+
+  BuilderOptions robust;
+  robust.fit.robust = true;
+  const Estimator plain_est =
+      ModelBuilder(cluster::paper_cluster()).build(dirty);
+  const Estimator robust_est =
+      ModelBuilder(cluster::paper_cluster(), robust).build(dirty);
+
+  const double want = truth.work(6400) / truth.ath_rate;
+  const double plain_err =
+      std::abs(plain_est.nt(NtKey{kAth, 1, 1})->tai(6400) - want) / want;
+  const double robust_err =
+      std::abs(robust_est.nt(NtKey{kAth, 1, 1})->tai(6400) - want) / want;
+  // The corrupted point drags the plain cubic visibly off at N = 6400;
+  // the robust fit rejects it and recovers the exact curve.
+  EXPECT_LT(robust_err, 1e-3);
+  EXPECT_GT(plain_err, 0.01);
+  EXPECT_LT(robust_err, plain_err / 10.0);
+}
+
+#if HETSCHED_OBS_ACTIVE
+TEST(ModelBuilderDegraded, DegradationCounters) {
+  obs::MetricsRegistry::instance().reset();
+  const Truth truth;
+  ModelBuilder builder(cluster::paper_cluster());
+  builder.build(degraded_pipeline_set(truth));
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  // One N-T fallback plus one P-T composition on top of it.
+  EXPECT_EQ(snap.counter_value("core.model_fallbacks"), 2);
+  EXPECT_EQ(snap.counter_value("core.adjustments_skipped"), 1);
+}
+#endif
 
 }  // namespace
 }  // namespace hetsched::core

@@ -1,0 +1,225 @@
+// Huber-weighted IRLS (linalg::solve_robust_lls / fit_robust): the
+// robust-fitting half of the fault-tolerance work (docs/ROBUSTNESS.md).
+// The contract under test: clean data reproduces the plain LS solution,
+// gross outliers are downweighted out of the coefficients and flagged,
+// and the degenerate regimes (square system, collapsed MAD) fall back
+// instead of dividing by zero.
+#include "linalg/lls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace hetsched::linalg {
+namespace {
+
+/// y = 2x + 1 sampled at x = 0..n-1 with optional Gaussian noise.
+void make_line(int n, double noise_sigma, std::uint64_t seed,
+               std::vector<double>* xs, std::vector<double>* ys) {
+  hetsched::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    xs->push_back(i);
+    ys->push_back(2.0 * i + 1.0 + noise_sigma * rng.normal());
+  }
+}
+
+TEST(RobustLls, CleanDataStaysCloseToPlainSolve) {
+  std::vector<double> xs, ys;
+  make_line(20, 0.05, 42, &xs, &ys);
+  const Basis line = Basis::polynomial(1);
+  const LlsResult plain = fit(line, xs, ys);
+  const LlsResult robust = fit_robust(line, xs, ys);
+  // Gaussian noise only: Huber trims the tails a little (that is the
+  // 95%-efficiency tradeoff), but nothing is rejected and the
+  // coefficients stay within the noise of the LS solution.
+  ASSERT_EQ(robust.coeffs.size(), 2u);
+  EXPECT_NEAR(robust.coeffs[0], plain.coeffs[0], 0.01);
+  EXPECT_NEAR(robust.coeffs[1], plain.coeffs[1], 0.05);
+  EXPECT_EQ(robust.outlier_count(), 0u);
+  ASSERT_EQ(robust.weights.size(), xs.size());
+  for (const double w : robust.weights) EXPECT_GT(w, 0.5);
+}
+
+TEST(RobustLls, GrossOutliersAreRejected) {
+  std::vector<double> xs, ys;
+  make_line(24, 0.05, 7, &xs, &ys);
+  // Three wild samples — a straggler/paged-run pattern: 10-40x too slow.
+  ys[3] *= 12.0;
+  ys[11] *= 25.0;
+  ys[19] *= 40.0;
+  const Basis line = Basis::polynomial(1);
+  const LlsResult plain = fit(line, xs, ys);
+  const LlsResult robust = fit_robust(line, xs, ys);
+
+  // Plain LS is dragged far off the true slope 2; robust stays close.
+  EXPECT_GT(std::abs(plain.coeffs[0] - 2.0), 0.5);
+  EXPECT_NEAR(robust.coeffs[0], 2.0, 0.1);
+  EXPECT_NEAR(robust.coeffs[1], 1.0, 1.0);
+
+  // Exactly the corrupted rows carry the outlier flag.
+  ASSERT_EQ(robust.outliers.size(), xs.size());
+  EXPECT_EQ(robust.outlier_count(), 3u);
+  EXPECT_EQ(robust.outliers[3], 1);
+  EXPECT_EQ(robust.outliers[11], 1);
+  EXPECT_EQ(robust.outliers[19], 1);
+  EXPECT_GE(robust.robust_iterations, 1);
+}
+
+TEST(RobustLls, ReportedStatsAreUnweighted) {
+  std::vector<double> xs, ys;
+  make_line(16, 0.0, 1, &xs, &ys);
+  ys[5] *= 20.0;
+  const LlsResult robust = fit_robust(Basis::polynomial(1), xs, ys);
+  // residual_norm/r2 are computed against the raw samples, so the
+  // rejected outlier still shows up as residual — that keeps the numbers
+  // comparable with a plain solve over the same data.
+  const double expected_residual =
+      std::abs(ys[5] - (robust.coeffs[0] * xs[5] + robust.coeffs[1]));
+  EXPECT_NEAR(robust.residual_norm, expected_residual,
+              0.05 * expected_residual);
+}
+
+TEST(RobustLls, ExactMajorityDrivesOutlierWeightToZero) {
+  // Zero-noise line plus one gross dissenter: IRLS recovers the exact
+  // line and the dissenter's weight collapses to (numerically) nothing.
+  std::vector<double> xs, ys;
+  make_line(12, 0.0, 0, &xs, &ys);  // exact line, zero noise
+  ys[4] += 100.0;
+  const LlsResult robust = fit_robust(Basis::polynomial(1), xs, ys);
+  EXPECT_NEAR(robust.coeffs[0], 2.0, 1e-6);
+  EXPECT_NEAR(robust.coeffs[1], 1.0, 1e-6);
+  ASSERT_EQ(robust.outliers.size(), xs.size());
+  EXPECT_EQ(robust.outlier_count(), 1u);
+  EXPECT_EQ(robust.outliers[4], 1);
+  EXPECT_LT(robust.weights[4], 1e-6);
+}
+
+TEST(RobustLls, CollapsedScaleFlagsTheDissenters) {
+  // A design whose LS solution interpolates the majority *exactly*
+  // (x = 0 solves the first two rows with zero residual): the MAD scale
+  // collapses to 0, and the solver must not divide by it — it flags the
+  // nonzero-residual sample with weight exactly 0 and stops.
+  Matrix a{{1.0}, {1.0}, {0.0}};
+  const std::vector<double> b{0.0, 0.0, 5.0};
+  const LlsResult robust = solve_robust_lls(a, b);
+  EXPECT_NEAR(robust.coeffs[0], 0.0, 1e-15);
+  ASSERT_EQ(robust.outliers.size(), 3u);
+  EXPECT_EQ(robust.outlier_count(), 1u);
+  EXPECT_EQ(robust.outliers[2], 1);
+  EXPECT_EQ(robust.weights[2], 0.0);
+  EXPECT_EQ(robust.weights[0], 1.0);
+}
+
+TEST(RobustLls, SquareSystemFallsBackToPlain) {
+  // No redundancy: nothing can be rejected, so IRLS degrades to LS.
+  Matrix a{{2, 1}, {1, 3}};
+  const std::vector<double> b{5, 10};
+  const LlsResult r = solve_robust_lls(a, b);
+  EXPECT_NEAR(r.coeffs[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.coeffs[1], 3.0, 1e-12);
+  EXPECT_EQ(r.robust_iterations, 0);
+  ASSERT_EQ(r.weights.size(), 2u);
+  EXPECT_EQ(r.weights[0], 1.0);
+  EXPECT_EQ(r.weights[1], 1.0);
+  EXPECT_EQ(r.outlier_count(), 0u);
+}
+
+TEST(RobustLls, DeterministicAcrossCalls) {
+  std::vector<double> xs, ys;
+  make_line(20, 0.1, 99, &xs, &ys);
+  ys[2] *= 15.0;
+  const LlsResult a = fit_robust(Basis::polynomial(1), xs, ys);
+  const LlsResult b = fit_robust(Basis::polynomial(1), xs, ys);
+  ASSERT_EQ(a.coeffs.size(), b.coeffs.size());
+  for (std::size_t i = 0; i < a.coeffs.size(); ++i)
+    EXPECT_EQ(a.coeffs[i], b.coeffs[i]);
+  EXPECT_EQ(a.weights, b.weights);
+  EXPECT_EQ(a.robust_iterations, b.robust_iterations);
+}
+
+TEST(RobustLls, CubicBasisRecoversNtShapedCoefficients) {
+  // The actual use: a Tai-style cubic over an N sweep with one paged-run
+  // outlier. Coefficient scale mirrors the real fits (k0 ~ 1e-9).
+  const Basis cubic = Basis::polynomial(3);
+  std::vector<double> ns, ts;
+  for (const double n : {400, 800, 1600, 2400, 3200, 4800, 6400}) {
+    ns.push_back(n);
+    ts.push_back(1.2e-9 * n * n * n + 3.0e-6 * n * n + 1e-4 * n + 0.05);
+  }
+  ts[3] *= 8.0;  // paged run at N = 2400
+  const LlsResult robust = fit_robust(cubic, ns, ts);
+  EXPECT_NEAR(robust.coeffs[0], 1.2e-9, 0.05e-9);
+  EXPECT_EQ(robust.outlier_count(), 1u);
+  EXPECT_EQ(robust.outliers[3], 1);
+}
+
+TEST(RobustLls, RelativeResidualsCatchMultiplicativeOutliers) {
+  // An N-T-shaped curve spanning orders of magnitude, with the largest
+  // sample made 3x slower — the straggler signature at the point of
+  // maximum leverage. The absolute-residual IRLS cannot reject it: the
+  // corrupted endpoint drags the initial LS fit so hard that the
+  // residual spreads over every sample and no single one crosses the
+  // Huber threshold. In relative terms it is a clean 200% error against
+  // sub-percent noise everywhere else.
+  const Basis cubic = Basis::polynomial(3, 0);
+  std::vector<double> xs, ys;
+  hetsched::Rng rng(7);
+  for (const double n : {400, 600, 800, 1200, 1600, 2400, 3200, 4800, 6400}) {
+    xs.push_back(n);
+    ys.push_back((2e-9 * n * n * n + 3e-6 * n * n + 1e-4 * n + 0.02) *
+                 (1.0 + 0.005 * rng.normal()));
+  }
+  const std::vector<double> clean = ys;
+  ys.back() *= 3.0;
+
+  RobustOptions abs_opts;
+  const LlsResult absolute = fit_robust(cubic, xs, ys, abs_opts);
+  RobustOptions rel_opts;
+  rel_opts.relative_residuals = true;
+  const LlsResult relative = fit_robust(cubic, xs, ys, rel_opts);
+
+  const LlsResult reference = fit(cubic, xs, clean);
+  // Absolute residuals miss the straggler entirely and the fitted curve
+  // is ruined across the whole range...
+  EXPECT_EQ(absolute.outlier_count(), 0u);
+  EXPECT_GT(std::abs(cubic.eval(absolute.coeffs, 6400) /
+                         cubic.eval(reference.coeffs, 6400) -
+                     1.0),
+            0.5);
+  // ...while the relative loss rejects exactly that sample and recovers
+  // the clean curve.
+  ASSERT_EQ(relative.outliers.size(), xs.size());
+  EXPECT_EQ(relative.outlier_count(), 1u);
+  EXPECT_EQ(relative.outliers.back(), 1);
+  for (const double n : {400.0, 1600.0, 6400.0}) {
+    const double got = cubic.eval(relative.coeffs, n);
+    const double want = cubic.eval(reference.coeffs, n);
+    EXPECT_NEAR(got / want, 1.0, 0.05) << "n=" << n;
+  }
+}
+
+TEST(RobustLls, RelativeResidualsKeepUnscaledStats) {
+  std::vector<double> xs, ys;
+  make_line(20, 0.05, 42, &xs, &ys);
+  ys[3] += 40.0;
+  const Basis line = Basis::polynomial(1);
+  RobustOptions rel_opts;
+  rel_opts.relative_residuals = true;
+  const LlsResult res = fit_robust(line, xs, ys, rel_opts);
+  // residual_norm / r2 are reported against the original (unscaled)
+  // samples, so the flagged outlier dominates the residual norm exactly
+  // as it would for an absolute-mode solve.
+  double ss = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (res.coeffs[0] * xs[i] + res.coeffs[1]);
+    ss += r * r;
+  }
+  EXPECT_NEAR(res.residual_norm, std::sqrt(ss), 1e-9);
+  EXPECT_GT(res.residual_norm, 35.0);
+}
+
+}  // namespace
+}  // namespace hetsched::linalg

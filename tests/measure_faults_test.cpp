@@ -1,0 +1,315 @@
+// Fault injection and retry-with-budget (measure/faults.hpp, the
+// fault-handling side of measure/runner.hpp). Contracts under test:
+// draws are deterministic pure functions of (plan, config, n, attempt);
+// fault-free runners are bit-identical to pre-fault behaviour; retries
+// and abandonments are accounted exactly once; a plan survives permanent
+// failures by recording them (docs/ROBUSTNESS.md).
+#include "measure/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "measure/plan.hpp"
+#include "measure/runner.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+
+namespace hetsched::measure {
+namespace {
+
+FaultPlan noisy_plan(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.default_spec.failure_prob = 0.2;
+  plan.default_spec.straggler_prob = 0.1;
+  plan.default_spec.noise_sigma = 0.05;
+  plan.default_spec.outlier_prob = 0.1;
+  return plan;
+}
+
+TEST(FaultInjector, DisabledByDefaultAndBySeedZero) {
+  EXPECT_FALSE(FaultInjector().enabled());
+  FaultPlan plan = noisy_plan(0);  // seed 0 disables even active specs
+  EXPECT_FALSE(FaultInjector(plan).enabled());
+  plan.seed = 1;
+  EXPECT_TRUE(FaultInjector(plan).enabled());
+  // Active seed but all-zero rates is also disabled.
+  FaultPlan idle;
+  idle.seed = 99;
+  EXPECT_FALSE(FaultInjector(idle).enabled());
+}
+
+TEST(FaultInjector, RejectsInvalidSpecs) {
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.default_spec.failure_prob = 1.5;
+  EXPECT_THROW(FaultInjector{plan}, Error);
+  plan.default_spec.failure_prob = 0.1;
+  plan.per_kind["X"].outlier_factor = 0.5;
+  EXPECT_THROW(FaultInjector{plan}, Error);
+}
+
+TEST(FaultInjector, DrawsAreDeterministicAndOrderIndependent) {
+  const FaultInjector inj(noisy_plan(31));
+  const cluster::Config cfg = cluster::Config::paper(1, 2, 4, 1);
+  const FaultOutcome a = inj.draw(cfg, 1600, 0);
+  // Interleave unrelated draws; the repeat must not change.
+  inj.draw(cfg, 3200, 0);
+  inj.draw(cluster::Config::paper(0, 0, 8, 1), 1600, 1);
+  const FaultOutcome b = inj.draw(cfg, 1600, 0);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.straggler, b.straggler);
+  EXPECT_EQ(a.outlier, b.outlier);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.kind_factors, b.kind_factors);
+}
+
+TEST(FaultInjector, CoordinatesDecorrelateDraws) {
+  const FaultInjector inj(noisy_plan(31));
+  const cluster::Config cfg = cluster::Config::paper(1, 2, 4, 1);
+  // Distinct attempts (and sizes) must give distinct streams; with
+  // noise_sigma > 0 the factors differ almost surely.
+  const FaultOutcome a0 = inj.draw(cfg, 1600, 0);
+  const FaultOutcome a1 = inj.draw(cfg, 1600, 1);
+  const FaultOutcome n2 = inj.draw(cfg, 3200, 0);
+  EXPECT_NE(a0.kind_factors, a1.kind_factors);
+  EXPECT_NE(a0.kind_factors, n2.kind_factors);
+}
+
+TEST(FaultInjector, PerKindSpecOverridesDefault) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.per_kind["PentiumII-400MHz"].straggler_prob = 1.0;
+  plan.per_kind["PentiumII-400MHz"].straggler_factor = 4.0;
+  const FaultInjector inj(plan);
+  const cluster::Config cfg = cluster::Config::paper(1, 1, 8, 1);
+  const FaultOutcome out = inj.draw(cfg, 1600, 0);
+  ASSERT_EQ(out.kind_factors.size(), cfg.usage.size());
+  for (std::size_t i = 0; i < cfg.usage.size(); ++i) {
+    if (cfg.usage[i].kind == "PentiumII-400MHz") {
+      EXPECT_TRUE(out.straggler);
+      EXPECT_DOUBLE_EQ(out.kind_factors[i], 4.0);
+    } else {
+      // The Athlon rides the (inactive) default spec: untouched.
+      EXPECT_DOUBLE_EQ(out.kind_factors[i], 1.0);
+    }
+  }
+}
+
+TEST(FaultInjector, ApplyScalesKindTimesAndWall) {
+  core::Sample s;
+  s.config = cluster::Config::paper(1, 1, 2, 1);
+  s.n = 800;
+  s.wall = 10.0;
+  s.measured_cost = 10.0;
+  s.kinds.push_back(core::Sample::KindMeasure{"Athlon-1.33GHz", 4.0, 1.0});
+  s.kinds.push_back(core::Sample::KindMeasure{"PentiumII-400MHz", 8.0, 2.0});
+  FaultOutcome out;
+  out.kind_factors = {3.0, 1.0};  // Athlon straggles
+  FaultInjector::apply(out, &s);
+  EXPECT_DOUBLE_EQ(s.kinds[0].tai, 12.0);
+  EXPECT_DOUBLE_EQ(s.kinds[0].tci, 3.0);
+  EXPECT_DOUBLE_EQ(s.kinds[1].tai, 8.0);  // other kind untouched
+  // The slowest kind binds the makespan.
+  EXPECT_DOUBLE_EQ(s.wall, 30.0);
+  EXPECT_DOUBLE_EQ(s.measured_cost, 30.0);
+}
+
+TEST(FaultInjector, ApplyRejectsShapeMismatchAndFailedOutcomes) {
+  core::Sample s;
+  s.config = cluster::Config::paper(1, 1, 2, 1);
+  FaultOutcome wrong_shape;
+  wrong_shape.kind_factors = {1.0};  // config has two usage entries
+  EXPECT_THROW(FaultInjector::apply(wrong_shape, &s), Error);
+  FaultOutcome failed;
+  failed.failed = true;
+  failed.kind_factors = {1.0, 1.0};
+  EXPECT_THROW(FaultInjector::apply(failed, &s), Error);
+}
+
+TEST(Runner, FaultFreeRunnerIsBitIdenticalToUnconfiguredRunner) {
+  // The compatibility contract: installing no plan (or a disabled one)
+  // reproduces pre-fault samples exactly, so every committed baseline
+  // stays valid.
+  Runner plain(cluster::paper_cluster(), 64, 7);
+  Runner disabled(cluster::paper_cluster(), 64, 7);
+  disabled.set_faults(FaultPlan{});  // seed 0: disabled
+  disabled.set_retry(RetryPolicy{});
+  const cluster::Config cfg = cluster::Config::paper(1, 2, 4, 1);
+  EXPECT_EQ(plain.measure(cfg, 1600).wall, disabled.measure(cfg, 1600).wall);
+  EXPECT_EQ(plain.measure_repeated(cfg, 800, 3).wall,
+            disabled.measure_repeated(cfg, 800, 3).wall);
+}
+
+TEST(Runner, RetriesRecoverFromTransientFailures) {
+  Runner runner(cluster::paper_cluster(), 64, 3);
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.default_spec.failure_prob = 0.4;
+  runner.set_faults(plan);
+  RetryPolicy retry;
+  retry.max_attempts = 10;  // enough budget that p = 0.4 always recovers
+  runner.set_retry(retry);
+
+  const MeasurementPlan mp = basic_plan();
+  const core::MeasurementSet ms = runner.run_plan(mp);
+  EXPECT_TRUE(ms.failures().empty());
+  EXPECT_GT(runner.retries_executed(), 0u);
+  EXPECT_GT(runner.faults_injected(), 0u);
+  // Every sample was delivered despite the faults.
+  EXPECT_EQ(ms.samples().size(),
+            mp.run_count() / static_cast<std::size_t>(mp.repeats));
+}
+
+TEST(Runner, RetryWasteLandsInMeasuredCost) {
+  Runner runner(cluster::paper_cluster(), 64, 3);
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.default_spec.failure_prob = 0.4;
+  runner.set_faults(plan);
+  RetryPolicy retry;
+  retry.max_attempts = 10;
+  retry.backoff_base_s = 5.0;
+  runner.set_retry(retry);
+
+  Runner clean(cluster::paper_cluster(), 64, 3);
+  const cluster::Config cfg = cluster::Config::paper(0, 0, 4, 1);
+  // Find a size whose first attempt fails (deterministic, so scan).
+  bool found = false;
+  for (const int n : {800, 1600, 2400, 3200, 4800, 6400}) {
+    const std::size_t retries_before = runner.retries_executed();
+    const core::Sample& s = runner.measure(cfg, n);
+    if (runner.retries_executed() == retries_before) continue;
+    found = true;
+    // Backoff waits (simulated seconds) are folded into measured_cost,
+    // never into the sample's wall time.
+    EXPECT_GT(s.measured_cost, clean.measure(cfg, n).wall);
+    EXPECT_GE(s.measured_cost, s.wall + retry.backoff_base_s);
+    break;
+  }
+  EXPECT_TRUE(found) << "no size drew a first-attempt failure; pick a "
+                        "different plan seed for this test";
+}
+
+TEST(Runner, BudgetExhaustionFailsExactlyOnce) {
+  Runner runner(cluster::paper_cluster(), 64, 3);
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.default_spec.failure_prob = 1.0;  // every attempt dies
+  runner.set_faults(plan);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  runner.set_retry(retry);
+
+  const cluster::Config cfg = cluster::Config::paper(1, 1, 2, 1);
+  EXPECT_THROW(runner.measure(cfg, 800), MeasurementFailure);
+  ASSERT_EQ(runner.failures().size(), 1u);
+  EXPECT_EQ(runner.failures()[0].n, 800);
+  EXPECT_EQ(runner.failures()[0].attempts, 3);
+  EXPECT_EQ(runner.retries_executed(), 2u);  // attempts 2 and 3
+  EXPECT_EQ(runner.runs_executed(), 0u);     // nothing ever completed
+
+  // The second call throws again but performs NO new accounting: the
+  // failure is permanent, not re-attempted.
+  EXPECT_THROW(runner.measure(cfg, 800), MeasurementFailure);
+  EXPECT_EQ(runner.failures().size(), 1u);
+  EXPECT_EQ(runner.retries_executed(), 2u);
+}
+
+TEST(Runner, PlanSurvivesPermanentFailures) {
+  Runner runner(cluster::paper_cluster(), 64, 3);
+  FaultPlan plan;
+  plan.seed = 11;
+  // Only the Athlon's runs die; the P2 sweep is untouched.
+  plan.per_kind["Athlon-1.33GHz"].failure_prob = 1.0;
+  runner.set_faults(plan);
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  runner.set_retry(retry);
+
+  const MeasurementPlan mp = basic_plan();
+  const core::MeasurementSet ms = runner.run_plan(mp);
+  EXPECT_FALSE(ms.failures().empty());
+  EXPECT_FALSE(ms.samples().empty());
+  for (const auto& f : ms.failures()) {
+    bool uses_athlon = false;
+    for (const auto& u : f.config.usage)
+      uses_athlon = uses_athlon || (u.kind == "Athlon-1.33GHz" && u.pes > 0);
+    EXPECT_TRUE(uses_athlon);
+  }
+  // And the surviving samples are bit-identical to a fault-free campaign
+  // (the P2 kinds ride an inactive spec, and attempt 0 keeps the
+  // historical noise hash).
+  Runner clean(cluster::paper_cluster(), 64, 3);
+  const core::MeasurementSet clean_ms = clean.run_plan(mp);
+  for (const auto& s : ms.samples()) {
+    bool matched = false;
+    for (const auto& c : clean_ms.samples())
+      if (c.config.to_string() == s.config.to_string() && c.n == s.n) {
+        EXPECT_EQ(c.wall, s.wall);
+        matched = true;
+      }
+    EXPECT_TRUE(matched);
+  }
+}
+
+TEST(Runner, OutlierRetryIsOptIn) {
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.default_spec.outlier_prob = 0.5;
+  plan.default_spec.outlier_factor = 8.0;
+
+  Runner keep(cluster::paper_cluster(), 64, 3);
+  keep.set_faults(plan);
+  const cluster::Config cfg = cluster::Config::paper(0, 0, 4, 1);
+  for (const int n : {800, 1600, 2400}) keep.measure(cfg, n);
+  EXPECT_EQ(keep.retries_executed(), 0u);  // silent outliers: kept
+
+  Runner watchdog(cluster::paper_cluster(), 64, 3);
+  watchdog.set_faults(plan);
+  RetryPolicy retry;
+  retry.retry_outliers = true;
+  retry.max_attempts = 4;
+  watchdog.set_retry(retry);
+  for (const int n : {800, 1600, 2400}) watchdog.measure(cfg, n);
+  EXPECT_GT(watchdog.retries_executed(), 0u);
+}
+
+TEST(Runner, RejectsInvalidRetryPolicies) {
+  Runner runner(cluster::paper_cluster());
+  RetryPolicy bad;
+  bad.max_attempts = 0;
+  EXPECT_THROW(runner.set_retry(bad), Error);
+  bad = RetryPolicy{};
+  bad.backoff_mult = 0.5;
+  EXPECT_THROW(runner.set_retry(bad), Error);
+}
+
+#if HETSCHED_OBS_ACTIVE
+TEST(Runner, FaultAndRetryCounters) {
+  obs::MetricsRegistry::instance().reset();
+  Runner runner(cluster::paper_cluster(), 64, 3);
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.default_spec.failure_prob = 1.0;
+  runner.set_faults(plan);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  runner.set_retry(retry);
+  EXPECT_THROW(runner.measure(cluster::Config::paper(1, 1, 2, 1), 800),
+               MeasurementFailure);
+
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  // 3 attempts, each drew one failure event for the active kind.
+  EXPECT_EQ(snap.counter_value("measure.run_failures"), 3u);
+  EXPECT_EQ(snap.counter_value("measure.retries"), 2u);
+  EXPECT_EQ(snap.counter_value("measure.runs_abandoned"), 1u);
+  EXPECT_EQ(snap.counter_value("measure.faults_injected"),
+            runner.faults_injected());
+  EXPECT_EQ(snap.counter_value("measure.runs"), 0u);
+}
+#endif
+
+}  // namespace
+}  // namespace hetsched::measure

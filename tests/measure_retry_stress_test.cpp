@@ -1,0 +1,130 @@
+// Retry/backoff accounting under concurrency (TSan stress leg, like
+// obs_stress_test): many threads each drive their own Runner through the
+// same faulty campaign. Fault injection and retry accounting are pure
+// per-runner state, so every thread must reproduce the reference
+// bit-for-bit — and with observability on, the process-wide counters
+// must aggregate losslessly across the concurrent runners.
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "measure/runner.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+
+namespace hetsched::measure {
+namespace {
+
+constexpr std::size_t kThreads = 8;
+
+FaultPlan faulty_plan() {
+  FaultPlan plan;
+  plan.seed = 2026;
+  plan.default_spec.failure_prob = 0.25;
+  plan.default_spec.straggler_prob = 0.1;
+  plan.default_spec.noise_sigma = 0.05;
+  plan.default_spec.outlier_prob = 0.1;
+  return plan;
+}
+
+struct CampaignResult {
+  core::MeasurementSet ms;
+  std::size_t runs = 0;
+  std::size_t retries = 0;
+  std::size_t faults = 0;
+  std::vector<FailedRun> failures;
+};
+
+/// The NS plan (smallest sizes) trimmed further: stress iterations
+/// multiply whatever campaign we pick, and TSan multiplies it again.
+MeasurementPlan small_plan() {
+  MeasurementPlan plan = ns_plan();
+  plan.ns.resize(2);
+  plan.adjust_ns.resize(1);
+  return plan;
+}
+
+CampaignResult run_campaign() {
+  Runner runner(cluster::paper_cluster());
+  runner.set_faults(faulty_plan());
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  runner.set_retry(policy);
+  CampaignResult out;
+  out.ms = runner.run_plan(small_plan());
+  out.runs = runner.runs_executed();
+  out.retries = runner.retries_executed();
+  out.faults = runner.faults_injected();
+  out.failures = runner.failures();
+  return out;
+}
+
+// Launch threads through a spin barrier so they hit the runner
+// machinery together.
+void run_threads(std::size_t n, const std::function<void(std::size_t)>& body) {
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      body(t);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+}
+
+TEST(RetryStress, ConcurrentCampaignsAreBitIdentical) {
+  const CampaignResult ref = run_campaign();
+  // The faulty campaign must actually exercise the retry machinery for
+  // this test to mean anything.
+  ASSERT_GT(ref.retries, 0u);
+  ASSERT_FALSE(ref.failures.empty());
+
+  std::vector<CampaignResult> results(kThreads);
+  run_threads(kThreads, [&](std::size_t t) { results[t] = run_campaign(); });
+
+  for (const CampaignResult& r : results) {
+    EXPECT_EQ(r.runs, ref.runs);
+    EXPECT_EQ(r.retries, ref.retries);
+    EXPECT_EQ(r.faults, ref.faults);
+    ASSERT_EQ(r.ms.samples().size(), ref.ms.samples().size());
+    for (std::size_t i = 0; i < ref.ms.samples().size(); ++i)
+      EXPECT_EQ(r.ms.samples()[i].wall, ref.ms.samples()[i].wall);
+    // Budget exhaustion marks each plan entry failed exactly once, in
+    // plan order, and mirrors it into the MeasurementSet.
+    ASSERT_EQ(r.failures.size(), ref.failures.size());
+    ASSERT_EQ(r.ms.failures().size(), ref.failures.size());
+    for (std::size_t i = 0; i < ref.failures.size(); ++i) {
+      EXPECT_EQ(r.failures[i].config.to_string(),
+                ref.failures[i].config.to_string());
+      EXPECT_EQ(r.failures[i].n, ref.failures[i].n);
+      EXPECT_EQ(r.failures[i].attempts, ref.failures[i].attempts);
+    }
+  }
+}
+
+#if HETSCHED_OBS_ACTIVE
+TEST(RetryStress, CountersAggregateAcrossConcurrentRunners) {
+  const CampaignResult ref = run_campaign();
+  obs::MetricsRegistry::instance().reset();
+  run_threads(kThreads, [&](std::size_t) { run_campaign(); });
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  // measure.retries matches the injected re-run count exactly: no lost
+  // or double-counted updates under concurrency.
+  EXPECT_EQ(snap.counter_value("measure.retries"),
+            static_cast<std::int64_t>(kThreads * ref.retries));
+  EXPECT_EQ(snap.counter_value("measure.runs_abandoned"),
+            static_cast<std::int64_t>(kThreads * ref.failures.size()));
+  EXPECT_EQ(snap.counter_value("measure.faults_injected"),
+            static_cast<std::int64_t>(kThreads * ref.faults));
+}
+#endif
+
+}  // namespace
+}  // namespace hetsched::measure

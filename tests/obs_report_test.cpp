@@ -159,6 +159,74 @@ TEST(RunReport, SerializeParseRoundTrip) {
   EXPECT_EQ(os.str(), os2.str());
 }
 
+TEST(RunReport, ProvenanceSplitRoundTrips) {
+  RunReport rep;
+  rep.name = "prov";
+  rep.records.push_back(make_record("NL", 110, 100));  // default "measured"
+  PredictionRecord composed = make_record("NL", 95, 100);
+  composed.provenance = "composed";
+  rep.records.push_back(composed);
+  PredictionRecord fallback = make_record("NL", 150, 100);
+  fallback.provenance = "fallback";
+  rep.records.push_back(fallback);
+  rep.recompute_accuracy();
+
+  // recompute_accuracy splits the family stats by provenance tag.
+  const FamilyAccuracy& fam = rep.accuracy.at("NL");
+  ASSERT_EQ(fam.provenance.size(), 3u);
+  EXPECT_EQ(fam.provenance.at("measured").count, 1u);
+  EXPECT_EQ(fam.provenance.at("composed").count, 1u);
+  EXPECT_EQ(fam.provenance.at("fallback").count, 1u);
+  EXPECT_NEAR(fam.provenance.at("fallback").mean_abs_rel_err, 0.5, 1e-12);
+
+  std::ostringstream os;
+  rep.write_json(os);
+  const RunReport back = RunReport::from_json(json::parse(os.str()));
+  ASSERT_EQ(back.records.size(), 3u);
+  EXPECT_EQ(back.records[0].provenance, "measured");
+  EXPECT_EQ(back.records[1].provenance, "composed");
+  EXPECT_EQ(back.records[2].provenance, "fallback");
+  ASSERT_EQ(back.accuracy.at("NL").provenance.size(), 3u);
+  expect_stats_eq(back.accuracy.at("NL").provenance.at("composed"),
+                  fam.provenance.at("composed"));
+}
+
+// Removes every `, "provenance": <string-or-object>` from a serialized
+// report, reconstructing the pre-provenance on-disk format.
+std::string strip_provenance(std::string text) {
+  const std::string needle = ", \"provenance\": ";
+  for (std::string::size_type p; (p = text.find(needle)) !=
+                                 std::string::npos;) {
+    std::string::size_type end = p + needle.size();
+    if (text[end] == '{') {
+      int depth = 0;
+      do {
+        if (text[end] == '{') ++depth;
+        if (text[end] == '}') --depth;
+        ++end;
+      } while (depth > 0);
+    } else {  // quoted string value
+      end = text.find('"', end + 1) + 1;
+    }
+    text.erase(p, end - p);
+  }
+  return text;
+}
+
+TEST(RunReport, ProvenanceOptionalWhenAbsentFromJson) {
+  // Reports written before the provenance field must still parse, with
+  // records defaulting to "measured" and no provenance split.
+  const RunReport rep = sample_report();
+  std::ostringstream os;
+  rep.write_json(os);
+  const std::string stripped = strip_provenance(os.str());
+  ASSERT_EQ(stripped.find("provenance"), std::string::npos);
+  const RunReport back = RunReport::from_json(json::parse(stripped));
+  ASSERT_EQ(back.records.size(), rep.records.size());
+  for (const auto& r : back.records) EXPECT_EQ(r.provenance, "measured");
+  EXPECT_TRUE(back.accuracy.at("NL").provenance.empty());
+}
+
 TEST(RunReport, FromJsonRejectsMalformedDocuments) {
   const RunReport rep = sample_report();
   std::ostringstream os;

@@ -95,6 +95,14 @@ int cmd_summarize(const std::vector<std::string>& args) {
       print_stats_row(acc, family, "(all)", fam.all);
       for (const auto& [bin, stats] : fam.bins)
         print_stats_row(acc, family, bin, stats);
+      // Model-provenance split: measured vs composed vs fallback accuracy
+      // (only printed when a non-measured model served some prediction —
+      // a single all-measured row would just repeat "(all)").
+      if (fam.provenance.size() > 1 ||
+          (fam.provenance.size() == 1 &&
+           fam.provenance.begin()->first != "measured"))
+        for (const auto& [prov, stats] : fam.provenance)
+          print_stats_row(acc, family, "prov:" + prov, stats);
     }
     acc.print(std::cout);
 

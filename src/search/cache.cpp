@@ -174,13 +174,32 @@ std::size_t EstimateCache::size() const {
 }
 
 std::vector<ShardStats> EstimateCache::shard_stats() const {
-  std::vector<ShardStats> out(shard_count_);
+  return stats().shards;
+}
+
+EstimateCache::Stats EstimateCache::stats() const {
+  // All shard locks held at once, acquired in index order (lookup/insert
+  // take a single shard lock, so the total order is deadlock-free). One
+  // shard at a time would tear the snapshot: a lookup completing between
+  // shard i and shard j shows up in the globals but not in row i.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shard_count_);
+  for (std::size_t i = 0; i < shard_count_; ++i)
+    locks.emplace_back(shards_[i].mu);
+  Stats st;
+  st.shards.resize(shard_count_);
   for (std::size_t i = 0; i < shard_count_; ++i) {
-    std::lock_guard<std::mutex> l(shards_[i].mu);
-    out[i] = ShardStats{shards_[i].hits, shards_[i].misses,
-                        shards_[i].evictions, shards_[i].map.size()};
+    st.shards[i] = ShardStats{shards_[i].hits, shards_[i].misses,
+                              shards_[i].evictions, shards_[i].map.size()};
+    st.total.hits += st.shards[i].hits;
+    st.total.misses += st.shards[i].misses;
+    st.total.evictions += st.shards[i].evictions;
+    st.total.entries += st.shards[i].entries;
   }
-  return out;
+  st.global_hits = hits_.load(std::memory_order_relaxed);
+  st.global_misses = misses_.load(std::memory_order_relaxed);
+  st.global_evictions = evictions_.load(std::memory_order_relaxed);
+  return st;
 }
 
 }  // namespace hetsched::search

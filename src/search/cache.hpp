@@ -54,7 +54,10 @@ struct ShardStats {
 /// are relaxed atomics.
 ///
 /// Complexity: lookup/insert are O(1) expected (one shard lock, one hash
-/// map probe). size()/shard_stats()/clear() lock every shard in turn.
+/// map probe). size()/clear() lock every shard in turn;
+/// stats()/shard_stats() hold all shard locks simultaneously (consistent
+/// snapshot) — O(shards), cheap, but a global pause point: scrape
+/// between sweeps, not inside them.
 class EstimateCache {
  public:
   /// `shards`: lock striping width (0 is treated as 1).
@@ -85,8 +88,26 @@ class EstimateCache {
 
   /// Per-shard hit/miss/eviction/occupancy counters, index = shard id.
   /// Feeds the `search.cache.*` metrics and the observability docs'
-  /// cache-thrash walkthrough (docs/OBSERVABILITY.md).
+  /// cache-thrash walkthrough (docs/OBSERVABILITY.md). Taken as one
+  /// consistent snapshot: every shard lock is held simultaneously, so
+  /// the rows sum to a state the cache actually passed through.
   std::vector<ShardStats> shard_stats() const;
+
+  /// Consistent whole-cache snapshot: per-shard rows, their sum, and the
+  /// global atomic counters — all captured while every shard lock is
+  /// held, which guarantees `total` equals the globals even under
+  /// concurrent lookups/inserts (both are updated under the shard lock).
+  /// Locking one shard at a time instead would let an operation slip
+  /// between the rows and the totals drift; tests/search_steal_stress_test
+  /// hammers this invariant concurrently.
+  struct Stats {
+    std::vector<ShardStats> shards;
+    ShardStats total;             ///< sum of `shards`
+    std::uint64_t global_hits = 0;
+    std::uint64_t global_misses = 0;
+    std::uint64_t global_evictions = 0;
+  };
+  Stats stats() const;
 
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const {

@@ -30,6 +30,8 @@ void flush_stats_to_metrics(const EngineStats& st) {
   HETSCHED_COUNTER_ADD("search.nodes_visited", st.visited);
   HETSCHED_COUNTER_ADD("search.nodes_pruned", st.pruned);
   HETSCHED_COUNTER_ADD("search.nodes_uncovered", st.uncovered);
+  HETSCHED_COUNTER_ADD("search.batch_evals", st.batch_evals);
+  HETSCHED_COUNTER_ADD("search.steal_count", st.steals);
   HETSCHED_COUNTER_ADD("search.cache.hits", st.cache_hits);
   HETSCHED_COUNTER_ADD("search.cache.misses", st.cache_misses);
   HETSCHED_COUNTER_ADD("search.cache.evictions", st.cache_evictions);
@@ -47,11 +49,36 @@ cluster::Config config_from_idx(
   return cfg;
 }
 
+// Shape fingerprint of a ConfigSpace (kind names + choice lists), for
+// reusing the batch snapshot across sweeps. FNV-1a like the estimator
+// fingerprint.
+std::uint64_t space_signature(const core::ConfigSpace& space) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  const auto mix_int = [&](long long v) {
+    for (std::size_t i = 0; i < sizeof(v); ++i)
+      mix_byte(static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+  };
+  for (const auto& k : space.kinds()) {
+    for (const char c : k.kind) mix_byte(static_cast<unsigned char>(c));
+    mix_byte(0);
+    mix_int(static_cast<long long>(k.choices.size()));
+    for (const auto& [pes, m] : k.choices) {
+      mix_int(pes);
+      mix_int(m);
+    }
+  }
+  return h;
+}
+
 }  // namespace
 
 Engine::Engine(EngineOptions opts)
     : opts_(opts),
-      pool_(opts.threads),
+      pool_(opts.threads, opts.use_work_stealing),
       cache_(opts.cache_shards, opts.cache_max_entries_per_shard) {}
 
 Seconds Engine::priced(const core::Estimator& est,
@@ -63,6 +90,21 @@ Seconds Engine::priced(const core::Estimator& est,
   const Seconds v = est.covers(config) ? est.estimate(config, n) : kNaN;
   cache_.insert(key, v);
   return v;
+}
+
+const core::BatchEstimator& Engine::batch_for(const core::Estimator& est,
+                                              const core::ConfigSpace& space,
+                                              int n) {
+  const std::uint64_t fp = estimator_fingerprint(est);
+  const std::uint64_t sig = space_signature(space);
+  if (!batch_ || batch_fingerprint_ != fp || batch_space_sig_ != sig ||
+      batch_n_ != n) {
+    batch_ = std::make_unique<core::BatchEstimator>(est, space, n);
+    batch_fingerprint_ = fp;
+    batch_space_sig_ = sig;
+    batch_n_ = n;
+  }
+  return *batch_;
 }
 
 std::optional<Seconds> Engine::try_estimate(const core::Estimator& est,
@@ -85,6 +127,7 @@ std::vector<core::Ranked> Engine::rank_all(const core::Estimator& est,
   const std::uint64_t hits0 = cache_.hits();
   const std::uint64_t misses0 = cache_.misses();
   const std::uint64_t evictions0 = cache_.evictions();
+  const std::uint64_t steals0 = pool_.steals();
 
   std::vector<core::Ranked> out(count);
   pool_.parallel_for(count, [&](std::size_t i) {
@@ -108,6 +151,7 @@ std::vector<core::Ranked> Engine::rank_all(const core::Estimator& est,
   stats_.cache_hits = cache_.hits() - hits0;
   stats_.cache_misses = cache_.misses() - misses0;
   stats_.cache_evictions = cache_.evictions() - evictions0;
+  stats_.steals = pool_.steals() - steals0;
   flush_stats_to_metrics(stats_);
   HETSCHED_GAUGE_SET("search.cache.entries", cache_.size());
   obs_span.arg("candidates", static_cast<long long>(count))
@@ -120,6 +164,9 @@ core::Ranked Engine::best(const core::Estimator& est,
                           const core::ConfigSpace& space, int n) {
   HETSCHED_TRACE_SPAN_VAR(obs_span, "search", "best");
   if (opts_.use_cache) cache_.bind(estimator_fingerprint(est));
+  const core::BatchEstimator* batch =
+      opts_.use_batch && opts_.batch_leaves > 0 ? &batch_for(est, space, n)
+                                                : nullptr;
   const auto& kinds = space.kinds();
   const std::size_t K = kinds.size();
   stats_ = EngineStats{};
@@ -127,6 +174,7 @@ core::Ranked Engine::best(const core::Estimator& est,
   const std::uint64_t hits0 = cache_.hits();
   const std::uint64_t misses0 = cache_.misses();
   const std::uint64_t evictions0 = cache_.evictions();
+  const std::uint64_t steals0 = pool_.steals();
   const double nn = n;
   const core::EstimatorOptions& eo = est.options();
 
@@ -234,6 +282,19 @@ core::Ranked Engine::best(const core::Estimator& est,
     return paged_factor * b;
   };
 
+  // Incremental bound tables: the transform envelope `bound` is
+  // monotone nondecreasing over the raw per-choice bounds (every
+  // candidate map has a >= 0), so bound(max_k raw_k) == max_k
+  // bound(raw_k) — the DFS therefore carries the *transformed* bound
+  // and extends it with one std::max per child instead of re-applying
+  // the map loop at every node (DESIGN.md §5 note 15).
+  std::vector<std::vector<double>> blb(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    blb[k].resize(lb[k].size(), 0.0);
+    for (std::size_t c = 0; c < lb[k].size(); ++c) blb[k][c] = bound(lb[k][c]);
+  }
+  const double bound_zero = bound(0.0);
+
   // DFS kind order: slowest kinds (largest achievable bound, i.e. worst
   // per-process throughput) first, so the running bound rises early and
   // subtrees die before they branch.
@@ -265,8 +326,7 @@ core::Ranked Engine::best(const core::Estimator& est,
   struct Local {
     double est = kInf;
     std::size_t idx = core::ConfigSpace::npos;
-    cluster::Config config;
-    std::size_t visited = 0, pruned = 0, uncovered = 0;
+    std::size_t visited = 0, pruned = 0, uncovered = 0, batch_evals = 0;
   };
   std::vector<Local> locals(tasks);
   std::atomic<double> incumbent{kInf};
@@ -274,27 +334,102 @@ core::Ranked Engine::best(const core::Estimator& est,
   pool_.parallel_for(tasks, [&](std::size_t t) {
     Local& L = locals[t];
     std::vector<std::size_t> idx(K, 0);  // indexed by original kind order
-    double prefix_lb = 0.0;
+    // Batch working set, sized once per task; the sweep itself never
+    // allocates.
+    std::vector<std::size_t> rows(batch ? opts_.batch_leaves * K : 0);
+    std::vector<Seconds> vals(batch ? opts_.batch_leaves : 0);
+    std::vector<std::size_t> idx_tmp(batch ? K : 0);
+    core::BatchEstimator::Scratch scratch =
+        batch ? batch->make_scratch() : core::BatchEstimator::Scratch{};
+
+    double prefix_bound = bound_zero;
     std::size_t rem = t;
     for (std::size_t d = 0; d < depth; ++d) {
       const std::size_t k = order[d];
       idx[k] = rem % kinds[k].choices.size();
       rem /= kinds[k].choices.size();
-      prefix_lb = std::max(prefix_lb, lb[k][idx[k]]);
+      prefix_bound = std::max(prefix_bound, blb[k][idx[k]]);
     }
 
     const auto dfs = [&](const auto& self, std::size_t d,
-                         double cur_lb) -> void {
+                         double cur_bound) -> void {
+      // Stolen-subtree contract (debug): the incrementally carried
+      // bound must equal a from-scratch recomputation over the path's
+      // fixed choices — both are maxes of the same doubles, so the
+      // equality is exact, and any drift in the maintenance (a missed
+      // reset, a chunk resumed with stale state after a steal) trips
+      // here.
+      if (opts_.debug_check_bounds) {
+        double scratch_bound = bound_zero;
+        for (std::size_t dd = 0; dd < d; ++dd) {
+          const std::size_t kk = order[dd];
+          scratch_bound = std::max(scratch_bound, blb[kk][idx[kk]]);
+        }
+        HETSCHED_ASSERT(scratch_bound == cur_bound,
+                        "search::Engine::best: incremental bound diverged "
+                        "from the from-scratch recomputation");
+      }
       // Strictly-greater cut: a subtree whose optimistic bound merely
       // *ties* the incumbent may still hold the argmin through the
       // enumeration-order tie-break, so it survives. Together with the
       // serial (estimate, index) reduction below this keeps the result
       // bit-identical to the serial oracle for any thread count.
       if (opts_.prune &&
-          bound(cur_lb) > incumbent.load(std::memory_order_relaxed)) {
+          cur_bound > incumbent.load(std::memory_order_relaxed)) {
         L.pruned += suffix[d];
         return;
       }
+      // hetsched-lint: hot-path-begin — batched leaf sweep; no heap
+      // allocation permitted (hot-path-alloc rule).
+      if (batch != nullptr && suffix[d] <= opts_.batch_leaves) {
+        // The whole remaining subtree fits one batch: enumerate its
+        // leaf rows and price them in a single SoA sweep. Pruning below
+        // this node is forgone — its root bound survived, and pricing a
+        // batched leaf is cheaper than bounding it.
+        const std::size_t cnt = suffix[d];
+        for (std::size_t i = 0; i < cnt; ++i) {
+          std::size_t odo = i;
+          for (std::size_t dd = d; dd < K; ++dd) {
+            const std::size_t kk = order[dd];
+            idx[kk] = odo % kinds[kk].choices.size();
+            odo /= kinds[kk].choices.size();
+          }
+          std::size_t* row = rows.data() + i * K;
+          for (std::size_t kk = 0; kk < K; ++kk) row[kk] = idx[kk];
+        }
+        batch->estimate_rows(rows.data(), cnt, vals.data(), scratch);
+        for (std::size_t i = 0; i < cnt; ++i) {
+          const std::size_t* row = rows.data() + i * K;
+          for (std::size_t kk = 0; kk < K; ++kk) idx_tmp[kk] = row[kk];
+          const std::size_t cand = space.candidate_index(idx_tmp);
+          if (cand == core::ConfigSpace::npos) continue;  // all-absent
+          ++L.visited;
+          ++L.batch_evals;
+          const Seconds v = vals[i];
+          if (std::isnan(v)) {
+            ++L.uncovered;
+            continue;
+          }
+          if (opts_.debug_check_bounds) {
+            double leaf_bound = cur_bound;
+            for (std::size_t dd = d; dd < K; ++dd) {
+              const std::size_t kk = order[dd];
+              leaf_bound = std::max(leaf_bound, blb[kk][row[kk]]);
+            }
+            HETSCHED_ASSERT(leaf_bound <= v * (1.0 + 1e-9) + 1e-12,
+                            "search::Engine::best: pruning bound exceeds "
+                            "true leaf estimate (inadmissible bound)");
+          }
+          if (v < L.est || (v == L.est && cand < L.idx)) {
+            L.est = v;
+            L.idx = cand;
+          }
+          atomic_min(incumbent, v);
+        }
+        for (std::size_t dd = d; dd < K; ++dd) idx[order[dd]] = 0;
+        return;
+      }
+      // hetsched-lint: hot-path-end
       if (d == K) {
         const std::size_t cand = space.candidate_index(idx);
         if (cand == core::ConfigSpace::npos) return;  // all-absent
@@ -310,13 +445,12 @@ core::Ranked Engine::best(const core::Estimator& est,
         // rounding between the bound's and the estimator's evaluation
         // order of the same closed forms.
         if (opts_.debug_check_bounds)
-          HETSCHED_ASSERT(bound(cur_lb) <= v * (1.0 + 1e-9) + 1e-12,
+          HETSCHED_ASSERT(cur_bound <= v * (1.0 + 1e-9) + 1e-12,
                           "search::Engine::best: pruning bound exceeds "
                           "true leaf estimate (inadmissible bound)");
         if (v < L.est || (v == L.est && cand < L.idx)) {
           L.est = v;
           L.idx = cand;
-          L.config = std::move(cfg);
         }
         atomic_min(incumbent, v);
         return;
@@ -324,11 +458,11 @@ core::Ranked Engine::best(const core::Estimator& est,
       const std::size_t k = order[d];
       for (std::size_t c = 0; c < kinds[k].choices.size(); ++c) {
         idx[k] = c;
-        self(self, d + 1, std::max(cur_lb, lb[k][c]));
+        self(self, d + 1, std::max(cur_bound, blb[k][c]));
       }
       idx[k] = 0;
     };
-    dfs(dfs, depth, prefix_lb);
+    dfs(dfs, depth, prefix_bound);
   });
 
   // Deterministic reduction: serial scan in task order, min by
@@ -338,6 +472,7 @@ core::Ranked Engine::best(const core::Estimator& est,
     stats_.visited += L.visited;
     stats_.pruned += L.pruned;
     stats_.uncovered += L.uncovered;
+    stats_.batch_evals += L.batch_evals;
     // Leaves priced per top-level task: the spread of this histogram is
     // the work-balance story of the sweep.
     HETSCHED_HISTOGRAM_RECORD("search.task_leaves", L.visited);
@@ -349,6 +484,7 @@ core::Ranked Engine::best(const core::Estimator& est,
   stats_.cache_hits = cache_.hits() - hits0;
   stats_.cache_misses = cache_.misses() - misses0;
   stats_.cache_evictions = cache_.evictions() - evictions0;
+  stats_.steals = pool_.steals() - steals0;
   flush_stats_to_metrics(stats_);
   HETSCHED_GAUGE_SET("search.cache.entries", cache_.size());
   obs_span.arg("candidates", static_cast<long long>(stats_.candidates))
@@ -358,7 +494,7 @@ core::Ranked Engine::best(const core::Estimator& est,
   HETSCHED_CHECK(best != nullptr,
                  "search::Engine::best: models cover no candidate "
                  "configuration");
-  return core::Ranked{best->config, best->est};
+  return core::Ranked{space.config_at(best->idx), best->est};
 }
 
 }  // namespace hetsched::search

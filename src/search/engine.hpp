@@ -2,31 +2,44 @@
 //
 // Replaces the serial argmin loop of core/optimizer as the production
 // search path (the serial `best_exhaustive` stays as the test oracle).
-// Three mechanisms, all result-preserving:
+// Four mechanisms, all result-preserving:
 //
-//  * Parallel evaluation over a fixed support::ThreadPool. Candidates
+//  * Parallel evaluation over a support::WorkStealingPool. Candidates
 //    are indexed (ConfigSpace::config_at), results land in per-index
 //    slots, and the reduction runs serially in index order — so the
-//    answer is bit-identical to the serial one for any thread count.
+//    answer is bit-identical to the serial one for any thread count and
+//    any steal pattern.
 //  * Branch-and-bound pruning over the per-kind choice tree, kinds
 //    ordered slowest-first so the optimistic bound grows early. A
 //    subtree is cut only when its lower bound strictly exceeds the
 //    incumbent, which keeps every potential tie alive and the argmin
-//    (with its enumeration-order tie-break) exact. See DESIGN.md §5 for
-//    the bound derivation and the admissibility argument.
+//    (with its enumeration-order tie-break) exact. The bound is
+//    maintained *incrementally*: the estimator-transform map is applied
+//    per (kind, choice) once up front, and a child's bound is one max()
+//    against its parent's — exact because the transform envelope is
+//    monotone. See DESIGN.md §5 (notes 11 and 15).
+//  * Batched leaf evaluation: once a surviving subtree holds at most
+//    `batch_leaves` leaves, its candidates are priced in one
+//    core::BatchEstimator sweep over a structure-of-arrays coefficient
+//    snapshot — no Config construction, no cache-key strings, no
+//    allocation per leaf. Values are bit-identical to the scalar path.
 //  * Sharded (config, n) estimate memoization (search/cache.hpp), bound
-//    to an estimator fingerprint so model rebuilds invalidate it.
+//    to an estimator fingerprint so model rebuilds invalidate it
+//    (rank_all / try_estimate; batched best() leaves bypass it — the
+//    snapshot sweep is cheaper than the key hash).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/batch.hpp"
 #include "core/estimator.hpp"
 #include "core/optimizer.hpp"
 #include "search/cache.hpp"
-#include "support/thread_pool.hpp"
+#include "support/work_steal.hpp"
 
 namespace hetsched::search {
 
@@ -37,18 +50,32 @@ struct EngineOptions {
   std::size_t cache_shards = 16;
   /// Estimate-cache capacity per shard; 0 = unbounded. Bounding it
   /// trades re-pricing for memory; watch `search.cache.evictions` (and
-  /// `EstimateCache::shard_stats()`) for thrash — see
-  /// docs/OBSERVABILITY.md for the worked diagnosis.
+  /// `EstimateCache::stats()`) for thrash — see docs/OBSERVABILITY.md
+  /// for the worked diagnosis.
   std::size_t cache_max_entries_per_shard = 0;
   /// Top-level subtree tasks generated per pool thread; more tasks =
   /// better balance, more scheduling overhead.
   std::size_t tasks_per_thread = 8;
+  /// Batched leaf evaluation (core::BatchEstimator) for best(): a
+  /// subtree with at most `batch_leaves` remaining leaves is priced in
+  /// one SoA sweep instead of leaf-at-a-time. Pruning *within* such a
+  /// subtree is forgone (its root was already checked), which can only
+  /// raise stats().visited, never change the argmin.
+  bool use_batch = true;
+  std::size_t batch_leaves = 256;
+  /// Work stealing between the pool's per-context deques; off = fixed
+  /// round-robin partitioning (the differential tests toggle this).
+  bool use_work_stealing = true;
   /// Debug sweep: at every priced leaf, assert that the branch-and-bound
   /// lower bound along its path does not exceed the leaf's true
   /// estimate (admissibility — the property DESIGN.md §5 argues makes
-  /// pruning exact). Costs one extra bound() per leaf; off by default,
-  /// turned on by the contract tests and available for field diagnosis
-  /// of wrong-argmin reports.
+  /// pruning exact); at every tree node, additionally assert that the
+  /// incrementally maintained bound equals a from-scratch recomputation
+  /// over the path's choices (the stolen-subtree contract: a chunk that
+  /// migrated between contexts carries exactly the bound it would have
+  /// been assigned serially). Costs one extra pass per node; off by
+  /// default, turned on by the contract tests and available for field
+  /// diagnosis of wrong-argmin reports.
   bool debug_check_bounds = false;
 };
 
@@ -60,6 +87,8 @@ struct EngineStats {
   std::size_t visited = 0;      ///< leaves priced (from cache or estimator)
   std::size_t pruned = 0;       ///< leaves skipped by bound cuts
   std::size_t uncovered = 0;    ///< visited leaves the models cannot price
+  std::size_t batch_evals = 0;  ///< leaves priced via the batched SoA path
+  std::uint64_t steals = 0;     ///< pool chunks migrated between contexts
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;  ///< entries displaced (bounded cache)
@@ -103,7 +132,7 @@ class Engine {
   /// Counters of the most recent best()/rank_all() on this engine.
   const EngineStats& stats() const { return stats_; }
   EstimateCache& cache() { return cache_; }
-  support::ThreadPool& pool() { return pool_; }
+  support::WorkStealingPool& pool() { return pool_; }
   const EngineOptions& options() const { return opts_; }
 
  private:
@@ -112,10 +141,21 @@ class Engine {
   Seconds priced(const core::Estimator& est, const cluster::Config& config,
                  int n);
 
+  /// The SoA snapshot for (est, space, n), rebuilt only when the
+  /// estimator fingerprint, the space shape or n changes — repeated
+  /// sweeps (capacity planning, warm benches) reuse it.
+  const core::BatchEstimator& batch_for(const core::Estimator& est,
+                                        const core::ConfigSpace& space,
+                                        int n);
+
   EngineOptions opts_;
-  support::ThreadPool pool_;
+  support::WorkStealingPool pool_;
   EstimateCache cache_;
   EngineStats stats_;
+  std::unique_ptr<core::BatchEstimator> batch_;
+  std::uint64_t batch_fingerprint_ = 0;
+  std::uint64_t batch_space_sig_ = 0;
+  int batch_n_ = 0;
 };
 
 }  // namespace hetsched::search

@@ -1,0 +1,71 @@
+// Work-stealing thread pool with the same deterministic-by-construction
+// parallel loop contract as ThreadPool.
+//
+// ThreadPool hands out contiguous blocks through one shared atomic
+// cursor; under a branch-and-bound search the blocks are wildly uneven
+// (a pruned subtree costs nanoseconds, a surviving one prices hundreds
+// of leaves), so late in the loop most contexts idle while one drains
+// its last heavy block. Here every context owns a deque of index
+// chunks, runs its own front-to-back, and — when `stealing` is enabled
+// — takes chunks from the *back* of a victim's deque once its own is
+// empty, so imbalance migrates to whoever is idle.
+//
+// Determinism contract (identical to ThreadPool): which *context* runs
+// index i depends on scheduling, but fn receives every index in [0, n)
+// exactly once — each chunk sits in exactly one deque and is removed
+// exactly once. Writing results into slot i and reducing the slots
+// serially afterwards yields bit-identical output for any thread count
+// and any steal pattern. The configuration-search engine (src/search)
+// builds on this.
+//
+// With `stealing == false` the pool degrades to a fixed round-robin
+// partition of the chunks with no migration — the differential tests
+// toggle this to pin that stealing changes wall time only, never the
+// answer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace hetsched::support {
+
+class WorkStealingPool {
+ public:
+  /// A pool of `threads` execution contexts *including* the caller:
+  /// `threads - 1` workers are spawned, and the thread invoking
+  /// parallel_for always participates. `threads == 0` sizes the pool to
+  /// the hardware concurrency; `threads == 1` spawns nothing and runs
+  /// loops inline.
+  explicit WorkStealingPool(std::size_t threads = 0, bool stealing = true);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Execution contexts (workers + the participating caller).
+  std::size_t size() const;
+
+  /// Whether idle contexts migrate chunks from busy ones.
+  bool stealing() const;
+
+  /// Invokes fn(i) exactly once for every i in [0, n), distributed over
+  /// the pool, and blocks until all of them completed. If the body
+  /// throws, the first exception is rethrown on the caller after the
+  /// loop is abandoned (remaining indices are skipped). Concurrent
+  /// parallel_for calls from different threads are serialized.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Cumulative chunks stolen across all parallel_for calls on this
+  /// pool. The search engine reports per-sweep deltas as the
+  /// `search.steal_count` metric (docs/OBSERVABILITY.md).
+  std::uint64_t steals() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hetsched::support

@@ -247,6 +247,45 @@ TEST(EngineContracts, DebugBoundSweepHoldsOnSmallSpace) {
   }
 }
 
+TEST(EngineContracts, StolenSubtreeBoundEqualsFromScratchRecomputation) {
+  // The incremental bound contract: a DFS node's carried bound — built
+  // one max() at a time along the path, possibly across a chunk that a
+  // work-stealing context migrated — must equal the from-scratch
+  // recomputation over the path's fixed choices, *exactly* (both are
+  // maxes of the same doubles). debug_check_bounds asserts the equality
+  // at every node; oversubscribing a stealing pool with many small
+  // tasks maximizes migration, so a maintenance bug (stale prefix after
+  // a steal, missed reset between siblings) throws out of best() here.
+  const std::vector<std::string> names{"kind0", "kind1", "kind2"};
+  const cluster::ClusterSpec spec = spec_for(names, 4);
+  const core::ConfigSpace space = core::ConfigSpace::ranges({
+      core::ConfigSpace::KindRange{"kind0", 1, 4, 1, 3, true},
+      core::ConfigSpace::KindRange{"kind1", 1, 4, 1, 3, true},
+      core::ConfigSpace::KindRange{"kind2", 1, 4, 1, 3, true},
+  });
+  core::Estimator est =
+      make_estimator(spec, {200.0, 800.0, 1800.0}, 3, false);
+  est.add_adjustment("kind1", 2, core::LinearMap{0.85, -5.0});
+  const core::Ranked oracle = core::best_exhaustive(est, space, 2400);
+  for (const bool use_batch : {false, true}) {
+    search::EngineOptions opts;
+    opts.threads = 16;
+    opts.tasks_per_thread = 8;
+    opts.use_work_stealing = true;
+    opts.use_batch = use_batch;
+    opts.batch_leaves = 8;
+    opts.debug_check_bounds = true;
+    search::Engine engine(opts);
+    for (int rep = 0; rep < 5; ++rep) {
+      const core::Ranked got = engine.best(est, space, 2400);
+      EXPECT_EQ(got.config, oracle.config)
+          << "batch=" << use_batch << " rep=" << rep;
+      EXPECT_EQ(got.estimate, oracle.estimate)
+          << "batch=" << use_batch << " rep=" << rep;
+    }
+  }
+}
+
 TEST(EngineContracts, DebugBoundSweepIsOffByDefault) {
   // The sweep costs one extra bound() per leaf; production search paths
   // must not pay it implicitly.

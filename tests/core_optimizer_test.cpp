@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <set>
 
 #include "cluster/pe_kind.hpp"
+#include "core/batch.hpp"
 #include "support/error.hpp"
 
 namespace hetsched::core {
@@ -112,6 +116,52 @@ TEST(BestGreedy, UsesFewerEvaluationsThanExhaustive) {
   const GreedyResult greedy = best_greedy(est, space, 1000);
   EXPECT_LT(greedy.evaluations, space.size());
   EXPECT_GT(greedy.evaluations, 0u);
+}
+
+TEST(BatchEstimator, BitIdenticalToScalarOnPaperSpace) {
+  // The SoA snapshot path must price every paper_eval candidate to the
+  // exact double the scalar estimator produces (the full randomized
+  // differential sweep lives in tests/search_batch_parity_test.cpp;
+  // this is the optimizer-level smoke of the same contract).
+  const Estimator est = convex_estimator();
+  const ConfigSpace space = ConfigSpace::paper_eval();
+  const auto& kinds = space.kinds();
+  const std::size_t K = kinds.size();
+  const auto bits = [](double v) {
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+  };
+  for (const int n : {1000, 4000}) {
+    const BatchEstimator batch(est, space, n);
+    BatchEstimator::Scratch scratch = batch.make_scratch();
+    std::size_t rows = 1;
+    for (const auto& k : kinds) rows *= k.choices.size();
+    std::vector<std::size_t> idx(K, 0);
+    std::size_t covered = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::size_t odo = r;
+      for (std::size_t k = 0; k < K; ++k) {
+        idx[k] = odo % kinds[k].choices.size();
+        odo /= kinds[k].choices.size();
+      }
+      const Seconds got = batch.estimate_row(idx.data(), scratch);
+      const std::size_t cand = space.candidate_index(idx);
+      if (cand == ConfigSpace::npos) {
+        EXPECT_TRUE(std::isnan(got)) << "all-absent row must be NaN";
+        continue;
+      }
+      const cluster::Config cfg = space.config_at(cand);
+      if (!est.covers(cfg)) {
+        EXPECT_TRUE(std::isnan(got)) << cfg.to_string();
+        continue;
+      }
+      ++covered;
+      EXPECT_EQ(bits(est.estimate(cfg, n)), bits(got))
+          << cfg.to_string() << " n=" << n;
+    }
+    EXPECT_GT(covered, 0u);
+  }
 }
 
 TEST(BestGreedy, NeverWorseThanStartingPoint) {

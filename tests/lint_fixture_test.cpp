@@ -79,6 +79,8 @@ INSTANTIATE_TEST_SUITE_P(
                  "src/core/bad_banned.cpp"},
         RuleCase{"raw_new", "raw-new", "src/hpl/bad_new.cpp"},
         RuleCase{"float_fit", "float-fit", "src/linalg/bad_float.cpp"},
+        RuleCase{"hot_path_alloc", "hot-path-alloc",
+                 "src/core/bad_hot.cpp"},
         RuleCase{"assert_message", "assert-message",
                  "src/des/bad_assert.cpp"},
         RuleCase{"include_guard", "include-guard",
@@ -95,7 +97,8 @@ TEST(LintFixtures, EveryCatalogRuleHasAFixture) {
   std::vector<std::string> covered = {
       "layering",    "obs-direct",       "metric-name",
       "banned-construct", "raw-new",     "float-fit",
-      "assert-message",   "include-guard", "self-include-first"};
+      "hot-path-alloc",   "assert-message", "include-guard",
+      "self-include-first"};
   for (const RuleInfo& r : rule_catalog())
     EXPECT_NE(std::find(covered.begin(), covered.end(), r.name),
               covered.end())

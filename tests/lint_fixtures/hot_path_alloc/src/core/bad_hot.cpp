@@ -1,0 +1,18 @@
+// Trips hot-path-alloc exactly once: one growable-container mutation
+// inside the marked region. The identical call outside the markers is
+// fine — the contract is scoped, not file-wide.
+#include <vector>
+
+namespace hetsched::core {
+
+void warm_up(std::vector<int>& out) {
+  out.push_back(1);  // outside the region: allowed
+}
+
+// hetsched-lint: hot-path-begin
+void hot_sweep(std::vector<int>& out) {
+  out.push_back(2);
+}
+// hetsched-lint: hot-path-end
+
+}  // namespace hetsched::core

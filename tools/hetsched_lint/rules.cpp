@@ -1,8 +1,10 @@
 #include "rules.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <string_view>
+#include <utility>
 
 namespace hetsched::lint {
 
@@ -146,6 +148,10 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"float-fit",
        "fit paths (src/linalg, src/core) are double-precision only; no "
        "float"},
+      {"hot-path-alloc",
+       "code between `hetsched-lint: hot-path-begin` / `hot-path-end` "
+       "markers must not allocate: no new/make_unique/make_shared/malloc, "
+       "no growable-container mutation, no std::function"},
       {"assert-message",
        "HETSCHED_ASSERT / HETSCHED_CHECK need a non-empty message "
        "argument"},
@@ -285,6 +291,83 @@ std::vector<Finding> lint_file(const FileInput& in, const LintConfig& cfg) {
         emit("float-fit", t.line,
              "'float' in a fit path; coefficient extraction is "
              "double-precision only");
+  }
+
+  // -- hot-path-alloc --------------------------------------------------------
+  // A region bracketed by `hetsched-lint: hot-path-begin` / `hot-path-end`
+  // comments declares an allocation-free contract (the batched estimation
+  // sweep prices ~10^6 candidates per call; one stray allocation per leaf
+  // is the difference between 1 s and minutes). Enforced lexically:
+  // allocator entry points, growable-container mutations and
+  // std::function may not appear between the markers.
+  {
+    // The marker lives in a comment, and comments are stripped from the
+    // token stream — so the region table comes from the raw text.
+    std::vector<std::pair<int, int>> regions;
+    {
+      int line = 1, open = -1;
+      std::size_t pos = 0;
+      while (pos <= in.content.size()) {
+        const std::size_t eol = in.content.find('\n', pos);
+        const std::size_t end =
+            eol == std::string::npos ? in.content.size() : eol;
+        const std::string_view text(in.content.data() + pos, end - pos);
+        if (text.find("hetsched-lint: hot-path-begin") !=
+            std::string_view::npos) {
+          open = line;
+        } else if (text.find("hetsched-lint: hot-path-end") !=
+                       std::string_view::npos &&
+                   open >= 0) {
+          regions.emplace_back(open, line);
+          open = -1;
+        }
+        if (eol == std::string::npos) break;
+        pos = eol + 1;
+        ++line;
+      }
+      // Unclosed begin: the contract runs to end of file.
+      if (open >= 0)
+        regions.emplace_back(open, std::numeric_limits<int>::max());
+    }
+    if (!regions.empty()) {
+      const auto in_region = [&](int line) {
+        for (const auto& [b, e] : regions)
+          if (line > b && line < e) return true;
+        return false;
+      };
+      static const std::unordered_set<std::string> alloc_calls = {
+          "make_unique", "make_shared", "malloc", "calloc", "realloc",
+          "strdup"};
+      static const std::unordered_set<std::string> growth_calls = {
+          "push_back", "emplace_back", "emplace", "insert",
+          "resize",    "reserve",      "assign",  "append"};
+      const auto& toks = lexed.tokens;
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokKind::kIdent || !in_region(t.line)) continue;
+        const Token* prev = i > 0 ? &toks[i - 1] : nullptr;
+        const Token* next = i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+        if (t.text == "new") {
+          emit("hot-path-alloc", t.line,
+               "'new' inside a hot-path region (allocation-free contract)");
+        } else if (alloc_calls.count(t.text) && is_punct(next, '(')) {
+          emit("hot-path-alloc", t.line,
+               "'" + t.text + "' allocates inside a hot-path region");
+        } else if (growth_calls.count(t.text) && is_punct(next, '(') &&
+                   (is_punct(prev, '.') ||
+                    (prev && prev->kind == TokKind::kPunct &&
+                     prev->text == ">"))) {
+          emit("hot-path-alloc", t.line,
+               "container '" + t.text +
+                   "' may reallocate inside a hot-path region; pre-size "
+                   "outside the region and use indexed writes");
+        } else if (t.text == "function" && is_punct(prev, ':')) {
+          emit("hot-path-alloc", t.line,
+               "std::function inside a hot-path region allocates on "
+               "capture; take a template parameter instead");
+        }
+      }
+    }
   }
 
   // -- assert-message --------------------------------------------------------

@@ -8,7 +8,7 @@
 // Exit codes: 0 success / gate passed; 1 gate regressed (only with
 // --fail-on-regress — without it a regression is reported but exit stays
 // 0, so exploratory diffs do not fail scripts); 2 usage, I/O, parse or
-// schema errors. CI runs `diff --baseline BENCH_PR3.json --fail-on-regress`
+// schema errors. CI runs `diff --baseline BENCH_PR6.json --fail-on-regress`
 // against the merged report of the current build.
 #include <algorithm>
 #include <cmath>

@@ -1,0 +1,61 @@
+# CTest script behind the `advisor_cli_check` test (registered in
+# tools/CMakeLists.txt): pins the scheduler_advisor CLI's exit-code and
+# stream contract. Inputs (via -D): ADVISOR, WORK_DIR.
+#
+#   --help          -> usage on stdout, exit 0
+#   unknown flag    -> usage on stderr, nonzero exit, stdout quiet
+#   out-of-range N  -> same as unknown flag
+#   plain ns run    -> exit 0, recommendation on stdout
+
+execute_process(
+  COMMAND "${ADVISOR}" --help
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--help must exit 0, got ${rc}:\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "usage: scheduler_advisor")
+  message(FATAL_ERROR "--help must print usage on stdout, got:\n${out}")
+endif()
+
+execute_process(
+  COMMAND "${ADVISOR}" 1600 --no-such-flag
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown flag must exit nonzero:\n${out}\n${err}")
+endif()
+if(NOT err MATCHES "usage: scheduler_advisor")
+  message(FATAL_ERROR "unknown flag must print usage on stderr, got:\n${err}")
+endif()
+if(out MATCHES "usage: scheduler_advisor")
+  message(FATAL_ERROR "usage for an error case leaked to stdout:\n${out}")
+endif()
+
+execute_process(
+  COMMAND "${ADVISOR}" 7
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "out-of-range N must exit nonzero:\n${out}\n${err}")
+endif()
+if(NOT err MATCHES "usage: scheduler_advisor")
+  message(FATAL_ERROR "out-of-range N must print usage on stderr:\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${ADVISOR}" 1600 --plan=ns --top=3
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "plain run exited with ${rc}:\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "top configurations for N = 1600")
+  message(FATAL_ERROR "plain run printed no recommendation:\n${out}")
+endif()
+
+message(STATUS "advisor CLI contract holds")

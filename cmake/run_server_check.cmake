@@ -1,0 +1,75 @@
+# CTest script behind the `server_smoke_check` test (registered in
+# tools/CMakeLists.txt): boots hetsched_advisord on a Unix socket, waits
+# for readiness, drives it with advisor_bench --quick --connect and the
+# scheduler_advisor --server thin client, then shuts it down. Inputs
+# (via -D): ADVISORD, BENCH, ADVISOR, WORK_DIR.
+set(sock "${WORK_DIR}/server_smoke.sock")
+set(ready "${WORK_DIR}/server_smoke.ready")
+set(daemon_log "${WORK_DIR}/server_smoke.daemon.log")
+file(REMOVE "${sock}" "${ready}" "${daemon_log}")
+
+# Start the daemon in the background; capture its ready line (stdout).
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env
+          sh -c "'${ADVISORD}' --socket='${sock}' --plan=ns > '${ready}' 2> '${daemon_log}' & echo $!"
+  OUTPUT_VARIABLE daemon_pid
+  OUTPUT_STRIP_TRAILING_WHITESPACE)
+if(NOT daemon_pid MATCHES "^[0-9]+$")
+  message(FATAL_ERROR "failed to launch hetsched_advisord: ${daemon_pid}")
+endif()
+
+# Wait (up to ~30 s) for the ready line; the ns-plan fit takes a moment.
+set(is_ready FALSE)
+foreach(attempt RANGE 120)
+  if(EXISTS "${ready}")
+    file(READ "${ready}" ready_line)
+    if(ready_line MATCHES "hetsched_advisord: ready")
+      set(is_ready TRUE)
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.25)
+endforeach()
+
+macro(kill_daemon)
+  execute_process(COMMAND sh -c "kill -TERM ${daemon_pid} 2>/dev/null; \
+for i in 1 2 3 4 5 6 7 8 9 10; do kill -0 ${daemon_pid} 2>/dev/null || exit 0; sleep 0.2; done; \
+kill -KILL ${daemon_pid} 2>/dev/null || true")
+endmacro()
+
+if(NOT is_ready)
+  kill_daemon()
+  file(READ "${daemon_log}" log_tail)
+  message(FATAL_ERROR "daemon never became ready:\n${log_tail}")
+endif()
+
+# Drive it: quick bench (in-process phases + socket phase) ...
+execute_process(
+  COMMAND "${BENCH}" --quick "--connect=unix:${sock}"
+          "--report-out=${WORK_DIR}/server_smoke.report.json"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  kill_daemon()
+  message(FATAL_ERROR "advisor_bench exited with ${rc}:\n${out}\n${err}")
+endif()
+message(STATUS "${out}")
+
+# ... and the thin-client CLI.
+execute_process(
+  COMMAND "${ADVISOR}" 6400 "--server=unix:${sock}" --top=3
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  kill_daemon()
+  message(FATAL_ERROR "scheduler_advisor --server exited ${rc}:\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "top configurations for N = 6400")
+  kill_daemon()
+  message(FATAL_ERROR "thin client printed no recommendation:\n${out}")
+endif()
+
+kill_daemon()
+message(STATUS "server smoke: daemon served bench + thin client over ${sock}")

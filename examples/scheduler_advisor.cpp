@@ -16,6 +16,11 @@
 // estimating milliseconds): `--save` persists them after fitting and
 // `--load` skips the measurement campaign entirely.
 //
+// With `--server=unix:PATH` or `--server=HOST:PORT` the CLI becomes a
+// thin client of a running hetsched_advisord: no measuring, no local
+// model — one `advise` round-trip over the hsp/1 wire protocol
+// (docs/SERVER.md) and the daemon's answer is printed.
+//
 // `--trace-out=FILE` captures a Perfetto-loadable trace of the whole
 // session (measurement spans, simulator event loops, the search sweep)
 // and `--metrics-out=FILE` dumps the metrics registry — see
@@ -32,7 +37,9 @@
 #include "measure/plan.hpp"
 #include "measure/runner.hpp"
 #include "obs/io.hpp"
+#include "obs/json.hpp"
 #include "search/engine.hpp"
+#include "server/client.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
 
@@ -40,24 +47,68 @@ using namespace hetsched;
 
 namespace {
 
+std::string usage_text() {
+  return std::string(
+             "usage: scheduler_advisor <N> [--plan=basic|nl|ns] "
+             "[--mpi=121|122] [--greedy] [--serial] [--threads=K] "
+             "[--top=K] [--save=FILE] [--load=FILE] [--describe] "
+             "[--server=unix:PATH|HOST:PORT] ") +
+         obs::cli_help();
+}
+
 int usage() {
-  std::cerr << "usage: scheduler_advisor <N> [--plan=basic|nl|ns] "
-               "[--mpi=121|122] [--greedy] [--serial] [--threads=K] "
-               "[--top=K] "
-            << obs::cli_help() << "\n";
+  std::cerr << usage_text() << "\n";
   return 1;
+}
+
+/// One advise round-trip against a resident daemon (docs/SERVER.md §7).
+int advise_remote(const std::string& address, int n, int top) {
+  server::Client client(address);
+  const std::string response = client.roundtrip(
+      "{\"hsp\":1,\"id\":1,\"op\":\"advise\",\"n\":" + std::to_string(n) +
+      ",\"top\":" + std::to_string(top) + "}");
+  const obs::json::Value doc = obs::json::parse(response);
+  if (!doc.find("ok") || !doc.find("ok")->as_bool()) {
+    const obs::json::Value* err = doc.find("error");
+    std::cerr << "server error: "
+              << (err && err->find("message")
+                      ? err->find("message")->as_string()
+                      : response)
+              << "\n";
+    return 1;
+  }
+  const obs::json::Value& result = *doc.find("result");
+  std::cout << "top configurations for N = " << n << " (from " << address
+            << "):\n";
+  Table t({"#", "configuration", "predicted [s]"});
+  const auto& best = doc.find("result")->find("best")->as_array();
+  for (std::size_t i = 0; i < best.size(); ++i)
+    t.row()
+        .integer(static_cast<long long>(i + 1))
+        .cell(best[i].find("label")->as_string())
+        .num(best[i].find("t")->as_number(), 1);
+  t.print(std::cout);
+  std::cout << "(" << result.find("covered")->as_number() << " of "
+            << result.find("candidates")->as_number()
+            << " candidates covered)\n";
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << usage_text() << "\n";
+      return 0;
+    }
   if (argc < 2) return usage();
   const int n = std::atoi(argv[1]);
   if (n < 400 || n > 20000) return usage();
 
   std::string plan_name = "nl";
   std::string mpi = "122";
-  std::string save_path, load_path;
+  std::string save_path, load_path, server_addr;
   bool greedy = false, describe = false, serial = false;
   int top = 5, threads = 0;
   for (int i = 2; i < argc; ++i) {
@@ -82,8 +133,19 @@ int main(int argc, char** argv) {
       save_path = arg.substr(7);
     else if (arg.rfind("--load=", 0) == 0)
       load_path = arg.substr(7);
+    else if (arg.rfind("--server=", 0) == 0)
+      server_addr = arg.substr(9);
     else
       return usage();
+  }
+
+  if (!server_addr.empty()) {
+    try {
+      return advise_remote(server_addr, n, top);
+    } catch (const std::exception& e) {
+      std::cerr << "scheduler_advisor: " << e.what() << "\n";
+      return 1;
+    }
   }
 
   const cluster::ClusterSpec spec = cluster::paper_cluster(

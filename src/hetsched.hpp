@@ -1,8 +1,9 @@
 // Umbrella header: the full public API of hetsched.
 //
 // For finer-grained builds include the per-module headers directly; the
-// layering (support -> linalg/des -> cluster -> mpisim -> hpl/apps ->
-// core -> measure) is documented in DESIGN.md §3.
+// layer DAG (support -> linalg/des -> cluster -> mpisim -> hpl/apps ->
+// core -> search -> server / measure) is documented in
+// docs/ARCHITECTURE.md and machine-checked by tools/hetsched_lint.
 #pragma once
 
 // Utilities
@@ -61,3 +62,14 @@
 #include "measure/evaluation.hpp"
 #include "measure/plan.hpp"
 #include "measure/runner.hpp"
+
+// Parallel configuration search
+#include "search/cache.hpp"
+#include "search/engine.hpp"
+
+// Advisor service (resident estimation server)
+#include "server/client.hpp"
+#include "server/net.hpp"
+#include "server/protocol.hpp"
+#include "server/service.hpp"
+#include "server/snapshot.hpp"

@@ -518,8 +518,9 @@ DiffResult diff_reports(const RunReport& baseline, const RunReport& current,
 
   for (const auto& [key, base_value] : baseline.scalars) {
     const bool is_wall = ends_with(key, ".wall_s");
+    const bool is_qps = ends_with(key, ".qps");
     const bool is_error = key.rfind("error.", 0) == 0;
-    if (!is_wall && !is_error) continue;  // informational scalar
+    if (!is_wall && !is_qps && !is_error) continue;  // informational scalar
     const auto cur_it = current.scalars.find(key);
     if (cur_it == current.scalars.end()) {
       if (opts.require_all)
@@ -532,6 +533,11 @@ DiffResult diff_reports(const RunReport& baseline, const RunReport& current,
     if (is_wall) {
       it.limit = base_value * opts.wall_ratio + 1.0;
       it.regressed = cur_it->second > it.limit;
+    } else if (is_qps) {
+      // *.qps throughputs: collapsing below baseline/ratio = regression
+      // (the mirror image of the wall-clock rule — higher is better).
+      it.limit = base_value / opts.wall_ratio;
+      it.regressed = cur_it->second < it.limit;
     } else {
       // error.* magnitudes: larger error = regression.
       it.limit = error_limit(std::abs(base_value), opts);

@@ -109,97 +109,4 @@ std::string estimate_key(const cluster::Config& config, int n) {
   return config.to_string() + '@' + std::to_string(n);
 }
 
-EstimateCache::EstimateCache(std::size_t shards,
-                             std::size_t max_entries_per_shard)
-    : shard_count_(shards == 0 ? 1 : shards),
-      max_entries_per_shard_(max_entries_per_shard),
-      shards_(std::make_unique<Shard[]>(shard_count_)) {}
-
-EstimateCache::Shard& EstimateCache::shard_for(const std::string& key) {
-  return shards_[std::hash<std::string>{}(key) % shard_count_];
-}
-
-void EstimateCache::bind(std::uint64_t fingerprint) {
-  std::lock_guard<std::mutex> l(bind_mu_);
-  if (bound_ && bound_fingerprint_ == fingerprint) return;
-  bound_ = true;
-  bound_fingerprint_ = fingerprint;
-  clear();
-}
-
-std::optional<Seconds> EstimateCache::lookup(const std::string& key) {
-  Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> l(s.mu);
-  const auto it = s.map.find(key);
-  if (it == s.map.end()) {
-    ++s.misses;
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
-  }
-  ++s.hits;
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
-}
-
-void EstimateCache::insert(const std::string& key, Seconds value) {
-  Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> l(s.mu);
-  const auto [it, inserted] = s.map.emplace(key, value);
-  if (!inserted || max_entries_per_shard_ == 0 ||
-      s.map.size() <= max_entries_per_shard_)
-    return;
-  // Over capacity: evict an arbitrary resident entry other than the one
-  // just inserted (begin() may be it after rehashing).
-  auto victim = s.map.begin();
-  if (victim == it) ++victim;
-  s.map.erase(victim);
-  ++s.evictions;
-  evictions_.fetch_add(1, std::memory_order_relaxed);
-}
-
-void EstimateCache::clear() {
-  for (std::size_t i = 0; i < shard_count_; ++i) {
-    std::lock_guard<std::mutex> l(shards_[i].mu);
-    shards_[i].map.clear();
-  }
-}
-
-std::size_t EstimateCache::size() const {
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < shard_count_; ++i) {
-    std::lock_guard<std::mutex> l(shards_[i].mu);
-    total += shards_[i].map.size();
-  }
-  return total;
-}
-
-std::vector<ShardStats> EstimateCache::shard_stats() const {
-  return stats().shards;
-}
-
-EstimateCache::Stats EstimateCache::stats() const {
-  // All shard locks held at once, acquired in index order (lookup/insert
-  // take a single shard lock, so the total order is deadlock-free). One
-  // shard at a time would tear the snapshot: a lookup completing between
-  // shard i and shard j shows up in the globals but not in row i.
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(shard_count_);
-  for (std::size_t i = 0; i < shard_count_; ++i)
-    locks.emplace_back(shards_[i].mu);
-  Stats st;
-  st.shards.resize(shard_count_);
-  for (std::size_t i = 0; i < shard_count_; ++i) {
-    st.shards[i] = ShardStats{shards_[i].hits, shards_[i].misses,
-                              shards_[i].evictions, shards_[i].map.size()};
-    st.total.hits += st.shards[i].hits;
-    st.total.misses += st.shards[i].misses;
-    st.total.evictions += st.shards[i].evictions;
-    st.total.entries += st.shards[i].entries;
-  }
-  st.global_hits = hits_.load(std::memory_order_relaxed);
-  st.global_misses = misses_.load(std::memory_order_relaxed);
-  st.global_evictions = evictions_.load(std::memory_order_relaxed);
-  return st;
-}
-
 }  // namespace hetsched::search

@@ -1,0 +1,235 @@
+#include "server/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/hooks.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::server {
+
+namespace {
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+bool write_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  Service& service;
+  ServerOptions options;
+
+  int unix_fd = -1;
+  int tcp_fd = -1;
+  int bound_tcp_port = -1;
+  std::atomic<bool> stopping{false};
+  std::atomic<std::uint64_t> accepted{0};
+
+  std::vector<std::thread> accept_threads;
+  std::mutex conn_mu;
+  std::unordered_map<int, std::thread> connections;  // fd -> handler
+  std::vector<std::thread> finished;  // handlers awaiting join
+
+  explicit Impl(Service& s, ServerOptions o)
+      : service(s), options(std::move(o)) {}
+
+  void accept_loop(int listen_fd) {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener closed by stop()
+      }
+      if (stopping.load()) {
+        close_fd(fd);
+        return;
+      }
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      HETSCHED_COUNTER_ADD("server.connections", 1);
+      // Reap handlers of already-closed connections before spawning, so
+      // a long-lived daemon never accumulates joinable thread handles.
+      std::vector<std::thread> done;
+      {
+        std::lock_guard<std::mutex> l(conn_mu);
+        done.swap(finished);
+        connections.emplace(fd, std::thread([this, fd] { serve(fd); }));
+      }
+      for (std::thread& t : done) t.join();
+    }
+  }
+
+  void serve(int fd) {
+    FrameReader reader(options.max_payload);
+    std::vector<std::string> batch;
+    char buf[64 * 1024];
+    bool open = true;
+    while (open && !stopping.load()) {
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r < 0 && errno == EINTR) continue;
+      if (r <= 0) break;
+      reader.feed(buf, static_cast<std::size_t>(r));
+      // Drain every complete frame this read produced into one batch.
+      batch.clear();
+      std::string payload;
+      for (;;) {
+        const FrameReader::Status st = reader.next(payload);
+        if (st == FrameReader::Status::kFrame) {
+          batch.push_back(std::move(payload));
+          continue;
+        }
+        if (st == FrameReader::Status::kOversized) {
+          // Answer what we can, then report and drop the connection —
+          // the stream position is unrecoverable.
+          for (const std::string& resp : service.handle_batch(batch))
+            write_all(fd, encode_frame(resp));
+          batch.clear();
+          write_all(fd, encode_frame(
+                            "{\"hsp\":1,\"id\":null,\"ok\":false,\"error\":"
+                            "{\"code\":\"oversized-frame\",\"message\":"
+                            "\"frame exceeds the server payload limit\"}}"));
+          open = false;
+        }
+        break;  // kNeedMore or kOversized
+      }
+      if (!batch.empty()) {
+        for (const std::string& resp : service.handle_batch(batch))
+          if (!write_all(fd, encode_frame(resp))) {
+            open = false;
+            break;
+          }
+      }
+    }
+    ::shutdown(fd, SHUT_RDWR);
+    close_fd(fd);
+    // Move our own thread handle to the finished list for stop()/reaping
+    // (a thread cannot join itself).
+    std::lock_guard<std::mutex> l(conn_mu);
+    const auto it = connections.find(fd);
+    if (it != connections.end()) {
+      finished.push_back(std::move(it->second));
+      connections.erase(it);
+    }
+  }
+};
+
+Server::Server(Service& service, ServerOptions options)
+    : impl_(std::make_unique<Impl>(service, std::move(options))) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  Impl& im = *impl_;
+  HETSCHED_CHECK(!im.options.unix_path.empty() || im.options.tcp_port >= 0,
+                 "Server needs at least one listener (unix_path or tcp_port)");
+
+  if (!im.options.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    HETSCHED_CHECK(im.options.unix_path.size() < sizeof(addr.sun_path),
+                   "unix socket path too long");
+    std::strncpy(addr.sun_path, im.options.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    im.unix_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    HETSCHED_CHECK(im.unix_fd >= 0, "socket(AF_UNIX) failed");
+    ::unlink(im.options.unix_path.c_str());
+    HETSCHED_CHECK(::bind(im.unix_fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) == 0,
+                   "bind(" + im.options.unix_path + ") failed: " +
+                       std::strerror(errno));
+    HETSCHED_CHECK(::listen(im.unix_fd, 64) == 0, "listen(unix) failed");
+  }
+
+  if (im.options.tcp_port >= 0) {
+    im.tcp_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    HETSCHED_CHECK(im.tcp_fd >= 0, "socket(AF_INET) failed");
+    const int one = 1;
+    ::setsockopt(im.tcp_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(im.options.tcp_port));
+    HETSCHED_CHECK(::bind(im.tcp_fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) == 0,
+                   "bind(127.0.0.1:" + std::to_string(im.options.tcp_port) +
+                       ") failed: " + std::strerror(errno));
+    HETSCHED_CHECK(::listen(im.tcp_fd, 64) == 0, "listen(tcp) failed");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    HETSCHED_CHECK(::getsockname(im.tcp_fd,
+                                 reinterpret_cast<sockaddr*>(&bound),
+                                 &len) == 0,
+                   "getsockname failed");
+    im.bound_tcp_port = ntohs(bound.sin_port);
+  }
+
+  if (im.unix_fd >= 0)
+    im.accept_threads.emplace_back([&im] { im.accept_loop(im.unix_fd); });
+  if (im.tcp_fd >= 0)
+    im.accept_threads.emplace_back([&im] { im.accept_loop(im.tcp_fd); });
+}
+
+void Server::stop() {
+  Impl& im = *impl_;
+  if (im.stopping.exchange(true)) {
+    // Second call: everything below already ran (or is running on the
+    // first caller); nothing left to release.
+    return;
+  }
+  // Close listeners: accept() fails, accept loops exit.
+  if (im.unix_fd >= 0) ::shutdown(im.unix_fd, SHUT_RDWR);
+  close_fd(im.unix_fd);
+  im.unix_fd = -1;
+  if (im.tcp_fd >= 0) ::shutdown(im.tcp_fd, SHUT_RDWR);
+  close_fd(im.tcp_fd);
+  im.tcp_fd = -1;
+  for (std::thread& t : im.accept_threads) t.join();
+  im.accept_threads.clear();
+  // Unblock connection reads, then join every handler.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> l(im.conn_mu);
+    for (auto& [fd, thread] : im.connections) {
+      ::shutdown(fd, SHUT_RDWR);
+      to_join.push_back(std::move(thread));
+    }
+    im.connections.clear();
+    for (std::thread& t : im.finished) to_join.push_back(std::move(t));
+    im.finished.clear();
+  }
+  for (std::thread& t : to_join) t.join();
+  if (!im.options.unix_path.empty())
+    ::unlink(im.options.unix_path.c_str());
+}
+
+int Server::tcp_port() const { return impl_->bound_tcp_port; }
+
+std::uint64_t Server::connections_accepted() const {
+  return impl_->accepted.load(std::memory_order_relaxed);
+}
+
+}  // namespace hetsched::server

@@ -1,0 +1,69 @@
+// Socket transport for the advisor service: Unix-domain and TCP
+// listeners speaking the framed protocol of protocol.hpp.
+//
+// Threading model: one accept thread per listener, one thread per
+// connection. A connection thread reads whatever bytes are available,
+// drains *every* complete frame the read produced, and answers them as
+// one Service::handle_batch call — per-connection request batching: a
+// client that pipelines K requests pays one fork-join, not K
+// (docs/SERVER.md §7). Responses are written back in request order.
+//
+// The paper-sized advisor workload is few-clients/high-rate (a
+// scheduler dispatch loop), so thread-per-connection is the right
+// simplicity trade; the batching, not the thread count, is what the
+// throughput target leans on.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "server/service.hpp"
+
+namespace hetsched::server {
+
+struct ServerOptions {
+  /// Filesystem path for the Unix-domain listener; empty = none.
+  /// An existing socket file at the path is replaced.
+  std::string unix_path;
+  /// TCP port on 127.0.0.1; -1 = no TCP listener, 0 = ephemeral
+  /// (tcp_port() reports the bound port after start()).
+  int tcp_port = -1;
+  /// Frame payload limit; a frame declaring more gets an
+  /// `oversized-frame` error and the connection is closed.
+  std::size_t max_payload = kDefaultMaxPayload;
+};
+
+/// Resident socket server around one Service.
+///
+/// Thread-safety: start()/stop() are for the owning thread; the
+/// connection handling inside is concurrent. stop() (and the
+/// destructor) drains: listeners close first, open connections are shut
+/// down, and every connection thread is joined before return.
+class Server {
+ public:
+  Server(Service& service, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the configured listeners and starts accepting. Throws
+  /// hetsched::Error when binding fails (path in use, port taken).
+  void start();
+
+  /// Stops accepting, closes connections, joins all threads. Idempotent.
+  void stop();
+
+  /// Port actually bound (after start() with tcp_port >= 0).
+  int tcp_port() const;
+
+  /// Connections accepted since start (monotonic).
+  std::uint64_t connections_accepted() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hetsched::server

@@ -1,0 +1,98 @@
+#include "server/protocol.hpp"
+
+#include <charconv>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace hetsched::server {
+
+std::string encode_frame(const std::string& payload) {
+  HETSCHED_CHECK(payload.size() <= 0xffffffffull,
+                 "frame payload exceeds the 32-bit length prefix");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>(len & 0xff));
+  out += payload;
+  return out;
+}
+
+FrameReader::Status FrameReader::next(std::string& payload) {
+  if (poisoned_) return Status::kOversized;
+  if (buf_.size() < 4) return Status::kNeedMore;
+  const auto* b = reinterpret_cast<const unsigned char*>(buf_.data());
+  const std::uint32_t len = (std::uint32_t(b[0]) << 24) |
+                            (std::uint32_t(b[1]) << 16) |
+                            (std::uint32_t(b[2]) << 8) | std::uint32_t(b[3]);
+  if (len > max_payload_) {
+    poisoned_ = true;
+    return Status::kOversized;
+  }
+  if (buf_.size() < 4 + std::size_t(len)) return Status::kNeedMore;
+  payload.assign(buf_, 4, len);
+  buf_.erase(0, 4 + std::size_t(len));
+  return Status::kFrame;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(c >> 4) & 0xf]);
+          out.push_back(hex[c & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  HETSCHED_ASSERT(res.ec == std::errc(),
+                  "double does not fit canonical JSON number buffer");
+  std::string s(buf, res.ptr);
+  // to_chars never emits a non-finite token for finite input; a
+  // non-finite input is a caller bug (JSON cannot carry it).
+  HETSCHED_ASSERT(s.find("inf") == std::string::npos &&
+                      s.find("nan") == std::string::npos,
+                  "non-finite value reached canonical JSON emission");
+  return s;
+}
+
+std::string json_int(std::int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  HETSCHED_ASSERT(res.ec == std::errc(), "int64 formatting cannot fail");
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace hetsched::server

@@ -1,0 +1,106 @@
+// Wire protocol for the advisor service: framing and canonical JSON.
+//
+// The protocol — "hsp" (hetsched protocol), version 1 — is fully
+// specified in docs/SERVER.md; that document, not this header, is the
+// contract (the golden-transcript test replays its examples verbatim).
+// Summary: a connection carries a sequence of frames, each a 4-byte
+// big-endian unsigned payload length followed by exactly that many
+// bytes of UTF-8 JSON. Requests and responses are JSON objects; every
+// response names the request id it answers.
+//
+// Responses are emitted in *canonical* form — fixed member order, no
+// insignificant whitespace, shortest round-trip number formatting — so
+// that a response is a deterministic function of the request and the
+// model snapshot. That is what makes byte-level golden transcripts and
+// the hot-swap bit-identity test (swap under load == cold restart)
+// possible, and it is why the cache can store serialized response
+// payloads directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hetsched::server {
+
+/// Protocol version this build speaks (the "hsp" field).
+inline constexpr int kProtocolVersion = 1;
+
+/// Default maximum payload length a server accepts; a frame declaring
+/// more is answered with an `oversized-frame` error and the connection
+/// is closed (the stream position can no longer be trusted).
+inline constexpr std::size_t kDefaultMaxPayload = 1u << 20;
+
+/// Machine-readable error codes (docs/SERVER.md §5). Strings, not an
+/// enum, because the set is part of the wire contract and must extend
+/// without renumbering.
+namespace errc {
+inline constexpr const char* kOversizedFrame = "oversized-frame";
+inline constexpr const char* kBadJson = "bad-json";
+inline constexpr const char* kBadRequest = "bad-request";
+inline constexpr const char* kUnsupportedVersion = "unsupported-version";
+inline constexpr const char* kUnknownOp = "unknown-op";
+inline constexpr const char* kUncovered = "uncovered";
+inline constexpr const char* kUnavailable = "unavailable";
+inline constexpr const char* kInternal = "internal";
+}  // namespace errc
+
+/// Prefixes `payload` with its 4-byte big-endian length.
+std::string encode_frame(const std::string& payload);
+
+/// Incremental frame decoder for one connection's byte stream.
+///
+/// Feed arbitrary chunks as they arrive; next() yields complete
+/// payloads in order. A declared length beyond `max_payload` is
+/// reported once as kOversized; the reader is then poisoned (every
+/// further next() repeats kOversized) because the stream cannot be
+/// resynchronized — the caller should answer with an `oversized-frame`
+/// error frame and close.
+///
+/// Thread-safety: none; one reader per connection, owned by its thread.
+/// Complexity: amortized O(bytes fed); feed appends, next erases the
+/// consumed prefix.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw bytes from the wire.
+  void feed(const char* data, std::size_t len) { buf_.append(data, len); }
+
+  enum class Status {
+    kFrame,      ///< `payload` holds the next complete frame
+    kNeedMore,   ///< no complete frame buffered yet
+    kOversized,  ///< declared length > max_payload; reader poisoned
+  };
+
+  /// Extracts the next complete frame payload, if any.
+  Status next(std::string& payload);
+
+  /// Bytes fed but not yet consumed as frames.
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::size_t max_payload_;
+  std::string buf_;
+  bool poisoned_ = false;
+};
+
+// --- canonical JSON emission helpers -------------------------------------
+// Used to build responses with deterministic bytes. Member order is the
+// caller's responsibility (docs/SERVER.md fixes it per message type).
+
+/// `s` escaped and double-quoted. Escapes `"` `\` and control characters
+/// (\n \t \r named, the rest \u00XX); everything else verbatim.
+std::string json_quote(const std::string& s);
+
+/// Shortest decimal form that round-trips to exactly `v` via
+/// std::to_chars — the canonical number encoding. Non-finite values are
+/// not representable in JSON; callers must map them out beforehand
+/// (the service reports uncovered configurations as errors, never NaN).
+std::string json_number(double v);
+
+/// Integer form without exponent.
+std::string json_int(std::int64_t v);
+
+}  // namespace hetsched::server

@@ -1,0 +1,556 @@
+#include "server/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "obs/hooks.hpp"
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::server {
+
+namespace {
+
+namespace json = hetsched::obs::json;
+
+/// Request id rendered in canonical form (string, integer-valued number,
+/// or "null" when absent/invalid — docs/SERVER.md §3).
+std::string render_id(const json::Value* id) {
+  if (id == nullptr) return "null";
+  if (id->is_string()) return json_quote(id->as_string());
+  if (id->is_number()) {
+    const double v = id->as_number();
+    if (std::isfinite(v)) return json_number(v);
+  }
+  return "null";
+}
+
+std::string ok_response(const std::string& id, const std::string& result) {
+  std::string out;
+  out.reserve(result.size() + 48);
+  out += "{\"hsp\":1,\"id\":";
+  out += id;
+  out += ",\"ok\":true,\"result\":";
+  out += result;
+  out += '}';
+  return out;
+}
+
+std::string error_response(const std::string& id, const char* code,
+                           const std::string& message) {
+  std::string out;
+  out += "{\"hsp\":1,\"id\":";
+  out += id;
+  out += ",\"ok\":false,\"error\":{\"code\":";
+  out += json_quote(code);
+  out += ",\"message\":";
+  out += json_quote(message);
+  out += "}}";
+  return out;
+}
+
+/// Thrown internally to unwind request handling into an error response.
+struct RequestError {
+  const char* code;
+  std::string message;
+};
+
+[[noreturn]] void bad_request(const std::string& message) {
+  throw RequestError{errc::kBadRequest, message};
+}
+
+/// Positive integral number in [1, limit]; anything else is bad-request.
+int require_int(const json::Value& v, const char* name, int limit) {
+  if (!v.is_number()) bad_request(std::string(name) + " must be a number");
+  const double d = v.as_number();
+  if (!(d >= 1.0) || d > double(limit) || d != std::floor(d))
+    bad_request(std::string(name) + " must be an integer in [1, " +
+                std::to_string(limit) + "]");
+  return static_cast<int>(d);
+}
+
+std::string hex_fingerprint(std::uint64_t fp) {
+  static const char* digits = "0123456789abcdef";
+  std::string s = "0x";
+  for (int shift = 60; shift >= 0; shift -= 4)
+    s.push_back(digits[(fp >> shift) & 0xf]);
+  return s;
+}
+
+/// "config" request member: [[kind, pes, m], ...] → cluster::Config.
+cluster::Config parse_config(const json::Value& v) {
+  if (!v.is_array() || v.as_array().empty())
+    bad_request("config must be a non-empty array of [kind, pes, m]");
+  cluster::Config config;
+  for (const auto& item : v.as_array()) {
+    if (!item.is_array() || item.as_array().size() != 3)
+      bad_request("config entries must be [kind, pes, m] triples");
+    const auto& t = item.as_array();
+    if (!t[0].is_string())
+      bad_request("config entry kind must be a string");
+    cluster::KindUsage u;
+    u.kind = t[0].as_string();
+    u.pes = require_int(t[1], "config entry pes", 1 << 20);
+    u.procs_per_pe = require_int(t[2], "config entry m", 1 << 20);
+    config.usage.push_back(std::move(u));
+  }
+  return config;
+}
+
+/// Canonical JSON form of a configuration, mirroring the request shape,
+/// plus the human label (docs/SERVER.md §4.3). Leaves the emitted object
+/// open so the caller can append further members.
+void append_config(std::string& out, const cluster::Config& config) {
+  out += "{\"label\":";
+  out += json_quote(config.to_string());
+  out += ",\"config\":[";
+  bool first = true;
+  for (const auto& u : config.usage) {
+    if (u.pes == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    out += json_quote(u.kind);
+    out += ',';
+    out += json_int(u.pes);
+    out += ',';
+    out += json_int(u.procs_per_pe);
+    out += ']';
+  }
+  out += ']';
+}
+
+struct AdviseParams {
+  int n = 0;
+  int top = 1;
+  std::vector<std::string> exclude;  // sorted, deduplicated
+  int max_total_procs = 0;           // 0 = unconstrained
+};
+
+AdviseParams parse_advise(const json::Value& req, int max_top) {
+  AdviseParams p;
+  const json::Value* n = req.find("n");
+  if (n == nullptr) bad_request("advise requires n");
+  p.n = require_int(*n, "n", 1 << 30);
+  if (const json::Value* top = req.find("top"))
+    p.top = require_int(*top, "top", max_top);
+  if (const json::Value* c = req.find("constraints")) {
+    if (!c->is_object()) bad_request("constraints must be an object");
+    for (const auto& [key, value] : c->as_object()) {
+      if (key == "exclude") {
+        if (!value.is_array())
+          bad_request("constraints.exclude must be an array of kind names");
+        for (const auto& k : value.as_array()) {
+          if (!k.is_string())
+            bad_request("constraints.exclude entries must be strings");
+          p.exclude.push_back(k.as_string());
+        }
+      } else if (key == "max_total_procs") {
+        p.max_total_procs = require_int(value, "constraints.max_total_procs",
+                                        1 << 20);
+      } else {
+        bad_request("unknown constraint: " + key);
+      }
+    }
+  }
+  std::sort(p.exclude.begin(), p.exclude.end());
+  p.exclude.erase(std::unique(p.exclude.begin(), p.exclude.end()),
+                  p.exclude.end());
+  return p;
+}
+
+/// Cache key for an advise answer: every input the result depends on,
+/// in a fixed order (docs/SERVER.md §6).
+std::string advise_cache_key(const ModelSnapshot& snap,
+                             const AdviseParams& p) {
+  std::string key = "v1|advise|m=";
+  key += hex_fingerprint(snap.fingerprint());
+  key += "|c=";
+  key += snap.cluster_fingerprint();
+  key += "|n=";
+  key += std::to_string(p.n);
+  key += "|top=";
+  key += std::to_string(p.top);
+  key += "|x=";
+  for (const auto& k : p.exclude) {
+    key += k;
+    key += ',';
+  }
+  key += "|p=";
+  key += std::to_string(p.max_total_procs);
+  return key;
+}
+
+std::string estimate_cache_key(const ModelSnapshot& snap,
+                               const cluster::Config& config, int n) {
+  std::string key = "v1|estimate|m=";
+  key += hex_fingerprint(snap.fingerprint());
+  key += "|c=";
+  key += snap.cluster_fingerprint();
+  key += '|';
+  key += search::estimate_key(config, n);
+  return key;
+}
+
+/// Full-space argmin sweep over the snapshot's warmed batch estimator.
+/// Deterministic: candidates are priced in enumeration order and ties
+/// keep that order, exactly like core::rank_all. Returns the canonical
+/// result document.
+std::string advise_result(const ModelSnapshot& snap, const AdviseParams& p) {
+  const auto batch = snap.batch_for(p.n);
+  const auto& kinds = snap.space().kinds();
+  const std::size_t kind_count = kinds.size();
+
+  // Per-kind choice metadata for constraint checks during the sweep.
+  std::vector<std::size_t> counts(kind_count);
+  std::vector<std::vector<int>> choice_procs(kind_count);
+  std::vector<std::vector<unsigned char>> choice_ok(kind_count);
+  std::size_t total_rows = 1;
+  for (std::size_t k = 0; k < kind_count; ++k) {
+    const bool excluded = std::binary_search(p.exclude.begin(),
+                                             p.exclude.end(), kinds[k].kind);
+    counts[k] = kinds[k].choices.size();
+    total_rows *= counts[k];
+    choice_procs[k].reserve(counts[k]);
+    choice_ok[k].reserve(counts[k]);
+    for (const auto& [pes, m] : kinds[k].choices) {
+      choice_procs[k].push_back(pes * m);
+      choice_ok[k].push_back(pes == 0 || !excluded ? 1 : 0);
+    }
+  }
+
+  // Odometer sweep in chunks: kind 0's choice varies fastest, matching
+  // ConfigSpace::all() enumeration order.
+  constexpr std::size_t kChunk = 512;
+  std::vector<std::size_t> idx(kind_count, 0);
+  std::vector<std::size_t> rows(kChunk * kind_count);
+  std::vector<Seconds> est(kChunk);
+  std::vector<unsigned char> feasible(kChunk);
+  core::BatchEstimator::Scratch scratch = batch->make_scratch();
+
+  struct Hit {
+    Seconds t;
+    std::size_t rank;  // raw odometer rank — the deterministic tiebreak
+  };
+  std::vector<Hit> best;  // ascending (t, rank), size <= top
+  std::size_t covered = 0;
+
+  std::size_t rank = 0;
+  while (rank < total_rows) {
+    const std::size_t chunk = std::min(kChunk, total_rows - rank);
+    for (std::size_t r = 0; r < chunk; ++r) {
+      int procs = 0;
+      bool ok = true;
+      for (std::size_t k = 0; k < kind_count; ++k) {
+        const std::size_t c = idx[k];
+        rows[r * kind_count + k] = c;
+        procs += choice_procs[k][c];
+        ok = ok && choice_ok[k][c] != 0;
+      }
+      if (p.max_total_procs != 0 && procs > p.max_total_procs) ok = false;
+      feasible[r] = ok ? 1 : 0;
+      // advance the odometer (kind 0 fastest)
+      for (std::size_t k = 0; k < kind_count; ++k) {
+        if (++idx[k] < counts[k]) break;
+        idx[k] = 0;
+      }
+    }
+    batch->estimate_rows(rows.data(), chunk, est.data(), scratch);
+    for (std::size_t r = 0; r < chunk; ++r) {
+      if (!feasible[r] || std::isnan(est[r])) continue;
+      ++covered;
+      const Hit h{est[r], rank + r};
+      if (best.size() < std::size_t(p.top)) {
+        best.push_back(h);
+        std::sort(best.begin(), best.end(), [](const Hit& a, const Hit& b) {
+          return a.t < b.t || (a.t == b.t && a.rank < b.rank);
+        });
+      } else if (h.t < best.back().t ||
+                 (h.t == best.back().t && h.rank < best.back().rank)) {
+        best.back() = h;
+        std::sort(best.begin(), best.end(), [](const Hit& a, const Hit& b) {
+          return a.t < b.t || (a.t == b.t && a.rank < b.rank);
+        });
+      }
+    }
+    rank += chunk;
+  }
+
+  if (best.empty())
+    throw RequestError{errc::kUncovered,
+                       "no candidate satisfies the constraints and is "
+                       "covered by the model set"};
+
+  std::string out = "{\"n\":";
+  out += json_int(p.n);
+  out += ",\"candidates\":";
+  out += json_int(static_cast<std::int64_t>(snap.candidates()));
+  out += ",\"covered\":";
+  out += json_int(static_cast<std::int64_t>(covered));
+  out += ",\"best\":[";
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    if (i != 0) out += ',';
+    // Decode the raw rank back into the candidate configuration.
+    cluster::Config config;
+    std::size_t rest = best[i].rank;
+    for (std::size_t k = 0; k < kind_count; ++k) {
+      const std::size_t c = rest % counts[k];
+      rest /= counts[k];
+      const auto& [pes, m] = kinds[k].choices[c];
+      if (pes > 0)
+        config.usage.push_back(cluster::KindUsage{kinds[k].kind, pes, m});
+    }
+    append_config(out, config);  // leaves the object open
+    out += ",\"t\":";
+    out += json_number(best[i].t);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string estimate_result(const ModelSnapshot& snap,
+                            const cluster::Config& config, int n) {
+  if (!snap.estimator().covers(config))
+    throw RequestError{errc::kUncovered,
+                       "model set does not cover " + config.to_string()};
+  const core::Estimator::Breakdown bd =
+      snap.estimator().breakdown(config, n);
+  std::string out = "{\"n\":";
+  out += json_int(n);
+  out += ",\"label\":";
+  out += json_quote(config.to_string());
+  out += ",\"t\":";
+  out += json_number(bd.total);
+  out += ",\"paged\":";
+  out += bd.paged ? "true" : "false";
+  out += ",\"adjusted\":";
+  out += bd.adjusted ? "true" : "false";
+  out += ",\"provenance\":";
+  out += json_quote(core::to_string(bd.provenance));
+  out += '}';
+  return out;
+}
+
+std::string hello_result(const ModelSnapshot& snap) {
+  std::string out = "{\"version\":";
+  out += json_int(kProtocolVersion);
+  out += ",\"server\":\"hetsched_advisord/1\",\"model_fingerprint\":";
+  out += json_quote(hex_fingerprint(snap.fingerprint()));
+  out += ",\"cluster_fingerprint\":";
+  out += json_quote(snap.cluster_fingerprint());
+  out += ",\"candidates\":";
+  out += json_int(static_cast<std::int64_t>(snap.candidates()));
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+Service::Service(std::shared_ptr<const ModelSnapshot> snapshot,
+                 ServiceOptions options)
+    : options_(options),
+      slot_(std::move(snapshot)),
+      cache_(options.cache_shards, options.cache_max_entries_per_shard),
+      pool_(options.threads) {
+  HETSCHED_CHECK(slot_.load() != nullptr,
+                 "Service requires an initial snapshot");
+}
+
+void Service::swap_snapshot(std::shared_ptr<const ModelSnapshot> snapshot) {
+  HETSCHED_CHECK(snapshot != nullptr, "cannot publish a null snapshot");
+  slot_.store(std::move(snapshot));
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  HETSCHED_COUNTER_ADD("server.snapshot_swaps", 1);
+}
+
+std::shared_ptr<const ModelSnapshot> Service::snapshot() const {
+  return slot_.load();
+}
+
+void Service::set_reload_handler(ReloadHandler handler) {
+  std::lock_guard<std::mutex> l(reload_mu_);
+  reload_ = std::move(handler);
+}
+
+std::string Service::handle_payload(const std::string& payload) {
+  HETSCHED_TRACE_SPAN("server", "request");
+#if HETSCHED_OBS_ACTIVE
+  const auto started = std::chrono::steady_clock::now();
+#endif
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  HETSCHED_COUNTER_ADD("server.requests", 1);
+  std::string response = handle_parsed(payload);
+  // Error responses share a fixed prefix; cheaper than re-parsing.
+  if (response.find("\"ok\":false") != std::string::npos) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    HETSCHED_COUNTER_ADD("server.errors", 1);
+  }
+#if HETSCHED_OBS_ACTIVE
+  HETSCHED_HISTOGRAM_RECORD(
+      "server.request_s",
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count());
+#endif
+  return response;
+}
+
+std::string Service::handle_parsed(const std::string& payload) {
+  json::Value req;
+  try {
+    req = json::parse(payload);
+  } catch (const json::ParseError& e) {
+    return error_response("null", errc::kBadJson, e.what());
+  }
+  const std::string id = render_id(req.find("id"));
+  try {
+    if (!req.is_object())
+      bad_request("request must be a JSON object");
+
+    const json::Value* hsp = req.find("hsp");
+    if (hsp == nullptr) bad_request("request requires hsp");
+    if (!hsp->is_number() ||
+        hsp->as_number() != double(kProtocolVersion)) {
+      throw RequestError{errc::kUnsupportedVersion,
+                         "this server speaks hsp version " +
+                             std::to_string(kProtocolVersion)};
+    }
+
+    const json::Value* op = req.find("op");
+    if (op == nullptr || !op->is_string())
+      bad_request("request requires a string op");
+
+    const std::shared_ptr<const ModelSnapshot> snap = slot_.load();
+    const std::string& name = op->as_string();
+
+    if (name == "ping") return ok_response(id, "{}");
+
+    if (name == "hello") {
+      // Version negotiation: when the client offers a list, it must
+      // contain a version we speak (the hsp field already matched).
+      if (const json::Value* versions = req.find("versions")) {
+        if (!versions->is_array())
+          bad_request("versions must be an array of numbers");
+        bool supported = false;
+        for (const auto& v : versions->as_array())
+          supported = supported ||
+                      (v.is_number() &&
+                       v.as_number() == double(kProtocolVersion));
+        if (!supported)
+          throw RequestError{errc::kUnsupportedVersion,
+                             "no offered version is supported"};
+      }
+      return ok_response(id, hello_result(*snap));
+    }
+
+    if (name == "estimate") {
+      const json::Value* n = req.find("n");
+      if (n == nullptr) bad_request("estimate requires n");
+      const int size = require_int(*n, "n", 1 << 30);
+      const json::Value* cfg = req.find("config");
+      if (cfg == nullptr) bad_request("estimate requires config");
+      const cluster::Config config = parse_config(*cfg);
+      const std::string key = estimate_cache_key(*snap, config, size);
+      if (auto cached = cache_.lookup(key)) {
+        HETSCHED_COUNTER_ADD("server.cache_hits", 1);
+        return ok_response(id, *cached);
+      }
+      HETSCHED_COUNTER_ADD("server.cache_misses", 1);
+      const std::string result = estimate_result(*snap, config, size);
+      cache_.insert(key, result);
+      return ok_response(id, result);
+    }
+
+    if (name == "advise") {
+      const AdviseParams params = parse_advise(req, options_.max_top);
+      const std::string key = advise_cache_key(*snap, params);
+      if (auto cached = cache_.lookup(key)) {
+        HETSCHED_COUNTER_ADD("server.cache_hits", 1);
+        return ok_response(id, *cached);
+      }
+      HETSCHED_COUNTER_ADD("server.cache_misses", 1);
+      HETSCHED_TRACE_SPAN("server", "advise_sweep");
+      const std::string result = advise_result(*snap, params);
+      cache_.insert(key, result);
+      return ok_response(id, result);
+    }
+
+    if (name == "stats") {
+      const Counters c = counters();
+      std::string out = "{\"requests\":";
+      out += json_int(static_cast<std::int64_t>(c.requests));
+      out += ",\"errors\":";
+      out += json_int(static_cast<std::int64_t>(c.errors));
+      out += ",\"cache_hits\":";
+      out += json_int(static_cast<std::int64_t>(c.cache_hits));
+      out += ",\"cache_misses\":";
+      out += json_int(static_cast<std::int64_t>(c.cache_misses));
+      out += ",\"cache_entries\":";
+      out += json_int(static_cast<std::int64_t>(cache_.size()));
+      out += ",\"snapshot_swaps\":";
+      out += json_int(static_cast<std::int64_t>(c.snapshot_swaps));
+      out += ",\"model_fingerprint\":";
+      out += json_quote(hex_fingerprint(snap->fingerprint()));
+      out += ",\"warmed_sizes\":";
+      out += json_int(static_cast<std::int64_t>(snap->warmed_sizes()));
+      out += '}';
+      return ok_response(id, out);
+    }
+
+    if (name == "reload") {
+      ReloadHandler handler;
+      {
+        std::lock_guard<std::mutex> l(reload_mu_);
+        handler = reload_;
+      }
+      if (!handler)
+        throw RequestError{errc::kUnavailable,
+                           "server was started without a reload source"};
+      std::shared_ptr<const ModelSnapshot> fresh = handler();
+      if (fresh == nullptr)
+        throw RequestError{errc::kUnavailable, "reload produced no model"};
+      swap_snapshot(fresh);
+      std::string out = "{\"swapped\":true,\"model_fingerprint\":";
+      out += json_quote(hex_fingerprint(fresh->fingerprint()));
+      out += '}';
+      return ok_response(id, out);
+    }
+
+    throw RequestError{errc::kUnknownOp, "unknown op: " + name};
+  } catch (const RequestError& e) {
+    return error_response(id, e.code, e.message);
+  } catch (const std::exception& e) {
+    return error_response(id, errc::kInternal, e.what());
+  }
+}
+
+std::vector<std::string> Service::handle_batch(
+    const std::vector<std::string>& payloads) {
+  HETSCHED_HISTOGRAM_RECORD("server.batch_size", payloads.size());
+  std::vector<std::string> responses(payloads.size());
+  if (payloads.size() < options_.min_batch_for_pool) {
+    for (std::size_t i = 0; i < payloads.size(); ++i)
+      responses[i] = handle_payload(payloads[i]);
+    return responses;
+  }
+  HETSCHED_TRACE_SPAN("server", "batch");
+  pool_.parallel_for(payloads.size(), [&](std::size_t i) {
+    responses[i] = handle_payload(payloads[i]);
+  });
+  return responses;
+}
+
+Service::Counters Service::counters() const {
+  Counters c;
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.errors = errors_.load(std::memory_order_relaxed);
+  c.snapshot_swaps = swaps_.load(std::memory_order_relaxed);
+  c.cache_hits = cache_.hits();
+  c.cache_misses = cache_.misses();
+  return c;
+}
+
+}  // namespace hetsched::server

@@ -1,0 +1,113 @@
+// The advisor service: request semantics, independent of any transport.
+//
+// A Service owns the published ModelSnapshot slot, the sharded answer
+// cache and a worker pool, and maps one request payload (the JSON text
+// of a frame) to one canonical response payload. The network layer
+// (net.hpp) and the in-process load harness (tools/advisor_bench) both
+// drive this same entry point, so everything observable about the
+// protocol is testable without sockets.
+//
+// Caching: `advise` and `estimate` results are memoized in a
+// ShardedCache<std::string> storing the canonical *result* document.
+// The key embeds the model fingerprint and the cluster fingerprint
+// (docs/SERVER.md §6), so a snapshot swap never needs to invalidate
+// anything — entries of the old model simply become unreachable, and
+// the bounded shards age them out. This is also what makes hot-swap
+// bit-identical to a cold restart: a response is a pure function of
+// (request, snapshot identity), whether it came from the cache or from
+// a fresh sweep.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "search/cache.hpp"
+#include "server/protocol.hpp"
+#include "server/snapshot.hpp"
+#include "support/work_steal.hpp"
+
+namespace hetsched::server {
+
+struct ServiceOptions {
+  std::size_t cache_shards = 64;
+  std::size_t cache_max_entries_per_shard = 4096;
+  /// Worker pool width for handle_batch (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Batches smaller than this are handled inline on the calling
+  /// thread — the fork-join handoff costs more than a cached answer.
+  std::size_t min_batch_for_pool = 4;
+  /// Most ranked results one advise may request (docs/SERVER.md §4.3).
+  int max_top = 64;
+};
+
+/// Transport-independent request handler around a hot-swappable model.
+///
+/// Thread-safety: every member is safe to call concurrently.
+/// handle_payload is lock-free on the snapshot slot (one atomic load)
+/// plus one sharded-cache probe; swap_snapshot never blocks readers.
+/// Concurrent handle_batch calls serialize on the worker pool (each
+/// connection batches independently; see net.cpp).
+class Service {
+ public:
+  explicit Service(std::shared_ptr<const ModelSnapshot> snapshot,
+                   ServiceOptions options = {});
+
+  /// Publishes a new snapshot. In-flight requests finish on the old
+  /// one; subsequent requests see the new one. Never blocks readers.
+  void swap_snapshot(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// The currently published snapshot.
+  std::shared_ptr<const ModelSnapshot> snapshot() const;
+
+  /// Handler the `reload` op invokes to produce a fresh snapshot
+  /// (re-read a model file, refit). Absent handler => `unavailable`.
+  /// The handler may throw; the error is reported as `internal`.
+  using ReloadHandler =
+      std::function<std::shared_ptr<const ModelSnapshot>()>;
+  void set_reload_handler(ReloadHandler handler);
+
+  /// Answers one request payload with one canonical response payload
+  /// (never throws; every failure becomes an error response).
+  std::string handle_payload(const std::string& payload);
+
+  /// Answers a batch of payloads, preserving order. Large batches are
+  /// spread over the worker pool; responses are position-matched to
+  /// requests (the wire also carries ids, but order is kept anyway).
+  std::vector<std::string> handle_batch(
+      const std::vector<std::string>& payloads);
+
+  /// Service-local counters, exposed by the `stats` op. Deterministic
+  /// under sequential replay (the golden-transcript test relies on it).
+  struct Counters {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t snapshot_swaps = 0;
+  };
+  Counters counters() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  std::string handle_parsed(const std::string& payload);
+
+  ServiceOptions options_;
+  std::atomic<std::shared_ptr<const ModelSnapshot>> slot_;
+  search::ShardedCache<std::string> cache_;
+  support::WorkStealingPool pool_;
+
+  std::mutex reload_mu_;
+  ReloadHandler reload_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+};
+
+}  // namespace hetsched::server

@@ -86,7 +86,9 @@ INSTANTIATE_TEST_SUITE_P(
         RuleCase{"include_guard", "include-guard",
                  "src/des/bad_guard.hpp"},
         RuleCase{"self_include", "self-include-first",
-                 "src/des/widget.cpp"}),
+                 "src/des/widget.cpp"},
+        RuleCase{"layer_doc_sync", "layer-doc-sync",
+                 "docs/ARCHITECTURE.md"}),
     [](const ::testing::TestParamInfo<RuleCase>& param) {
       return std::string(param.param.tree);
     });
@@ -98,7 +100,7 @@ TEST(LintFixtures, EveryCatalogRuleHasAFixture) {
       "layering",    "obs-direct",       "metric-name",
       "banned-construct", "raw-new",     "float-fit",
       "hot-path-alloc",   "assert-message", "include-guard",
-      "self-include-first"};
+      "self-include-first", "layer-doc-sync"};
   for (const RuleInfo& r : rule_catalog())
     EXPECT_NE(std::find(covered.begin(), covered.end(), r.name),
               covered.end())

@@ -348,6 +348,23 @@ TEST(Diff, WallTimeRatioGuard) {
   EXPECT_EQ(res.regressions(), std::vector<std::string>{"bench.x.wall_s"});
 }
 
+TEST(Diff, ThroughputRatioGuardIsMirrorOfWallClock) {
+  // *.qps scalars gate in the opposite direction: higher is better, so
+  // only a drop below baseline / wall_ratio regresses.
+  RunReport baseline;
+  baseline.scalars["server.load.cached.qps"] = 500000.0;
+  RunReport current = baseline;
+  current.scalars["server.load.cached.qps"] = 60000.0;  // > 500k / 10
+  EXPECT_FALSE(diff_reports(baseline, current).regressed());
+  current.scalars["server.load.cached.qps"] = 2000000.0;  // faster: fine
+  EXPECT_FALSE(diff_reports(baseline, current).regressed());
+  current.scalars["server.load.cached.qps"] = 40000.0;  // < 50k
+  const DiffResult res = diff_reports(baseline, current);
+  EXPECT_TRUE(res.regressed());
+  EXPECT_EQ(res.regressions(),
+            std::vector<std::string>{"server.load.cached.qps"});
+}
+
 TEST(Diff, ErrorScalarsGateAndCostScalarsDoNot) {
   RunReport baseline;
   baseline.scalars["error.NL.estimate.mean_abs"] = 0.10;

@@ -1,0 +1,243 @@
+// Request semantics of server::Service against the estimator it wraps:
+// estimate/advise answers must match the core layer bit-for-bit, the
+// answer cache must be invisible (hit bytes == miss bytes) and counted,
+// constraints must filter exactly, errors must carry the documented
+// codes, and a snapshot hot-swap must be byte-identical to a cold
+// restart on the new model — the central acceptance criterion of
+// docs/SERVER.md §5.
+#include "server/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "obs/json.hpp"
+#include "server_test_util.hpp"
+
+namespace hetsched::server {
+namespace {
+
+namespace json = hetsched::obs::json;
+
+std::string advise_req(int n, int top, const std::string& constraints = "") {
+  std::string req = "{\"hsp\":1,\"id\":1,\"op\":\"advise\",\"n\":" +
+                    std::to_string(n) + ",\"top\":" + std::to_string(top);
+  if (!constraints.empty()) req += ",\"constraints\":" + constraints;
+  return req + "}";
+}
+
+/// Extracts result.best[*] (label, t) pairs from an advise response.
+std::vector<std::pair<std::string, double>> best_of(
+    const std::string& response) {
+  const json::Value doc = json::parse(response);
+  EXPECT_TRUE(doc.find("ok") && doc.find("ok")->as_bool()) << response;
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& e : doc.find("result")->find("best")->as_array())
+    out.emplace_back(e.find("label")->as_string(),
+                     e.find("t")->as_number());
+  return out;
+}
+
+std::string error_code(const std::string& response) {
+  const json::Value doc = json::parse(response);
+  EXPECT_TRUE(doc.find("ok") && !doc.find("ok")->as_bool()) << response;
+  return doc.find("error")->find("code")->as_string();
+}
+
+TEST(ServiceSemantics, AdviseMatchesSerialRankAll) {
+  Service service(testutil::reference_snapshot());
+  const core::Estimator est = testutil::make_estimator(1.0);
+  const core::ConfigSpace space = testutil::reference_space();
+  for (const int n : {1000, 2000, 5000}) {
+    const auto ranked = core::rank_all(est, space, n);
+    const auto best = best_of(service.handle_payload(advise_req(n, 5)));
+    ASSERT_EQ(best.size(), std::min<std::size_t>(5, ranked.size()));
+    for (std::size_t i = 0; i < best.size(); ++i) {
+      EXPECT_EQ(best[i].first, ranked[i].config.to_string()) << "n=" << n;
+      EXPECT_EQ(best[i].second, ranked[i].estimate) << "n=" << n;
+    }
+  }
+}
+
+TEST(ServiceSemantics, EstimateMatchesEstimatorExactly) {
+  Service service(testutil::reference_snapshot());
+  const core::Estimator est = testutil::make_estimator(1.0);
+  const std::string resp = service.handle_payload(
+      "{\"hsp\":1,\"id\":\"e1\",\"op\":\"estimate\",\"n\":1600,"
+      "\"config\":[[\"alpha\",2,1],[\"beta\",1,2]]}");
+  const json::Value doc = json::parse(resp);
+  ASSERT_TRUE(doc.find("ok")->as_bool()) << resp;
+  cluster::Config config;
+  config.usage.push_back(cluster::KindUsage{"alpha", 2, 1});
+  config.usage.push_back(cluster::KindUsage{"beta", 1, 2});
+  const auto* result = doc.find("result");
+  EXPECT_EQ(result->find("t")->as_number(), est.estimate(config, 1600));
+  EXPECT_EQ(result->find("label")->as_string(), config.to_string());
+  EXPECT_EQ(result->find("provenance")->as_string(), "measured");
+}
+
+TEST(ServiceSemantics, CacheHitBytesEqualMissBytesAndAreCounted) {
+  Service service(testutil::reference_snapshot());
+  const std::string req = advise_req(1800, 3);
+  const std::string cold = service.handle_payload(req);
+  const Service::Counters after_miss = service.counters();
+  EXPECT_EQ(after_miss.cache_misses, 1u);
+  EXPECT_EQ(after_miss.cache_hits, 0u);
+
+  const std::string warm = service.handle_payload(req);
+  EXPECT_EQ(warm, cold);  // byte-identical, not merely equivalent
+  const Service::Counters after_hit = service.counters();
+  EXPECT_EQ(after_hit.cache_hits, 1u);
+  EXPECT_EQ(after_hit.cache_misses, 1u);
+  EXPECT_EQ(after_hit.requests, 2u);
+  EXPECT_EQ(after_hit.errors, 0u);
+}
+
+TEST(ServiceSemantics, ExcludeConstraintFiltersKinds) {
+  Service service(testutil::reference_snapshot());
+  const auto best = best_of(service.handle_payload(
+      advise_req(1500, 8, "{\"exclude\":[\"beta\"]}")));
+  ASSERT_FALSE(best.empty());
+  for (const auto& [label, t] : best)
+    EXPECT_EQ(label.find("beta"), std::string::npos) << label;
+}
+
+TEST(ServiceSemantics, MaxTotalProcsConstraintBoundsAnswers) {
+  Service service(testutil::reference_snapshot());
+  const core::Estimator est = testutil::make_estimator(1.0);
+  const core::ConfigSpace space = testutil::reference_space();
+  const auto best = best_of(service.handle_payload(
+      advise_req(1500, 8, "{\"max_total_procs\":2}")));
+  ASSERT_FALSE(best.empty());
+  // Cross-check against a serial filtered sweep.
+  std::vector<std::pair<double, std::string>> expect;
+  for (const auto& cfg : space.all()) {
+    if (cfg.total_procs() > 2 || !est.covers(cfg)) continue;
+    expect.emplace_back(est.estimate(cfg, 1500), cfg.to_string());
+  }
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  ASSERT_EQ(best.size(), std::min<std::size_t>(8, expect.size()));
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    EXPECT_EQ(best[i].first, expect[i].second);
+    EXPECT_EQ(best[i].second, expect[i].first);
+  }
+}
+
+TEST(ServiceSemantics, ImpossibleConstraintIsUncovered) {
+  Service service(testutil::reference_snapshot());
+  EXPECT_EQ(error_code(service.handle_payload(advise_req(
+                1500, 1, "{\"exclude\":[\"alpha\",\"beta\"]}"))),
+            "uncovered");
+}
+
+TEST(ServiceSemantics, ErrorCodesMatchTheSpec) {
+  Service service(testutil::reference_snapshot());
+  EXPECT_EQ(error_code(service.handle_payload("{nope")), "bad-json");
+  EXPECT_EQ(error_code(service.handle_payload("{\"op\":\"ping\"}")),
+            "bad-request");  // missing hsp
+  EXPECT_EQ(error_code(service.handle_payload("{\"hsp\":2,\"op\":\"ping\"}")),
+            "unsupported-version");
+  EXPECT_EQ(error_code(service.handle_payload("{\"hsp\":1,\"op\":\"warp\"}")),
+            "unknown-op");
+  EXPECT_EQ(error_code(service.handle_payload(
+                "{\"hsp\":1,\"op\":\"advise\",\"n\":0}")),
+            "bad-request");
+  EXPECT_EQ(error_code(service.handle_payload(
+                "{\"hsp\":1,\"op\":\"advise\",\"n\":1000,\"top\":10000}")),
+            "bad-request");  // top beyond options().max_top
+  EXPECT_EQ(error_code(service.handle_payload(
+                "{\"hsp\":1,\"op\":\"reload\"}")),
+            "unavailable");  // no reload handler installed
+  const Service::Counters c = service.counters();
+  EXPECT_EQ(c.errors, 7u);
+  EXPECT_EQ(c.requests, 7u);
+}
+
+TEST(ServiceSemantics, IdIsEchoedInCanonicalForm) {
+  Service service(testutil::reference_snapshot());
+  EXPECT_EQ(service.handle_payload("{\"hsp\":1,\"id\":\"abc\",\"op\":"
+                                   "\"ping\"}"),
+            "{\"hsp\":1,\"id\":\"abc\",\"ok\":true,\"result\":{}}");
+  EXPECT_EQ(service.handle_payload("{\"hsp\":1,\"op\":\"ping\"}"),
+            "{\"hsp\":1,\"id\":null,\"ok\":true,\"result\":{}}");
+  EXPECT_EQ(service.handle_payload("{\"hsp\":1,\"id\":7,\"op\":\"ping\"}"),
+            "{\"hsp\":1,\"id\":7,\"ok\":true,\"result\":{}}");
+}
+
+TEST(ServiceSemantics, HelloNegotiatesVersions) {
+  Service service(testutil::reference_snapshot());
+  const std::string ok = service.handle_payload(
+      "{\"hsp\":1,\"id\":1,\"op\":\"hello\",\"versions\":[1,2]}");
+  EXPECT_NE(ok.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(ok.find("\"version\":1"), std::string::npos);
+  EXPECT_EQ(error_code(service.handle_payload(
+                "{\"hsp\":1,\"id\":1,\"op\":\"hello\",\"versions\":[2,3]}")),
+            "unsupported-version");
+}
+
+TEST(ServiceSemantics, ReloadSwapsThroughTheHandler) {
+  Service service(testutil::reference_snapshot());
+  service.set_reload_handler([] { return testutil::alternate_snapshot(); });
+  const std::uint64_t before = service.counters().snapshot_swaps;
+  const std::string resp =
+      service.handle_payload("{\"hsp\":1,\"id\":1,\"op\":\"reload\"}");
+  EXPECT_NE(resp.find("\"swapped\":true"), std::string::npos);
+  EXPECT_EQ(service.counters().snapshot_swaps, before + 1);
+  EXPECT_EQ(service.snapshot()->fingerprint(),
+            testutil::alternate_snapshot()->fingerprint());
+}
+
+TEST(ServiceSemantics, HotSwapIsByteIdenticalToColdRestart) {
+  // Swapped service: serves the reference model (and caches answers on
+  // it), then hot-swaps to the alternate model under a warm cache.
+  Service swapped(testutil::reference_snapshot());
+  const std::vector<std::string> requests = {
+      advise_req(1200, 4),
+      advise_req(2400, 2, "{\"exclude\":[\"alpha\"]}"),
+      "{\"hsp\":1,\"id\":9,\"op\":\"estimate\",\"n\":1200,"
+      "\"config\":[[\"alpha\",1,2]]}",
+      "{\"hsp\":1,\"id\":10,\"op\":\"hello\"}",
+  };
+  for (const auto& r : requests) (void)swapped.handle_payload(r);
+  for (const auto& r : requests) (void)swapped.handle_payload(r);  // warm
+  swapped.swap_snapshot(testutil::alternate_snapshot());
+
+  // Cold service: born on the alternate model, empty cache.
+  Service cold(testutil::alternate_snapshot());
+  for (const auto& r : requests) {
+    const std::string after_swap = swapped.handle_payload(r);
+    const std::string from_cold = cold.handle_payload(r);
+    EXPECT_EQ(after_swap, from_cold) << r;
+  }
+  // And the swapped service's *cached* answers (second pass) match too.
+  for (const auto& r : requests)
+    EXPECT_EQ(swapped.handle_payload(r), cold.handle_payload(r)) << r;
+}
+
+TEST(ServiceSemantics, BatchPreservesOrderAcrossThePool) {
+  ServiceOptions opts;
+  opts.min_batch_for_pool = 2;  // force the pooled path
+  Service service(testutil::reference_snapshot(), opts);
+  std::vector<std::string> reqs;
+  for (int i = 0; i < 64; ++i)
+    reqs.push_back("{\"hsp\":1,\"id\":" + std::to_string(i) +
+                   ",\"op\":\"ping\"}");
+  const std::vector<std::string> resps = service.handle_batch(reqs);
+  ASSERT_EQ(resps.size(), reqs.size());
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(resps[static_cast<std::size_t>(i)],
+              "{\"hsp\":1,\"id\":" + std::to_string(i) +
+                  ",\"ok\":true,\"result\":{}}");
+}
+
+}  // namespace
+}  // namespace hetsched::server

@@ -1,0 +1,86 @@
+// Deterministic model fixtures shared by the server test suite.
+//
+// The *reference model* is the fixed estimator the golden transcripts
+// in docs/SERVER.md §9 were generated against: two synthetic PE kinds
+// ("alpha", "beta"), two nodes each, hand-picked N-T and P-T
+// coefficients, no memory penalty. Everything about it is pinned —
+// change a coefficient and the golden test will tell you exactly which
+// documented bytes no longer match.
+//
+// The *alternate model* differs in every coefficient (and therefore in
+// fingerprint), which is what the hot-swap tests need: any response can
+// be attributed unambiguously to one of the two snapshots.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/pe_kind.hpp"
+#include "core/optimizer.hpp"
+#include "server/snapshot.hpp"
+
+namespace hetsched::server::testutil {
+
+inline cluster::ClusterSpec reference_spec() {
+  cluster::ClusterSpec spec;
+  for (const char* name : {"alpha", "beta"}) {
+    cluster::PeKind kind = cluster::pentium2_400();
+    kind.name = name;
+    for (int i = 0; i < 2; ++i)
+      spec.nodes.push_back(cluster::NodeSpec{kind, 1, 768 * kMiB});
+  }
+  return spec;
+}
+
+inline core::ConfigSpace reference_space() {
+  return core::ConfigSpace::ranges({
+      core::ConfigSpace::KindRange{"alpha", 1, 2, 1, 2, /*optional=*/true},
+      core::ConfigSpace::KindRange{"beta", 1, 2, 1, 2, /*optional=*/true},
+  });
+}
+
+/// Fits a P-T model from three synthetic single-kind N-T models, the
+/// same way the randomized search fixtures do.
+inline core::PtModel fitted_pt(double work, double per_q) {
+  std::vector<core::NtModel> models;
+  std::vector<int> ps;
+  for (const int p : {2, 4, 8}) {
+    models.push_back(core::NtModel({0, 0, 0, work / p}, {0, 0, per_q * p}));
+    ps.push_back(p);
+  }
+  const std::vector<double> ns{1000};
+  return core::PtModel::fit(models, ps, ps, ns);
+}
+
+/// `scale` sweeps every coefficient: 1.0 is the reference model, any
+/// other value is a distinct model with a distinct fingerprint.
+inline core::Estimator make_estimator(double scale) {
+  core::EstimatorOptions opts;
+  opts.check_memory = false;
+  core::Estimator est(reference_spec(), opts);
+  const double alpha_work = 320.0 * scale, beta_work = 540.0 * scale;
+  for (int m = 1; m <= 2; ++m) {
+    est.add_nt(core::NtKey{"alpha", 1, m},
+               core::NtModel({0, 0, 0, alpha_work * (1 + 0.1 * m)},
+                             {0, 0, 0.5 * m}));
+    est.add_nt(core::NtKey{"beta", 1, m},
+               core::NtModel({0, 0, 0, beta_work * (1 + 0.1 * m)},
+                             {0, 0, 0.7 * m}));
+    est.add_pt("alpha", m, fitted_pt(alpha_work * (1 + 0.07 * m), 1.25));
+    est.add_pt("beta", m, fitted_pt(beta_work * (1 + 0.07 * m), 2.0));
+  }
+  return est;
+}
+
+inline std::shared_ptr<const ModelSnapshot> reference_snapshot() {
+  return std::make_shared<const ModelSnapshot>(make_estimator(1.0),
+                                               reference_space());
+}
+
+inline std::shared_ptr<const ModelSnapshot> alternate_snapshot() {
+  return std::make_shared<const ModelSnapshot>(make_estimator(1.75),
+                                               reference_space());
+}
+
+}  // namespace hetsched::server::testutil

@@ -1,0 +1,182 @@
+// hetsched_advisord — the resident advisor daemon (docs/SERVER.md).
+//
+//   hetsched_advisord [--socket=PATH] [--tcp=PORT]
+//                     [--model=FILE | --plan=basic|nl|ns] [--mpi=121|122]
+//                     [--threads=K] [--cache-shards=K] [--max-frame=BYTES]
+//                     [--prewarm=N1,N2,...]
+//                     [--trace-out=FILE] [--metrics-out=FILE]
+//
+// Fits (or loads) a model once, then serves advise/estimate queries
+// over the hsp/1 wire protocol until told to stop. At least one of
+// --socket / --tcp is required (--tcp=0 picks an ephemeral port).
+//
+// Signals: SIGHUP re-reads --model (or refits the plan) and publishes
+// the fresh snapshot atomically — readers are never blocked and
+// in-flight requests finish on the old model; SIGTERM/SIGINT drain open
+// connections and exit 0. The `reload` protocol op does the same as
+// SIGHUP, remotely.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model_builder.hpp"
+#include "core/model_io.hpp"
+#include "measure/plan.hpp"
+#include "measure/runner.hpp"
+#include "obs/io.hpp"
+#include "server/net.hpp"
+#include "server/service.hpp"
+#include "support/error.hpp"
+
+using namespace hetsched;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: hetsched_advisord [--socket=PATH] [--tcp=PORT] "
+               "[--model=FILE | --plan=basic|nl|ns] [--mpi=121|122] "
+               "[--threads=K] [--cache-shards=K] [--max-frame=BYTES] "
+               "[--prewarm=N1,N2,...] "
+            << obs::cli_help() << "\n";
+  return 2;
+}
+
+struct Options {
+  std::string socket_path;
+  int tcp_port = -1;
+  std::string model_path;
+  std::string plan = "ns";
+  std::string mpi = "122";
+  std::size_t threads = 0;
+  std::size_t cache_shards = 64;
+  std::size_t max_frame = server::kDefaultMaxPayload;
+  std::vector<int> prewarm;
+};
+
+std::shared_ptr<const server::ModelSnapshot> build_snapshot(
+    const Options& opts) {
+  const cluster::ClusterSpec spec = cluster::paper_cluster(
+      opts.mpi == "121" ? cluster::mpich_121() : cluster::mpich_122());
+  core::Estimator est = [&] {
+    if (!opts.model_path.empty()) {
+      std::ifstream in(opts.model_path);
+      if (!in) throw Error("cannot open model file " + opts.model_path);
+      return core::load_estimator(spec, in);
+    }
+    measure::MeasurementPlan plan = measure::ns_plan();
+    if (opts.plan == "basic") plan = measure::basic_plan();
+    if (opts.plan == "nl") plan = measure::nl_plan();
+    measure::Runner runner(spec);
+    return core::ModelBuilder(spec).build(runner.run_plan(plan));
+  }();
+  auto snap = std::make_shared<const server::ModelSnapshot>(
+      std::move(est), core::ConfigSpace::paper_eval());
+  for (const int n : opts.prewarm) snap->batch_for(n);
+  return snap;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (obs::consume_arg(arg))
+      continue;
+    else if (arg.rfind("--socket=", 0) == 0)
+      opts.socket_path = arg.substr(9);
+    else if (arg.rfind("--tcp=", 0) == 0)
+      opts.tcp_port = std::atoi(arg.c_str() + 6);
+    else if (arg.rfind("--model=", 0) == 0)
+      opts.model_path = arg.substr(8);
+    else if (arg.rfind("--plan=", 0) == 0)
+      opts.plan = arg.substr(7);
+    else if (arg.rfind("--mpi=", 0) == 0)
+      opts.mpi = arg.substr(6);
+    else if (arg.rfind("--threads=", 0) == 0)
+      opts.threads = static_cast<std::size_t>(std::atoi(arg.c_str() + 10));
+    else if (arg.rfind("--cache-shards=", 0) == 0)
+      opts.cache_shards =
+          static_cast<std::size_t>(std::atoi(arg.c_str() + 15));
+    else if (arg.rfind("--max-frame=", 0) == 0)
+      opts.max_frame = static_cast<std::size_t>(std::atol(arg.c_str() + 12));
+    else if (arg.rfind("--prewarm=", 0) == 0) {
+      std::string list = arg.substr(10);
+      for (std::size_t at = 0; at < list.size();) {
+        const std::size_t comma = list.find(',', at);
+        opts.prewarm.push_back(std::atoi(list.c_str() + at));
+        at = comma == std::string::npos ? list.size() : comma + 1;
+      }
+    } else {
+      return usage();
+    }
+  }
+  if (opts.socket_path.empty() && opts.tcp_port < 0) return usage();
+  if (opts.plan != "basic" && opts.plan != "nl" && opts.plan != "ns")
+    return usage();
+
+  // Block the control signals before any thread exists, so every thread
+  // inherits the mask and only the sigwait loop below receives them.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGHUP);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  try {
+    std::cerr << "hetsched_advisord: "
+              << (opts.model_path.empty()
+                      ? "fitting " + opts.plan + " plan models"
+                      : "loading " + opts.model_path)
+              << "...\n";
+    server::ServiceOptions sopts;
+    sopts.cache_shards = opts.cache_shards;
+    sopts.threads = opts.threads;
+    server::Service service(build_snapshot(opts), sopts);
+    service.set_reload_handler([opts] { return build_snapshot(opts); });
+
+    server::ServerOptions net;
+    net.unix_path = opts.socket_path;
+    net.tcp_port = opts.tcp_port;
+    net.max_payload = opts.max_frame;
+    server::Server srv(service, net);
+    srv.start();
+
+    std::cout << "hetsched_advisord: ready";
+    if (!opts.socket_path.empty())
+      std::cout << " unix=" << opts.socket_path;
+    if (srv.tcp_port() >= 0) std::cout << " tcp=127.0.0.1:" << srv.tcp_port();
+    std::cout << " candidates=" << service.snapshot()->candidates() << "\n"
+              << std::flush;
+
+    for (;;) {
+      int sig = 0;
+      if (sigwait(&sigs, &sig) != 0) continue;
+      if (sig == SIGHUP) {
+        try {
+          service.swap_snapshot(build_snapshot(opts));
+          std::cerr << "hetsched_advisord: model reloaded\n";
+        } catch (const std::exception& e) {
+          std::cerr << "hetsched_advisord: reload failed (keeping current "
+                       "model): "
+                    << e.what() << "\n";
+        }
+        continue;
+      }
+      std::cerr << "hetsched_advisord: draining...\n";
+      break;
+    }
+    srv.stop();
+  } catch (const std::exception& e) {
+    std::cerr << "hetsched_advisord: fatal: " << e.what() << "\n";
+    return 1;
+  }
+  obs::flush_outputs();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 namespace hetsched::lint {
 
@@ -80,6 +81,84 @@ LintConfig load_naming_table(const std::string& doc_path) {
   return cfg;
 }
 
+std::vector<Finding> check_layer_doc(const std::string& doc_path,
+                                     const std::string& rel_path) {
+  std::vector<Finding> findings;
+  std::string doc;
+  if (doc_path.empty() || !read_file(doc_path, &doc)) return findings;
+
+  const auto& deps = layer_dependency_table();
+  std::unordered_set<std::string> documented;
+  bool saw_row = false;
+
+  std::istringstream lines(doc);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    std::string_view v = line;
+    if (v.empty() || v[0] != '|') continue;
+    const std::size_t second = v.find('|', 1);
+    if (second == std::string_view::npos) continue;
+    const std::size_t third = v.find('|', second + 1);
+    if (third == std::string_view::npos) continue;
+    // A layer row's first cell is exactly one backticked bare layer
+    // name; metric tables and prose tables never match (their names
+    // carry dots or the cell isn't a lone identifier).
+    const std::vector<std::string> head =
+        backticked_names(v.substr(1, second - 1));
+    if (head.size() != 1 || head[0].find('.') != std::string::npos ||
+        head[0].find('/') != std::string::npos)
+      continue;
+    const std::string& layer = head[0];
+    const auto it = deps.find(layer);
+    if (it == deps.end()) {
+      findings.push_back({"layer-doc-sync", rel_path, lineno,
+                          "documented layer '" + layer +
+                              "' is not in the enforced dependency graph"});
+      saw_row = true;
+      continue;
+    }
+    saw_row = true;
+    documented.insert(layer);
+    std::unordered_set<std::string> doc_set{layer};
+    for (const std::string& dep :
+         backticked_names(v.substr(second + 1, third - second - 1)))
+      doc_set.insert(dep);
+    if (doc_set != it->second) {
+      // Render the enforced set (minus the layer itself) for the fix.
+      std::vector<std::string> expected(it->second.begin(),
+                                        it->second.end());
+      std::sort(expected.begin(), expected.end());
+      std::string rendered;
+      for (const std::string& dep : expected) {
+        if (dep == layer) continue;
+        if (!rendered.empty()) rendered += ", ";
+        rendered += '`' + dep + '`';
+      }
+      findings.push_back({"layer-doc-sync", rel_path, lineno,
+                          "layer '" + layer +
+                              "' documents a different dependency set than "
+                              "the layering rule enforces; expected: " +
+                              (rendered.empty() ? "(none)" : rendered)});
+    }
+  }
+
+  if (!saw_row) {
+    findings.push_back({"layer-doc-sync", rel_path, 1,
+                        "no layer table found; the include-layering DAG "
+                        "must be documented here"});
+    return findings;
+  }
+  for (const auto& [layer, allowed] : deps)
+    if (!documented.count(layer))
+      findings.push_back({"layer-doc-sync", rel_path, 1,
+                          "layer '" + layer +
+                              "' is enforced by the layering rule but "
+                              "missing from the table"});
+  return findings;
+}
+
 DriverResult run_driver(const DriverOptions& opts) {
   DriverResult result;
   const fs::path root(opts.root);
@@ -124,6 +203,14 @@ DriverResult run_driver(const DriverOptions& opts) {
     result.findings.insert(result.findings.end(),
                            std::make_move_iterator(found.begin()),
                            std::make_move_iterator(found.end()));
+  }
+
+  if (!opts.layer_doc.empty()) {
+    std::vector<Finding> doc_findings =
+        check_layer_doc((root / opts.layer_doc).string(), opts.layer_doc);
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(doc_findings.begin()),
+                           std::make_move_iterator(doc_findings.end()));
   }
 
   std::stable_sort(result.findings.begin(), result.findings.end(),

@@ -28,6 +28,10 @@ struct DriverOptions {
   /// Root-relative markdown file holding the metric inventory table.
   /// Empty or missing file disables the metric-name rule.
   std::string naming_doc = "docs/OBSERVABILITY.md";
+  /// Root-relative markdown file holding the layer-dependency table.
+  /// Empty or missing file disables the layer-doc-sync rule (fixture
+  /// trees carry no docs and stay clean).
+  std::string layer_doc = "docs/ARCHITECTURE.md";
 };
 
 struct DriverResult {
@@ -39,6 +43,15 @@ struct DriverResult {
 /// of the naming table. Returns have_naming_table=false when the file
 /// cannot be read or holds no rows.
 LintConfig load_naming_table(const std::string& doc_path);
+
+/// Diffs the layer table of docs/ARCHITECTURE.md (rows of the form
+/// `| \`layer\` | \`dep\`, \`dep\`, ... |`, dependencies excluding the
+/// layer itself) against layer_dependency_table(), emitting one
+/// layer-doc-sync finding per drifted, unknown or missing layer.
+/// `doc_path` is the file to read, `rel_path` the path findings report.
+/// An unreadable file disables the check (returns no findings).
+std::vector<Finding> check_layer_doc(const std::string& doc_path,
+                                     const std::string& rel_path);
 
 /// Walks and lints the tree. Findings come back sorted by path, then
 /// line.

@@ -21,7 +21,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--root=DIR] [--naming-doc=REL.md] "
-               "[--list-rules] [subdir...]\n",
+               "[--layer-doc=REL.md] [--list-rules] [subdir...]\n",
                argv0);
   return 2;
 }
@@ -43,6 +43,8 @@ int main(int argc, char** argv) {
       opts.root = std::string(arg.substr(7));
     } else if (arg.rfind("--naming-doc=", 0) == 0) {
       opts.naming_doc = std::string(arg.substr(13));
+    } else if (arg.rfind("--layer-doc=", 0) == 0) {
+      opts.layer_doc = std::string(arg.substr(12));
     } else if (arg.rfind("--", 0) == 0) {
       return usage(argv[0]);
     } else {

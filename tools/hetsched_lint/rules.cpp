@@ -31,10 +31,12 @@ bool ends_with(std::string_view s, std::string_view suffix) {
 /// the target_link_libraries graph in src/*/CMakeLists.txt. A file in
 /// layer L may include "X/..." only when X is in allowed(L) — this is
 /// the strict layering `support` <- `linalg` <- `des`/`mpisim` <- `hpl`
-/// <- `core` <- `search` <- `measure` <- `apps`, with `obs` a leaf
-/// every layer may observe through and `cluster` between des and
-/// mpisim. Keep this table in sync with the CMake link graph; the
-/// linter is the machine check that source includes do not outgrow it.
+/// <- `core` <- `search` <- `server`/`measure` <- `apps`, with `obs` a
+/// leaf every layer may observe through and `cluster` between des and
+/// mpisim. Keep this table in sync with the CMake link graph AND the
+/// docs/ARCHITECTURE.md table (the layer-doc-sync rule diffs the two);
+/// the linter is the machine check that source includes do not outgrow
+/// either.
 const std::map<std::string, std::unordered_set<std::string>>& layer_deps() {
   static const std::map<std::string, std::unordered_set<std::string>> deps = {
       {"obs", {"obs"}},
@@ -51,6 +53,12 @@ const std::map<std::string, std::unordered_set<std::string>>& layer_deps() {
       {"search",
        {"search", "core", "hpl", "mpisim", "cluster", "des", "linalg",
         "support", "obs"}},
+      // The server prices and sweeps but never measures: model *files*
+      // reach it through its daemon (tools/), keeping refit machinery
+      // out of the request path.
+      {"server",
+       {"server", "search", "core", "hpl", "mpisim", "cluster", "des",
+        "linalg", "support", "obs"}},
       {"measure",
        {"measure", "search", "core", "hpl", "mpisim", "cluster", "des",
         "linalg", "support", "obs"}},
@@ -127,6 +135,11 @@ const Token* first_string_in_call(const std::vector<Token>& toks,
 
 }  // namespace
 
+const std::map<std::string, std::unordered_set<std::string>>&
+layer_dependency_table() {
+  return layer_deps();
+}
+
 const std::vector<RuleInfo>& rule_catalog() {
   static const std::vector<RuleInfo> catalog = {
       {"layering",
@@ -159,6 +172,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"self-include-first",
        "src/<layer>/<base>.cpp includes its own header first, proving "
        "the header is self-contained"},
+      {"layer-doc-sync",
+       "the docs/ARCHITECTURE.md layer table must match the dependency "
+       "graph the layering rule enforces — doc and rule cannot drift"},
   };
   return catalog;
 }

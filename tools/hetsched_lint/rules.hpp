@@ -8,6 +8,7 @@
 // fixture under tests/lint_fixtures/ that trips it exactly once.
 #pragma once
 
+#include <map>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -33,6 +34,12 @@ struct RuleInfo {
 /// All rules, in reporting order.
 const std::vector<RuleInfo>& rule_catalog();
 
+/// The include-layering dependency graph: layer -> layers it may
+/// include (itself always included). Exposed so the driver can diff it
+/// against the docs/ARCHITECTURE.md table (layer-doc-sync rule).
+const std::map<std::string, std::unordered_set<std::string>>&
+layer_dependency_table();
+
 /// Project-wide knowledge the rules check against.
 struct LintConfig {
   /// Metric names from the docs/OBSERVABILITY.md inventory table;
@@ -41,7 +48,7 @@ struct LintConfig {
   std::unordered_set<std::string> metric_names;
   /// Allowed trace categories (the instrumented layer names).
   std::unordered_set<std::string> trace_categories = {
-      "des", "mpisim", "search", "measure", "support"};
+      "des", "mpisim", "search", "server", "measure", "support"};
   bool have_naming_table = false;
 };
 

@@ -1,0 +1,88 @@
+#include "obs/fine_hist.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace hetsched::obs {
+
+std::size_t FineHistogram::bin_index(double v) noexcept {
+  if (!(v >= std::ldexp(1.0, kMinExp))) return 0;  // also zero/negative/NaN
+  if (v >= std::ldexp(1.0, kMaxExp)) return kBins - 1;
+  int exp = 0;
+  // frexp: v = m * 2^exp with m in [0.5, 1)  =>  octave is exp-1 and
+  // 2m-1 in [0, 1) is the position inside it.
+  const double m = std::frexp(v, &exp);
+  const int octave = exp - 1;
+  auto sub = static_cast<std::size_t>((2.0 * m - 1.0) *
+                                      static_cast<double>(kSubBuckets));
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return static_cast<std::size_t>(octave - kMinExp) * kSubBuckets + sub + 1;
+}
+
+double FineHistogram::bin_lower(std::size_t bin) noexcept {
+  if (bin == 0) return 0.0;
+  const std::size_t b = bin - 1;
+  const auto octave = static_cast<int>(b / kSubBuckets);
+  const auto sub = static_cast<double>(b % kSubBuckets);
+  return std::ldexp(1.0 + sub / static_cast<double>(kSubBuckets),
+                    kMinExp + octave);
+}
+
+double FineHistogram::bin_upper(std::size_t bin) noexcept {
+  if (bin >= kBins - 1) return std::numeric_limits<double>::infinity();
+  return bin_lower(bin + 1);
+}
+
+std::uint64_t FineHistogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : bins_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double FineHistogram::sum() const noexcept {
+  double total = 0.0;
+  for (const auto& s : sums_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t FineHistogram::bin_count(std::size_t bin) const noexcept {
+  return bin < kBins ? bins_[bin].load(std::memory_order_relaxed) : 0;
+}
+
+double FineHistogram::quantile(double q) const noexcept {
+  if (!(q >= 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  // Rank of the wanted order statistic, 1-based, ceil(q * total)
+  // clamped to [1, total] so q=0 is the minimum bucket and q=1 the
+  // maximum one.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t before = 0;
+  for (std::size_t bin = 0; bin < kBins; ++bin) {
+    const std::uint64_t c = bins_[bin].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (before + c >= rank) {
+      if (bin == kBins - 1) return bin_lower(bin);  // cannot span to +inf
+      const double lo = bin_lower(bin);
+      const double hi = bin_upper(bin);
+      // Midpoint convention: the k-th of c samples in the bucket sits at
+      // fraction (k - 0.5) / c of the width.
+      const double frac = (static_cast<double>(rank - before) - 0.5) /
+                          static_cast<double>(c);
+      return lo + (hi - lo) * frac;
+    }
+    before += c;
+  }
+  return bin_lower(kBins - 1);  // racing writers moved the total; overflow
+}
+
+void FineHistogram::reset() noexcept {
+  for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
+  for (auto& s : sums_) s.v.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace hetsched::obs

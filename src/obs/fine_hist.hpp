@@ -1,0 +1,96 @@
+// Fine-grained log-linear histogram for exact-ish quantiles on
+// sub-millisecond latencies.
+//
+// The registry's Histogram (obs/metrics.hpp) uses one bin per power of
+// two — fine for "which decade is this in", useless for a p99 SLO on a
+// distribution that lives entirely inside one octave (a cached advise
+// answer takes ~2 µs; the whole interesting range is 1–4 µs). This
+// histogram splits every octave into kSubBuckets linear sub-buckets, so
+// the relative bucket width is at most 1/kSubBuckets (= 6.25%): a
+// quantile read off the bucket edges is within ~6% of the exact order
+// statistic, and within-bucket linear interpolation does better in
+// practice.
+//
+// Unlike the registry metric types, the constructor is public: a
+// FineHistogram is equally usable as a plain member or stack object
+// (server::Service keeps one per wire op; tools/advisor_bench records
+// phase latencies into a local one) and as a named registry metric via
+// MetricsRegistry::fine_histogram() / HETSCHED_FINE_HISTOGRAM_RECORD.
+// Everything is deterministic given the multiset of recorded samples:
+// bin placement is pure arithmetic and quantile() never looks at
+// insertion order, which is what makes served quantiles byte-testable.
+//
+// Thread-safety: record() is wait-free and safe from any thread
+// (per-bin relaxed atomics; sums striped like Counter). Readers get
+// per-bin-consistent values; count()/sum()/quantile() taken while
+// writers run are approximate in the usual monotonic-counter sense.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace hetsched::obs {
+
+class FineHistogram {
+ public:
+  static constexpr int kMinExp = -24;  ///< 2^-24 s ≈ 60 ns
+  static constexpr int kMaxExp = 8;    ///< 2^8 = 256 s
+  static constexpr std::size_t kSubBuckets = 16;  ///< per octave
+  /// Underflow bin + (kMaxExp-kMinExp) octaves × kSubBuckets + overflow.
+  static constexpr std::size_t kBins =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  FineHistogram() = default;
+  FineHistogram(const FineHistogram&) = delete;
+  FineHistogram& operator=(const FineHistogram&) = delete;
+
+  /// Records one sample. O(1), wait-free, allocation-free.
+  void record(double v) noexcept {
+    bins_[bin_index(v)].fetch_add(1, std::memory_order_relaxed);
+    auto& sum = sums_[thread_stripe()].v;
+    double cur = sum.load(std::memory_order_relaxed);
+    while (!sum.compare_exchange_weak(cur, cur + v,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Bin a sample falls into. Bin 0 is underflow (v < 2^kMinExp,
+  /// including zero, negatives and NaN); the last bin is overflow
+  /// (v >= 2^kMaxExp). In between, the sample's octave [2^e, 2^(e+1))
+  /// is split into kSubBuckets equal linear sub-buckets; edges land
+  /// deterministically in the upper bucket.
+  static std::size_t bin_index(double v) noexcept;
+  /// Inclusive lower edge of `bin` (0 for the underflow bin — samples
+  /// there are treated as [0, 2^kMinExp) by quantile()).
+  static double bin_lower(std::size_t bin) noexcept;
+  /// Exclusive upper edge of `bin` (+inf for the overflow bin).
+  static double bin_upper(std::size_t bin) noexcept;
+
+  std::uint64_t count() const noexcept;  ///< total samples
+  double sum() const noexcept;           ///< sum of sample values
+  std::uint64_t bin_count(std::size_t bin) const noexcept;
+
+  /// Quantile estimate for q in [0, 1]: walks the cumulative bin counts
+  /// to the bucket holding the ceil(q·count)-th sample and linearly
+  /// interpolates inside it. Exact to within one bucket width (≤ ~6%
+  /// relative); 0 when empty. Deterministic for a fixed multiset of
+  /// samples. The overflow bucket reports its lower edge.
+  double quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  // Bins are plain (unpadded) atomics: 16 sub-buckets share a cache
+  // line, but updates are relaxed fetch_adds and neighbouring-latency
+  // contention is exactly the same line a striped layout would fight
+  // over anyway — and padding 514 bins to 64 B each would cost 32 KiB
+  // per histogram.
+  std::array<std::atomic<std::uint64_t>, kBins> bins_{};
+  std::array<detail::F64Slot, kStripes> sums_;
+};
+
+}  // namespace hetsched::obs

@@ -15,6 +15,7 @@
 // that needs to gate non-macro instrumentation (prefer the macros).
 #pragma once
 
+#include "obs/fine_hist.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -47,6 +48,9 @@ struct NullSpan {
   } while (false)
 #define HETSCHED_HISTOGRAM_RECORD(name, value) \
   do {                                         \
+  } while (false)
+#define HETSCHED_FINE_HISTOGRAM_RECORD(name, value) \
+  do {                                              \
   } while (false)
 #define HETSCHED_TRACE_SPAN(cat, name)        \
   [[maybe_unused]] ::hetsched::obs::NullSpan \
@@ -85,6 +89,14 @@ struct NullSpan {
     static ::hetsched::obs::Histogram* const hetsched_obs_h =             \
         ::hetsched::obs::MetricsRegistry::instance().histogram(name);     \
     hetsched_obs_h->record(static_cast<double>(value));                   \
+  } while (false)
+
+/// Records `value` into fine-grained histogram `name` (obs/fine_hist.hpp).
+#define HETSCHED_FINE_HISTOGRAM_RECORD(name, value)                        \
+  do {                                                                     \
+    static ::hetsched::obs::FineHistogram* const hetsched_obs_fh =         \
+        ::hetsched::obs::MetricsRegistry::instance().fine_histogram(name); \
+    hetsched_obs_fh->record(static_cast<double>(value));                   \
   } while (false)
 
 /// Anonymous scoped span covering the rest of the enclosing block.

@@ -5,6 +5,8 @@
 #include <limits>
 #include <ostream>
 
+#include "obs/fine_hist.hpp"
+
 namespace hetsched::obs {
 
 std::size_t thread_stripe() noexcept {
@@ -104,6 +106,8 @@ MetricsRegistry& MetricsRegistry::instance() {
   return *reg;
 }
 
+MetricsRegistry::~MetricsRegistry() = default;
+
 Counter* MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> l(mu_);
   auto& slot = counters_[name];
@@ -122,6 +126,13 @@ Histogram* MetricsRegistry::histogram(const std::string& name) {
   std::lock_guard<std::mutex> l(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot.reset(new Histogram());
+  return slot.get();
+}
+
+FineHistogram* MetricsRegistry::fine_histogram(const std::string& name) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto& slot = fine_[name];
+  if (!slot) slot.reset(new FineHistogram());
   return slot.get();
 }
 
@@ -144,6 +155,18 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       if (const std::uint64_t c = h->bin_count(b)) hs.bins.emplace_back(b, c);
     snap.histograms.push_back(std::move(hs));
   }
+  snap.fine_histograms.reserve(fine_.size());
+  for (const auto& [name, h] : fine_) {
+    FineHistogramSample fs;
+    fs.name = name;
+    fs.count = h->count();
+    fs.sum = h->sum();
+    fs.p50 = h->quantile(0.5);
+    fs.p99 = h->quantile(0.99);
+    for (std::size_t b = 0; b < FineHistogram::kBins; ++b)
+      if (const std::uint64_t c = h->bin_count(b)) fs.bins.emplace_back(b, c);
+    snap.fine_histograms.push_back(std::move(fs));
+  }
   return snap;
 }
 
@@ -152,6 +175,7 @@ void MetricsRegistry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, h] : fine_) h->reset();
 }
 
 MetricsSnapshot snapshot() { return MetricsRegistry::instance().snapshot(); }
@@ -196,7 +220,28 @@ void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
     }
     os << "]}";
   }
-  os << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  os << (snap.histograms.empty() ? "" : "\n  ")
+     << "},\n  \"fine_histograms\": {";
+  for (std::size_t i = 0; i < snap.fine_histograms.size(); ++i) {
+    const FineHistogramSample& h = snap.fine_histograms[i];
+    os << (i ? ",\n    " : "\n    ") << '"' << h.name
+       << "\": {\"count\": " << h.count << ", \"sum\": ";
+    write_number(os, h.sum);
+    os << ", \"p50\": ";
+    write_number(os, h.p50);
+    os << ", \"p99\": ";
+    write_number(os, h.p99);
+    os << ", \"bins\": [";
+    for (std::size_t b = 0; b < h.bins.size(); ++b) {
+      os << (b ? ", [" : "[");
+      write_number(os, FineHistogram::bin_lower(h.bins[b].first));
+      os << ", ";
+      write_number(os, FineHistogram::bin_upper(h.bins[b].first));
+      os << ", " << h.bins[b].second << ']';
+    }
+    os << "]}";
+  }
+  os << (snap.fine_histograms.empty() ? "" : "\n  ") << "}\n}\n";
   os.precision(precision);
 }
 

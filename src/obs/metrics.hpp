@@ -133,6 +133,11 @@ class Histogram {
   std::array<detail::F64Slot, kStripes> sums_;
 };
 
+/// Fine-grained log-linear histogram (16 sub-buckets per octave) for
+/// exact-ish quantiles — defined in obs/fine_hist.hpp, registrable here
+/// via MetricsRegistry::fine_histogram().
+class FineHistogram;
+
 // -- scrape side ------------------------------------------------------------
 
 struct CounterSample {
@@ -150,12 +155,23 @@ struct HistogramSample {
   /// Non-empty bins only, as (bin index, count) pairs.
   std::vector<std::pair<std::size_t, std::uint64_t>> bins;
 };
+/// Like HistogramSample but for FineHistogram bins, with the p50/p99
+/// quantile estimates evaluated at scrape time.
+struct FineHistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  std::vector<std::pair<std::size_t, std::uint64_t>> bins;
+};
 
 /// Point-in-time aggregation of every registered metric, sorted by name.
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  std::vector<FineHistogramSample> fine_histograms;
 
   /// Counter value by exact name; 0 if absent.
   std::uint64_t counter_value(const std::string& name) const;
@@ -176,6 +192,7 @@ class MetricsRegistry {
   Counter* counter(const std::string& name);
   Gauge* gauge(const std::string& name);
   Histogram* histogram(const std::string& name);
+  FineHistogram* fine_histogram(const std::string& name);
 
   /// Aggregates all stripes of all metrics. O(metrics × stripes).
   MetricsSnapshot snapshot() const;
@@ -185,10 +202,12 @@ class MetricsRegistry {
 
  private:
   MetricsRegistry() = default;
+  ~MetricsRegistry();  // out-of-line: FineHistogram is incomplete here
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<FineHistogram>> fine_;
 };
 
 /// Shorthand for MetricsRegistry::instance().snapshot() — the one-call
@@ -199,7 +218,9 @@ MetricsSnapshot snapshot();
 /// {"counters": {name: value, ...},
 ///  "gauges": {name: value, ...},
 ///  "histograms": {name: {"count": c, "sum": s,
-///                        "bins": [[lower, upper, count], ...]}, ...}}
+///                        "bins": [[lower, upper, count], ...]}, ...},
+///  "fine_histograms": {name: {"count": c, "sum": s, "p50": q, "p99": q,
+///                             "bins": [[lower, upper, count], ...]}, ...}}
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap);
 
 }  // namespace hetsched::obs

@@ -84,6 +84,7 @@ struct Server::Impl {
   }
 
   void serve(int fd) {
+    service.connection_opened();  // feeds the `health` op
     FrameReader reader(options.max_payload);
     std::vector<std::string> batch;
     char buf[64 * 1024];
@@ -126,6 +127,7 @@ struct Server::Impl {
     }
     ::shutdown(fd, SHUT_RDWR);
     close_fd(fd);
+    service.connection_closed();
     // Move our own thread handle to the finished list for stop()/reaping
     // (a thread cannot join itself).
     std::lock_guard<std::mutex> l(conn_mu);
@@ -200,6 +202,9 @@ void Server::stop() {
     // first caller); nothing left to release.
     return;
   }
+  // In-flight requests (and any `health` answered during the drain)
+  // see the draining state before the listeners go away.
+  im.service.set_draining(true);
   // Close listeners: accept() fails, accept loops exit.
   if (im.unix_fd >= 0) ::shutdown(im.unix_fd, SHUT_RDWR);
   close_fd(im.unix_fd);

@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "obs/hooks.hpp"
 #include "obs/json.hpp"
+// The `metrics` wire op serves a snapshot of the whole registry — this
+// is a scrape endpoint, not instrumentation, so the direct dependency
+// is intentional. hetsched-lint: allow(obs-direct)
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace hetsched::server {
@@ -14,6 +19,48 @@ namespace hetsched::server {
 namespace {
 
 namespace json = hetsched::obs::json;
+
+/// Op table for the flight recorder and the per-op latency histograms.
+/// Index 0 is the bucket for requests that never resolved to an op
+/// (unparseable JSON, missing/bad `op` member, version mismatch).
+/// Order is frozen: flight dumps and the `metrics` op's "ops" object
+/// follow it, and docs/SERVER.md §9 transcripts pin the rendering.
+const std::vector<std::string>& op_table() {
+  static const std::vector<std::string> ops = {
+      "?",     "ping",    "hello",  "estimate", "advise", "stats",
+      "reload", "metrics", "health", "flight",   "observe"};
+  return ops;
+}
+
+constexpr std::uint16_t kOpNone = 0;
+constexpr std::uint16_t kOpPing = 1;
+constexpr std::uint16_t kOpHello = 2;
+constexpr std::uint16_t kOpEstimate = 3;
+constexpr std::uint16_t kOpAdvise = 4;
+constexpr std::uint16_t kOpStats = 5;
+constexpr std::uint16_t kOpReload = 6;
+constexpr std::uint16_t kOpMetrics = 7;
+constexpr std::uint16_t kOpHealth = 8;
+constexpr std::uint16_t kOpFlight = 9;
+constexpr std::uint16_t kOpObserve = 10;
+
+/// Error-code table: index 0 is "ok" (rendered as "" in flight dumps);
+/// the rest mirror the errc:: taxonomy in protocol.hpp.
+const std::vector<std::string>& code_table() {
+  static const std::vector<std::string> codes = {
+      "",          "bad-json",    "bad-request", "unsupported-version",
+      "unknown-op", "uncovered",  "unavailable", "internal",
+      "oversized-frame"};
+  return codes;
+}
+
+std::uint16_t code_index(const char* code) {
+  const auto& codes = code_table();
+  for (std::size_t i = 1; i < codes.size(); ++i)
+    if (std::strcmp(code, codes[i].c_str()) == 0)
+      return static_cast<std::uint16_t>(i);
+  return 7;  // "internal" — unreachable for errc:: codes
+}
 
 /// Request id rendered in canonical form (string, integer-valued number,
 /// or "null" when absent/invalid — docs/SERVER.md §3).
@@ -347,6 +394,116 @@ std::string hello_result(const ModelSnapshot& snap) {
   return out;
 }
 
+/// json_number refuses non-finite values; scrape paths clamp them to
+/// null so a pathological gauge can never corrupt a response.
+std::string json_number_or_null(double v) {
+  return std::isfinite(v) ? json_number(v) : std::string("null");
+}
+
+/// One fine histogram as canonical JSON (seconds):
+/// {"count":c,"sum_s":s,"p50_s":q,"p99_s":q,"bins":[[lower,upper,c],…]}
+/// The overflow bin's upper edge (+inf) renders as null.
+std::string fine_hist_json(const obs::FineHistogram& h) {
+  std::string out = "{\"count\":";
+  out += json_int(static_cast<std::int64_t>(h.count()));
+  out += ",\"sum_s\":";
+  out += json_number_or_null(h.sum());
+  out += ",\"p50_s\":";
+  out += json_number_or_null(h.quantile(0.5));
+  out += ",\"p99_s\":";
+  out += json_number_or_null(h.quantile(0.99));
+  out += ",\"bins\":[";
+  bool first = true;
+  for (std::size_t b = 0; b < obs::FineHistogram::kBins; ++b) {
+    const std::uint64_t c = h.bin_count(b);
+    if (c == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    out += json_number(obs::FineHistogram::bin_lower(b));
+    out += ',';
+    out += json_number_or_null(obs::FineHistogram::bin_upper(b));
+    out += ',';
+    out += json_int(static_cast<std::int64_t>(c));
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+/// The registry snapshot as canonical JSON — same information as
+/// obs::write_metrics_json but byte-stable (fixed member order, no
+/// whitespace, shortest-round-trip numbers). Maps are name-sorted by
+/// construction.
+std::string registry_json(const obs::MetricsSnapshot& snap) {
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i) out += ',';
+    out += json_quote(snap.counters[i].name);
+    out += ':';
+    out += json_int(static_cast<std::int64_t>(snap.counters[i].value));
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i) out += ',';
+    out += json_quote(snap.gauges[i].name);
+    out += ':';
+    out += json_number_or_null(snap.gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    if (i) out += ',';
+    out += json_quote(h.name);
+    out += ":{\"count\":";
+    out += json_int(static_cast<std::int64_t>(h.count));
+    out += ",\"sum\":";
+    out += json_number_or_null(h.sum);
+    out += ",\"bins\":[";
+    for (std::size_t b = 0; b < h.bins.size(); ++b) {
+      if (b) out += ',';
+      out += '[';
+      out += json_number_or_null(obs::Histogram::bin_lower(h.bins[b].first));
+      out += ',';
+      out += json_number_or_null(obs::Histogram::bin_upper(h.bins[b].first));
+      out += ',';
+      out += json_int(static_cast<std::int64_t>(h.bins[b].second));
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "},\"fine_histograms\":{";
+  for (std::size_t i = 0; i < snap.fine_histograms.size(); ++i) {
+    const auto& h = snap.fine_histograms[i];
+    if (i) out += ',';
+    out += json_quote(h.name);
+    out += ":{\"count\":";
+    out += json_int(static_cast<std::int64_t>(h.count));
+    out += ",\"sum\":";
+    out += json_number_or_null(h.sum);
+    out += ",\"p50\":";
+    out += json_number_or_null(h.p50);
+    out += ",\"p99\":";
+    out += json_number_or_null(h.p99);
+    out += ",\"bins\":[";
+    for (std::size_t b = 0; b < h.bins.size(); ++b) {
+      if (b) out += ',';
+      out += '[';
+      out += json_number_or_null(
+          obs::FineHistogram::bin_lower(h.bins[b].first));
+      out += ',';
+      out += json_number_or_null(
+          obs::FineHistogram::bin_upper(h.bins[b].first));
+      out += ',';
+      out += json_int(static_cast<std::int64_t>(h.bins[b].second));
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
 }  // namespace
 
 Service::Service(std::shared_ptr<const ModelSnapshot> snapshot,
@@ -354,16 +511,46 @@ Service::Service(std::shared_ptr<const ModelSnapshot> snapshot,
     : options_(options),
       slot_(std::move(snapshot)),
       cache_(options.cache_shards, options.cache_max_entries_per_shard),
-      pool_(options.threads) {
+      pool_(options.threads),
+      flight_(options.flight_capacity) {
   HETSCHED_CHECK(slot_.load() != nullptr,
                  "Service requires an initial snapshot");
+  static_assert(Service::kOpTableSize == 11,
+                "op_wall_ must cover every entry of op_table()");
+  start_us_ = clock_now_us();
+  published_us_.store(start_us_, std::memory_order_relaxed);
+}
+
+std::uint64_t Service::clock_now_us() const {
+  if (options_.now_us != nullptr) return options_.now_us();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 void Service::swap_snapshot(std::shared_ptr<const ModelSnapshot> snapshot) {
   HETSCHED_CHECK(snapshot != nullptr, "cannot publish a null snapshot");
   slot_.store(std::move(snapshot));
+  published_us_.store(clock_now_us(), std::memory_order_relaxed);
   swaps_.fetch_add(1, std::memory_order_relaxed);
   HETSCHED_COUNTER_ADD("server.snapshot_swaps", 1);
+}
+
+void Service::connection_opened() {
+  const std::int64_t open =
+      open_connections_.fetch_add(1, std::memory_order_relaxed) + 1;
+  HETSCHED_GAUGE_SET("server.open_connections", open);
+}
+
+void Service::connection_closed() {
+  const std::int64_t open =
+      open_connections_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  HETSCHED_GAUGE_SET("server.open_connections", open);
+}
+
+void Service::set_draining(bool draining) {
+  draining_.store(draining, std::memory_order_relaxed);
 }
 
 std::shared_ptr<const ModelSnapshot> Service::snapshot() const {
@@ -377,32 +564,33 @@ void Service::set_reload_handler(ReloadHandler handler) {
 
 std::string Service::handle_payload(const std::string& payload) {
   HETSCHED_TRACE_SPAN("server", "request");
-#if HETSCHED_OBS_ACTIVE
-  const auto started = std::chrono::steady_clock::now();
-#endif
+  const std::uint64_t arrival = clock_now_us();
   requests_.fetch_add(1, std::memory_order_relaxed);
   HETSCHED_COUNTER_ADD("server.requests", 1);
-  std::string response = handle_parsed(payload);
-  // Error responses share a fixed prefix; cheaper than re-parsing.
-  if (response.find("\"ok\":false") != std::string::npos) {
+  RequestMeta meta;
+  std::string response = handle_parsed(payload, meta);
+  if (meta.code != 0) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     HETSCHED_COUNTER_ADD("server.errors", 1);
   }
-#if HETSCHED_OBS_ACTIVE
-  HETSCHED_HISTOGRAM_RECORD(
-      "server.request_s",
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    started)
-          .count());
-#endif
+  const std::uint64_t wall_us = clock_now_us() - arrival;
+  const double wall_s = static_cast<double>(wall_us) * 1e-6;
+  op_wall_[meta.op].record(wall_s);
+  flight_.record(meta.op, meta.code, meta.cache, meta.n, meta.fingerprint,
+                 arrival, wall_us);
+  HETSCHED_COUNTER_ADD("server.flight.records", 1);
+  HETSCHED_HISTOGRAM_RECORD("server.request_s", wall_s);
+  HETSCHED_FINE_HISTOGRAM_RECORD("server.request_fine_s", wall_s);
   return response;
 }
 
-std::string Service::handle_parsed(const std::string& payload) {
+std::string Service::handle_parsed(const std::string& payload,
+                                   RequestMeta& meta) {
   json::Value req;
   try {
     req = json::parse(payload);
   } catch (const json::ParseError& e) {
+    meta.code = code_index(errc::kBadJson);
     return error_response("null", errc::kBadJson, e.what());
   }
   const std::string id = render_id(req.find("id"));
@@ -424,7 +612,13 @@ std::string Service::handle_parsed(const std::string& payload) {
       bad_request("request requires a string op");
 
     const std::shared_ptr<const ModelSnapshot> snap = slot_.load();
+    meta.fingerprint = snap->fingerprint();
     const std::string& name = op->as_string();
+    {
+      const auto& ops = op_table();
+      for (std::size_t i = 1; i < ops.size(); ++i)
+        if (name == ops[i]) meta.op = static_cast<std::uint16_t>(i);
+    }
 
     if (name == "ping") return ok_response(id, "{}");
 
@@ -453,11 +647,14 @@ std::string Service::handle_parsed(const std::string& payload) {
       const json::Value* cfg = req.find("config");
       if (cfg == nullptr) bad_request("estimate requires config");
       const cluster::Config config = parse_config(*cfg);
+      meta.n = size;
       const std::string key = estimate_cache_key(*snap, config, size);
       if (auto cached = cache_.lookup(key)) {
+        meta.cache = 1;
         HETSCHED_COUNTER_ADD("server.cache_hits", 1);
         return ok_response(id, *cached);
       }
+      meta.cache = 2;
       HETSCHED_COUNTER_ADD("server.cache_misses", 1);
       const std::string result = estimate_result(*snap, config, size);
       cache_.insert(key, result);
@@ -466,11 +663,14 @@ std::string Service::handle_parsed(const std::string& payload) {
 
     if (name == "advise") {
       const AdviseParams params = parse_advise(req, options_.max_top);
+      meta.n = params.n;
       const std::string key = advise_cache_key(*snap, params);
       if (auto cached = cache_.lookup(key)) {
+        meta.cache = 1;
         HETSCHED_COUNTER_ADD("server.cache_hits", 1);
         return ok_response(id, *cached);
       }
+      meta.cache = 2;
       HETSCHED_COUNTER_ADD("server.cache_misses", 1);
       HETSCHED_TRACE_SPAN("server", "advise_sweep");
       const std::string result = advise_result(*snap, params);
@@ -478,26 +678,57 @@ std::string Service::handle_parsed(const std::string& payload) {
       return ok_response(id, result);
     }
 
-    if (name == "stats") {
-      const Counters c = counters();
-      std::string out = "{\"requests\":";
-      out += json_int(static_cast<std::int64_t>(c.requests));
-      out += ",\"errors\":";
-      out += json_int(static_cast<std::int64_t>(c.errors));
-      out += ",\"cache_hits\":";
-      out += json_int(static_cast<std::int64_t>(c.cache_hits));
-      out += ",\"cache_misses\":";
-      out += json_int(static_cast<std::int64_t>(c.cache_misses));
-      out += ",\"cache_entries\":";
-      out += json_int(static_cast<std::int64_t>(cache_.size()));
-      out += ",\"snapshot_swaps\":";
-      out += json_int(static_cast<std::int64_t>(c.snapshot_swaps));
-      out += ",\"model_fingerprint\":";
-      out += json_quote(hex_fingerprint(snap->fingerprint()));
-      out += ",\"warmed_sizes\":";
-      out += json_int(static_cast<std::int64_t>(snap->warmed_sizes()));
-      out += '}';
-      return ok_response(id, out);
+    if (name == "stats") return ok_response(id, stats_result(*snap));
+
+    if (name == "metrics") {
+      bool process_scope = true;
+      if (const json::Value* scope = req.find("scope")) {
+        if (!scope->is_string() ||
+            (scope->as_string() != "service" &&
+             scope->as_string() != "process"))
+          bad_request("scope must be \"service\" or \"process\"");
+        process_scope = scope->as_string() == "process";
+      }
+      return ok_response(id, metrics_result(*snap, process_scope));
+    }
+
+    if (name == "health") return ok_response(id, health_result(*snap));
+
+    if (name == "flight") {
+      std::size_t count = flight_.capacity();
+      if (const json::Value* c = req.find("count"))
+        count = static_cast<std::size_t>(require_int(*c, "count", 1 << 20));
+      return ok_response(
+          id, obs::flight::to_json(flight_, count, op_table(), code_table()));
+    }
+
+    if (name == "observe") {
+      const json::Value* n = req.find("n");
+      if (n == nullptr) bad_request("observe requires n");
+      const int size = require_int(*n, "n", 1 << 30);
+      const json::Value* cfg = req.find("config");
+      if (cfg == nullptr) bad_request("observe requires config");
+      const cluster::Config config = parse_config(*cfg);
+      meta.n = size;
+      const json::Value* measured = req.find("measured");
+      if (measured == nullptr) bad_request("observe requires measured");
+      if (!measured->is_number() || !(measured->as_number() > 0.0) ||
+          !std::isfinite(measured->as_number()))
+        bad_request("measured must be a positive finite number of seconds");
+      const double t_measured = measured->as_number();
+      if (!snap->estimator().covers(config))
+        throw RequestError{errc::kUncovered,
+                           "model set does not cover " + config.to_string()};
+      const core::Estimator::Breakdown bd =
+          snap->estimator().breakdown(config, size);
+      std::string family = core::to_string(bd.provenance);
+      if (const json::Value* f = req.find("family")) {
+        if (!f->is_string() || f->as_string().empty())
+          bad_request("family must be a non-empty string");
+        family = f->as_string();
+      }
+      return ok_response(id,
+                         observe_result(family, bd.total, t_measured));
     }
 
     if (name == "reload") {
@@ -521,8 +752,10 @@ std::string Service::handle_parsed(const std::string& payload) {
 
     throw RequestError{errc::kUnknownOp, "unknown op: " + name};
   } catch (const RequestError& e) {
+    meta.code = code_index(e.code);
     return error_response(id, e.code, e.message);
   } catch (const std::exception& e) {
+    meta.code = code_index(errc::kInternal);
     return error_response(id, errc::kInternal, e.what());
   }
 }
@@ -551,6 +784,211 @@ Service::Counters Service::counters() const {
   c.cache_hits = cache_.hits();
   c.cache_misses = cache_.misses();
   return c;
+}
+
+std::string Service::stats_result(const ModelSnapshot& snap) const {
+  const Counters c = counters();
+  std::string out = "{\"requests\":";
+  out += json_int(static_cast<std::int64_t>(c.requests));
+  out += ",\"errors\":";
+  out += json_int(static_cast<std::int64_t>(c.errors));
+  out += ",\"cache_hits\":";
+  out += json_int(static_cast<std::int64_t>(c.cache_hits));
+  out += ",\"cache_misses\":";
+  out += json_int(static_cast<std::int64_t>(c.cache_misses));
+  out += ",\"cache_entries\":";
+  out += json_int(static_cast<std::int64_t>(cache_.size()));
+  out += ",\"snapshot_swaps\":";
+  out += json_int(static_cast<std::int64_t>(c.snapshot_swaps));
+  out += ",\"model_fingerprint\":";
+  out += json_quote(hex_fingerprint(snap.fingerprint()));
+  out += ",\"warmed_sizes\":";
+  out += json_int(static_cast<std::int64_t>(snap.warmed_sizes()));
+  out += '}';
+  return out;
+}
+
+std::string Service::metrics_result(const ModelSnapshot& snap,
+                                    bool process_scope) const {
+  std::string out = "{\"schema\":\"hetsched.metrics.v1\",\"scope\":";
+  out += process_scope ? "\"process\"" : "\"service\"";
+  out += ",\"stats\":";
+  out += stats_result(snap);
+  // Per-op wall-time quantiles from the always-on service histograms:
+  // the currently-handled request records *after* it is answered, so a
+  // metrics answer never includes itself.
+  out += ",\"ops\":{";
+  const auto& ops = op_table();
+  bool first = true;
+  for (std::size_t i = 0; i < kOpTableSize; ++i) {
+    if (op_wall_[i].count() == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += json_quote(ops[i]);
+    out += ':';
+    out += fine_hist_json(op_wall_[i]);
+  }
+  out += '}';
+  if (process_scope) {
+    out += ",\"process\":";
+    out += registry_json(obs::snapshot());
+  }
+  out += '}';
+  return out;
+}
+
+std::string Service::health_result(const ModelSnapshot& snap) const {
+  const std::uint64_t now = clock_now_us();
+  const Counters c = counters();
+  const bool draining = draining_.load(std::memory_order_relaxed);
+  const bool degraded = calib_degraded_.load(std::memory_order_relaxed);
+  std::string out = "{\"status\":";
+  out += draining ? "\"draining\"" : degraded ? "\"degraded\"" : "\"ok\"";
+  out += ",\"uptime_s\":";
+  out += json_number(static_cast<double>(now - start_us_) * 1e-6);
+  out += ",\"model_fingerprint\":";
+  out += json_quote(hex_fingerprint(snap.fingerprint()));
+  out += ",\"cluster_fingerprint\":";
+  out += json_quote(snap.cluster_fingerprint());
+  out += ",\"snapshot_age_s\":";
+  out += json_number(
+      static_cast<double>(now - published_us_.load(std::memory_order_relaxed)) *
+      1e-6);
+  out += ",\"snapshot_swaps\":";
+  out += json_int(static_cast<std::int64_t>(c.snapshot_swaps));
+  out += ",\"open_connections\":";
+  out += json_int(open_connections_.load(std::memory_order_relaxed));
+  out += ",\"draining\":";
+  out += draining ? "true" : "false";
+  out += ",\"cache\":{\"entries\":";
+  out += json_int(static_cast<std::int64_t>(cache_.size()));
+  out += ",\"capacity\":";
+  out += json_int(static_cast<std::int64_t>(
+      options_.cache_shards * options_.cache_max_entries_per_shard));
+  out += ",\"hits\":";
+  out += json_int(static_cast<std::int64_t>(c.cache_hits));
+  out += ",\"misses\":";
+  out += json_int(static_cast<std::int64_t>(c.cache_misses));
+  out += ",\"hit_rate\":";
+  const std::uint64_t probes = c.cache_hits + c.cache_misses;
+  out += json_number(probes == 0 ? 0.0
+                                 : static_cast<double>(c.cache_hits) /
+                                       static_cast<double>(probes));
+  out += "},\"flight\":{\"capacity\":";
+  out += json_int(static_cast<std::int64_t>(flight_.capacity()));
+  out += ",\"recorded\":";
+  out += json_int(static_cast<std::int64_t>(flight_.total()));
+  out += "},\"calib\":{\"threshold\":";
+  out += json_number(options_.calib_error_threshold);
+  out += ",\"min_count\":";
+  out += json_int(static_cast<std::int64_t>(options_.calib_min_count));
+  out += ",\"families\":{";
+  {
+    std::lock_guard<std::mutex> l(calib_mu_);
+    bool first = true;
+    for (const auto& [name, f] : calib_) {
+      if (!first) out += ',';
+      first = false;
+      const double mean_abs =
+          f.sum_abs_rel_err / static_cast<double>(f.count);
+      out += json_quote(name);
+      out += ":{\"count\":";
+      out += json_int(static_cast<std::int64_t>(f.count));
+      out += ",\"mean_rel_err\":";
+      out += json_number_or_null(f.sum_rel_err /
+                                 static_cast<double>(f.count));
+      out += ",\"mean_abs_rel_err\":";
+      out += json_number_or_null(mean_abs);
+      out += ",\"max_abs_rel_err\":";
+      out += json_number_or_null(f.max_abs_rel_err);
+      out += ",\"degraded\":";
+      out += (f.count >= options_.calib_min_count &&
+              mean_abs > options_.calib_error_threshold)
+                 ? "true"
+                 : "false";
+      out += '}';
+    }
+  }
+  out += "}}}";
+  return out;
+}
+
+std::string Service::observe_result(const std::string& family,
+                                    double predicted, double measured) {
+  const double rel = (predicted - measured) / measured;
+  const double abs_rel = std::fabs(rel);
+  CalibFamily fam;
+  bool degraded_any = false;
+  {
+    std::lock_guard<std::mutex> l(calib_mu_);
+    auto it = calib_.find(family);
+    if (it == calib_.end()) {
+      // Bound the family set so a misbehaving client can't grow an
+      // unbounded map on the serving path.
+      if (calib_.size() >= 16)
+        bad_request("too many calibration families (max 16)");
+      it = calib_.emplace(family, CalibFamily{}).first;
+    }
+    CalibFamily& f = it->second;
+    f.count += 1;
+    f.sum_rel_err += rel;
+    f.sum_abs_rel_err += abs_rel;
+    f.max_abs_rel_err = std::max(f.max_abs_rel_err, abs_rel);
+    fam = f;
+    for (const auto& [name, g] : calib_)
+      degraded_any = degraded_any ||
+                     (g.count >= options_.calib_min_count &&
+                      g.sum_abs_rel_err / static_cast<double>(g.count) >
+                          options_.calib_error_threshold);
+  }
+  calib_degraded_.store(degraded_any, std::memory_order_relaxed);
+  const double mean_abs = fam.sum_abs_rel_err / static_cast<double>(fam.count);
+  const bool fam_degraded = fam.count >= options_.calib_min_count &&
+                            mean_abs > options_.calib_error_threshold;
+  HETSCHED_COUNTER_ADD("server.calib.observations", 1);
+  // Gauge names must be literals for the metric-name lint; the
+  // provenance families are a closed set, arbitrary client-chosen
+  // families are visible through `health` instead.
+  if (family == "measured") {
+    HETSCHED_GAUGE_SET("server.calib.measured.mean_abs_rel_err", mean_abs);
+  } else if (family == "composed") {
+    HETSCHED_GAUGE_SET("server.calib.composed.mean_abs_rel_err", mean_abs);
+  } else if (family == "fallback") {
+    HETSCHED_GAUGE_SET("server.calib.fallback.mean_abs_rel_err", mean_abs);
+  }
+  HETSCHED_GAUGE_SET("server.calib.degraded", degraded_any ? 1 : 0);
+  std::string out = "{\"family\":";
+  out += json_quote(family);
+  out += ",\"predicted\":";
+  out += json_number(predicted);
+  out += ",\"measured\":";
+  out += json_number(measured);
+  out += ",\"rel_err\":";
+  out += json_number(rel);
+  out += ",\"count\":";
+  out += json_int(static_cast<std::int64_t>(fam.count));
+  out += ",\"mean_abs_rel_err\":";
+  out += json_number(mean_abs);
+  out += ",\"max_abs_rel_err\":";
+  out += json_number(fam.max_abs_rel_err);
+  out += ",\"degraded\":";
+  out += fam_degraded ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+std::string Service::flight_json(std::size_t max_records) const {
+  return obs::flight::to_json(flight_, max_records, op_table(), code_table());
+}
+
+std::string Service::metrics_json() const {
+  const std::shared_ptr<const ModelSnapshot> snap = slot_.load();
+  return metrics_result(*snap, /*process_scope=*/true);
+}
+
+std::string Service::health_json() const {
+  const std::shared_ptr<const ModelSnapshot> snap = slot_.load();
+  return health_result(*snap);
 }
 
 }  // namespace hetsched::server

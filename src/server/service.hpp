@@ -18,14 +18,18 @@
 // a fresh sweep.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/fine_hist.hpp"
+#include "obs/flight.hpp"
 #include "search/cache.hpp"
 #include "server/protocol.hpp"
 #include "server/snapshot.hpp"
@@ -43,6 +47,20 @@ struct ServiceOptions {
   std::size_t min_batch_for_pool = 4;
   /// Most ranked results one advise may request (docs/SERVER.md §4.3).
   int max_top = 64;
+  /// Flight-recorder depth (rounded up to a power of two): how many of
+  /// the most recent requests the `flight` op can replay.
+  std::size_t flight_capacity = 4096;
+  /// Calibration watchdog (the `observe` op): a model family is
+  /// `degraded` once it has >= calib_min_count observations whose mean
+  /// |relative error| exceeds calib_error_threshold; any degraded
+  /// family flips the `health` status.
+  double calib_error_threshold = 0.25;
+  std::uint64_t calib_min_count = 8;
+  /// Monotone microsecond clock used for flight timestamps, request
+  /// wall times, uptime and snapshot age. Null = steady_clock. Tests
+  /// (and the golden transcripts in docs/SERVER.md §9) inject a
+  /// deterministic counter here so timing fields are byte-stable.
+  std::uint64_t (*now_us)() = nullptr;
 };
 
 /// Transport-independent request handler around a hot-swappable model.
@@ -94,8 +112,52 @@ class Service {
 
   const ServiceOptions& options() const { return options_; }
 
+  // -- live introspection (the metrics/health/flight wire ops) --------------
+
+  /// Transport lifecycle notifications (net.cpp) feeding the `health`
+  /// op's open_connections / draining fields.
+  void connection_opened();
+  void connection_closed();
+  void set_draining(bool draining);
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Canonical `flight` result document (hetsched.flight.v1) for the
+  /// newest min(max_records, capacity) requests — what the `flight` op
+  /// answers and what the daemon writes on SIGUSR1.
+  std::string flight_json(std::size_t max_records) const;
+  /// Canonical `metrics` result document, process scope (service stats,
+  /// per-op latency histograms, and the full registry snapshot).
+  std::string metrics_json() const;
+  /// Canonical `health` result document.
+  std::string health_json() const;
+
+  /// Number of entries in the op name table (index 0 is "?", the
+  /// unparseable-request bucket) — the size of the per-op latency
+  /// histogram array.
+  static constexpr std::size_t kOpTableSize = 11;
+
  private:
-  std::string handle_parsed(const std::string& payload);
+  /// Per-request metadata the dispatcher fills in for the flight
+  /// recorder and the per-op histograms.
+  struct RequestMeta {
+    std::uint16_t op = 0;     ///< op-table index (0 = unparseable)
+    std::uint16_t code = 0;   ///< 0 = ok, else error-code-table index
+    std::uint16_t cache = 0;  ///< 0 = n/a, 1 = hit, 2 = miss
+    std::int32_t n = 0;       ///< problem size, 0 when not applicable
+    std::uint64_t fingerprint = 0;
+  };
+
+  std::string handle_parsed(const std::string& payload, RequestMeta& meta);
+  std::uint64_t clock_now_us() const;
+  std::string stats_result(const ModelSnapshot& snap) const;
+  /// The `metrics` result for either scope ("service" or "process").
+  std::string metrics_result(const ModelSnapshot& snap,
+                             bool process_scope) const;
+  std::string health_result(const ModelSnapshot& snap) const;
+  /// Folds one predicted-vs-measured pair into the watchdog state and
+  /// renders the `observe` result document.
+  std::string observe_result(const std::string& family, double predicted,
+                             double measured);
 
   ServiceOptions options_;
   std::atomic<std::shared_ptr<const ModelSnapshot>> slot_;
@@ -108,6 +170,28 @@ class Service {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> swaps_{0};
+
+  obs::flight::Ring flight_;
+  /// Wall-time distribution per wire op, indexed by RequestMeta::op.
+  /// Always on (plain members, not registry metrics), so the `metrics`
+  /// op serves identical quantiles in both HETSCHED_OBS legs.
+  std::array<obs::FineHistogram, kOpTableSize> op_wall_;
+
+  std::uint64_t start_us_ = 0;
+  std::atomic<std::uint64_t> published_us_{0};
+  std::atomic<std::int64_t> open_connections_{0};
+  std::atomic<bool> draining_{false};
+
+  /// Calibration watchdog state (`observe` op), keyed by model family.
+  struct CalibFamily {
+    std::uint64_t count = 0;
+    double sum_rel_err = 0.0;
+    double sum_abs_rel_err = 0.0;
+    double max_abs_rel_err = 0.0;
+  };
+  mutable std::mutex calib_mu_;
+  std::map<std::string, CalibFamily> calib_;
+  std::atomic<bool> calib_degraded_{false};
 };
 
 }  // namespace hetsched::server

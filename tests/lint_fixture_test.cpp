@@ -81,6 +81,8 @@ INSTANTIATE_TEST_SUITE_P(
         RuleCase{"float_fit", "float-fit", "src/linalg/bad_float.cpp"},
         RuleCase{"hot_path_alloc", "hot-path-alloc",
                  "src/core/bad_hot.cpp"},
+        RuleCase{"hot_path_alloc_new", "hot-path-alloc",
+                 "src/core/bad_hot_new.cpp"},
         RuleCase{"assert_message", "assert-message",
                  "src/des/bad_assert.cpp"},
         RuleCase{"include_guard", "include-guard",

@@ -1,0 +1,21 @@
+// Trips hot-path-alloc exactly once: an allocator entry point
+// (make_unique) inside the marked region. This is the flight-recorder
+// contract — the per-request record path in src/obs/flight.cpp is
+// bracketed by the same markers, so a future edit that slips an
+// allocation into it fails the whole-tree lint the same way this file
+// fails here. The identical call outside the markers is fine.
+#include <memory>
+
+namespace hetsched::core {
+
+std::unique_ptr<int> warm_up() {
+  return std::make_unique<int>(1);  // outside the region: allowed
+}
+
+// hetsched-lint: hot-path-begin
+std::unique_ptr<int> hot_record() {
+  return std::make_unique<int>(2);
+}
+// hetsched-lint: hot-path-end
+
+}  // namespace hetsched::core

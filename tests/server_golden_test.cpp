@@ -71,7 +71,13 @@ TEST(GoldenTranscripts, ServerMdExchangesReplayVerbatim) {
   // silently pass on an empty list.
   ASSERT_GE(exchanges.size(), 8u) << "docs/SERVER.md §9 lost its transcripts";
 
-  Service service(testutil::reference_snapshot());
+  // The deterministic clock makes the timing fields in the §9
+  // introspection transcripts (uptime, flight timestamps, per-op wall
+  // quantiles) byte-stable: every clock reading advances exactly 1 ms.
+  testutil::reset_fake_clock();
+  ServiceOptions options;
+  options.now_us = &testutil::fake_now_us;
+  Service service(testutil::reference_snapshot(), options);
   service.set_reload_handler([] { return testutil::reference_snapshot(); });
   for (const Exchange& ex : exchanges) {
     const std::string got = service.handle_payload(ex.request);
@@ -84,7 +90,9 @@ TEST(GoldenTranscripts, DocumentedOpsAreAllExercised) {
   const std::vector<Exchange> exchanges = parse_transcripts(SERVER_MD_PATH);
   for (const char* op :
        {"\"op\":\"ping\"", "\"op\":\"hello\"", "\"op\":\"estimate\"",
-        "\"op\":\"advise\"", "\"op\":\"stats\"", "\"op\":\"reload\""}) {
+        "\"op\":\"advise\"", "\"op\":\"stats\"", "\"op\":\"reload\"",
+        "\"op\":\"metrics\"", "\"op\":\"health\"", "\"op\":\"flight\"",
+        "\"op\":\"observe\""}) {
     bool found = false;
     for (const Exchange& ex : exchanges)
       found = found || ex.request.find(op) != std::string::npos;

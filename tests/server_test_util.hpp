@@ -12,6 +12,7 @@
 // be attributed unambiguously to one of the two snapshots.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -21,6 +22,17 @@
 #include "server/snapshot.hpp"
 
 namespace hetsched::server::testutil {
+
+/// Deterministic clock for ServiceOptions::now_us: every reading
+/// advances exactly 1 ms, so flight timestamps, per-op wall times,
+/// uptime and snapshot age in the §9 transcripts are byte-stable.
+/// Sequential use only — call reset_fake_clock() before each replay.
+inline std::uint64_t& fake_clock_state() {
+  static std::uint64_t micros = 0;
+  return micros;
+}
+inline std::uint64_t fake_now_us() { return fake_clock_state() += 1000; }
+inline void reset_fake_clock() { fake_clock_state() = 0; }
 
 inline cluster::ClusterSpec reference_spec() {
   cluster::ClusterSpec spec;

@@ -24,6 +24,11 @@
 // with -DHETSCHED_OBS=OFF too); CI gates them with `hetsched_report
 // diff` against bench/baselines — qps may not collapse below 1/10 of
 // baseline, p50/p99 may not exceed 10x (docs/OBSERVABILITY.md §8).
+//
+// Percentiles come from obs::FineHistogram — the same sub-bucketed
+// histogram the server's `metrics` op serves — so the harness benches
+// the estimator it reports with, and never materializes a per-request
+// latency vector.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -31,6 +36,8 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "obs/fine_hist.hpp"
 
 #include "core/model_builder.hpp"
 #include "measure/plan.hpp"
@@ -75,22 +82,20 @@ struct PhaseResult {
 /// throughput plus latency percentiles.
 template <typename Fn>
 PhaseResult run_phase(std::size_t count, Fn&& one) {
-  std::vector<double> lat;
-  lat.reserve(count);
+  obs::FineHistogram hist;
   const auto begin = Clock::now();
   for (std::size_t i = 0; i < count; ++i) {
     const auto t0 = Clock::now();
     one(i);
-    lat.push_back(std::chrono::duration<double>(Clock::now() - t0).count());
+    hist.record(std::chrono::duration<double>(Clock::now() - t0).count());
   }
   const double wall =
       std::chrono::duration<double>(Clock::now() - begin).count();
   PhaseResult res;
   res.count = count;
   res.qps = wall > 0 ? static_cast<double>(count) / wall : 0;
-  std::sort(lat.begin(), lat.end());
-  res.p50 = lat[lat.size() / 2];
-  res.p99 = lat[std::min(lat.size() - 1, lat.size() * 99 / 100)];
+  res.p50 = hist.quantile(0.5);
+  res.p99 = hist.quantile(0.99);
   return res;
 }
 
@@ -202,8 +207,7 @@ int main(int argc, char** argv) {
           std::max<std::size_t>(1, cached_count / (batch * 10));
       std::vector<std::string> reqs(batch);
       std::size_t sent = 0;
-      std::vector<double> lat;
-      lat.reserve(rounds);
+      obs::FineHistogram lat;
       const auto begin = Clock::now();
       for (std::size_t r = 0; r < rounds; ++r) {
         for (std::size_t b = 0; b < batch; ++b)
@@ -214,16 +218,15 @@ int main(int argc, char** argv) {
         const double dt =
             std::chrono::duration<double>(Clock::now() - t0).count();
         for (const std::string& resp : responses) check_ok(resp, "socket");
-        lat.push_back(dt / static_cast<double>(batch));
+        lat.record(dt / static_cast<double>(batch));
       }
       const double wall =
           std::chrono::duration<double>(Clock::now() - begin).count();
       PhaseResult sock;
       sock.count = sent;
       sock.qps = wall > 0 ? static_cast<double>(sent) / wall : 0;
-      std::sort(lat.begin(), lat.end());
-      sock.p50 = lat[lat.size() / 2];
-      sock.p99 = lat[std::min(lat.size() - 1, lat.size() * 99 / 100)];
+      sock.p50 = lat.quantile(0.5);
+      sock.p99 = lat.quantile(0.99);
       report("socket", sock);
     }
   } catch (const std::exception& e) {

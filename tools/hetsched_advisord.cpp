@@ -3,7 +3,7 @@
 //   hetsched_advisord [--socket=PATH] [--tcp=PORT]
 //                     [--model=FILE | --plan=basic|nl|ns] [--mpi=121|122]
 //                     [--threads=K] [--cache-shards=K] [--max-frame=BYTES]
-//                     [--prewarm=N1,N2,...]
+//                     [--prewarm=N1,N2,...] [--dump-prefix=PATH]
 //                     [--trace-out=FILE] [--metrics-out=FILE]
 //
 // Fits (or loads) a model once, then serves advise/estimate queries
@@ -12,12 +12,17 @@
 //
 // Signals: SIGHUP re-reads --model (or refits the plan) and publishes
 // the fresh snapshot atomically — readers are never blocked and
-// in-flight requests finish on the old model; SIGTERM/SIGINT drain open
-// connections and exit 0. The `reload` protocol op does the same as
-// SIGHUP, remotely.
+// in-flight requests finish on the old model; SIGUSR1 dumps the flight
+// recorder and a metrics snapshot to timestamped
+// <dump-prefix><epoch>.{flight,metrics}.json files (the no-network
+// fallback to the `flight`/`metrics` wire ops — see docs/SERVER.md §7);
+// SIGTERM/SIGINT drain open connections, flush the --metrics-out /
+// --report-out / --trace-out artifacts, and exit 0. The `reload`
+// protocol op does the same as SIGHUP, remotely.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -41,7 +46,7 @@ int usage() {
   std::cerr << "usage: hetsched_advisord [--socket=PATH] [--tcp=PORT] "
                "[--model=FILE | --plan=basic|nl|ns] [--mpi=121|122] "
                "[--threads=K] [--cache-shards=K] [--max-frame=BYTES] "
-               "[--prewarm=N1,N2,...] "
+               "[--prewarm=N1,N2,...] [--dump-prefix=PATH] "
             << obs::cli_help() << "\n";
   return 2;
 }
@@ -56,7 +61,28 @@ struct Options {
   std::size_t cache_shards = 64;
   std::size_t max_frame = server::kDefaultMaxPayload;
   std::vector<int> prewarm;
+  std::string dump_prefix = "hetsched_advisord.";
 };
+
+/// SIGUSR1 handler body: write the flight recorder and a full metrics
+/// snapshot to <prefix><unix-epoch-seconds>.{flight,metrics}.json.
+void dump_introspection(const server::Service& service,
+                        const std::string& prefix) {
+  const std::string stamp = std::to_string(
+      static_cast<long long>(std::time(nullptr)));
+  const std::string flight_path = prefix + stamp + ".flight.json";
+  const std::string metrics_path = prefix + stamp + ".metrics.json";
+  {
+    std::ofstream out(flight_path);
+    out << service.flight_json(service.options().flight_capacity) << "\n";
+  }
+  {
+    std::ofstream out(metrics_path);
+    out << service.metrics_json() << "\n";
+  }
+  std::cerr << "hetsched_advisord: dumped " << flight_path << " and "
+            << metrics_path << "\n";
+}
 
 std::shared_ptr<const server::ModelSnapshot> build_snapshot(
     const Options& opts) {
@@ -112,6 +138,8 @@ int main(int argc, char** argv) {
         opts.prewarm.push_back(std::atoi(list.c_str() + at));
         at = comma == std::string::npos ? list.size() : comma + 1;
       }
+    } else if (arg.rfind("--dump-prefix=", 0) == 0) {
+      opts.dump_prefix = arg.substr(14);
     } else {
       return usage();
     }
@@ -127,6 +155,7 @@ int main(int argc, char** argv) {
   sigaddset(&sigs, SIGHUP);
   sigaddset(&sigs, SIGTERM);
   sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGUSR1);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
   try {
@@ -169,14 +198,30 @@ int main(int argc, char** argv) {
         }
         continue;
       }
+      if (sig == SIGUSR1) {
+        try {
+          dump_introspection(service, opts.dump_prefix);
+        } catch (const std::exception& e) {
+          std::cerr << "hetsched_advisord: dump failed: " << e.what() << "\n";
+        }
+        continue;
+      }
       std::cerr << "hetsched_advisord: draining...\n";
       break;
     }
     srv.stop();
+    // Flush the --trace-out/--metrics-out/--report-out artifacts as
+    // part of the drain, not from atexit: a supervisor watching the
+    // files sees them complete the moment the process exits, and an
+    // exit path that skips atexit handlers can no longer lose them.
+    const int written = obs::flush_outputs();
+    if (written > 0)
+      std::cerr << "hetsched_advisord: flushed " << written
+                << " obs artifact(s)\n";
   } catch (const std::exception& e) {
     std::cerr << "hetsched_advisord: fatal: " << e.what() << "\n";
     return 1;
   }
-  obs::flush_outputs();
+  obs::flush_outputs();  // no-op when the drain path already ran
   return 0;
 }

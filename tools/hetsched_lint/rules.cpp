@@ -231,7 +231,7 @@ std::vector<Finding> lint_file(const FileInput& in, const LintConfig& cfg) {
   if (cfg.have_naming_table && !in_tests) {
     static const std::unordered_set<std::string> metric_macros = {
         "HETSCHED_COUNTER_ADD", "HETSCHED_GAUGE_SET",
-        "HETSCHED_HISTOGRAM_RECORD"};
+        "HETSCHED_HISTOGRAM_RECORD", "HETSCHED_FINE_HISTOGRAM_RECORD"};
     static const std::unordered_set<std::string> trace_macros = {
         "HETSCHED_TRACE_SPAN", "HETSCHED_TRACE_SPAN_VAR",
         "HETSCHED_TRACE_ASYNC_VAR", "HETSCHED_TRACE_INSTANT"};
@@ -366,7 +366,10 @@ std::vector<Finding> lint_file(const FileInput& in, const LintConfig& cfg) {
         if (t.text == "new") {
           emit("hot-path-alloc", t.line,
                "'new' inside a hot-path region (allocation-free contract)");
-        } else if (alloc_calls.count(t.text) && is_punct(next, '(')) {
+        } else if (alloc_calls.count(t.text) &&
+                   (is_punct(next, '(') || is_punct(next, '<'))) {
+          // `<` too: make_unique/make_shared are almost always spelled
+          // with explicit template arguments.
           emit("hot-path-alloc", t.line,
                "'" + t.text + "' allocates inside a hot-path region");
         } else if (growth_calls.count(t.text) && is_punct(next, '(') &&

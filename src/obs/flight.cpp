@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/thread_annotations.hpp"
+
 namespace hetsched::obs::flight {
 
 namespace {
@@ -20,11 +22,16 @@ Ring::Ring(std::size_t capacity) : slots_(round_up_pow2(capacity)) {}
 void Ring::record(std::uint16_t op, std::uint16_t code, std::uint16_t cache,
                   std::int32_t n, std::uint64_t fingerprint,
                   std::uint64_t arrival_us, std::uint64_t wall_us) noexcept {
+  HETSCHED_ATOMIC_DOC(acq_rel, "claims a unique slot index; pairs with the "
+                               "acquire load of head_ in dump()/total()");
   const std::uint64_t seq = head_.fetch_add(1, std::memory_order_acq_rel);
   Slot& s = slots_[seq & (slots_.size() - 1)];
   // Odd version = write in progress. Two writers lapping each other on
   // the same slot (the ring wrapped a full capacity during one write)
   // can interleave; the seq check in dump() discards such slots.
+  HETSCHED_ATOMIC_DOC(acq_rel, "seqlock open: makes the version odd before "
+                               "any payload store; pairs with dump()'s v1 "
+                               "acquire load");
   s.ver.fetch_add(1, std::memory_order_acq_rel);
   s.seq.store(seq, std::memory_order_relaxed);
   s.arrival_us.store(arrival_us, std::memory_order_relaxed);
@@ -37,11 +44,15 @@ void Ring::record(std::uint16_t op, std::uint16_t code, std::uint16_t cache,
   s.op.store(op, std::memory_order_relaxed);
   s.code.store(code, std::memory_order_relaxed);
   s.cache.store(cache, std::memory_order_relaxed);
+  HETSCHED_ATOMIC_DOC(release, "seqlock close: publishes the payload stores "
+                               "above; pairs with dump()'s v2 acquire load");
   s.ver.fetch_add(1, std::memory_order_release);
 }
 // hetsched-lint: hot-path-end
 
 std::vector<Record> Ring::dump(std::size_t max_records) const {
+  HETSCHED_ATOMIC_DOC(acquire, "pairs with record()'s acq_rel fetch_add of "
+                               "head_: slots below `total` were claimed");
   const std::uint64_t total = head_.load(std::memory_order_acquire);
   const std::uint64_t avail =
       std::min<std::uint64_t>(total, slots_.size());
@@ -53,6 +64,9 @@ std::vector<Record> Ring::dump(std::size_t max_records) const {
     Record rec;
     bool ok = false;
     for (int attempt = 0; attempt < 8 && !ok; ++attempt) {
+      HETSCHED_ATOMIC_DOC(acquire, "seqlock read open: pairs with record()'s "
+                                   "acq_rel opening bump; payload loads "
+                                   "below cannot hoist above it");
       const std::uint64_t v1 = s.ver.load(std::memory_order_acquire);
       if (v1 & 1) continue;  // mid-write; retry
       rec.seq = s.seq.load(std::memory_order_relaxed);
@@ -63,6 +77,9 @@ std::vector<Record> Ring::dump(std::size_t max_records) const {
       rec.op = s.op.load(std::memory_order_relaxed);
       rec.code = s.code.load(std::memory_order_relaxed);
       rec.cache = s.cache.load(std::memory_order_relaxed);
+      HETSCHED_ATOMIC_DOC(acquire, "seqlock read close: pairs with "
+                                   "record()'s release closing bump; "
+                                   "v1 == v2 proves the payload was stable");
       const std::uint64_t v2 = s.ver.load(std::memory_order_acquire);
       ok = v1 == v2;
     }

@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "support/thread_annotations.hpp"
+
 namespace hetsched::obs::flight {
 
 /// One answered request, as dump() returns it.
@@ -64,6 +66,8 @@ class Ring {
   std::size_t capacity() const noexcept { return slots_.size(); }
   /// Records ever written (not clamped to capacity).
   std::uint64_t total() const noexcept {
+    HETSCHED_ATOMIC_DOC(acquire, "pairs with record()'s acq_rel fetch_add "
+                                 "of head_");
     return head_.load(std::memory_order_acquire);
   }
 

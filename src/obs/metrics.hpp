@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "support/thread_annotations.hpp"
+
 namespace hetsched::obs {
 
 /// Number of per-thread update stripes (power of two). Threads are
@@ -204,10 +206,14 @@ class MetricsRegistry {
   MetricsRegistry() = default;
   ~MetricsRegistry();  // out-of-line: FineHistogram is incomplete here
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<FineHistogram>> fine_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      HETSCHED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      HETSCHED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      HETSCHED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<FineHistogram>> fine_
+      HETSCHED_GUARDED_BY(mu_);
 };
 
 /// Shorthand for MetricsRegistry::instance().snapshot() — the one-call

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace hetsched::obs::report {
 
@@ -220,12 +221,13 @@ class Recorder {
   Recorder() = default;
 
   mutable std::mutex mu_;
-  bool enabled_ = false;
-  double start_s_ = 0;  ///< steady-clock seconds at enable()
-  std::string family_;
-  std::string bench_ = "run";
-  std::vector<PredictionRecord> records_;
-  std::map<std::string, double> scalars_;
+  bool enabled_ HETSCHED_GUARDED_BY(mu_) = false;
+  /// steady-clock seconds at enable()
+  double start_s_ HETSCHED_GUARDED_BY(mu_) = 0;
+  std::string family_ HETSCHED_GUARDED_BY(mu_);
+  std::string bench_ HETSCHED_GUARDED_BY(mu_) = "run";
+  std::vector<PredictionRecord> records_ HETSCHED_GUARDED_BY(mu_);
+  std::map<std::string, double> scalars_ HETSCHED_GUARDED_BY(mu_);
 };
 
 }  // namespace hetsched::obs::report

@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "support/thread_annotations.hpp"
+
 namespace hetsched::obs {
 
 /// Microseconds since process start (steady clock).
@@ -84,17 +86,18 @@ class Tracer {
  private:
   Tracer() = default;
   struct ThreadBuf {
-    int tid = 0;
+    int tid HETSCHED_NOT_GUARDED("set once at registration, then immutable") =
+        0;
     mutable std::mutex mu;
-    std::vector<TraceEvent> events;
+    std::vector<TraceEvent> events HETSCHED_GUARDED_BY(mu);
   };
   ThreadBuf& local_buf();
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> next_id_{1};
   mutable std::mutex bufs_mu_;
-  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
-  int next_tid_ = 1;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_ HETSCHED_GUARDED_BY(bufs_mu_);
+  int next_tid_ HETSCHED_GUARDED_BY(bufs_mu_) = 1;
 };
 
 /// Appends `"key": <value>` fragments into a TraceEvent::args_json.

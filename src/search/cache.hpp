@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/estimator.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/units.hpp"
 
 namespace hetsched::search {
@@ -88,10 +89,14 @@ class ShardedCache {
     const auto it = s.map.find(key);
     if (it == s.map.end()) {
       ++s.misses;
+      HETSCHED_ATOMIC_DOC(relaxed, "statistics only; the exact count lives "
+                                   "in s.misses under the shard lock");
       misses_.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
     }
     ++s.hits;
+    HETSCHED_ATOMIC_DOC(relaxed, "statistics only; the exact count lives "
+                                 "in s.hits under the shard lock");
     hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
@@ -110,6 +115,8 @@ class ShardedCache {
     if (victim == it) ++victim;
     s.map.erase(victim);
     ++s.evictions;
+    HETSCHED_ATOMIC_DOC(relaxed, "statistics only; the exact count lives "
+                                 "in s.evictions under the shard lock");
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -172,28 +179,38 @@ class ShardedCache {
       st.total.evictions += st.shards[i].evictions;
       st.total.entries += st.shards[i].entries;
     }
+    HETSCHED_ATOMIC_DOC(relaxed, "counters are updated under the shard "
+                                 "locks, all of which are held here");
     st.global_hits = hits_.load(std::memory_order_relaxed);
+    HETSCHED_ATOMIC_DOC(relaxed, "counters are updated under the shard "
+                                 "locks, all of which are held here");
     st.global_misses = misses_.load(std::memory_order_relaxed);
+    HETSCHED_ATOMIC_DOC(relaxed, "counters are updated under the shard "
+                                 "locks, all of which are held here");
     st.global_evictions = evictions_.load(std::memory_order_relaxed);
     return st;
   }
 
-  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t hits() const {
+    HETSCHED_ATOMIC_DOC(relaxed, "monotonic statistic; a stale read is fine");
+    return hits_.load(std::memory_order_relaxed);
+  }
   std::uint64_t misses() const {
+    HETSCHED_ATOMIC_DOC(relaxed, "monotonic statistic; a stale read is fine");
     return misses_.load(std::memory_order_relaxed);
   }
   std::uint64_t evictions() const {
+    HETSCHED_ATOMIC_DOC(relaxed, "monotonic statistic; a stale read is fine");
     return evictions_.load(std::memory_order_relaxed);
   }
 
  private:
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::string, V> map;
-    // Guarded by mu (updated under the same lock as map).
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    std::unordered_map<std::string, V> map HETSCHED_GUARDED_BY(mu);
+    std::uint64_t hits HETSCHED_GUARDED_BY(mu) = 0;
+    std::uint64_t misses HETSCHED_GUARDED_BY(mu) = 0;
+    std::uint64_t evictions HETSCHED_GUARDED_BY(mu) = 0;
   };
   Shard& shard_for(const std::string& key) {
     return shards_[std::hash<std::string>{}(key) % shard_count_];
@@ -227,8 +244,8 @@ class EstimateCache : public ShardedCache<Seconds> {
 
  private:
   std::mutex bind_mu_;
-  std::uint64_t bound_fingerprint_ = 0;
-  bool bound_ = false;
+  std::uint64_t bound_fingerprint_ HETSCHED_GUARDED_BY(bind_mu_) = 0;
+  bool bound_ HETSCHED_GUARDED_BY(bind_mu_) = false;
 };
 
 }  // namespace hetsched::search

@@ -9,6 +9,7 @@
 
 #include "obs/hooks.hpp"
 #include "support/error.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace hetsched::search {
 
@@ -18,7 +19,12 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
 void atomic_min(std::atomic<double>& a, double v) {
+  HETSCHED_ATOMIC_DOC(relaxed, "advisory pruning bound: a stale value only "
+                               "weakens cuts, never correctness (the final "
+                               "reduction is serial and deterministic)");
   double cur = a.load(std::memory_order_relaxed);
+  HETSCHED_ATOMIC_DOC(relaxed, "same advisory bound; no payload is "
+                               "published through this CAS");
   while (v < cur &&
          !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
@@ -374,6 +380,8 @@ core::Ranked Engine::best(const core::Estimator& est,
       // enumeration-order tie-break, so it survives. Together with the
       // serial (estimate, index) reduction below this keeps the result
       // bit-identical to the serial oracle for any thread count.
+      HETSCHED_ATOMIC_DOC(relaxed, "advisory incumbent for pruning; stale "
+                                   "reads only weaken cuts");
       if (opts_.prune &&
           cur_bound > incumbent.load(std::memory_order_relaxed)) {
         L.pruned += suffix[d];

@@ -16,6 +16,7 @@
 
 #include "obs/hooks.hpp"
 #include "support/error.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace hetsched::server {
 
@@ -41,19 +42,26 @@ bool write_all(int fd, const std::string& bytes) {
 }  // namespace
 
 struct Server::Impl {
-  Service& service;
-  ServerOptions options;
+  Service& service HETSCHED_NOT_GUARDED("bound at construction");
+  ServerOptions options HETSCHED_NOT_GUARDED(
+      "set at construction, read-only afterwards");
 
-  int unix_fd = -1;
-  int tcp_fd = -1;
-  int bound_tcp_port = -1;
+  // The fds and port are written during single-threaded start() before
+  // any accept thread exists, then only read.
+  int unix_fd HETSCHED_NOT_GUARDED("start()-time only") = -1;
+  int tcp_fd HETSCHED_NOT_GUARDED("start()-time only") = -1;
+  int bound_tcp_port HETSCHED_NOT_GUARDED("start()-time only") = -1;
   std::atomic<bool> stopping{false};
   std::atomic<std::uint64_t> accepted{0};
 
-  std::vector<std::thread> accept_threads;
+  std::vector<std::thread> accept_threads HETSCHED_NOT_GUARDED(
+      "mutated only by start()/stop() on the owning thread");
   std::mutex conn_mu;
-  std::unordered_map<int, std::thread> connections;  // fd -> handler
-  std::vector<std::thread> finished;  // handlers awaiting join
+  // fd -> handler
+  std::unordered_map<int, std::thread> connections HETSCHED_GUARDED_BY(
+      conn_mu);
+  // handlers awaiting join
+  std::vector<std::thread> finished HETSCHED_GUARDED_BY(conn_mu);
 
   explicit Impl(Service& s, ServerOptions o)
       : service(s), options(std::move(o)) {}
@@ -69,6 +77,8 @@ struct Server::Impl {
         close_fd(fd);
         return;
       }
+      HETSCHED_ATOMIC_DOC(relaxed, "monotonic statistic; readers tolerate "
+                                   "a stale count");
       accepted.fetch_add(1, std::memory_order_relaxed);
       HETSCHED_COUNTER_ADD("server.connections", 1);
       // Reap handlers of already-closed connections before spawning, so
@@ -234,6 +244,7 @@ void Server::stop() {
 int Server::tcp_port() const { return impl_->bound_tcp_port; }
 
 std::uint64_t Server::connections_accepted() const {
+  HETSCHED_ATOMIC_DOC(relaxed, "monotonic statistic; a stale read is fine");
   return impl_->accepted.load(std::memory_order_relaxed);
 }
 

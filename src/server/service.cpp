@@ -13,6 +13,7 @@
 // is intentional. hetsched-lint: allow(obs-direct)
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace hetsched::server {
 
@@ -518,6 +519,8 @@ Service::Service(std::shared_ptr<const ModelSnapshot> snapshot,
   static_assert(Service::kOpTableSize == 11,
                 "op_wall_ must cover every entry of op_table()");
   start_us_ = clock_now_us();
+  HETSCHED_ATOMIC_DOC(relaxed, "constructor runs before any server thread; "
+                               "the atomic exists for later swap updates");
   published_us_.store(start_us_, std::memory_order_relaxed);
 }
 
@@ -532,24 +535,32 @@ std::uint64_t Service::clock_now_us() const {
 void Service::swap_snapshot(std::shared_ptr<const ModelSnapshot> snapshot) {
   HETSCHED_CHECK(snapshot != nullptr, "cannot publish a null snapshot");
   slot_.store(std::move(snapshot));
+  HETSCHED_ATOMIC_DOC(relaxed, "freshness timestamp for health output; the "
+                               "snapshot itself is published by slot_'s "
+                               "seq_cst store above");
   published_us_.store(clock_now_us(), std::memory_order_relaxed);
+  HETSCHED_ATOMIC_DOC(relaxed, "monotonic statistic");
   swaps_.fetch_add(1, std::memory_order_relaxed);
   HETSCHED_COUNTER_ADD("server.snapshot_swaps", 1);
 }
 
 void Service::connection_opened() {
+  HETSCHED_ATOMIC_DOC(relaxed, "connection gauge; no payload rides on it");
   const std::int64_t open =
       open_connections_.fetch_add(1, std::memory_order_relaxed) + 1;
   HETSCHED_GAUGE_SET("server.open_connections", open);
 }
 
 void Service::connection_closed() {
+  HETSCHED_ATOMIC_DOC(relaxed, "connection gauge; no payload rides on it");
   const std::int64_t open =
       open_connections_.fetch_sub(1, std::memory_order_relaxed) - 1;
   HETSCHED_GAUGE_SET("server.open_connections", open);
 }
 
 void Service::set_draining(bool draining) {
+  HETSCHED_ATOMIC_DOC(relaxed, "advisory admission flag; readers act on "
+                               "whatever value they observe");
   draining_.store(draining, std::memory_order_relaxed);
 }
 
@@ -565,11 +576,13 @@ void Service::set_reload_handler(ReloadHandler handler) {
 std::string Service::handle_payload(const std::string& payload) {
   HETSCHED_TRACE_SPAN("server", "request");
   const std::uint64_t arrival = clock_now_us();
+  HETSCHED_ATOMIC_DOC(relaxed, "monotonic statistic");
   requests_.fetch_add(1, std::memory_order_relaxed);
   HETSCHED_COUNTER_ADD("server.requests", 1);
   RequestMeta meta;
   std::string response = handle_parsed(payload, meta);
   if (meta.code != 0) {
+    HETSCHED_ATOMIC_DOC(relaxed, "monotonic statistic");
     errors_.fetch_add(1, std::memory_order_relaxed);
     HETSCHED_COUNTER_ADD("server.errors", 1);
   }
@@ -778,8 +791,12 @@ std::vector<std::string> Service::handle_batch(
 
 Service::Counters Service::counters() const {
   Counters c;
+  HETSCHED_ATOMIC_DOC(relaxed, "statistics snapshot; the three counters "
+                               "need not be mutually consistent");
   c.requests = requests_.load(std::memory_order_relaxed);
+  HETSCHED_ATOMIC_DOC(relaxed, "statistics snapshot");
   c.errors = errors_.load(std::memory_order_relaxed);
+  HETSCHED_ATOMIC_DOC(relaxed, "statistics snapshot");
   c.snapshot_swaps = swaps_.load(std::memory_order_relaxed);
   c.cache_hits = cache_.hits();
   c.cache_misses = cache_.misses();
@@ -840,7 +857,10 @@ std::string Service::metrics_result(const ModelSnapshot& snap,
 std::string Service::health_result(const ModelSnapshot& snap) const {
   const std::uint64_t now = clock_now_us();
   const Counters c = counters();
+  HETSCHED_ATOMIC_DOC(relaxed, "advisory admission flag");
   const bool draining = draining_.load(std::memory_order_relaxed);
+  HETSCHED_ATOMIC_DOC(relaxed, "advisory watchdog verdict; recomputed on "
+                               "every observe op");
   const bool degraded = calib_degraded_.load(std::memory_order_relaxed);
   std::string out = "{\"status\":";
   out += draining ? "\"draining\"" : degraded ? "\"degraded\"" : "\"ok\"";
@@ -851,12 +871,15 @@ std::string Service::health_result(const ModelSnapshot& snap) const {
   out += ",\"cluster_fingerprint\":";
   out += json_quote(snap.cluster_fingerprint());
   out += ",\"snapshot_age_s\":";
+  HETSCHED_ATOMIC_DOC(relaxed, "freshness timestamp; an off-by-one-swap "
+                               "age is acceptable in health output");
   out += json_number(
       static_cast<double>(now - published_us_.load(std::memory_order_relaxed)) *
       1e-6);
   out += ",\"snapshot_swaps\":";
   out += json_int(static_cast<std::int64_t>(c.snapshot_swaps));
   out += ",\"open_connections\":";
+  HETSCHED_ATOMIC_DOC(relaxed, "connection gauge");
   out += json_int(open_connections_.load(std::memory_order_relaxed));
   out += ",\"draining\":";
   out += draining ? "true" : "false";
@@ -913,6 +936,16 @@ std::string Service::health_result(const ModelSnapshot& snap) const {
   return out;
 }
 
+bool Service::calib_any_degraded() const HETSCHED_REQUIRES(calib_mu_) {
+  for (const auto& [name, g] : calib_) {
+    if (g.count >= options_.calib_min_count &&
+        g.sum_abs_rel_err / static_cast<double>(g.count) >
+            options_.calib_error_threshold)
+      return true;
+  }
+  return false;
+}
+
 std::string Service::observe_result(const std::string& family,
                                     double predicted, double measured) {
   const double rel = (predicted - measured) / measured;
@@ -935,12 +968,10 @@ std::string Service::observe_result(const std::string& family,
     f.sum_abs_rel_err += abs_rel;
     f.max_abs_rel_err = std::max(f.max_abs_rel_err, abs_rel);
     fam = f;
-    for (const auto& [name, g] : calib_)
-      degraded_any = degraded_any ||
-                     (g.count >= options_.calib_min_count &&
-                      g.sum_abs_rel_err / static_cast<double>(g.count) >
-                          options_.calib_error_threshold);
+    degraded_any = calib_any_degraded();
   }
+  HETSCHED_ATOMIC_DOC(relaxed, "advisory watchdog verdict; health_result "
+                               "reads it with the same tolerance");
   calib_degraded_.store(degraded_any, std::memory_order_relaxed);
   const double mean_abs = fam.sum_abs_rel_err / static_cast<double>(fam.count);
   const bool fam_degraded = fam.count >= options_.calib_min_count &&

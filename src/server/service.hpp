@@ -33,6 +33,7 @@
 #include "search/cache.hpp"
 #include "server/protocol.hpp"
 #include "server/snapshot.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/work_steal.hpp"
 
 namespace hetsched::server {
@@ -119,7 +120,12 @@ class Service {
   void connection_opened();
   void connection_closed();
   void set_draining(bool draining);
-  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+  bool draining() const {
+    HETSCHED_ATOMIC_DOC(relaxed, "advisory flag: only gates whether new "
+                                 "requests are admitted; no data is "
+                                 "published through it");
+    return draining_.load(std::memory_order_relaxed);
+  }
 
   /// Canonical `flight` result document (hetsched.flight.v1) for the
   /// newest min(max_records, capacity) requests — what the `flight` op
@@ -158,26 +164,36 @@ class Service {
   /// renders the `observe` result document.
   std::string observe_result(const std::string& family, double predicted,
                              double measured);
+  /// True when any calibration family exceeds the watchdog threshold.
+  /// Locking precondition checked by the lock-scope lint rule and the
+  /// clang thread-safety leg.
+  bool calib_any_degraded() const HETSCHED_REQUIRES(calib_mu_);
 
-  ServiceOptions options_;
+  ServiceOptions options_ HETSCHED_NOT_GUARDED(
+      "set in the constructor, immutable afterwards");
   std::atomic<std::shared_ptr<const ModelSnapshot>> slot_;
-  search::ShardedCache<std::string> cache_;
-  support::WorkStealingPool pool_;
+  search::ShardedCache<std::string> cache_ HETSCHED_NOT_GUARDED(
+      "internally synchronized (per-shard locks)");
+  support::WorkStealingPool pool_ HETSCHED_NOT_GUARDED(
+      "internally synchronized");
 
   std::mutex reload_mu_;
-  ReloadHandler reload_;
+  ReloadHandler reload_ HETSCHED_GUARDED_BY(reload_mu_);
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> swaps_{0};
 
-  obs::flight::Ring flight_;
+  obs::flight::Ring flight_ HETSCHED_NOT_GUARDED(
+      "lock-free seqlock ring, internally synchronized");
   /// Wall-time distribution per wire op, indexed by RequestMeta::op.
   /// Always on (plain members, not registry metrics), so the `metrics`
   /// op serves identical quantiles in both HETSCHED_OBS legs.
-  std::array<obs::FineHistogram, kOpTableSize> op_wall_;
+  std::array<obs::FineHistogram, kOpTableSize> op_wall_
+      HETSCHED_NOT_GUARDED("FineHistogram is internally synchronized");
 
-  std::uint64_t start_us_ = 0;
+  std::uint64_t start_us_ HETSCHED_NOT_GUARDED(
+      "set once in the constructor, before any server thread exists") = 0;
   std::atomic<std::uint64_t> published_us_{0};
   std::atomic<std::int64_t> open_connections_{0};
   std::atomic<bool> draining_{false};
@@ -190,7 +206,7 @@ class Service {
     double max_abs_rel_err = 0.0;
   };
   mutable std::mutex calib_mu_;
-  std::map<std::string, CalibFamily> calib_;
+  std::map<std::string, CalibFamily> calib_ HETSCHED_GUARDED_BY(calib_mu_);
   std::atomic<bool> calib_degraded_{false};
 };
 

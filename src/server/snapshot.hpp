@@ -19,6 +19,7 @@
 #include "core/batch.hpp"
 #include "core/estimator.hpp"
 #include "core/optimizer.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace hetsched::server {
 
@@ -63,14 +64,21 @@ class ModelSnapshot {
   static constexpr std::size_t kMaxWarmSizes = 64;
 
  private:
-  core::Estimator estimator_;
-  core::ConfigSpace space_;
-  std::uint64_t fingerprint_ = 0;
-  std::string cluster_fingerprint_;
-  std::size_t candidates_ = 0;
+  // The snapshot proper is immutable after construction — that is its
+  // entire point (readers share it through shared_ptr without locks);
+  // only the warm-cache memo mutates, under warm_mu_.
+  core::Estimator estimator_ HETSCHED_NOT_GUARDED("immutable after construction");
+  core::ConfigSpace space_ HETSCHED_NOT_GUARDED("immutable after construction");
+  std::uint64_t fingerprint_ HETSCHED_NOT_GUARDED(
+      "immutable after construction") = 0;
+  std::string cluster_fingerprint_ HETSCHED_NOT_GUARDED(
+      "immutable after construction");
+  std::size_t candidates_ HETSCHED_NOT_GUARDED(
+      "immutable after construction") = 0;
 
   mutable std::mutex warm_mu_;
-  mutable std::map<int, std::shared_ptr<const core::BatchEstimator>> warm_;
+  mutable std::map<int, std::shared_ptr<const core::BatchEstimator>> warm_
+      HETSCHED_GUARDED_BY(warm_mu_);
 };
 
 }  // namespace hetsched::server

@@ -1,0 +1,70 @@
+// Thread-safety contract annotations.
+//
+// Two consumers read these macros:
+//
+//  1. clang's -Wthread-safety analysis (the gating `thread-safety` CI
+//     leg): under clang with HETSCHED_THREAD_SAFETY_ANALYSIS defined
+//     (CMake option HETSCHED_THREAD_SAFETY), the macros expand to the
+//     real attributes and the compiler proves every guarded field is
+//     only touched with its mutex held.
+//  2. tools/hetsched_lint's concurrency rule family (guarded-field,
+//     memory-order-doc, lock-scope), which runs on every build and
+//     enforces that the annotations EXIST and are coherent — so the
+//     discipline holds even on gcc builds where the attributes expand
+//     to nothing.
+//
+// Conventions (docs/STATIC_ANALYSIS.md has the full guide):
+//  - Every non-atomic, non-const field of a class that owns a
+//    std::mutex carries HETSCHED_GUARDED_BY(that_mutex) or, when it is
+//    genuinely not the mutex's business (set before threads start,
+//    internally synchronized, owned by one thread), a
+//    HETSCHED_NOT_GUARDED("why") with a non-empty reason.
+//  - Functions with a locking precondition carry HETSCHED_REQUIRES(m);
+//    the lock-scope lint rule checks call sites structurally and the
+//    clang leg checks them semantically.
+//  - Every explicit non-seq_cst memory order sits under a
+//    HETSCHED_ATOMIC_DOC(order, "pairing") statement naming its
+//    release/acquire partner. That macro is documentation only — it
+//    expands to a no-op everywhere — but the memory-order-doc rule
+//    makes it load-bearing.
+#pragma once
+
+#if defined(__clang__) && defined(HETSCHED_THREAD_SAFETY_ANALYSIS)
+#define HETSCHED_TSA(x) __attribute__((x))
+#else
+#define HETSCHED_TSA(x)
+#endif
+
+/// Field attribute: reads/writes require `m` to be held. libc++ (with
+/// _LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS) declares std::mutex a
+/// capability, so plain std::mutex members work as the argument.
+#define HETSCHED_GUARDED_BY(m) HETSCHED_TSA(guarded_by(m))
+
+/// Function attribute: callers must hold `m`. Goes after the parameter
+/// list, before the body or `;`.
+#define HETSCHED_REQUIRES(m) HETSCHED_TSA(exclusive_locks_required(m))
+
+/// Function attributes for lock-managing helpers: the function
+/// acquires/releases `m` itself (callers must NOT hold it / must).
+#define HETSCHED_ACQUIRE(m) HETSCHED_TSA(exclusive_lock_function(m))
+#define HETSCHED_RELEASE(m) HETSCHED_TSA(unlock_function(m))
+
+/// Escape hatch for functions whose locking is correct but beyond the
+/// analysis (std::unique_lock handoffs, condition-variable wait loops,
+/// locking a mutex selected from an array). Use sparingly; each use is
+/// visible to reviewers by name.
+#define HETSCHED_NO_TSA HETSCHED_TSA(no_thread_safety_analysis)
+
+/// Documentation-only field marker: this field of a mutex-owning class
+/// is deliberately unguarded, for the stated reason (immutable after
+/// construction, internally synchronized, single-thread owned...).
+/// The guarded-field lint rule requires a non-empty reason string.
+#define HETSCHED_NOT_GUARDED(why)
+
+/// Documentation-only statement: the next (or same-line) atomic
+/// operation's explicit memory order, and what it pairs with. The
+/// memory-order-doc lint rule requires one for every non-seq_cst
+/// explicit order; `order` is the bare order name (relaxed, acquire,
+/// release, acq_rel, consume) and `why` names the pairing partner.
+/// Expands to a no-op statement so it can stand alone in code.
+#define HETSCHED_ATOMIC_DOC(order, why) static_cast<void>(0)

@@ -11,6 +11,7 @@
 
 #include "obs/hooks.hpp"
 #include "support/error.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace hetsched::support {
 
@@ -36,12 +37,17 @@ struct ThreadPool::Impl {
   std::condition_variable cv_work;  // workers wait for a new job epoch
   std::condition_variable cv_done;  // caller waits for job completion
   std::mutex serialize;             // one parallel_for at a time
-  std::shared_ptr<Job> job;         // guarded by mu
-  std::uint64_t epoch = 0;          // guarded by mu
-  bool stop = false;                // guarded by mu
-  std::vector<std::thread> workers;
+  std::shared_ptr<Job> job HETSCHED_GUARDED_BY(mu);
+  std::uint64_t epoch HETSCHED_GUARDED_BY(mu) = 0;
+  bool stop HETSCHED_GUARDED_BY(mu) = false;
+  std::vector<std::thread> workers HETSCHED_NOT_GUARDED(
+      "filled by the constructor, joined by the destructor; never "
+      "touched by workers themselves");
 
   void work(const std::shared_ptr<Job>& j) {
+    HETSCHED_ATOMIC_DOC(acq_rel, "pairs with the caller's acquire load in "
+                                 "the cv_done predicate: running must reach "
+                                 "0 only after every worker's writes");
     j->running.fetch_add(1, std::memory_order_acq_rel);
     // Per-context work accounting: how many chunks this execution
     // context claimed off the shared cursor and how many indices it ran.
@@ -50,6 +56,9 @@ struct ThreadPool::Impl {
     std::uint64_t chunks_claimed = 0;
     std::uint64_t indices_run = 0;
     for (;;) {
+      HETSCHED_ATOMIC_DOC(relaxed, "cursor only partitions indices; the "
+                                   "loop body's effects are published by "
+                                   "the acq_rel running handshake");
       const std::size_t i0 =
           j->next.fetch_add(j->chunk, std::memory_order_relaxed);
       if (i0 >= j->n) break;
@@ -57,6 +66,8 @@ struct ThreadPool::Impl {
       ++chunks_claimed;
       indices_run += i1 - i0;
       for (std::size_t i = i0; i < i1; ++i) {
+        HETSCHED_ATOMIC_DOC(relaxed, "best-effort early exit; the "
+                                     "exception itself travels under mu");
         if (j->aborted.load(std::memory_order_relaxed)) break;
         try {
           (*j->fn)(i);
@@ -65,17 +76,26 @@ struct ThreadPool::Impl {
             std::lock_guard<std::mutex> l(mu);
             if (!j->error) j->error = std::current_exception();
           }
+          HETSCHED_ATOMIC_DOC(relaxed, "best-effort abort flag; the "
+                                       "exception travels under mu");
           j->aborted.store(true, std::memory_order_relaxed);
           // Exhaust the cursor so everyone drains out quickly.
+          HETSCHED_ATOMIC_DOC(relaxed, "cursor exhaustion is advisory; "
+                                       "late claimers just find i0 >= n");
           j->next.store(j->n, std::memory_order_relaxed);
           break;
         }
       }
+      HETSCHED_ATOMIC_DOC(relaxed, "best-effort early exit; the "
+                                   "exception itself travels under mu");
       if (j->aborted.load(std::memory_order_relaxed)) break;
     }
     HETSCHED_COUNTER_ADD("pool.chunks_claimed", chunks_claimed);
     if (indices_run > 0)
       HETSCHED_HISTOGRAM_RECORD("pool.indices_per_context", indices_run);
+    HETSCHED_ATOMIC_DOC(acq_rel, "pairs with every worker's acq_rel "
+                                 "increment: the last decrement observes "
+                                 "all loop-body writes before notifying");
     if (j->running.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last one out: take the lock empty so the caller cannot check the
       // predicate and fall asleep between our decrement and the notify.
@@ -150,6 +170,11 @@ void ThreadPool::parallel_for(std::size_t n,
 
   {
     std::unique_lock<std::mutex> l(impl_->mu);
+    HETSCHED_ATOMIC_DOC(acquire, "pairs with the workers' acq_rel "
+                                 "fetch_sub of running: seeing 0 means "
+                                 "their writes happened-before this wakeup");
+    HETSCHED_ATOMIC_DOC(relaxed, "cursor check is advisory; completion is "
+                                 "carried by the running handshake");
     impl_->cv_done.wait(l, [&] {
       return j->running.load(std::memory_order_acquire) == 0 &&
              j->next.load(std::memory_order_relaxed) >= j->n;

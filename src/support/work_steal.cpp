@@ -11,6 +11,7 @@
 
 #include "obs/hooks.hpp"
 #include "support/error.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace hetsched::support {
 
@@ -27,7 +28,7 @@ struct Chunk {
 /// engine's chunks are coarse enough that the lock is cold.
 struct ChunkDeque {
   std::mutex mu;
-  std::deque<Chunk> q;
+  std::deque<Chunk> q HETSCHED_GUARDED_BY(mu);
 };
 
 // One parallel_for invocation. Lives in a shared_ptr so a worker that
@@ -50,12 +51,15 @@ struct WorkStealingPool::Impl {
   std::condition_variable cv_work;  // workers wait for a new job epoch
   std::condition_variable cv_done;  // caller waits for job completion
   std::mutex serialize;             // one parallel_for at a time
-  std::shared_ptr<Job> job;         // guarded by mu
-  std::uint64_t epoch = 0;          // guarded by mu
-  bool stop = false;                // guarded by mu
-  bool stealing = true;
+  std::shared_ptr<Job> job HETSCHED_GUARDED_BY(mu);
+  std::uint64_t epoch HETSCHED_GUARDED_BY(mu) = 0;
+  bool stop HETSCHED_GUARDED_BY(mu) = false;
+  bool stealing HETSCHED_NOT_GUARDED(
+      "set in the constructor before workers start, immutable after") = true;
   std::atomic<std::uint64_t> steals{0};
-  std::vector<std::thread> workers;
+  std::vector<std::thread> workers HETSCHED_NOT_GUARDED(
+      "filled by the constructor, joined by the destructor; never "
+      "touched by workers themselves");
 
   // Pops the next chunk for context `self`: own deque front first, then
   // (with stealing on) the back of each victim in ring order.
@@ -85,6 +89,8 @@ struct WorkStealingPool::Impl {
   }
 
   void abort_job(Job& j) {
+    HETSCHED_ATOMIC_DOC(relaxed, "best-effort abort flag; the exception "
+                                 "itself travels under mu");
     j.aborted.store(true, std::memory_order_relaxed);
     // Drop every queued chunk so all contexts drain out quickly.
     for (ChunkDeque& d : j.deques) {
@@ -94,16 +100,23 @@ struct WorkStealingPool::Impl {
   }
 
   void work(const std::shared_ptr<Job>& j, std::size_t self) {
+    HETSCHED_ATOMIC_DOC(acq_rel, "pairs with the caller's acquire load in "
+                                 "the cv_done predicate: running must reach "
+                                 "0 only after every context's writes");
     j->running.fetch_add(1, std::memory_order_acq_rel);
     std::uint64_t chunks_claimed = 0;
     std::uint64_t indices_run = 0;
     std::uint64_t stolen = 0;
     Chunk c;
+    HETSCHED_ATOMIC_DOC(relaxed, "best-effort early exit; the exception "
+                                 "itself travels under mu");
     while (!j->aborted.load(std::memory_order_relaxed) &&
            next_chunk(*j, self, c, stolen)) {
       ++chunks_claimed;
       indices_run += c.end - c.begin;
       for (std::size_t i = c.begin; i < c.end; ++i) {
+        HETSCHED_ATOMIC_DOC(relaxed, "best-effort early exit; the "
+                                     "exception itself travels under mu");
         if (j->aborted.load(std::memory_order_relaxed)) break;
         try {
           (*j->fn)(i);
@@ -120,7 +133,12 @@ struct WorkStealingPool::Impl {
     HETSCHED_COUNTER_ADD("pool.chunks_claimed", chunks_claimed);
     if (indices_run > 0)
       HETSCHED_HISTOGRAM_RECORD("pool.indices_per_context", indices_run);
+    HETSCHED_ATOMIC_DOC(relaxed, "monotonic statistic; a stale read in "
+                                 "steals() is fine");
     if (stolen > 0) steals.fetch_add(stolen, std::memory_order_relaxed);
+    HETSCHED_ATOMIC_DOC(acq_rel, "pairs with every context's acq_rel "
+                                 "increment: the last decrement observes "
+                                 "all loop-body writes before notifying");
     if (j->running.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last one out: take the lock empty so the caller cannot check the
       // predicate and fall asleep between our decrement and the notify.
@@ -181,6 +199,7 @@ std::size_t WorkStealingPool::size() const {
 bool WorkStealingPool::stealing() const { return impl_->stealing; }
 
 std::uint64_t WorkStealingPool::steals() const {
+  HETSCHED_ATOMIC_DOC(relaxed, "monotonic statistic; a stale read is fine");
   return impl_->steals.load(std::memory_order_relaxed);
 }
 
@@ -224,6 +243,9 @@ void WorkStealingPool::parallel_for(
 
   {
     std::unique_lock<std::mutex> l(impl_->mu);
+    HETSCHED_ATOMIC_DOC(acquire, "pairs with the contexts' acq_rel "
+                                 "fetch_sub of running: seeing 0 means "
+                                 "their writes happened-before this wakeup");
     impl_->cv_done.wait(l, [&] {
       return j->running.load(std::memory_order_acquire) == 0 &&
              impl_->all_deques_empty(*j);

@@ -1,0 +1,39 @@
+// Annotated concurrency contracts the linter must accept: every plain
+// field of a mutex-owning class is GUARDED_BY or NOT_GUARDED with a
+// reason, and HETSCHED_REQUIRES callees are reached only under a
+// scoped lock or from a caller that is itself annotated.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "support/thread_annotations.hpp"
+
+namespace hetsched::core {
+
+class CleanCounter {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    add_locked(v);
+  }
+
+  int flush() HETSCHED_REQUIRES(mu_) {
+    add_locked(0);  // annotated caller: no scoped lock needed here
+    int total = 0;
+    for (const int v : pending_) total += v;
+    return total;
+  }
+
+ private:
+  void add_locked(int v) HETSCHED_REQUIRES(mu_) { pending_.push_back(v); }
+
+  mutable std::mutex mu_;
+  std::vector<int> pending_ HETSCHED_GUARDED_BY(mu_);
+  std::atomic<int> adds_{0};
+  int capacity_ HETSCHED_NOT_GUARDED("set at construction, then immutable") =
+      64;
+};
+
+}  // namespace hetsched::core

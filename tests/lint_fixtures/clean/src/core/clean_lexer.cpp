@@ -1,0 +1,29 @@
+// Lexer regression guards — each construct below mis-lexed before the
+// shared-stream rework and produced phantom findings in a clean file:
+//
+//  * digit separators: `1'000` used to open a character literal at the
+//    `'`, swallowing the assert's message string (assert-message fired);
+//  * raw strings: the inner quote used to end the literal early, so the
+//    tail tokenized as real code (raw-new and banned-construct fired);
+//  * hot-path markers in prose: a comment merely *mentioning* the
+//    marker used to open a region to end-of-file (hot-path-alloc fired
+//    on the growable-container call below).
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hetsched::core {
+
+void check_budget(int n) {
+  HETSCHED_ASSERT(n < 1'000, "n must stay below the slot budget");
+}
+
+// The docs sometimes quote marker syntax like hetsched-lint: hot-path-begin
+// in running prose; only a comment *led* by the marker opens a region.
+const char* lint_doc_sample() {
+  return R"(a stray " quote, then new double[4] and std::rand() as text)";
+}
+
+void grow(std::vector<int>& out) { out.push_back(1); }
+
+}  // namespace hetsched::core

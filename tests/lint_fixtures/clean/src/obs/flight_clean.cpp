@@ -1,0 +1,48 @@
+// A well-formed seqlock pair the seqlock-protocol rule must accept:
+// the writer brackets every payload store between two documented
+// version bumps, the reader re-checks version parity around its loads.
+// Bare relaxed accesses stay undocumented — allowed under src/obs/.
+#include <atomic>
+#include <cstdint>
+
+#include "support/thread_annotations.hpp"
+
+namespace hetsched::obs::flight {
+
+struct CleanSlot {
+  std::atomic<std::uint64_t> ver{0};
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint32_t> wall_us{0};
+};
+
+void clean_write(CleanSlot& slot, std::uint64_t seq, std::uint32_t wall_us) {
+  HETSCHED_ATOMIC_DOC(acq_rel, "seqlock open: makes the version odd before "
+                               "any payload store; pairs with the reader's "
+                               "first acquire load");
+  slot.ver.fetch_add(1, std::memory_order_acq_rel);
+  slot.seq.store(seq, std::memory_order_relaxed);
+  slot.wall_us.store(wall_us, std::memory_order_relaxed);
+  HETSCHED_ATOMIC_DOC(release, "seqlock close: publishes the stores above; "
+                               "pairs with the reader's second acquire load");
+  slot.ver.fetch_add(1, std::memory_order_release);
+}
+
+bool clean_read(const CleanSlot& slot, std::uint64_t& seq,
+                std::uint32_t& wall_us) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    HETSCHED_ATOMIC_DOC(acquire, "seqlock read open: pairs with the "
+                                 "writer's opening acq_rel bump");
+    const std::uint64_t v1 = slot.ver.load(std::memory_order_acquire);
+    if (v1 & 1) continue;
+    seq = slot.seq.load(std::memory_order_relaxed);
+    wall_us = slot.wall_us.load(std::memory_order_relaxed);
+    HETSCHED_ATOMIC_DOC(acquire, "seqlock read close: pairs with the "
+                                 "writer's release bump; v1 == v2 proves "
+                                 "the payload was stable");
+    const std::uint64_t v2 = slot.ver.load(std::memory_order_acquire);
+    if (v1 == v2) return true;
+  }
+  return false;
+}
+
+}  // namespace hetsched::obs::flight

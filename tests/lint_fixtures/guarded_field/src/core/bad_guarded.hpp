@@ -1,0 +1,26 @@
+// Trips guarded-field exactly once: `pending_` carries no annotation in
+// a mutex-owning class. Every other member is annotated, exempt
+// (atomic, leading-const, the mutex itself), or a function.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "support/thread_annotations.hpp"
+
+namespace hetsched::core {
+
+class BadGuarded {
+ public:
+  void push(int v);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<int> done_ HETSCHED_GUARDED_BY(mu_);
+  std::vector<int> pending_;  // the one finding: unannotated plain field
+  std::atomic<int> peeks_{0};
+  const int capacity_ = 8;
+};
+
+}  // namespace hetsched::core

@@ -1,0 +1,27 @@
+// Trips lock-scope exactly once: drain_unsafe() calls a
+// HETSCHED_REQUIRES(mu_) function without holding the mutex.
+// drain_locked() shows the compliant shape and must stay quiet.
+#include <mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace hetsched::core {
+
+class BadLock {
+ public:
+  int drain_locked() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return drain_internal();
+  }
+
+  int drain_unsafe() {
+    return drain_internal();  // the one finding: mu_ not held here
+  }
+
+ private:
+  int drain_internal() HETSCHED_REQUIRES(mu_) { return 0; }
+
+  std::mutex mu_;
+};
+
+}  // namespace hetsched::core

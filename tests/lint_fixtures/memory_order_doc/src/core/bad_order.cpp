@@ -1,0 +1,14 @@
+// Trips memory-order-doc exactly once: the acquire load below has no
+// HETSCHED_ATOMIC_DOC statement covering it (and core is outside the
+// src/obs/ bare-relaxed carve-out anyway).
+#include <atomic>
+
+#include "support/thread_annotations.hpp"
+
+namespace hetsched::core {
+
+int read_ready(const std::atomic<int>& ready) {
+  return ready.load(std::memory_order_acquire);
+}
+
+}  // namespace hetsched::core

@@ -1,0 +1,30 @@
+// Trips seqlock-protocol exactly once: the `cache` payload store sits
+// after the publishing version bump instead of inside the bracket. The
+// version bumps themselves are correctly ordered and documented, so no
+// other rule fires.
+#include <atomic>
+#include <cstdint>
+
+#include "support/thread_annotations.hpp"
+
+namespace hetsched::obs::flight {
+
+struct BadSlot {
+  std::atomic<std::uint64_t> ver{0};
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint16_t> cache{0};
+};
+
+void bad_record(BadSlot& slot, std::uint64_t seq, std::uint16_t cache) {
+  HETSCHED_ATOMIC_DOC(acq_rel, "seqlock open: makes the version odd before "
+                               "any payload store; pairs with readers' "
+                               "first acquire load");
+  slot.ver.fetch_add(1, std::memory_order_acq_rel);
+  slot.seq.store(seq, std::memory_order_relaxed);
+  HETSCHED_ATOMIC_DOC(release, "seqlock close: publishes the stores above; "
+                               "pairs with readers' second acquire load");
+  slot.ver.fetch_add(1, std::memory_order_release);
+  slot.cache.store(cache, std::memory_order_relaxed);  // outside the bracket
+}
+
+}  // namespace hetsched::obs::flight

@@ -1,0 +1,27 @@
+// Fixture: lock-discipline violations, each carrying a justified
+// suppression; the round-trip test strips the comments and expects the
+// findings back (memory-order and seqlock live in flight_justified.cpp).
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "support/thread_annotations.hpp"
+
+namespace hetsched::core {
+
+class JustifiedLocks {
+ public:
+  int peek() {
+    return total_internal();  // hetsched-lint: allow(lock-scope) — fixture: trailing suppression
+  }
+
+ private:
+  int total_internal() HETSCHED_REQUIRES(mu_) { return count_; }
+
+  std::mutex mu_;
+  // hetsched-lint: allow(guarded-field) — fixture: suppression above the unannotated field
+  int count_ = 0;
+};
+
+}  // namespace hetsched::core

@@ -1,0 +1,30 @@
+// Fixture: seqlock and memory-order violations with justified
+// suppressions; the round-trip test strips the comments and expects
+// the findings back (lock rules live in concurrency_justified.hpp).
+#include <atomic>
+#include <cstdint>
+
+#include "support/thread_annotations.hpp"
+
+namespace hetsched::obs::flight {
+
+struct JustifiedSlot {
+  std::atomic<std::uint64_t> ver{0};
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint32_t> state{0};
+};
+
+std::uint32_t sloppy_state(const JustifiedSlot& slot) {
+  // hetsched-lint: allow(memory-order-doc) — fixture: undocumented acquire
+  return slot.state.load(std::memory_order_acquire);
+}
+
+void sloppy_write(JustifiedSlot& slot, std::uint64_t seq) {
+  HETSCHED_ATOMIC_DOC(acq_rel, "seqlock open: pairs with readers' acquire");
+  slot.ver.fetch_add(1, std::memory_order_acq_rel);
+  HETSCHED_ATOMIC_DOC(release, "seqlock close: pairs with readers' acquire");
+  slot.ver.fetch_add(1, std::memory_order_release);
+  slot.seq.store(seq, std::memory_order_relaxed);  // hetsched-lint: allow(seqlock-protocol) — fixture: store after publish
+}
+
+}  // namespace hetsched::obs::flight

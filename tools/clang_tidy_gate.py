@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Gate clang-tidy findings against a committed baseline.
+
+The CI `clang-tidy-concurrency-gate` job runs clang-tidy restricted to
+the gating check set (concurrency-* plus the unhandled-self-assignment
+class of bugprone checks — see .github/workflows/ci.yml), then feeds
+the log through this script. A finding is identified as
+
+    <repo-relative-path> [<check-name>]
+
+deliberately *without* a line number, so unrelated edits that shift
+lines do not invalidate the baseline. Findings present in the log but
+absent from the baseline fail the job (GitHub `::error` annotations
+carry file/line/message); baseline entries that no longer fire are
+reported as shrink candidates but do not fail — remove them in the same
+PR that fixed the code (the ratchet recipe in docs/STATIC_ANALYSIS.md).
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# clang-tidy diagnostic line:
+#   /abs/path/file.cpp:12:5: warning: message text [check-name]
+_DIAG = re.compile(
+    r"^(?P<path>/[^:]+|[A-Za-z]:[^:]+|[^\s:][^:]*)"
+    r":(?P<line>\d+):(?P<col>\d+):\s+(?:warning|error):\s+"
+    r"(?P<msg>.*?)\s+\[(?P<check>[A-Za-z0-9.,_-]+)\]\s*$")
+
+
+def load_baseline(path):
+    entries = set()
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if line and not line.startswith("#"):
+                entries.add(line)
+    return entries
+
+
+def parse_log(log_path, root):
+    """-> {key: (relpath, line, check, msg)} keyed by 'relpath [check]'."""
+    findings = {}
+    root = os.path.abspath(root)
+    with open(log_path, encoding="utf-8", errors="replace") as fh:
+        for raw in fh:
+            m = _DIAG.match(raw.rstrip("\n"))
+            if not m:
+                continue
+            path = m.group("path")
+            if os.path.isabs(path):
+                try:
+                    path = os.path.relpath(path, root)
+                except ValueError:
+                    continue  # path on a different drive (Windows runners)
+            path = path.replace(os.sep, "/")
+            if path.startswith(".."):
+                continue  # outside the repo (system headers)
+            # Each -checks run can tag one diagnostic with several
+            # comma-joined checks; one key per check keeps the baseline
+            # line-oriented.
+            for check in m.group("check").split(","):
+                key = f"{path} [{check}]"
+                findings.setdefault(
+                    key, (path, int(m.group("line")), check, m.group("msg")))
+    return findings
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--log", required=True, help="clang-tidy output log")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline (one 'path [check]' per line)")
+    ap.add_argument("--root", default=".", help="repository root")
+    args = ap.parse_args(argv)
+
+    baseline = load_baseline(args.baseline)
+    findings = parse_log(args.log, args.root)
+
+    new = {k: v for k, v in findings.items() if k not in baseline}
+    stale = sorted(baseline - findings.keys())
+
+    for key in sorted(new):
+        path, line, check, msg = new[key]
+        print(f"::error file={path},line={line},"
+              f"title=clang-tidy {check}::{msg}")
+        print(f"NEW: {key}: {msg}", file=sys.stderr)
+    for key in stale:
+        print(f"STALE baseline entry (check no longer fires): {key} — "
+              "remove it from the baseline (see docs/STATIC_ANALYSIS.md)",
+              file=sys.stderr)
+
+    print(f"clang-tidy gate: {len(findings)} finding(s), "
+          f"{len(new)} new, {len(baseline)} baselined "
+          f"({len(stale)} stale)", file=sys.stderr)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

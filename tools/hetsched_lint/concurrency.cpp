@@ -1,0 +1,724 @@
+// Concurrency-contract passes. All four rules run over the shared
+// token stream (PreparedFile.lexed) and check the annotation macros
+// from src/support/thread_annotations.hpp:
+//
+//  * guarded-field: in a class that owns a std::mutex, every plain
+//    field carries HETSCHED_GUARDED_BY(<mutex>) or
+//    HETSCHED_NOT_GUARDED("why"). Atomics, sync primitives, leading-
+//    const and static fields are exempt.
+//  * memory-order-doc: every explicit non-seq_cst std::memory_order_*
+//    argument is covered by a preceding HETSCHED_ATOMIC_DOC(order,
+//    "pairing") statement; bare memory_order_relaxed is tolerated only
+//    under src/obs/ (hot-path counters).
+//  * seqlock-protocol: in src/obs/flight*, writer version bumps (a
+//    member whose name contains "ver") bracket all payload stores and
+//    readers re-check version parity around payload loads.
+//  * lock-scope: a call to a HETSCHED_REQUIRES(m) function needs a
+//    lock_guard/unique_lock/scoped_lock of m in the enclosing function,
+//    or the caller itself annotated HETSCHED_REQUIRES/ACQUIRE on m.
+//
+// These are lexical checks with documented conventions, not a compiler
+// analysis — the clang -Wthread-safety CI leg provides that half.
+#include "concurrency.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "token_util.hpp"
+
+namespace hetsched::lint {
+
+namespace {
+
+bool path_starts_with(const std::string& path, std::string_view prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+// ---- guarded-field ---------------------------------------------------------
+
+const std::unordered_set<std::string>& sync_primitive_types() {
+  static const std::unordered_set<std::string> t = {
+      "mutex",          "shared_mutex",           "recursive_mutex",
+      "timed_mutex",    "recursive_timed_mutex",  "condition_variable",
+      "condition_variable_any", "once_flag"};
+  return t;
+}
+
+bool is_mutex_type_ident(const std::string& s) {
+  return s == "mutex" || s == "shared_mutex" || s == "recursive_mutex" ||
+         s == "timed_mutex" || s == "recursive_timed_mutex";
+}
+
+bool is_atomic_type_ident(const std::string& s) {
+  return s.rfind("atomic", 0) == 0;  // atomic, atomic_flag, atomic_bool, …
+}
+
+struct ClassBody {
+  std::string name;
+  std::size_t open = 0;   ///< `{`
+  std::size_t close = 0;  ///< matching `}`
+};
+
+/// Every class/struct definition in the stream (including nested ones,
+/// which the linear scan finds on its own).
+std::vector<ClassBody> class_bodies(const std::vector<Token>& toks) {
+  std::vector<ClassBody> out;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || (t.text != "class" && t.text != "struct"))
+      continue;
+    // `enum class`, `template <class T>`: not a definition head.
+    const Token* prev = i > 0 ? &toks[i - 1] : nullptr;
+    if (prev && prev->kind == TokKind::kIdent && prev->text == "enum") continue;
+    if (is_punct(prev, '<') || is_punct(prev, ',')) continue;
+    std::string name;
+    std::size_t j = i + 1;
+    bool found_open = false;
+    while (j < toks.size()) {
+      const Token& u = toks[j];
+      if (u.kind == TokKind::kPunct) {
+        if (u.text == "(") {  // alignas(...) etc.
+          j = match_paren(toks, j, nullptr);
+          continue;
+        }
+        if (u.text == ";") break;       // forward declaration
+        if (u.text == ":") {            // base clause: name is fixed now
+          while (j < toks.size() && !is_punct(&toks[j], '{') &&
+                 !is_punct(&toks[j], ';'))
+            ++j;
+          continue;
+        }
+        if (u.text == "{") {
+          found_open = true;
+          break;
+        }
+      } else if (u.kind == TokKind::kIdent && u.text != "final" &&
+                 u.text != "alignas") {
+        name = u.text;
+      }
+      ++j;
+    }
+    if (!found_open || name.empty()) continue;
+    const std::size_t end = match_paren(toks, j, nullptr);
+    if (end == 0) continue;
+    out.push_back({std::move(name), j, end - 1});
+  }
+  return out;
+}
+
+/// One member-declaration statement inside a class body (token span,
+/// inclusive). Function definitions end at their `}`; everything else
+/// at `;`.
+struct MemberStmt {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+std::vector<MemberStmt> member_statements(const std::vector<Token>& toks,
+                                          const ClassBody& cb) {
+  std::vector<MemberStmt> out;
+  std::size_t j = cb.open + 1;
+  while (j < cb.close) {
+    const Token& t = toks[j];
+    // Access specifiers are not statements.
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "public" || t.text == "private" || t.text == "protected") &&
+        is_punct(j + 1 < toks.size() ? &toks[j + 1] : nullptr, ':')) {
+      j += 2;
+      continue;
+    }
+    if (is_punct(&t, ';')) {  // stray empty statement
+      ++j;
+      continue;
+    }
+    const std::size_t begin = j;
+    std::size_t k = j;
+    std::size_t end = cb.close;  // fallback: runaway statement
+    while (k < cb.close) {
+      const Token& u = toks[k];
+      if (u.kind == TokKind::kPunct) {
+        if (u.text == "(" || u.text == "[") {
+          k = match_paren(toks, k, nullptr);
+          continue;
+        }
+        if (u.text == "{") {
+          const std::size_t after = match_paren(toks, k, nullptr);
+          // `{...};` is an initializer or nested type (statement goes
+          // on); a bare `}` ends a function definition.
+          if (after < cb.close && is_punct(&toks[after], ';')) {
+            end = after;
+            break;
+          }
+          end = after - 1;
+          break;
+        }
+        if (u.text == ";") {
+          end = k;
+          break;
+        }
+      }
+      ++k;
+    }
+    out.push_back({begin, end});
+    j = end + 1;
+  }
+  return out;
+}
+
+/// True when the member statement declares a function (its first
+/// plausible parameter list sits where a declarator's would).
+bool looks_like_function(const std::vector<Token>& toks,
+                         const MemberStmt& st) {
+  static const std::unordered_set<std::string> follow = {
+      "const", "noexcept", "override", "final"};
+  for (std::size_t j = st.begin; j <= st.end; ++j) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kIdent && t.text.rfind("HETSCHED_", 0) == 0 &&
+        is_punct(j + 1 <= st.end ? &toks[j + 1] : nullptr, '(')) {
+      j = match_paren(toks, j + 1, nullptr) - 1;  // annotation macro args
+      continue;
+    }
+    // An `=` or `{` before any parameter list is a field initializer
+    // (`int x = f(3);`, `int y{g()};`) — never a function.
+    if (is_punct(&t, '=') || is_punct(&t, '{')) return false;
+    if (!is_punct(&t, '(')) continue;
+    const Token* before = j > st.begin ? &toks[j - 1] : nullptr;
+    if (!before || before->kind != TokKind::kIdent) continue;
+    const std::size_t after = match_paren(toks, j, nullptr);
+    if (after > st.end + 1) return false;
+    const Token* next = after <= st.end ? &toks[after] : nullptr;
+    if (!next) return true;  // `)` is the last token: `void f()`
+    if (is_punct(next, ';') || is_punct(next, '{') || is_punct(next, '=') ||
+        is_punct(next, '-') || is_punct(next, ':') /* ctor init list */ ||
+        (next->kind == TokKind::kIdent &&
+         (follow.count(next->text) ||
+          next->text.rfind("HETSCHED_", 0) == 0)))
+      return true;
+    return false;  // e.g. std::function<void()> field — keep as field
+  }
+  return false;
+}
+
+struct FieldFacts {
+  std::string name;
+  int line = 0;
+  bool is_sync_primitive = false;
+  bool is_mutex = false;
+  bool is_atomic = false;
+  bool leading_const = false;
+  bool has_guarded_by = false;
+  std::string guarded_by_mutex;  ///< last ident of the macro argument
+  int guarded_by_line = 0;
+  bool has_not_guarded = false;
+  bool not_guarded_reason_ok = false;
+  int not_guarded_line = 0;
+};
+
+FieldFacts field_facts(const std::vector<Token>& toks, const MemberStmt& st) {
+  FieldFacts f;
+  f.leading_const = is_ident(&toks[st.begin], "const");
+  std::string last_ident;
+  int last_ident_line = 0;
+  bool name_fixed = false;
+  for (std::size_t j = st.begin; j <= st.end; ++j) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kIdent) {
+      if (t.text == "HETSCHED_GUARDED_BY" &&
+          is_punct(j + 1 <= st.end ? &toks[j + 1] : nullptr, '(')) {
+        f.has_guarded_by = true;
+        f.guarded_by_line = t.line;
+        const std::size_t after = match_paren(toks, j + 1, nullptr);
+        for (std::size_t a = j + 2; a + 1 < after; ++a)
+          if (toks[a].kind == TokKind::kIdent)
+            f.guarded_by_mutex = toks[a].text;
+        j = after - 1;
+        continue;
+      }
+      if (t.text == "HETSCHED_NOT_GUARDED" &&
+          is_punct(j + 1 <= st.end ? &toks[j + 1] : nullptr, '(')) {
+        f.has_not_guarded = true;
+        f.not_guarded_line = t.line;
+        const Token* why = first_string_in_call(toks, j + 1);
+        f.not_guarded_reason_ok = why && !why->text.empty();
+        j = match_paren(toks, j + 1, nullptr) - 1;
+        continue;
+      }
+      if (sync_primitive_types().count(t.text)) f.is_sync_primitive = true;
+      if (is_mutex_type_ident(t.text)) f.is_mutex = true;
+      if (is_atomic_type_ident(t.text)) f.is_atomic = true;
+      if (!name_fixed) {
+        last_ident = t.text;
+        last_ident_line = t.line;
+      }
+      continue;
+    }
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "=" || t.text == "{" || t.text == "[") {
+        name_fixed = true;  // initializer / array extent
+      } else if (t.text == ":") {
+        // A lone `:` is a bit-field width; `::` (two adjacent `:`
+        // tokens) is a scope qualifier in the type and must not
+        // freeze the name on `std`.
+        const bool scope = (j > st.begin && is_punct(&toks[j - 1], ':')) ||
+                           (j < st.end && is_punct(&toks[j + 1], ':'));
+        if (!scope) name_fixed = true;
+      }
+      if (t.text == "(")
+        j = match_paren(toks, j, nullptr) - 1;  // template args were <>,
+                                                // parens are init/macros
+    }
+  }
+  f.name = std::move(last_ident);
+  f.line = last_ident_line;
+  return f;
+}
+
+void guarded_field_pass(const PreparedFile& file, const EmitFn& emit) {
+  const auto& toks = file.lexed.tokens;
+  for (const ClassBody& cb : class_bodies(toks)) {
+    const std::vector<MemberStmt> stmts = member_statements(toks, cb);
+    // First pass: the class's mutex members.
+    std::unordered_set<std::string> mutexes;
+    std::vector<FieldFacts> fields;
+    static const std::unordered_set<std::string> skip_head = {
+        "using",  "typedef", "friend", "static", "constexpr", "enum",
+        "class",  "struct",  "union",  "template"};
+    for (const MemberStmt& st : stmts) {
+      const Token& head = toks[st.begin];
+      if (head.kind == TokKind::kIdent && skip_head.count(head.text)) continue;
+      bool has_operator = false;
+      for (std::size_t j = st.begin; j <= st.end; ++j)
+        if (is_ident(&toks[j], "operator")) has_operator = true;
+      if (has_operator || looks_like_function(toks, st)) continue;
+      FieldFacts f = field_facts(toks, st);
+      if (f.name.empty()) continue;
+      if (f.is_mutex) mutexes.insert(f.name);
+      fields.push_back(std::move(f));
+    }
+    if (mutexes.empty()) continue;
+    for (const FieldFacts& f : fields) {
+      if (f.has_guarded_by) {
+        if (!mutexes.count(f.guarded_by_mutex))
+          emit("guarded-field", f.guarded_by_line,
+               "HETSCHED_GUARDED_BY(" + f.guarded_by_mutex +
+                   ") on field '" + f.name + "' names no mutex member of '" +
+                   cb.name + "'");
+        continue;
+      }
+      if (f.has_not_guarded) {
+        if (!f.not_guarded_reason_ok)
+          emit("guarded-field", f.not_guarded_line,
+               "HETSCHED_NOT_GUARDED on field '" + f.name +
+                   "' needs a non-empty reason string");
+        continue;
+      }
+      if (f.is_sync_primitive || f.is_atomic || f.leading_const) continue;
+      emit("guarded-field", f.line,
+           "field '" + f.name + "' of mutex-owning class '" + cb.name +
+               "' must carry HETSCHED_GUARDED_BY(<mutex>) or "
+               "HETSCHED_NOT_GUARDED(\"why\")");
+    }
+  }
+}
+
+// ---- memory-order-doc ------------------------------------------------------
+
+const std::unordered_set<std::string>& known_orders() {
+  static const std::unordered_set<std::string> o = {
+      "relaxed", "acquire", "release", "acq_rel", "consume", "seq_cst"};
+  return o;
+}
+
+/// `std::memory_order_release` or `std::memory_order::release` at i;
+/// returns the bare order name.
+std::optional<std::string> order_at(const std::vector<Token>& toks,
+                                    std::size_t i) {
+  const Token& t = toks[i];
+  if (t.kind != TokKind::kIdent) return std::nullopt;
+  if (t.text.rfind("memory_order_", 0) == 0) {
+    const std::string suffix = t.text.substr(13);
+    if (known_orders().count(suffix)) return suffix;
+    return std::nullopt;
+  }
+  if (t.text == "memory_order" && i + 3 < toks.size() &&
+      is_punct(&toks[i + 1], ':') && is_punct(&toks[i + 2], ':') &&
+      toks[i + 3].kind == TokKind::kIdent &&
+      known_orders().count(toks[i + 3].text))
+    return toks[i + 3].text;
+  return std::nullopt;
+}
+
+void memory_order_pass(const PreparedFile& file, const EmitFn& emit) {
+  const bool in_obs = path_starts_with(file.in.path, "src/obs/");
+  const auto& toks = file.lexed.tokens;
+  struct Doc {
+    std::string order;
+    int line = 0;
+    bool used = false;
+  };
+  std::vector<Doc> pending;
+  int paren_depth = 0;
+  bool just_doc = false;  // swallow the doc's own trailing `;`
+  const auto flush = [&]() {
+    for (const Doc& d : pending)
+      if (!d.used)
+        emit("memory-order-doc", d.line,
+             "HETSCHED_ATOMIC_DOC(" + d.order +
+                 ", …) covers no memory_order_" + d.order +
+                 " in the statement that follows (stale or misplaced doc)");
+    pending.clear();
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(") ++paren_depth;
+      else if (t.text == ")") --paren_depth;
+      else if ((t.text == ";" || t.text == "{" || t.text == "}") &&
+               paren_depth <= 0) {
+        if (t.text == ";" && just_doc) {
+          just_doc = false;
+          continue;
+        }
+        flush();
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "HETSCHED_ATOMIC_DOC" && i + 1 < toks.size() &&
+        is_punct(&toks[i + 1], '(')) {
+      const std::size_t after = match_paren(toks, i + 1, nullptr);
+      std::string order;
+      for (std::size_t a = i + 2; a + 1 < after && order.empty(); ++a) {
+        if (toks[a].kind != TokKind::kIdent) break;
+        if (auto o = order_at(toks, a)) order = *o;
+        else if (known_orders().count(toks[a].text)) order = toks[a].text;
+        else break;
+      }
+      const Token* why = first_string_in_call(toks, i + 1);
+      if (order.empty())
+        emit("memory-order-doc", t.line,
+             "HETSCHED_ATOMIC_DOC's first argument must be a memory order "
+             "(relaxed/acquire/release/acq_rel/consume)");
+      else if (!why || why->text.empty())
+        emit("memory-order-doc", t.line,
+             "HETSCHED_ATOMIC_DOC(" + order +
+                 ", …) needs a non-empty pairing note (what "
+                 "acquire/release partner or fence this order relies on)");
+      else
+        pending.push_back({order, t.line, false});
+      just_doc = true;
+      i = after - 1;
+      continue;
+    }
+    just_doc = false;
+    const std::optional<std::string> order = order_at(toks, i);
+    if (!order) continue;
+    if (*order == "seq_cst") continue;  // the default: nothing to document
+    if (*order == "relaxed" && in_obs) {
+      // Hot-path observability counters may stay bare — but an explicit
+      // doc still covers them (and gets marked used).
+      for (Doc& d : pending)
+        if (d.order == "relaxed") d.used = true;
+      continue;
+    }
+    bool covered = false;
+    for (Doc& d : pending)
+      if (d.order == *order) {
+        d.used = true;
+        covered = true;
+      }
+    if (covered) continue;
+    if (*order == "relaxed")
+      emit("memory-order-doc", t.line,
+           "bare memory_order_relaxed outside src/obs/: state why racy "
+           "access is sound with HETSCHED_ATOMIC_DOC(relaxed, \"…\") on "
+           "the line above");
+    else
+      emit("memory-order-doc", t.line,
+           "memory_order_" + *order +
+               " must be covered by HETSCHED_ATOMIC_DOC(" + *order +
+               ", \"<pairing>\") naming its acquire/release partner");
+  }
+  flush();
+}
+
+// ---- seqlock-protocol ------------------------------------------------------
+
+bool ident_contains_ver(const std::string& s) {
+  return s.find("ver") != std::string::npos ||
+         s.find("Ver") != std::string::npos;
+}
+
+/// Memory order named anywhere inside the call parens opened at `open`;
+/// "seq_cst" when none is spelled out.
+std::string call_order(const std::vector<Token>& toks, std::size_t open) {
+  const std::size_t after = match_paren(toks, open, nullptr);
+  for (std::size_t a = open + 1; a + 1 < after; ++a)
+    if (auto o = order_at(toks, a)) return *o;
+  return "seq_cst";
+}
+
+void seqlock_pass(const PreparedFile& file, const EmitFn& emit) {
+  if (file.in.path.find("src/obs/flight") == std::string::npos) return;
+  const auto& toks = file.lexed.tokens;
+  const std::vector<BodySpan> bodies = function_bodies(toks);
+  struct Op {
+    std::size_t idx = 0;
+    int line = 0;
+    std::string order;
+  };
+  for (const BodySpan& body : bodies) {
+    std::vector<Op> ver_bumps, ver_loads, payload_stores, payload_loads;
+    for (std::size_t i = body.open + 1; i + 2 < body.close; ++i) {
+      if (!is_punct(&toks[i + 1], '.')) continue;
+      const Token& obj = toks[i];
+      const Token& op = toks[i + 2];
+      if (obj.kind != TokKind::kIdent || op.kind != TokKind::kIdent) continue;
+      if (i + 3 >= body.close || !is_punct(&toks[i + 3], '(')) continue;
+      const bool two_level = i > 0 && is_punct(&toks[i - 1], '.');
+      if (op.text == "fetch_add" || op.text == "fetch_sub") {
+        if (ident_contains_ver(obj.text))
+          ver_bumps.push_back({i, obj.line, call_order(toks, i + 3)});
+      } else if (op.text == "store") {
+        if (ident_contains_ver(obj.text))
+          ver_bumps.push_back({i, obj.line, call_order(toks, i + 3)});
+        else if (two_level)
+          payload_stores.push_back({i, obj.line, call_order(toks, i + 3)});
+      } else if (op.text == "load") {
+        if (ident_contains_ver(obj.text))
+          ver_loads.push_back({i, obj.line, call_order(toks, i + 3)});
+        else if (two_level)
+          payload_loads.push_back({i, obj.line, call_order(toks, i + 3)});
+      }
+    }
+    // Writers: bump-bracketed stores.
+    if (!ver_bumps.empty()) {
+      if (ver_bumps.size() != 2) {
+        emit("seqlock-protocol", ver_bumps.front().line,
+             "seqlock writer must bump the version exactly twice (odd = "
+             "write in progress, even = published); found " +
+                 std::to_string(ver_bumps.size()) + " bump(s)");
+        continue;
+      }
+      const Op& open_bump = ver_bumps[0];
+      const Op& close_bump = ver_bumps[1];
+      if (open_bump.order == "relaxed" || open_bump.order == "consume")
+        emit("seqlock-protocol", open_bump.line,
+             "opening version bump must order the payload stores after it "
+             "(use acq_rel or release, not " + open_bump.order + ")");
+      if (close_bump.order != "release" && close_bump.order != "acq_rel" &&
+          close_bump.order != "seq_cst")
+        emit("seqlock-protocol", close_bump.line,
+             "publishing version bump must use release ordering so readers "
+             "see whole payloads");
+      for (const Op& st : payload_stores)
+        if (st.idx < open_bump.idx || st.idx > close_bump.idx)
+          emit("seqlock-protocol", st.line,
+               "payload store outside the version bracket: all payload "
+               "stores must sit between the two version bumps");
+      continue;
+    }
+    // Readers: parity re-check around payload loads.
+    if (ver_loads.empty() || payload_loads.empty()) continue;
+    if (ver_loads.size() < 2) {
+      emit("seqlock-protocol", ver_loads.front().line,
+           "seqlock reader must re-read the version after the payload "
+           "loads and compare (single version read can return torn data)");
+      continue;
+    }
+    if (std::none_of(ver_loads.begin(), ver_loads.end(), [](const Op& o) {
+          return o.order == "acquire" || o.order == "seq_cst";
+        }))
+      emit("seqlock-protocol", ver_loads.front().line,
+           "version loads need acquire ordering to pair with the writer's "
+           "release bump");
+    bool parity = false;
+    for (std::size_t i = body.open + 1; i + 1 < body.close && !parity; ++i) {
+      if (is_punct(&toks[i], '&') && toks[i + 1].kind == TokKind::kNumber &&
+          (toks[i + 1].text == "1" || toks[i + 1].text == "1u" ||
+           toks[i + 1].text == "1U") &&
+          !is_punct(&toks[i - 1], '&') && !is_punct(&toks[i + 2], '&'))
+        parity = true;
+      if (is_punct(&toks[i], '%') && toks[i + 1].kind == TokKind::kNumber &&
+          toks[i + 1].text == "2")
+        parity = true;
+    }
+    if (!parity)
+      emit("seqlock-protocol", ver_loads.front().line,
+           "seqlock reader must test version parity (ver & 1) and retry "
+           "while a write is in progress");
+    const std::size_t first = ver_loads.front().idx;
+    const std::size_t last = ver_loads.back().idx;
+    for (const Op& ld : payload_loads)
+      if (ld.idx < first || ld.idx > last)
+        emit("seqlock-protocol", ld.line,
+             "payload load outside the version re-check window: load the "
+             "version before and after the payload reads");
+  }
+}
+
+// ---- lock-scope ------------------------------------------------------------
+
+std::size_t match_paren_back_cc(const std::vector<Token>& toks,
+                                std::size_t close) {
+  int depth = 0;
+  for (std::size_t j = close + 1; j-- > 0;) {
+    const Token& t = toks[j];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == ")" || t.text == "]" || t.text == "}") ++depth;
+    else if (t.text == "(" || t.text == "[" || t.text == "{") {
+      --depth;
+      if (depth == 0) return j;
+    }
+  }
+  return toks.size();
+}
+
+/// Last identifier inside the macro argument list opened at `open`
+/// (e.g. `impl_->mu` -> "mu").
+std::string last_ident_in_args(const std::vector<Token>& toks,
+                               std::size_t open) {
+  const std::size_t after = match_paren(toks, open, nullptr);
+  std::string last;
+  for (std::size_t a = open + 1; a + 1 < after; ++a)
+    if (toks[a].kind == TokKind::kIdent) last = toks[a].text;
+  return last;
+}
+
+}  // namespace
+
+std::vector<ProjectIndex::RequiresFn> requires_functions(
+    const PreparedFile& file) {
+  std::vector<ProjectIndex::RequiresFn> out;
+  const auto& toks = file.lexed.tokens;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (!is_ident(&toks[i], "HETSCHED_REQUIRES") ||
+        !is_punct(&toks[i + 1], '('))
+      continue;
+    // Walk back over cv/ref qualifiers between the parameter list's `)`
+    // and the macro: `void f() const noexcept HETSCHED_REQUIRES(m)`.
+    std::size_t close = i - 1;
+    static const std::unordered_set<std::string> qualifiers = {
+        "const", "noexcept", "override", "final"};
+    while (close > 0 && toks[close].kind == TokKind::kIdent &&
+           qualifiers.count(toks[close].text))
+      --close;
+    if (!is_punct(&toks[close], ')')) continue;
+    const std::size_t open = match_paren_back_cc(toks, close);
+    if (open == toks.size() || open == 0) continue;
+    const Token& fn = toks[open - 1];
+    if (fn.kind != TokKind::kIdent) continue;
+    const std::string mutex = last_ident_in_args(toks, i + 1);
+    if (mutex.empty()) continue;
+    out.push_back({fn.text, mutex});
+  }
+  return out;
+}
+
+namespace {
+
+void lock_scope_pass(const PreparedFile& file, const ProjectIndex* index,
+                     const EmitFn& emit) {
+  // Applicable REQUIRES functions: declared in this file, or in a file
+  // this one includes (suffix match of the include target).
+  std::unordered_map<std::string, std::vector<std::string>> fn_mutexes;
+  const auto add = [&](const std::vector<ProjectIndex::RequiresFn>& fns) {
+    for (const auto& f : fns) {
+      auto& ms = fn_mutexes[f.name];
+      // A function registers from both its declaration and definition;
+      // one mutex entry is enough.
+      if (std::find(ms.begin(), ms.end(), f.mutex) == ms.end())
+        ms.push_back(f.mutex);
+    }
+  };
+  add(requires_functions(file));
+  if (index) {
+    for (const Include& inc : file.lexed.includes) {
+      if (inc.angled) continue;
+      for (const auto& [path, fns] : index->requires_by_file) {
+        if (path == file.in.path) continue;
+        if (path == inc.path ||
+            (path.size() > inc.path.size() &&
+             path.compare(path.size() - inc.path.size() - 1, 1, "/") == 0 &&
+             path.compare(path.size() - inc.path.size(), inc.path.size(),
+                          inc.path) == 0))
+          add(fns);
+      }
+    }
+  }
+  if (fn_mutexes.empty()) return;
+
+  const auto& toks = file.lexed.tokens;
+  const std::vector<BodySpan> bodies = function_bodies(toks);
+  static const std::unordered_set<std::string> lock_types = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || !is_punct(&toks[i + 1], '(')) continue;
+    const auto it = fn_mutexes.find(t.text);
+    if (it == fn_mutexes.end()) continue;
+    // Skip the declaration/definition itself (the annotation may sit
+    // behind cv/ref qualifiers: `... () const HETSCHED_REQUIRES(m)`).
+    std::size_t after = match_paren(toks, i + 1, nullptr);
+    static const std::unordered_set<std::string> decl_qualifiers = {
+        "const", "noexcept", "override", "final"};
+    while (after < toks.size() && toks[after].kind == TokKind::kIdent &&
+           decl_qualifiers.count(toks[after].text))
+      ++after;
+    if (after < toks.size() && is_ident(&toks[after], "HETSCHED_REQUIRES"))
+      continue;
+    const Token* prev = i > 0 ? &toks[i - 1] : nullptr;
+    if (is_punct(prev, ':')) continue;  // qualified definition head
+    const BodySpan* body = enclosing_body(bodies, i);
+    if (!body) continue;  // namespace-scope mention (doc table, etc.)
+    for (const std::string& mutex : it->second) {
+      bool held = false;
+      // a) a scoped lock of the mutex earlier in this function.
+      for (std::size_t j = body->open + 1; j < i && !held; ++j) {
+        if (toks[j].kind != TokKind::kIdent || !lock_types.count(toks[j].text))
+          continue;
+        for (std::size_t k = j + 1; k < std::min(j + 14, i); ++k) {
+          if (!is_punct(&toks[k], '(')) continue;
+          const std::size_t lock_after = match_paren(toks, k, nullptr);
+          for (std::size_t a = k + 1; a + 1 < lock_after; ++a)
+            if (is_ident(&toks[a], mutex)) held = true;
+          break;
+        }
+      }
+      // b) the enclosing function is annotated as holding/acquiring it.
+      const std::size_t lo = body->open > 48 ? body->open - 48 : 0;
+      for (std::size_t j = lo; j + 1 < body->open && !held; ++j) {
+        if ((is_ident(&toks[j], "HETSCHED_REQUIRES") ||
+             is_ident(&toks[j], "HETSCHED_ACQUIRE")) &&
+            is_punct(&toks[j + 1], '(')) {
+          const std::size_t ann_after = match_paren(toks, j + 1, nullptr);
+          for (std::size_t a = j + 2; a + 1 < ann_after; ++a)
+            if (is_ident(&toks[a], mutex)) held = true;
+        }
+      }
+      if (!held)
+        emit("lock-scope", t.line,
+             "call to '" + t.text + "()' requires '" + mutex +
+                 "' held: take std::lock_guard/scoped_lock of it in this "
+                 "scope, or annotate the caller "
+                 "HETSCHED_REQUIRES/HETSCHED_ACQUIRE(" + mutex + ")");
+    }
+  }
+}
+
+}  // namespace
+
+void concurrency_rules(const PreparedFile& file, const ProjectIndex* index,
+                       const EmitFn& emit) {
+  if (!path_starts_with(file.in.path, "src/")) return;
+  guarded_field_pass(file, emit);
+  memory_order_pass(file, emit);
+  seqlock_pass(file, emit);
+  lock_scope_pass(file, index, emit);
+}
+
+}  // namespace hetsched::lint

@@ -1,0 +1,30 @@
+// Concurrency-contract rule family: guarded-field, memory-order-doc,
+// seqlock-protocol and lock-scope. These passes check the annotation
+// discipline declared in src/support/thread_annotations.hpp; the clang
+// -Wthread-safety CI leg re-checks the same annotations with a real
+// compiler analysis. Scope is src/ — the production concurrency
+// surface — so test scaffolding can use ad-hoc locks freely.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "rules.hpp"
+
+namespace hetsched::lint {
+
+/// Emit callback: (rule, line, message). Suppression filtering and
+/// Finding assembly happen in the caller.
+using EmitFn =
+    std::function<void(const std::string&, int, std::string)>;
+
+void concurrency_rules(const PreparedFile& file, const ProjectIndex* index,
+                       const EmitFn& emit);
+
+/// Harvests HETSCHED_REQUIRES(m)-annotated function names from one
+/// prepared file (used by build_project_index and, same-file, by the
+/// lock-scope pass when no index is available).
+std::vector<ProjectIndex::RequiresFn> requires_functions(
+    const PreparedFile& file);
+
+}  // namespace hetsched::lint

@@ -1,6 +1,7 @@
 #include "driver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -160,6 +161,7 @@ std::vector<Finding> check_layer_doc(const std::string& doc_path,
 }
 
 DriverResult run_driver(const DriverOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
   DriverResult result;
   const fs::path root(opts.root);
   const LintConfig cfg =
@@ -180,6 +182,12 @@ DriverResult run_driver(const DriverOptions& opts) {
   }
   std::sort(files.begin(), files.end());
 
+  // Lex every file exactly once, up front: all rule passes share the
+  // token stream, and cross-file knowledge (the HETSCHED_REQUIRES index
+  // the lock-scope rule consults) needs the whole corpus before any
+  // per-file pass runs.
+  std::vector<PreparedFile> prepared;
+  prepared.reserve(files.size());
   for (const fs::path& p : files) {
     std::string rel = fs::relative(p, root).generic_string();
     const bool excluded =
@@ -198,8 +206,13 @@ DriverResult run_driver(const DriverOptions& opts) {
       std::error_code ec;
       in.sibling_header_exists = fs::exists(sibling, ec);
     }
-    ++result.files_scanned;
-    std::vector<Finding> found = lint_file(in, cfg);
+    prepared.push_back(prepare_file(std::move(in)));
+  }
+  result.files_scanned = static_cast<int>(prepared.size());
+
+  const ProjectIndex index = build_project_index(prepared);
+  for (const PreparedFile& pf : prepared) {
+    std::vector<Finding> found = lint_prepared(pf, cfg, &index);
     result.findings.insert(result.findings.end(),
                            std::make_move_iterator(found.begin()),
                            std::make_move_iterator(found.end()));
@@ -218,6 +231,9 @@ DriverResult run_driver(const DriverOptions& opts) {
                      if (a.path != b.path) return a.path < b.path;
                      return a.line < b.line;
                    });
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
   return result;
 }
 

@@ -37,6 +37,9 @@ struct DriverOptions {
 struct DriverResult {
   std::vector<Finding> findings;
   int files_scanned = 0;
+  /// Wall time of the whole run (read + lex + index + rule passes),
+  /// reported by the CLI and budget-checked by the lint CTest leg.
+  double wall_ms = 0.0;
 };
 
 /// Parses the `| \`metric.name\` | counter/gauge/histogram | ...` rows

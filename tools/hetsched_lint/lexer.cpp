@@ -114,6 +114,20 @@ class Lexer {
 
   void add_suppressions(std::string_view comment, int line) {
     for (auto& r : parse_allow(comment)) out_.suppressions[line].insert(r);
+    // Hot-path markers must LEAD the comment (only comment punctuation
+    // and whitespace before them); prose that merely mentions the
+    // marker phrase mid-sentence does not open or close a region.
+    std::size_t lead = 0;
+    while (lead < comment.size() &&
+           (comment[lead] == '/' || comment[lead] == '*' ||
+            comment[lead] == '!' || comment[lead] == ' ' ||
+            comment[lead] == '\t'))
+      ++lead;
+    const std::string_view body = comment.substr(lead);
+    if (body.starts_with("hetsched-lint: hot-path-begin"))
+      out_.hot_path_begins.push_back(line);
+    else if (body.starts_with("hetsched-lint: hot-path-end"))
+      out_.hot_path_ends.push_back(line);
   }
 
   void line_comment() {
@@ -273,6 +287,13 @@ class Lexer {
     const std::size_t start = pos_;
     while (pos_ < src_.size() &&
            (ident_cont(src_[pos_]) || src_[pos_] == '.' ||
+            // Digit separator: `'` between two alphanumerics (1'000,
+            // 0xdead'beef) continues the literal; a trailing `'` is the
+            // start of a char literal, not part of the number.
+            (src_[pos_] == '\'' && pos_ > start &&
+             std::isalnum(static_cast<unsigned char>(src_[pos_ - 1])) &&
+             pos_ + 1 < src_.size() &&
+             std::isalnum(static_cast<unsigned char>(src_[pos_ + 1]))) ||
             ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
              (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
               src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P'))))

@@ -51,6 +51,12 @@ struct LexedFile {
   /// covers its own line and the line after it, so it can either trail
   /// the offending statement or sit on its own line above it.
   std::unordered_map<int, std::unordered_set<std::string>> suppressions;
+  /// Lines of `hetsched-lint: hot-path-begin` / `hot-path-end` markers.
+  /// Harvested here — from comments only — so that marker-shaped text
+  /// inside string literals (raw strings especially) cannot open or
+  /// close an allocation-free region.
+  std::vector<int> hot_path_begins;
+  std::vector<int> hot_path_ends;
   /// First line holding anything other than comments/whitespace
   /// (0 when the file is all comments). Directives count as content.
   int first_content_line = 0;

@@ -4,12 +4,20 @@
 //
 //   hetsched_lint --root=/path/to/repo          # lint the whole tree
 //   hetsched_lint --root=. src tools            # restrict to subdirs
+//   hetsched_lint --root=. --json               # machine-readable output
+//   hetsched_lint --root=. --max-wall-ms=2000   # enforce a time budget
 //   hetsched_lint --list-rules
 //
-// Exit codes: 0 clean, 1 findings, 2 usage/IO error — the `lint`
-// CTest (tools/hetsched_lint/CMakeLists.txt) and the CI lint step gate
-// on them.
+// --json emits one object per finding — including suppressed ones,
+// flagged `"suppressed": true`, so CI can audit the allow() inventory —
+// while the exit code still counts only unsuppressed findings.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error (or a blown
+// --max-wall-ms budget) — the `lint` CTest
+// (tools/hetsched_lint/CMakeLists.txt) and the CI lint step gate on
+// them.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,9 +29,34 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--root=DIR] [--naming-doc=REL.md] "
-               "[--layer-doc=REL.md] [--list-rules] [subdir...]\n",
+               "[--layer-doc=REL.md] [--json] [--max-wall-ms=N] "
+               "[--list-rules] [subdir...]\n",
                argv0);
   return 2;
+}
+
+/// JSON string escaping for the --json emitter (paths and messages are
+/// ASCII by construction, but messages quote source snippets).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -32,6 +65,8 @@ int main(int argc, char** argv) {
   using namespace hetsched::lint;
   DriverOptions opts;
   std::vector<std::string> subdirs;
+  bool json = false;
+  long max_wall_ms = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--list-rules") {
@@ -39,12 +74,17 @@ int main(int argc, char** argv) {
         std::printf("%-20s %s\n", r.name.c_str(), r.description.c_str());
       return 0;
     }
-    if (arg.rfind("--root=", 0) == 0) {
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--root=", 0) == 0) {
       opts.root = std::string(arg.substr(7));
     } else if (arg.rfind("--naming-doc=", 0) == 0) {
       opts.naming_doc = std::string(arg.substr(13));
     } else if (arg.rfind("--layer-doc=", 0) == 0) {
       opts.layer_doc = std::string(arg.substr(12));
+    } else if (arg.rfind("--max-wall-ms=", 0) == 0) {
+      max_wall_ms = std::strtol(arg.substr(14).data(), nullptr, 10);
+      if (max_wall_ms <= 0) return usage(argv[0]);
     } else if (arg.rfind("--", 0) == 0) {
       return usage(argv[0]);
     } else {
@@ -59,10 +99,39 @@ int main(int argc, char** argv) {
                  opts.root.c_str());
     return 2;
   }
+
+  std::size_t active = 0, suppressed = 0;
   for (const Finding& f : res.findings)
-    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
-                f.message.c_str());
-  std::fprintf(stderr, "hetsched_lint: %zu finding(s) in %d file(s)\n",
-               res.findings.size(), res.files_scanned);
-  return res.findings.empty() ? 0 : 1;
+    (f.suppressed ? suppressed : active)++;
+
+  if (json) {
+    std::printf("[");
+    bool first = true;
+    for (const Finding& f : res.findings) {
+      std::printf("%s\n  {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+                  "\"message\": \"%s\", \"suppressed\": %s}",
+                  first ? "" : ",", json_escape(f.path).c_str(), f.line,
+                  json_escape(f.rule).c_str(),
+                  json_escape(f.message).c_str(),
+                  f.suppressed ? "true" : "false");
+      first = false;
+    }
+    std::printf("%s]\n", first ? "" : "\n");
+  } else {
+    for (const Finding& f : res.findings)
+      if (!f.suppressed)
+        std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+  }
+  std::fprintf(stderr,
+               "hetsched_lint: %zu finding(s) (%zu suppressed) in %d "
+               "file(s), %.1f ms\n",
+               active, suppressed, res.files_scanned, res.wall_ms);
+  if (max_wall_ms > 0 && res.wall_ms > static_cast<double>(max_wall_ms)) {
+    std::fprintf(stderr,
+                 "hetsched_lint: wall time %.1f ms exceeds budget %ld ms\n",
+                 res.wall_ms, max_wall_ms);
+    return 2;
+  }
+  return active == 0 ? 0 : 1;
 }

@@ -6,6 +6,9 @@
 #include <string_view>
 #include <utility>
 
+#include "concurrency.hpp"
+#include "token_util.hpp"
+
 namespace hetsched::lint {
 
 namespace {
@@ -86,53 +89,6 @@ bool is_fit_layer(const std::string& layer) {
   return layer == "linalg" || layer == "core";
 }
 
-// ---- token helpers ---------------------------------------------------------
-
-struct TokenCursor {
-  const std::vector<Token>& toks;
-  std::size_t i = 0;
-  bool done() const { return i >= toks.size(); }
-  const Token& tok() const { return toks[i]; }
-  const Token* next() const {
-    return i + 1 < toks.size() ? &toks[i + 1] : nullptr;
-  }
-  const Token* prev() const { return i > 0 ? &toks[i - 1] : nullptr; }
-};
-
-bool is_punct(const Token* t, char c) {
-  return t && t->kind == TokKind::kPunct && t->text.size() == 1 &&
-         t->text[0] == c;
-}
-
-/// With toks[open] == "(", returns the index one past the matching ")".
-/// Fills `top_level_commas` with the indices of depth-1 commas.
-std::size_t match_paren(const std::vector<Token>& toks, std::size_t open,
-                        std::vector<std::size_t>* top_level_commas) {
-  int depth = 0;
-  for (std::size_t j = open; j < toks.size(); ++j) {
-    const Token& t = toks[j];
-    if (t.kind != TokKind::kPunct) continue;
-    if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
-    else if (t.text == ")" || t.text == "]" || t.text == "}") {
-      --depth;
-      if (depth == 0) return j + 1;
-    } else if (t.text == "," && depth == 1 && top_level_commas) {
-      top_level_commas->push_back(j);
-    }
-  }
-  return toks.size();
-}
-
-/// First string-literal token strictly inside the parens opened at
-/// `open`; nullptr when none.
-const Token* first_string_in_call(const std::vector<Token>& toks,
-                                  std::size_t open) {
-  const std::size_t end = match_paren(toks, open, nullptr);
-  for (std::size_t j = open + 1; j < end; ++j)
-    if (toks[j].kind == TokKind::kString) return &toks[j];
-  return nullptr;
-}
-
 }  // namespace
 
 const std::map<std::string, std::unordered_set<std::string>>&
@@ -175,13 +131,49 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"layer-doc-sync",
        "the docs/ARCHITECTURE.md layer table must match the dependency "
        "graph the layering rule enforces — doc and rule cannot drift"},
+      {"guarded-field",
+       "every plain field of a mutex-owning class carries "
+       "HETSCHED_GUARDED_BY(<mutex>) or HETSCHED_NOT_GUARDED(\"why\") "
+       "(src/ only; atomics, sync primitives and leading-const exempt)"},
+      {"memory-order-doc",
+       "explicit non-seq_cst memory orders must sit under a "
+       "HETSCHED_ATOMIC_DOC(order, \"pairing\") statement; bare "
+       "memory_order_relaxed is tolerated only in src/obs/"},
+      {"seqlock-protocol",
+       "in src/obs/flight*, writer version bumps must bracket all "
+       "payload stores and readers must re-check version parity around "
+       "payload loads (matched structurally)"},
+      {"lock-scope",
+       "a HETSCHED_REQUIRES(m) function may only be called with a "
+       "lock_guard/unique_lock/scoped_lock of m in scope or from a "
+       "caller annotated HETSCHED_REQUIRES/HETSCHED_ACQUIRE(m)"},
   };
   return catalog;
 }
 
-std::vector<Finding> lint_file(const FileInput& in, const LintConfig& cfg) {
+PreparedFile prepare_file(FileInput in) {
+  PreparedFile pf;
+  pf.lexed = lex(in.content);
+  pf.in = std::move(in);
+  return pf;
+}
+
+ProjectIndex build_project_index(const std::vector<PreparedFile>& files) {
+  ProjectIndex index;
+  for (const PreparedFile& f : files) {
+    std::vector<ProjectIndex::RequiresFn> fns = requires_functions(f);
+    if (!fns.empty())
+      index.requires_by_file.emplace(f.in.path, std::move(fns));
+  }
+  return index;
+}
+
+std::vector<Finding> lint_prepared(const PreparedFile& file,
+                                   const LintConfig& cfg,
+                                   const ProjectIndex* index) {
   std::vector<Finding> out;
-  const LexedFile lexed = lex(in.content);
+  const FileInput& in = file.in;
+  const LexedFile& lexed = file.lexed;
   const std::string layer = layer_of(in.path);
   const bool in_src = in.path.starts_with("src/");
   const bool is_header = ends_with(in.path, ".hpp") || ends_with(in.path, ".h");
@@ -189,8 +181,8 @@ std::vector<Finding> lint_file(const FileInput& in, const LintConfig& cfg) {
 
   const auto emit = [&](const std::string& rule, int line,
                         std::string message) {
-    if (is_suppressed(lexed, line, rule)) return;
-    out.push_back({rule, in.path, line, std::move(message)});
+    out.push_back({rule, in.path, line, std::move(message),
+                   is_suppressed(lexed, line, rule)});
   };
 
   // -- layering --------------------------------------------------------------
@@ -199,6 +191,11 @@ std::vector<Finding> lint_file(const FileInput& in, const LintConfig& cfg) {
     const auto self = deps.find(layer);
     for (const Include& inc : lexed.includes) {
       if (inc.angled) continue;
+      // The thread-annotation macro header is layer-neutral: it
+      // declares nothing (macros only, no link dependency), and the
+      // guarded-field discipline applies to every layer including obs,
+      // which sits below support in the DAG.
+      if (inc.path == "support/thread_annotations.hpp") continue;
       const std::size_t slash = inc.path.find('/');
       if (slash == std::string::npos) continue;
       const std::string target = inc.path.substr(0, slash);
@@ -315,31 +312,30 @@ std::vector<Finding> lint_file(const FileInput& in, const LintConfig& cfg) {
   // sweep prices ~10^6 candidates per call; one stray allocation per leaf
   // is the difference between 1 s and minutes). Enforced lexically:
   // allocator entry points, growable-container mutations and
-  // std::function may not appear between the markers.
+  // std::function may not appear between the markers. The markers come
+  // from the lexer's comment harvest — marker-shaped text inside string
+  // literals (raw strings especially) does not open a region.
   {
-    // The marker lives in a comment, and comments are stripped from the
-    // token stream — so the region table comes from the raw text.
     std::vector<std::pair<int, int>> regions;
     {
-      int line = 1, open = -1;
-      std::size_t pos = 0;
-      while (pos <= in.content.size()) {
-        const std::size_t eol = in.content.find('\n', pos);
-        const std::size_t end =
-            eol == std::string::npos ? in.content.size() : eol;
-        const std::string_view text(in.content.data() + pos, end - pos);
-        if (text.find("hetsched-lint: hot-path-begin") !=
-            std::string_view::npos) {
-          open = line;
-        } else if (text.find("hetsched-lint: hot-path-end") !=
-                       std::string_view::npos &&
-                   open >= 0) {
-          regions.emplace_back(open, line);
-          open = -1;
+      std::size_t bi = 0, ei = 0;
+      const auto& begins = lexed.hot_path_begins;
+      const auto& ends = lexed.hot_path_ends;
+      int open = -1;
+      while (bi < begins.size() || ei < ends.size()) {
+        const bool take_begin =
+            bi < begins.size() &&
+            (ei >= ends.size() || begins[bi] < ends[ei]);
+        if (take_begin) {
+          if (open < 0) open = begins[bi];
+          ++bi;
+        } else {
+          if (open >= 0) {
+            regions.emplace_back(open, ends[ei]);
+            open = -1;
+          }
+          ++ei;
         }
-        if (eol == std::string::npos) break;
-        pos = eol + 1;
-        ++line;
       }
       // Unclosed begin: the contract runs to end of file.
       if (open >= 0)
@@ -443,11 +439,19 @@ std::vector<Finding> lint_file(const FileInput& in, const LintConfig& cfg) {
                "\" (self-contained-header check)");
   }
 
+  // -- concurrency-contract family (guarded-field, memory-order-doc,
+  //    seqlock-protocol, lock-scope) -----------------------------------------
+  concurrency_rules(file, index, emit);
+
   std::stable_sort(out.begin(), out.end(),
                    [](const Finding& a, const Finding& b) {
                      return a.line < b.line;
                    });
   return out;
+}
+
+std::vector<Finding> lint_file(const FileInput& in, const LintConfig& cfg) {
+  return lint_prepared(prepare_file(in), cfg, nullptr);
 }
 
 }  // namespace hetsched::lint

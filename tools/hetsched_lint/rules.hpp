@@ -4,12 +4,14 @@
 // `// hetsched-lint: allow(<rule>)` suppresses it for the line the
 // comment is on (or the line below a standalone comment). The catalog
 // with rationale lives in docs/STATIC_ANALYSIS.md; adding a rule means
-// adding an entry to rule_catalog() and a branch in lint_file(), plus a
-// fixture under tests/lint_fixtures/ that trips it exactly once.
+// adding an entry to rule_catalog() and a pass over the shared token
+// stream (rules.cpp or concurrency.cpp), plus a fixture under
+// tests/lint_fixtures/ that trips it exactly once.
 #pragma once
 
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -17,12 +19,15 @@
 
 namespace hetsched::lint {
 
-/// One reported violation.
+/// One reported violation. Suppressed findings are kept (flagged) so
+/// machine consumers (--json) can audit the allow() inventory; the
+/// text output and exit code count only unsuppressed ones.
 struct Finding {
   std::string rule;
   std::string path;  ///< repo-relative, '/'-separated
   int line = 0;
   std::string message;
+  bool suppressed = false;
 };
 
 /// Name + one-line description, for --list-rules and the docs.
@@ -61,8 +66,42 @@ struct FileInput {
   bool sibling_header_exists = false;
 };
 
-/// Runs every applicable rule over one file. Suppressions are already
-/// honoured: the returned findings are only the unsuppressed ones.
+/// A file lexed exactly once; every rule pass shares this token
+/// stream. The driver prepares all files first (so cross-file indices
+/// can be built), then runs the passes.
+struct PreparedFile {
+  FileInput in;
+  LexedFile lexed;
+};
+
+PreparedFile prepare_file(FileInput in);
+
+/// Cross-file knowledge harvested from every prepared file before the
+/// per-file passes run. Today: the HETSCHED_REQUIRES(m) function index
+/// the lock-scope rule checks call sites against.
+struct ProjectIndex {
+  struct RequiresFn {
+    std::string name;   ///< annotated function's unqualified name
+    std::string mutex;  ///< last identifier of the capability argument
+  };
+  /// Keyed by the repo-relative path of the file declaring the
+  /// function. A file's lock-scope pass checks functions declared in
+  /// itself plus in any file it #includes (suffix-matched), keeping
+  /// unrelated same-name functions from cross-firing.
+  std::unordered_map<std::string, std::vector<RequiresFn>> requires_by_file;
+};
+
+ProjectIndex build_project_index(const std::vector<PreparedFile>& files);
+
+/// Runs every applicable rule over one prepared file. Findings carry
+/// the `suppressed` flag instead of being dropped. `index` may be null
+/// (fixture tests): lock-scope then only sees same-file annotations.
+std::vector<Finding> lint_prepared(const PreparedFile& file,
+                                   const LintConfig& cfg,
+                                   const ProjectIndex* index);
+
+/// One-shot convenience (lexes internally): equivalent to
+/// lint_prepared(prepare_file(in), cfg, nullptr).
 std::vector<Finding> lint_file(const FileInput& in, const LintConfig& cfg);
 
 }  // namespace hetsched::lint

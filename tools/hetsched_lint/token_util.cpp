@@ -1,0 +1,113 @@
+#include "token_util.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hetsched::lint {
+
+namespace {
+
+/// Does the token window [after_paren, open) look like the qualifier
+/// tail between a parameter list's `)` and a function body's `{`?
+/// Accepts const / noexcept / override / final / try, `-> Type`
+/// trailing returns, attribute macros spelled HETSCHED_* (with their
+/// argument lists), and constructor initializer lists after `:`.
+bool qualifier_tail(const std::vector<Token>& toks, std::size_t after_paren,
+                    std::size_t open) {
+  std::size_t j = after_paren;
+  while (j < open) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kIdent || t.kind == TokKind::kNumber) {
+      ++j;  // qualifier keyword, trailing-return type, or ctor-init name
+      continue;
+    }
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(" || t.text == "{" || t.text == "[") {
+        j = match_paren(toks, j, nullptr);  // macro args / brace-init
+        continue;
+      }
+      if (t.text == "-" || t.text == ">" || t.text == "<" || t.text == ":" ||
+          t.text == "," || t.text == "&" || t.text == "*") {
+        ++j;
+        continue;
+      }
+      return false;  // `;`, `=`, ... — a declaration, not a body
+    }
+    return false;  // a string/char literal has no place here
+  }
+  return true;
+}
+
+/// Backward match: with toks[close] == ")", returns the index of the
+/// matching "(", or npos-equivalent (toks.size()) when unbalanced.
+std::size_t match_paren_back(const std::vector<Token>& toks,
+                             std::size_t close) {
+  int depth = 0;
+  for (std::size_t j = close + 1; j-- > 0;) {
+    const Token& t = toks[j];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == ")" || t.text == "]" || t.text == "}") ++depth;
+    else if (t.text == "(" || t.text == "[" || t.text == "{") {
+      --depth;
+      if (depth == 0) return j;
+    }
+  }
+  return toks.size();
+}
+
+}  // namespace
+
+std::vector<BodySpan> function_bodies(const std::vector<Token>& toks) {
+  // `{` preceded (through a qualifier tail) by a `)` whose opening `(`
+  // is not a control-flow head. Control-flow blocks are deliberately
+  // not spans, so statements inside `if`/`for` nests attribute to the
+  // enclosing function.
+  static const std::unordered_set<std::string> control = {
+      "if", "for", "while", "switch", "catch", "constexpr"};
+  std::vector<BodySpan> bodies;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_punct(&toks[i], '{')) continue;
+    bool found = false;
+    std::size_t close_paren = 0;
+    const std::size_t lo = i > 96 ? i - 96 : 0;
+    for (std::size_t j = i; j-- > lo;) {
+      if (is_punct(&toks[j], ')')) {
+        close_paren = j;
+        found = true;
+        break;
+      }
+      if (is_punct(&toks[j], ';') || is_punct(&toks[j], '}') ||
+          is_punct(&toks[j], '=')) {
+        break;
+      }
+    }
+    if (!found || !qualifier_tail(toks, close_paren + 1, i)) continue;
+    const std::size_t open_paren = match_paren_back(toks, close_paren);
+    if (open_paren == toks.size()) continue;
+    if (open_paren > 0) {
+      const Token& before = toks[open_paren - 1];
+      if (before.kind == TokKind::kIdent && control.count(before.text))
+        continue;
+    }
+    const std::size_t end = match_paren(toks, i, nullptr);
+    if (end == 0) continue;
+    bodies.push_back({i, end - 1});
+  }
+  std::sort(bodies.begin(), bodies.end(),
+            [](const BodySpan& a, const BodySpan& b) {
+              return a.open < b.open;
+            });
+  return bodies;
+}
+
+const BodySpan* enclosing_body(const std::vector<BodySpan>& bodies,
+                               std::size_t i) {
+  const BodySpan* best = nullptr;
+  for (const BodySpan& b : bodies) {
+    if (b.open >= i) break;
+    if (i <= b.close && (!best || b.open > best->open)) best = &b;
+  }
+  return best;
+}
+
+}  // namespace hetsched::lint

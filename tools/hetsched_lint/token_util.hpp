@@ -1,0 +1,71 @@
+// Token-stream helpers shared by the rule passes (rules.cpp,
+// concurrency.cpp). All passes walk the same LexedFile produced once
+// per file by the driver; these utilities are the common vocabulary for
+// doing so.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace hetsched::lint {
+
+inline bool is_punct(const Token* t, char c) {
+  return t && t->kind == TokKind::kPunct && t->text.size() == 1 &&
+         t->text[0] == c;
+}
+
+inline bool is_ident(const Token* t, std::string_view name) {
+  return t && t->kind == TokKind::kIdent && t->text == name;
+}
+
+/// With toks[open] == "(" (or "[", "{"), returns the index one past the
+/// matching closer. Fills `top_level_commas` with the indices of
+/// depth-1 commas when non-null. Unbalanced input returns toks.size().
+inline std::size_t match_paren(const std::vector<Token>& toks,
+                               std::size_t open,
+                               std::vector<std::size_t>* top_level_commas) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+    else if (t.text == ")" || t.text == "]" || t.text == "}") {
+      --depth;
+      if (depth == 0) return j + 1;
+    } else if (t.text == "," && depth == 1 && top_level_commas) {
+      top_level_commas->push_back(j);
+    }
+  }
+  return toks.size();
+}
+
+/// First string-literal token strictly inside the parens opened at
+/// `open`; nullptr when none.
+inline const Token* first_string_in_call(const std::vector<Token>& toks,
+                                         std::size_t open) {
+  const std::size_t end = match_paren(toks, open, nullptr);
+  for (std::size_t j = open + 1; j < end; ++j)
+    if (toks[j].kind == TokKind::kString) return &toks[j];
+  return nullptr;
+}
+
+/// Brace-delimited spans that look like function bodies: a `{` directly
+/// preceded by `)` or by a short qualifier tail after a `)` (const,
+/// noexcept, override, final, a HETSCHED_* annotation macro call, or a
+/// `-> Type` trailing return). Used by the seqlock-protocol and
+/// lock-scope passes to reason per-function. Spans are [open, close]
+/// token indices, innermost-last (sorted by open index).
+struct BodySpan {
+  std::size_t open = 0;   ///< index of `{`
+  std::size_t close = 0;  ///< index of matching `}`
+};
+std::vector<BodySpan> function_bodies(const std::vector<Token>& toks);
+
+/// Innermost body span containing token index `i`, or nullptr.
+const BodySpan* enclosing_body(const std::vector<BodySpan>& bodies,
+                               std::size_t i);
+
+}  // namespace hetsched::lint

@@ -4,8 +4,12 @@
 # scheduler_advisor --server thin client, scrapes it with
 # hetsched_scrape (exposition validity, flight trace, health latency
 # probe), exercises the SIGUSR1 dump path, and finally shuts it down
-# with SIGTERM asserting the drain flushed its artifacts. Inputs (via
-# -D): ADVISORD, BENCH, ADVISOR, SCRAPE, WORK_DIR.
+# with SIGTERM asserting the drain flushed its artifacts. The daemon
+# runs with a fast --refit-interval the whole time, so the background
+# refit thread (docs/SERVER.md §4.10) is soaked against every other
+# code path here — bench load, scrapes, signal handling — and the
+# SIGTERM drain proves the thread joins cleanly. Inputs (via -D):
+# ADVISORD, BENCH, ADVISOR, SCRAPE, WORK_DIR.
 set(sock "${WORK_DIR}/server_smoke.sock")
 set(ready "${WORK_DIR}/server_smoke.ready")
 set(daemon_log "${WORK_DIR}/server_smoke.daemon.log")
@@ -20,7 +24,7 @@ endif()
 # Start the daemon in the background; capture its ready line (stdout).
 execute_process(
   COMMAND "${CMAKE_COMMAND}" -E env
-          sh -c "'${ADVISORD}' --socket='${sock}' --plan=ns --dump-prefix='${dump_prefix}' --metrics-out='${metrics_out}' > '${ready}' 2> '${daemon_log}' & echo $!"
+          sh -c "'${ADVISORD}' --socket='${sock}' --plan=ns --refit-interval=0.25 --dump-prefix='${dump_prefix}' --metrics-out='${metrics_out}' > '${ready}' 2> '${daemon_log}' & echo $!"
   OUTPUT_VARIABLE daemon_pid
   OUTPUT_STRIP_TRAILING_WHITESPACE)
 if(NOT daemon_pid MATCHES "^[0-9]+$")

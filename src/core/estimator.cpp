@@ -28,10 +28,14 @@ const char* to_string(Provenance p) {
   switch (p) {
     case Provenance::kMeasured:
       return "measured";
+    case Provenance::kRefined:
+      return "refined";
     case Provenance::kComposed:
       return "composed";
     case Provenance::kFallback:
       return "fallback";
+    case Provenance::kDrifted:
+      return "drifted";
   }
   HETSCHED_ASSERT(false, "to_string: invalid Provenance value");
   return "measured";
@@ -39,8 +43,10 @@ const char* to_string(Provenance p) {
 
 Provenance provenance_from_string(const std::string& tag) {
   if (tag == "measured") return Provenance::kMeasured;
+  if (tag == "refined") return Provenance::kRefined;
   if (tag == "composed") return Provenance::kComposed;
   if (tag == "fallback") return Provenance::kFallback;
+  if (tag == "drifted") return Provenance::kDrifted;
   throw Error("unknown provenance tag '" + tag + "'");
 }
 

@@ -49,13 +49,22 @@ struct LinearMap {
 /// Where a model came from — the trust gradient reports split accuracy
 /// by (see docs/ROBUSTNESS.md):
 ///   measured  — fitted directly from this configuration class's samples;
+///   refined   — online refit from live observations (core/refit.hpp):
+///               own production data, but a sliding window rather than a
+///               controlled campaign, so it ranks just below measured;
 ///   composed  — §3.5 scaled copy of another kind's model (the class has
 ///               single-PE data but no PE sweep);
 ///   fallback  — degraded-mode composition after fault retries exhausted
-///               the class's samples (little or no own data).
-enum class Provenance { kMeasured, kComposed, kFallback };
+///               the class's samples (little or no own data);
+///   drifted   — the drift detector found live observations contradicting
+///               this class's model (least trusted: positive evidence of
+///               wrongness, pending re-measurement).
+/// Enumerator order is the trust order; Breakdown::provenance combines
+/// the serving models with std::max.
+enum class Provenance { kMeasured, kRefined, kComposed, kFallback, kDrifted };
 
-/// Stable lowercase tag ("measured" / "composed" / "fallback").
+/// Stable lowercase tag ("measured" / "refined" / "composed" /
+/// "fallback" / "drifted").
 const char* to_string(Provenance p);
 
 /// Inverse of to_string; throws hetsched::Error on unknown tags.
@@ -76,7 +85,7 @@ class Estimator {
     bool paged = false;          ///< memory-bin flag
     bool adjusted = false;
     /// Least trusted provenance among the models that served the
-    /// prediction (measured < composed < fallback).
+    /// prediction (measured < refined < composed < fallback < drifted).
     Provenance provenance = Provenance::kMeasured;
     Seconds total = 0;
   };

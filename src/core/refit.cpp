@@ -1,0 +1,359 @@
+#include "core/refit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "linalg/incremental.hpp"
+#include "obs/hooks.hpp"
+#include "support/error.hpp"
+
+namespace hetsched::core {
+
+namespace {
+
+/// The single active usage entry of a homogeneous configuration, or
+/// nullptr when the configuration is mixed/empty.
+const cluster::KindUsage* sole_usage(const cluster::Config& config) {
+  const cluster::KindUsage* active = nullptr;
+  for (const auto& u : config.usage) {
+    if (u.pes <= 0) continue;
+    if (active != nullptr) return nullptr;
+    active = &u;
+  }
+  return active;
+}
+
+/// Mean |relative error| of `predict` against measured totals over
+/// [begin, end) of a window.
+template <typename Predict>
+double holdout_error(const std::deque<Observation>& window, std::size_t begin,
+                     Predict predict) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = begin; i < window.size(); ++i) {
+    const Observation& o = window[i];
+    const double pred = predict(o);
+    sum += std::abs(pred - o.measured_total()) / o.measured_total();
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+std::size_t distinct_ns(const std::deque<Observation>& window,
+                        std::size_t end) {
+  std::set<int> ns;
+  for (std::size_t i = 0; i < end; ++i) ns.insert(window[i].n);
+  return ns.size();
+}
+
+}  // namespace
+
+ObservationBuffer::ObservationBuffer(std::size_t per_class_capacity,
+                                     std::size_t max_classes)
+    : per_class_capacity_(per_class_capacity), max_classes_(max_classes) {
+  HETSCHED_CHECK(per_class_capacity >= 1,
+                 "ObservationBuffer: per-class capacity must be >= 1");
+  HETSCHED_CHECK(max_classes >= 1,
+                 "ObservationBuffer: class cap must be >= 1");
+}
+
+std::string ObservationBuffer::class_key(const cluster::Config& config) {
+  const cluster::KindUsage* u = sole_usage(config);
+  if (u == nullptr) return "";
+  std::ostringstream os;
+  if (u->pes == 1) {
+    // Single-PE bin: the observation exercises the N-T model.
+    os << "nt:" << u->kind << '/' << u->pes << '/' << u->procs_per_pe;
+  } else {
+    os << "pt:" << u->kind << '/' << u->procs_per_pe;
+  }
+  return os.str();
+}
+
+ObservationBuffer::AddResult ObservationBuffer::add(Observation obs) {
+  HETSCHED_CHECK(obs.n >= 1, "ObservationBuffer: n must be >= 1");
+  HETSCHED_CHECK(std::isfinite(obs.measured_tai) && obs.measured_tai >= 0.0 &&
+                     std::isfinite(obs.measured_tci) &&
+                     obs.measured_tci >= 0.0 && obs.measured_total() > 0.0,
+                 "ObservationBuffer: measured parts must be finite, "
+                 "non-negative, with a positive total");
+  const std::string key = class_key(obs.config);
+  if (key.empty()) return AddResult::kMixedConfig;
+  auto it = windows_.find(key);
+  if (it == windows_.end()) {
+    if (windows_.size() >= max_classes_) return AddResult::kClassCapHit;
+    it = windows_.emplace(key, std::deque<Observation>{}).first;
+  }
+  it->second.push_back(std::move(obs));
+  ++size_;
+  if (it->second.size() > per_class_capacity_) {
+    it->second.pop_front();
+    --size_;
+  }
+  return AddResult::kAdded;
+}
+
+const std::deque<Observation>* ObservationBuffer::window(
+    const std::string& key) const {
+  const auto it = windows_.find(key);
+  return it == windows_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ObservationBuffer::class_keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(windows_.size());
+  for (const auto& [key, w] : windows_) keys.push_back(key);
+  return keys;
+}
+
+void ObservationBuffer::clear() {
+  windows_.clear();
+  size_ = 0;
+}
+
+RefitEngine::RefitEngine(RefitOptions opts) : opts_(opts) {
+  HETSCHED_CHECK(opts_.min_samples > opts_.holdout,
+                 "RefitEngine: min_samples must exceed the holdout");
+  HETSCHED_CHECK(opts_.min_distinct_n >= 4,
+                 "RefitEngine: the Tai polynomial needs 4 distinct N");
+  HETSCHED_CHECK(opts_.drift_threshold > 0.0,
+                 "RefitEngine: drift threshold must be positive");
+}
+
+RefitReport RefitEngine::refit(const Estimator& incumbent,
+                               const ObservationBuffer& buf) const {
+  RefitReport report;
+  Estimator candidate = incumbent;  // classes are replaced as accepted
+  for (const std::string& key : buf.class_keys()) {
+    const std::deque<Observation>& window = *buf.window(key);
+    const cluster::KindUsage* u = sole_usage(window.front().config);
+    HETSCHED_ASSERT(u != nullptr,
+                    "refit: buffered class without a sole usage entry");
+    ClassRefit cr;
+    if (u->pes == 1) {
+      cr = refit_nt(incumbent, NtKey{u->kind, u->pes, u->procs_per_pe},
+                    window, &candidate);
+    } else {
+      cr = refit_pt(incumbent, u->kind, u->procs_per_pe, window, &candidate);
+    }
+    cr.key = key;
+    if (cr.action == "accepted") ++report.accepted;
+    report.classes.push_back(std::move(cr));
+  }
+  std::size_t rejected = 0;
+  for (const auto& c : report.classes)
+    if (c.action == "rejected") ++rejected;
+  HETSCHED_GAUGE_SET("core.refined_models",
+                     static_cast<std::int64_t>(report.accepted));
+  HETSCHED_GAUGE_SET("core.refined_rejected",
+                     static_cast<std::int64_t>(rejected));
+  if (report.accepted > 0) report.model = std::move(candidate);
+  return report;
+}
+
+ClassRefit RefitEngine::refit_nt(const Estimator& incumbent, const NtKey& key,
+                                 const std::deque<Observation>& window,
+                                 Estimator* candidate) const {
+  ClassRefit cr;
+  cr.is_nt = true;
+  cr.kind = key.kind;
+  cr.pes = key.pes;
+  cr.m = key.m;
+  cr.samples = window.size();
+  if (window.size() < opts_.min_samples) {
+    cr.action = "skipped";
+    cr.reason = "insufficient-samples";
+    return cr;
+  }
+  const std::size_t fit_count = window.size() - opts_.holdout;
+  cr.distinct_n = distinct_ns(window, fit_count);
+  if (cr.distinct_n < opts_.min_distinct_n) {
+    cr.action = "skipped";
+    cr.reason = "insufficient-distinct-n";
+    return cr;
+  }
+  const NtModel* inc = incumbent.nt(key);
+  if (inc == nullptr) {
+    cr.action = "skipped";
+    cr.reason = "no-incumbent-model";
+    return cr;
+  }
+
+  // Fit in the scaled variable s = n / n_ref: the raw Vandermonde
+  // columns {N^3..1} span ten orders of magnitude over a sweep, and the
+  // incremental solver (unlike solve_lls) does not equilibrate columns.
+  double n_ref = 1.0;
+  for (std::size_t i = 0; i < fit_count; ++i)
+    n_ref = std::max(n_ref, static_cast<double>(window[i].n));
+  linalg::SlidingWindowLls tai_fit(4, fit_count);
+  linalg::SlidingWindowLls tci_fit(3, fit_count);
+  for (std::size_t i = 0; i < fit_count; ++i) {
+    const double s = static_cast<double>(window[i].n) / n_ref;
+    tai_fit.push(std::vector<double>{s * s * s, s * s, s, 1.0},
+                 window[i].measured_tai);
+    tci_fit.push(std::vector<double>{s * s, s, 1.0}, window[i].measured_tci);
+  }
+  std::array<double, 4> ka;
+  std::array<double, 3> kc;
+  try {
+    const std::vector<double> ca = tai_fit.solve().coeffs;
+    const std::vector<double> cc = tci_fit.solve().coeffs;
+    ka = {ca[0] / (n_ref * n_ref * n_ref), ca[1] / (n_ref * n_ref),
+          ca[2] / n_ref, ca[3]};
+    kc = {cc[0] / (n_ref * n_ref), cc[1] / n_ref, cc[2]};
+  } catch (const Error&) {
+    cr.action = "skipped";
+    cr.reason = "rank-deficient";
+    return cr;
+  }
+  const NtModel refined(ka, kc);
+
+  cr.candidate_err = holdout_error(window, fit_count, [&](const Observation& o) {
+    return refined.total(o.n);
+  });
+  cr.incumbent_err = holdout_error(window, fit_count, [&](const Observation& o) {
+    return inc->total(o.n);
+  });
+  if (opts_.holdout > 0 && cr.candidate_err > cr.incumbent_err) {
+    cr.action = "rejected";
+    cr.reason = "holdout-worse";
+    return cr;
+  }
+  candidate->add_nt(key, refined, Provenance::kRefined);
+  cr.action = "accepted";
+  return cr;
+}
+
+ClassRefit RefitEngine::refit_pt(const Estimator& incumbent,
+                                 const std::string& kind, int m,
+                                 const std::deque<Observation>& window,
+                                 Estimator* candidate) const {
+  ClassRefit cr;
+  cr.is_nt = false;
+  cr.kind = kind;
+  cr.m = m;
+  cr.samples = window.size();
+  if (window.size() < opts_.min_samples) {
+    cr.action = "skipped";
+    cr.reason = "insufficient-samples";
+    return cr;
+  }
+  const std::size_t fit_count = window.size() - opts_.holdout;
+  cr.distinct_n = distinct_ns(window, fit_count);
+  const PtModel* inc = incumbent.pt(kind, m);
+  if (inc == nullptr) {
+    cr.action = "skipped";
+    cr.reason = "no-incumbent-model";
+    return cr;
+  }
+
+  // Keep the base curves A(N), C(N) and the composition scales fixed —
+  // they encode the class's shape — and refit only k7..k11 on top, so
+  // the candidate stays within the paper's model family (§3.3).
+  PtModel::State st = inc->state();
+  const bool comm_q = incumbent.options().comm_uses_processors;
+  const auto p_of = [m](const Observation& o) {
+    return static_cast<double>(sole_usage(o.config)->pes) * m;
+  };
+  const auto q_of = [&](const Observation& o) {
+    const double pes = static_cast<double>(sole_usage(o.config)->pes);
+    return comm_q ? pes : pes * m;
+  };
+  linalg::SlidingWindowLls tai_fit(2, fit_count);
+  linalg::SlidingWindowLls tci_fit(3, fit_count);
+  for (std::size_t i = 0; i < fit_count; ++i) {
+    const Observation& o = window[i];
+    const double a = st.a_p_base * st.a_base.tai(o.n);
+    const double c = st.c_base.tci(o.n);
+    const double cs = st.compute_scale;
+    const double ms = st.comm_scale;
+    tai_fit.push(std::vector<double>{cs * a / p_of(o), cs}, o.measured_tai);
+    tci_fit.push(
+        std::vector<double>{ms * q_of(o) * c, ms * c / q_of(o), ms},
+        o.measured_tci);
+  }
+  try {
+    const std::vector<double> ct = tai_fit.solve().coeffs;
+    const std::vector<double> cc = tci_fit.solve().coeffs;
+    st.kt = {ct[0], ct[1]};
+    st.kc = {cc[0], cc[1], cc[2]};
+  } catch (const Error&) {
+    cr.action = "skipped";
+    cr.reason = "rank-deficient";
+    return cr;
+  }
+  const PtModel refined = PtModel::from_state(st);
+
+  cr.candidate_err = holdout_error(window, fit_count, [&](const Observation& o) {
+    return refined.tai(o.n, p_of(o)) + refined.tci(o.n, q_of(o));
+  });
+  cr.incumbent_err = holdout_error(window, fit_count, [&](const Observation& o) {
+    return inc->tai(o.n, p_of(o)) + inc->tci(o.n, q_of(o));
+  });
+  if (opts_.holdout > 0 && cr.candidate_err > cr.incumbent_err) {
+    cr.action = "rejected";
+    cr.reason = "holdout-worse";
+    return cr;
+  }
+  candidate->add_pt(kind, m, refined, Provenance::kRefined);
+  cr.action = "accepted";
+  return cr;
+}
+
+DriftReport RefitEngine::detect_drift(const Estimator& incumbent,
+                                      const ObservationBuffer& buf) const {
+  DriftReport report;
+  for (const std::string& key : buf.class_keys()) {
+    const std::deque<Observation>& window = *buf.window(key);
+    if (window.size() < opts_.drift_min_count) continue;
+    if (!incumbent.covers(window.front().config)) continue;
+    double sum_abs = 0.0;
+    std::set<int> drifted_ns;
+    std::set<int> drifted_pes;
+    for (const Observation& o : window) {
+      const double pred = incumbent.estimate(o.config, o.n);
+      const double rel = std::abs(pred - o.measured_total()) /
+                         o.measured_total();
+      sum_abs += rel;
+      if (rel > opts_.drift_threshold) {
+        drifted_ns.insert(o.n);
+        drifted_pes.insert(sole_usage(o.config)->pes);
+      }
+    }
+    const double mean_abs = sum_abs / static_cast<double>(window.size());
+    if (mean_abs <= opts_.drift_threshold) continue;
+    const cluster::KindUsage* u = sole_usage(window.front().config);
+    DriftClass dc;
+    dc.key = key;
+    dc.is_nt = u->pes == 1;
+    dc.kind = u->kind;
+    dc.m = u->procs_per_pe;
+    dc.pe_counts.assign(drifted_pes.begin(), drifted_pes.end());
+    dc.ns.assign(drifted_ns.begin(), drifted_ns.end());
+    dc.count = window.size();
+    dc.mean_abs_rel_err = mean_abs;
+    report.classes.push_back(std::move(dc));
+  }
+  HETSCHED_GAUGE_SET("core.refined_drifted",
+                     static_cast<std::int64_t>(report.classes.size()));
+  return report;
+}
+
+void apply_drift(Estimator& model, const DriftReport& report) {
+  for (const DriftClass& dc : report.classes) {
+    if (dc.is_nt) {
+      HETSCHED_ASSERT(!dc.pe_counts.empty(),
+                      "apply_drift: N-T drift class without a PE count");
+      const NtKey key{dc.kind, dc.pe_counts.front(), dc.m};
+      if (const NtModel* nt = model.nt(key))
+        model.add_nt(key, *nt, Provenance::kDrifted);
+    } else {
+      if (const PtModel* pt = model.pt(dc.kind, dc.m))
+        model.add_pt(dc.kind, dc.m, *pt, Provenance::kDrifted);
+    }
+  }
+}
+
+}  // namespace hetsched::core

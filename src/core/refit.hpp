@@ -1,0 +1,190 @@
+// Online model refinement from live observations (ROADMAP item 1).
+//
+// The paper fits its Nt/Pt models once from an offline measurement
+// campaign; this module closes the production loop instead: every
+// completed run's (config, N, measured Tai/Tci) lands in a bounded
+// ObservationBuffer with per-class sliding windows, and a RefitEngine
+// periodically turns those windows into candidate coefficients via the
+// incremental least-squares path (linalg/incremental.hpp). Candidates
+// are tagged with the `refined` provenance and only accepted when they
+// beat the incumbent model on a held-out slice of the newest
+// observations — the uncertainty-aware framing of Bayesian performance
+// prediction (PAPERS.md, arXiv 2110.14545): trust a refit only when the
+// evidence says it generalizes. Drift detection downgrades classes
+// whose live error exceeds tolerance to the `drifted` provenance and
+// names the exact (kind, N) cells a targeted re-measure plan must cover
+// (measure::remeasure_plan builds the plans; core cannot depend on
+// measure).
+//
+// Everything here is deterministic: same buffer + same incumbent =>
+// same report, byte for byte (the server's `refit` op result documents
+// and the golden transcripts rely on it).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "core/estimator.hpp"
+
+namespace hetsched::core {
+
+/// One completed run fed back from production. Measured computation and
+/// communication seconds; when the caller only has the measured total,
+/// split it by the incumbent prediction's tai/tci ratio (what the
+/// server's `observe` ingest does).
+struct Observation {
+  cluster::Config config;
+  int n = 0;
+  double measured_tai = 0.0;
+  double measured_tci = 0.0;
+
+  double measured_total() const { return measured_tai + measured_tci; }
+};
+
+/// Bounded ring of observations with one sliding window per model
+/// class. A class is the model an observation can refine: single-PE
+/// configurations refine their N-T model ("nt:kind/pes/m"), homogeneous
+/// multi-PE configurations refine their (kind, m) P-T model
+/// ("pt:kind/m"); mixed configurations touch several models at once and
+/// are not ingested. Oldest observations fall off a full class window;
+/// the class set itself is capped so a misbehaving feed cannot grow
+/// memory without bound.
+///
+/// Not thread-safe: the server guards its buffer with a mutex.
+class ObservationBuffer {
+ public:
+  enum class AddResult {
+    kAdded,
+    kMixedConfig,   ///< spans several model classes; not ingestible
+    kClassCapHit,   ///< max_classes reached and this key is new
+  };
+
+  explicit ObservationBuffer(std::size_t per_class_capacity = 64,
+                             std::size_t max_classes = 64);
+
+  /// Model-class key of a configuration, or "" for mixed configurations.
+  static std::string class_key(const cluster::Config& config);
+
+  /// Ingests one observation. Requires n >= 1 and finite, non-negative
+  /// measured parts with a positive total.
+  AddResult add(Observation obs);
+
+  std::size_t size() const { return size_; }
+  std::size_t classes() const { return windows_.size(); }
+  std::size_t per_class_capacity() const { return per_class_capacity_; }
+
+  /// Sliding window of one class, oldest first; nullptr when absent.
+  const std::deque<Observation>* window(const std::string& key) const;
+
+  /// All class keys, sorted (deterministic iteration order for refits).
+  std::vector<std::string> class_keys() const;
+
+  void clear();
+
+ private:
+  std::size_t per_class_capacity_;
+  std::size_t max_classes_;
+  std::size_t size_ = 0;
+  std::map<std::string, std::deque<Observation>> windows_;
+};
+
+struct RefitOptions {
+  /// Fewest window samples before a class refit is attempted (the
+  /// newest `holdout` of them are excluded from the fit).
+  std::size_t min_samples = 8;
+  /// Fewest distinct N values in the fit slice (the Tai polynomial has
+  /// four coefficients).
+  std::size_t min_distinct_n = 4;
+  /// Newest samples per class held out of the fit; the acceptance guard
+  /// compares candidate vs incumbent mean |relative error| on them.
+  std::size_t holdout = 2;
+  /// Drift: a class whose window mean |relative error| against the
+  /// incumbent exceeds this (with at least drift_min_count samples) is
+  /// downgraded to the `drifted` provenance.
+  double drift_threshold = 0.25;
+  std::size_t drift_min_count = 8;
+};
+
+/// Outcome of one class's refit attempt. `action` is a stable tag the
+/// server renders verbatim: "accepted", "rejected" (holdout worse),
+/// "skipped" (see `reason`).
+struct ClassRefit {
+  std::string key;
+  bool is_nt = false;
+  std::string kind;
+  int pes = 0;  ///< N-T classes only (1 for the single-PE bin)
+  int m = 0;
+  std::string action;
+  std::string reason;  ///< "" when accepted
+  std::size_t samples = 0;
+  std::size_t distinct_n = 0;
+  /// Mean |relative error| on the holdout slice (only when a candidate
+  /// was actually fitted and compared).
+  double incumbent_err = 0.0;
+  double candidate_err = 0.0;
+};
+
+struct RefitReport {
+  std::vector<ClassRefit> classes;  ///< sorted by key
+  std::size_t accepted = 0;
+  /// Copy of the incumbent with every accepted class's model replaced
+  /// by its refined candidate (provenance kRefined). Absent when no
+  /// class was accepted.
+  std::optional<Estimator> model;
+};
+
+/// One drifted model class and the exact cells to re-measure.
+struct DriftClass {
+  std::string key;
+  bool is_nt = false;
+  std::string kind;
+  int m = 0;
+  std::vector<int> pe_counts;  ///< distinct PE counts among drifted runs
+  std::vector<int> ns;         ///< distinct N of runs past the threshold
+  std::size_t count = 0;
+  double mean_abs_rel_err = 0.0;
+};
+
+struct DriftReport {
+  std::vector<DriftClass> classes;  ///< sorted by key
+  bool empty() const { return classes.empty(); }
+};
+
+/// Turns per-class observation windows into refined candidate models.
+class RefitEngine {
+ public:
+  explicit RefitEngine(RefitOptions opts = {});
+
+  const RefitOptions& options() const { return opts_; }
+
+  /// Attempts a refit of every class in `buf` against `incumbent`.
+  /// Deterministic; never modifies the incumbent.
+  RefitReport refit(const Estimator& incumbent,
+                    const ObservationBuffer& buf) const;
+
+  /// Flags classes whose live error against `incumbent` exceeds the
+  /// drift threshold, with the distinct (kind, N) cells to re-measure.
+  DriftReport detect_drift(const Estimator& incumbent,
+                           const ObservationBuffer& buf) const;
+
+ private:
+  ClassRefit refit_nt(const Estimator& incumbent, const NtKey& key,
+                      const std::deque<Observation>& window,
+                      Estimator* candidate) const;
+  ClassRefit refit_pt(const Estimator& incumbent, const std::string& kind,
+                      int m, const std::deque<Observation>& window,
+                      Estimator* candidate) const;
+
+  RefitOptions opts_;
+};
+
+/// Downgrades every class in `report` to Provenance::kDrifted on
+/// `model` (classes whose model is absent are ignored).
+void apply_drift(Estimator& model, const DriftReport& report);
+
+}  // namespace hetsched::core

@@ -1,0 +1,214 @@
+#include "linalg/incremental.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace hetsched::linalg {
+
+namespace {
+
+/// Relative margin the downdate demands between the diagonal it is
+/// cancelling and the mass it removes: |R_kk| must exceed |w_k| by at
+/// least this factor in the hyperbolic sense (R_kk^2 - w_k^2 >=
+/// margin^2 * R_kk^2). The subtraction's relative error grows like
+/// eps / margin^2, so 1e-4 keeps a successful downdate at ~1e-8
+/// relative per step — anything closer to cancellation is reported as
+/// breakdown and the caller rebuilds from raw samples instead.
+constexpr double kDowndateMargin = 1e-4;
+
+}  // namespace
+
+QrFactors qr_empty(std::size_t cols) {
+  HETSCHED_CHECK(cols >= 1, "qr_empty: need cols >= 1");
+  QrFactors f;
+  f.r = Matrix(cols, cols);
+  f.qtb.assign(cols, 0.0);
+  f.tail_norm = 0.0;
+  return f;
+}
+
+void qr_add_row(QrFactors& f, std::span<const double> row, double y) {
+  const std::size_t n = f.r.cols();
+  HETSCHED_CHECK(f.r.rows() == n && f.qtb.size() == n,
+                 "qr_add_row: malformed factors");
+  HETSCHED_CHECK(row.size() == n, "qr_add_row: row width mismatch");
+  for (const double v : row)
+    HETSCHED_CHECK(std::isfinite(v), "qr_add_row: non-finite design entry");
+  HETSCHED_CHECK(std::isfinite(y), "qr_add_row: non-finite sample");
+
+  std::vector<double> w(row.begin(), row.end());
+  double beta = y;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (w[k] == 0.0) continue;
+    // Givens rotation zeroing w[k] against R(k,k).
+    const double rkk = f.r(k, k);
+    const double h = std::hypot(rkk, w[k]);
+    const double c = rkk / h;
+    const double s = w[k] / h;
+    f.r(k, k) = h;
+    w[k] = 0.0;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      const double rj = f.r(k, j);
+      const double wj = w[j];
+      f.r(k, j) = c * rj + s * wj;
+      w[j] = -s * rj + c * wj;
+    }
+    const double zk = f.qtb[k];
+    f.qtb[k] = c * zk + s * beta;
+    beta = -s * zk + c * beta;
+  }
+  // Whatever is left of the rotated rhs is orthogonal to the column
+  // space tracked by R: it joins the residual tail.
+  f.tail_norm = std::hypot(f.tail_norm, beta);
+}
+
+bool qr_remove_row(QrFactors& f, std::span<const double> row, double y) {
+  const std::size_t n = f.r.cols();
+  HETSCHED_CHECK(f.r.rows() == n && f.qtb.size() == n,
+                 "qr_remove_row: malformed factors");
+  HETSCHED_CHECK(row.size() == n, "qr_remove_row: row width mismatch");
+  for (const double v : row)
+    HETSCHED_CHECK(std::isfinite(v), "qr_remove_row: non-finite design entry");
+  HETSCHED_CHECK(std::isfinite(y), "qr_remove_row: non-finite sample");
+
+  // Work on copies and commit only on success: a half-applied downdate
+  // would leave the factors factoring no system at all.
+  Matrix r = f.r;
+  std::vector<double> qtb = f.qtb;
+  std::vector<double> w(row.begin(), row.end());
+  double beta = y;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    if (w[k] == 0.0) continue;
+    const double rkk = r(k, k);
+    // Hyperbolic rotation H = [c -s; -s c] / d with c = R_kk / d,
+    // s = w_k / d, d = sqrt(R_kk^2 - w_k^2): c^2 - s^2 = 1, so applying
+    // it to the stacked pair (row k of R, w) preserves R^T R - w w^T —
+    // exactly the Gram matrix with the removed sample subtracted out.
+    const double margin = std::abs(rkk) * kDowndateMargin;
+    const double diff = (std::abs(rkk) - std::abs(w[k])) *
+                        (std::abs(rkk) + std::abs(w[k]));
+    if (!(diff > margin * margin)) return false;
+    const double d = std::sqrt(diff);
+    const double c = rkk / d;
+    const double s = w[k] / d;
+    r(k, k) = d * (rkk >= 0.0 ? 1.0 : -1.0);
+    w[k] = 0.0;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      const double rj = r(k, j);
+      const double wj = w[j];
+      r(k, j) = c * rj - s * wj;
+      w[j] = -s * rj + c * wj;
+    }
+    const double zk = qtb[k];
+    qtb[k] = c * zk - s * beta;
+    beta = -s * zk + c * beta;
+    if (!std::isfinite(r(k, k)) || !std::isfinite(qtb[k])) return false;
+  }
+
+  // The rotated rhs remainder leaves the residual tail. In exact
+  // arithmetic tail^2 - beta^2 >= 0; a materially negative value means
+  // the row was never (numerically) part of this factorization.
+  const double tail_sq =
+      (f.tail_norm - std::abs(beta)) * (f.tail_norm + std::abs(beta));
+  const double tail_tol =
+      16.0 * std::numeric_limits<double>::epsilon() * f.tail_norm * f.tail_norm;
+  if (tail_sq < -tail_tol) return false;
+
+  f.r = std::move(r);
+  f.qtb = std::move(qtb);
+  f.tail_norm = tail_sq > 0.0 ? std::sqrt(tail_sq) : 0.0;
+  return true;
+}
+
+LlsResult qr_solve(const QrFactors& f, std::size_t rows, double sum_y) {
+  const std::size_t n = f.r.cols();
+  HETSCHED_CHECK(f.r.rows() == n && f.qtb.size() == n,
+                 "qr_solve: malformed factors");
+  HETSCHED_CHECK(rows >= n, "qr_solve: fewer rows than coefficients");
+
+  double rmax = 0.0, rmin = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    rmax = std::max(rmax, std::abs(f.r(i, i)));
+    rmin = std::min(rmin, std::abs(f.r(i, i)));
+  }
+  const double tol = static_cast<double>(rows) *
+                     std::numeric_limits<double>::epsilon() * rmax;
+  for (std::size_t i = 0; i < n; ++i)
+    HETSCHED_CHECK(std::abs(f.r(i, i)) > tol,
+                   "qr_solve: rank-deficient factorization");
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = f.qtb[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= f.r(ii, j) * x[j];
+    x[ii] = s / f.r(ii, ii);
+  }
+  for (const double v : x)
+    HETSCHED_ASSERT(std::isfinite(v),
+                    "qr_solve: non-finite coefficient after back "
+                    "substitution");
+
+  LlsResult res;
+  res.coeffs = std::move(x);
+  res.cond = rmin > 0.0 ? rmax / rmin
+                        : std::numeric_limits<double>::infinity();
+  res.residual_norm = f.tail_norm;
+  // ss_tot = sum (y_i - mean)^2 = ||b||^2 - sum_y^2 / rows, and the
+  // factors carry ||b||^2 = ||qtb||^2 + tail^2 through every rotation.
+  double b_sq = f.tail_norm * f.tail_norm;
+  for (const double z : f.qtb) b_sq += z * z;
+  const double ss_tot = b_sq - sum_y * sum_y / static_cast<double>(rows);
+  const double ss_res = res.residual_norm * res.residual_norm;
+  res.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return res;
+}
+
+SlidingWindowLls::SlidingWindowLls(std::size_t cols, std::size_t capacity,
+                                   std::size_t refresh_interval)
+    : cols_(cols),
+      capacity_(capacity),
+      refresh_interval_(refresh_interval),
+      factors_(qr_empty(cols == 0 ? 1 : cols)) {
+  HETSCHED_CHECK(cols >= 1, "SlidingWindowLls: need cols >= 1");
+  HETSCHED_CHECK(capacity >= cols,
+                 "SlidingWindowLls: capacity below coefficient count");
+}
+
+void SlidingWindowLls::push(std::span<const double> row, double y) {
+  HETSCHED_CHECK(row.size() == cols_, "SlidingWindowLls: row width mismatch");
+  qr_add_row(factors_, row, y);
+  sum_y_ += y;
+  window_.emplace_back(std::vector<double>(row.begin(), row.end()), y);
+  if (window_.size() <= capacity_) return;
+
+  const auto& [old_row, old_y] = window_.front();
+  const bool downdated = qr_remove_row(factors_, old_row, old_y);
+  sum_y_ -= old_y;
+  window_.pop_front();
+  ++evictions_since_refresh_;
+  if (!downdated ||
+      (refresh_interval_ > 0 && evictions_since_refresh_ >= refresh_interval_))
+    rebuild();
+}
+
+LlsResult SlidingWindowLls::solve() const {
+  HETSCHED_CHECK(solvable(),
+                 "SlidingWindowLls: fewer samples than coefficients");
+  return qr_solve(factors_, window_.size(), sum_y_);
+}
+
+void SlidingWindowLls::rebuild() {
+  factors_ = qr_empty(cols_);
+  sum_y_ = 0.0;
+  for (const auto& [row, y] : window_) {
+    qr_add_row(factors_, row, y);
+    sum_y_ += y;
+  }
+  evictions_since_refresh_ = 0;
+  ++rebuilds_;
+}
+
+}  // namespace hetsched::linalg

@@ -1,0 +1,114 @@
+// Incremental least squares: rank-1 row update/downdate on QrFactors.
+//
+// The offline pipeline fits each model once from a full measurement
+// campaign (lls.hpp). The online-refinement loop instead folds one
+// observation at a time into an existing factorization: qr_add_row
+// appends a row with Givens rotations in O(cols^2), qr_remove_row
+// retracts one with hyperbolic rotations, and SlidingWindowLls keeps a
+// bounded window of recent samples whose solve matches a from-scratch
+// refit to tight tolerance (see tests/linalg_incremental_test.cpp for
+// the >= 1000-case differential pin against solve_lls).
+//
+// Downdating is the numerically delicate half: removing a row that
+// carries most of the information in some direction cancels R's
+// diagonal catastrophically. qr_remove_row therefore reports breakdown
+// instead of committing a poisoned factor, and SlidingWindowLls falls
+// back to a from-scratch rebuild from its retained window (it also
+// refreshes periodically so rounding error cannot accumulate without
+// bound across long add/evict streams).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "linalg/lls.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hetsched::linalg {
+
+/// An empty factorization of a `cols`-column system: R = 0 (cols x cols),
+/// qtb = 0, tail_norm = 0. Rows are folded in with qr_add_row.
+QrFactors qr_empty(std::size_t cols);
+
+/// Folds one sample (row, y) into `f` with Givens rotations: after the
+/// call, f factors the stacked system [A; row] x ~ [b; y]. O(cols^2).
+/// Requires row.size() == f.r.cols() and finite entries.
+void qr_add_row(QrFactors& f, std::span<const double> row, double y);
+
+/// Retracts one sample previously folded into `f`, using hyperbolic
+/// rotations (the LINPACK-style Cholesky downdate applied to R).
+/// Returns false — leaving `f` untouched — when the downdate breaks
+/// down numerically: the row carries (nearly) all of the factor's
+/// weight in some direction, so R^T R - row row^T is not safely
+/// positive. Callers must then rebuild from raw samples (see
+/// SlidingWindowLls). Requires row.size() == f.r.cols().
+bool qr_remove_row(QrFactors& f, std::span<const double> row, double y);
+
+/// Solves the factored system by back substitution, with the same rank
+/// guard as solve_lls (diagonal of R vs rows * eps * max |R_ii|).
+/// `rows` is the number of samples currently folded into `f` and
+/// `sum_y` their sum (both are trivial for callers to track across
+/// update/downdate); they feed the rank tolerance and the r2 statistic
+/// (ss_tot is recoverable from the factors as ||qtb||^2 + tail^2 -
+/// sum_y^2 / rows). Throws hetsched::Error when rows < cols or the
+/// factor is rank deficient.
+LlsResult qr_solve(const QrFactors& f, std::size_t rows, double sum_y);
+
+/// Bounded sliding window of least-squares samples with an incrementally
+/// maintained factorization. push() folds the new row in O(cols^2) and
+/// evicts the oldest row once past capacity via qr_remove_row; on
+/// downdate breakdown — and periodically, so rounding error from long
+/// add/evict streams cannot accumulate unboundedly — the factors are
+/// rebuilt from the retained window. solve() then matches a full
+/// from-scratch refit of the current window to tight tolerance.
+///
+/// Not thread-safe: confine to one thread or guard externally (the
+/// server's refit engine runs it under the observation-buffer mutex).
+class SlidingWindowLls {
+ public:
+  /// Window over `capacity` most-recent samples of a `cols`-column
+  /// design. `refresh_interval` bounds how many evictions may ride on
+  /// pure downdates before a from-scratch rebuild (0 = never refresh,
+  /// rebuild only on breakdown). Requires cols >= 1, capacity >= cols.
+  SlidingWindowLls(std::size_t cols, std::size_t capacity,
+                   std::size_t refresh_interval = 64);
+
+  /// Appends a sample, evicting the oldest if the window is full.
+  /// Requires row.size() == cols() and finite entries.
+  void push(std::span<const double> row, double y);
+
+  std::size_t size() const { return window_.size(); }
+  std::size_t cols() const { return cols_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// True once the window holds at least cols() samples (solve() can
+  /// still throw on a rank-deficient window).
+  bool solvable() const { return window_.size() >= cols_; }
+
+  /// Least-squares solution over the current window; differentially
+  /// pinned to solve_lls on the same rows. Throws hetsched::Error when
+  /// !solvable() or the window is rank deficient.
+  LlsResult solve() const;
+
+  /// From-scratch rebuilds performed so far (downdate breakdowns plus
+  /// periodic refreshes) — a diagnostic for how often the incremental
+  /// path had to bail out.
+  std::size_t rebuilds() const { return rebuilds_; }
+
+ private:
+  void rebuild();
+
+  std::size_t cols_;
+  std::size_t capacity_;
+  std::size_t refresh_interval_;
+  std::size_t evictions_since_refresh_ = 0;
+  std::size_t rebuilds_ = 0;
+  double sum_y_ = 0.0;
+  QrFactors factors_;
+  std::deque<std::pair<std::vector<double>, double>> window_;
+};
+
+}  // namespace hetsched::linalg

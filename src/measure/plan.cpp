@@ -73,4 +73,22 @@ MeasurementPlan ns_plan() {
                    {1200, 1600});
 }
 
+std::vector<MeasurementPlan> remeasure_plan(const core::DriftReport& report,
+                                            int repeats) {
+  HETSCHED_CHECK(repeats >= 1, "remeasure_plan: repeats >= 1 required");
+  std::vector<MeasurementPlan> plans;
+  plans.reserve(report.classes.size());
+  for (const core::DriftClass& dc : report.classes) {
+    HETSCHED_CHECK(!dc.ns.empty() && !dc.pe_counts.empty(),
+                   "remeasure_plan: drift class without drifted cells");
+    MeasurementPlan plan;
+    plan.name = "remeasure:" + dc.key;
+    plan.ns = dc.ns;
+    plan.sweeps.push_back(KindSweep{dc.kind, dc.pe_counts, {dc.m}});
+    plan.repeats = repeats;
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
 }  // namespace hetsched::measure

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/config.hpp"
+#include "core/refit.hpp"
 
 namespace hetsched::measure {
 
@@ -45,5 +46,12 @@ MeasurementPlan basic_plan();
 MeasurementPlan nl_plan();
 /// NS model plan (paper Table 8).
 MeasurementPlan ns_plan();
+
+/// Targeted re-measurement after drift detection (core/refit.hpp): one
+/// plan per drifted model class, covering exactly the (kind, N) cells
+/// that tripped the detector — its drifted sizes, PE counts, and
+/// multiprogramming level, nothing else. Empty report => no plans.
+std::vector<MeasurementPlan> remeasure_plan(const core::DriftReport& report,
+                                            int repeats = 1);
 
 }  // namespace hetsched::measure

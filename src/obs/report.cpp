@@ -530,6 +530,17 @@ DiffResult diff_reports(const RunReport& baseline, const RunReport& current,
       continue;
     }
     DiffItem it{key, base_value, cur_it->second, 0, false};
+    // A doctored or corrupted baseline must fail loudly, not disarm
+    // the gate: a non-finite value (any rule) or a zero/negative qps
+    // baseline makes the threshold unfireable — base/ratio is then <=
+    // 0 and no collapse, however total, would ever trip it. A
+    // non-finite current value can likewise never compare as worse.
+    if (!std::isfinite(base_value) || !std::isfinite(cur_it->second) ||
+        (is_qps && base_value <= 0.0)) {
+      it.regressed = true;
+      out.checked.push_back(it);
+      continue;
+    }
     if (is_wall) {
       it.limit = base_value * opts.wall_ratio + 1.0;
       it.regressed = cur_it->second > it.limit;

@@ -29,7 +29,7 @@ namespace json = hetsched::obs::json;
 const std::vector<std::string>& op_table() {
   static const std::vector<std::string> ops = {
       "?",     "ping",    "hello",  "estimate", "advise", "stats",
-      "reload", "metrics", "health", "flight",   "observe"};
+      "reload", "metrics", "health", "flight",   "observe", "refit"};
   return ops;
 }
 
@@ -44,6 +44,7 @@ constexpr std::uint16_t kOpMetrics = 7;
 constexpr std::uint16_t kOpHealth = 8;
 constexpr std::uint16_t kOpFlight = 9;
 constexpr std::uint16_t kOpObserve = 10;
+constexpr std::uint16_t kOpRefit = 11;
 
 /// Error-code table: index 0 is "ok" (rendered as "" in flight dumps);
 /// the rest mirror the errc:: taxonomy in protocol.hpp.
@@ -513,15 +514,45 @@ Service::Service(std::shared_ptr<const ModelSnapshot> snapshot,
       slot_(std::move(snapshot)),
       cache_(options.cache_shards, options.cache_max_entries_per_shard),
       pool_(options.threads),
-      flight_(options.flight_capacity) {
+      flight_(options.flight_capacity),
+      obs_buf_(options.refit_buffer_capacity, options.refit_buffer_classes) {
   HETSCHED_CHECK(slot_.load() != nullptr,
                  "Service requires an initial snapshot");
-  static_assert(Service::kOpTableSize == 11,
+  static_assert(Service::kOpTableSize == 12,
                 "op_wall_ must cover every entry of op_table()");
   start_us_ = clock_now_us();
   HETSCHED_ATOMIC_DOC(relaxed, "constructor runs before any server thread; "
                                "the atomic exists for later swap updates");
   published_us_.store(start_us_, std::memory_order_relaxed);
+  if (options_.refit_interval_us > 0) {
+    refit_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> l(refit_stop_mu_);
+      for (;;) {
+        HETSCHED_ATOMIC_DOC(relaxed, "stop flag; the cv wait under "
+                                     "refit_stop_mu_ orders the handshake");
+        const bool stopped = refit_stop_cv_.wait_for(
+            l, std::chrono::microseconds(options_.refit_interval_us),
+            [this] { return refit_stop_.load(std::memory_order_relaxed); });
+        if (stopped) return;
+        l.unlock();
+        refit_now();
+        l.lock();
+      }
+    });
+  }
+}
+
+Service::~Service() {
+  if (refit_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> l(refit_stop_mu_);
+      HETSCHED_ATOMIC_DOC(relaxed, "stop flag; publishing under the cv "
+                                   "mutex pairs with the waiter");
+      refit_stop_.store(true, std::memory_order_relaxed);
+    }
+    refit_stop_cv_.notify_all();
+    refit_thread_.join();
+  }
 }
 
 std::uint64_t Service::clock_now_us() const {
@@ -542,6 +573,18 @@ void Service::swap_snapshot(std::shared_ptr<const ModelSnapshot> snapshot) {
   HETSCHED_ATOMIC_DOC(relaxed, "monotonic statistic");
   swaps_.fetch_add(1, std::memory_order_relaxed);
   HETSCHED_COUNTER_ADD("server.snapshot_swaps", 1);
+  // The calibration watchdog scored the model we just replaced; a new
+  // model starts with a clean slate, or a reload could never clear a
+  // degraded verdict (the stale-calibration bug — regression-tested by
+  // server_service_test.ReloadResetsCalibrationState).
+  {
+    std::lock_guard<std::mutex> l(calib_mu_);
+    calib_.clear();
+  }
+  HETSCHED_ATOMIC_DOC(relaxed, "advisory watchdog verdict; observers "
+                               "tolerate either order around the swap");
+  calib_degraded_.store(false, std::memory_order_relaxed);
+  HETSCHED_GAUGE_SET("server.calib.degraded", 0);
 }
 
 void Service::connection_opened() {
@@ -740,9 +783,12 @@ std::string Service::handle_parsed(const std::string& payload,
           bad_request("family must be a non-empty string");
         family = f->as_string();
       }
+      ingest_observation(config, size, bd, t_measured);
       return ok_response(id,
                          observe_result(family, bd.total, t_measured));
     }
+
+    if (name == "refit") return ok_response(id, refit_now());
 
     if (name == "reload") {
       ReloadHandler handler;
@@ -952,31 +998,47 @@ std::string Service::observe_result(const std::string& family,
   const double abs_rel = std::fabs(rel);
   CalibFamily fam;
   bool degraded_any = false;
+  bool dropped = false;
   {
     std::lock_guard<std::mutex> l(calib_mu_);
     auto it = calib_.find(family);
-    if (it == calib_.end()) {
+    if (it == calib_.end() && calib_.size() >= 16) {
       // Bound the family set so a misbehaving client can't grow an
-      // unbounded map on the serving path.
-      if (calib_.size() >= 16)
-        bad_request("too many calibration families (max 16)");
-      it = calib_.emplace(family, CalibFamily{}).first;
+      // unbounded map on the serving path. The sample is still answered
+      // (its own error is useful to the caller) but not folded into any
+      // watchdog state; the result flags the drop and the
+      // server.calib.dropped counter makes the loss visible.
+      dropped = true;
+      degraded_any = calib_any_degraded();
+    } else {
+      if (it == calib_.end()) it = calib_.emplace(family, CalibFamily{}).first;
+      CalibFamily& f = it->second;
+      f.count += 1;
+      f.sum_rel_err += rel;
+      f.sum_abs_rel_err += abs_rel;
+      f.max_abs_rel_err = std::max(f.max_abs_rel_err, abs_rel);
+      fam = f;
+      degraded_any = calib_any_degraded();
     }
-    CalibFamily& f = it->second;
-    f.count += 1;
-    f.sum_rel_err += rel;
-    f.sum_abs_rel_err += abs_rel;
-    f.max_abs_rel_err = std::max(f.max_abs_rel_err, abs_rel);
-    fam = f;
-    degraded_any = calib_any_degraded();
   }
   HETSCHED_ATOMIC_DOC(relaxed, "advisory watchdog verdict; health_result "
                                "reads it with the same tolerance");
   calib_degraded_.store(degraded_any, std::memory_order_relaxed);
-  const double mean_abs = fam.sum_abs_rel_err / static_cast<double>(fam.count);
-  const bool fam_degraded = fam.count >= options_.calib_min_count &&
+  if (dropped) {
+    // Untracked: render the sample's own statistics with count 0 so the
+    // caller can tell nothing was accumulated.
+    fam.count = 0;
+    fam.sum_abs_rel_err = 0.0;
+    fam.max_abs_rel_err = abs_rel;
+  }
+  const double mean_abs =
+      fam.count == 0 ? abs_rel
+                     : fam.sum_abs_rel_err / static_cast<double>(fam.count);
+  const bool fam_degraded = !dropped &&
+                            fam.count >= options_.calib_min_count &&
                             mean_abs > options_.calib_error_threshold;
   HETSCHED_COUNTER_ADD("server.calib.observations", 1);
+  if (dropped) HETSCHED_COUNTER_ADD("server.calib.dropped", 1);
   // Gauge names must be literals for the metric-name lint; the
   // provenance families are a closed set, arbitrary client-chosen
   // families are visible through `health` instead.
@@ -1004,6 +1066,155 @@ std::string Service::observe_result(const std::string& family,
   out += json_number(fam.max_abs_rel_err);
   out += ",\"degraded\":";
   out += fam_degraded ? "true" : "false";
+  out += ",\"dropped\":";
+  out += dropped ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+void Service::ingest_observation(const cluster::Config& config, int n,
+                                 const core::Estimator::Breakdown& bd,
+                                 double measured) {
+  // The wire carries only the measured total; split it into computation
+  // and communication by the prediction's own ratio — the best available
+  // attribution, and exact in the limit where only the overall scale
+  // drifted.
+  double pred_tai = 0.0;
+  double pred_tci = 0.0;
+  for (const auto& k : bd.kinds) {
+    pred_tai += k.tai;
+    pred_tci += k.tci;
+  }
+  const double denom = pred_tai + pred_tci;
+  const double ratio = denom > 0.0 ? pred_tai / denom : 1.0;
+  core::Observation obs;
+  obs.config = config;
+  obs.n = n;
+  obs.measured_tai = ratio * measured;
+  obs.measured_tci = measured - obs.measured_tai;
+  core::ObservationBuffer::AddResult added;
+  {
+    std::lock_guard<std::mutex> l(obs_mu_);
+    added = obs_buf_.add(std::move(obs));
+  }
+  if (added == core::ObservationBuffer::AddResult::kAdded) {
+    HETSCHED_COUNTER_ADD("server.refit.observations", 1);
+  } else {
+    HETSCHED_COUNTER_ADD("server.refit.dropped", 1);
+  }
+}
+
+std::size_t Service::observation_count() const {
+  std::lock_guard<std::mutex> l(obs_mu_);
+  return obs_buf_.size();
+}
+
+std::string Service::refit_now() {
+  const std::shared_ptr<const ModelSnapshot> snap = slot_.load();
+  core::ObservationBuffer buf(1, 1);
+  {
+    std::lock_guard<std::mutex> l(obs_mu_);
+    buf = obs_buf_;
+  }
+  const core::RefitEngine engine(options_.refit);
+  const core::RefitReport report = engine.refit(snap->estimator(), buf);
+  const core::DriftReport drift = engine.detect_drift(snap->estimator(), buf);
+  HETSCHED_COUNTER_ADD("server.refit.attempts", 1);
+  HETSCHED_COUNTER_ADD("server.refit.accepted",
+                       static_cast<std::int64_t>(report.accepted));
+
+  // Drift downgrades apply to classes this round did NOT successfully
+  // refit (the evidence indicts the old model; an accepted refit already
+  // replaced it) and that are not already marked drifted (republishing
+  // an identical snapshot every pass would churn the calibration state).
+  core::DriftReport stale;
+  for (const core::DriftClass& dc : drift.classes) {
+    bool accepted = false;
+    for (const core::ClassRefit& cr : report.classes)
+      accepted = accepted || (cr.key == dc.key && cr.action == "accepted");
+    if (accepted) continue;
+    const core::Estimator& inc = snap->estimator();
+    const core::Provenance current =
+        dc.is_nt ? inc.nt_provenance(core::NtKey{dc.kind, dc.pe_counts.empty()
+                                                              ? 1
+                                                              : dc.pe_counts[0],
+                                                 dc.m})
+                 : inc.pt_provenance(dc.kind, dc.m);
+    if (current == core::Provenance::kDrifted) continue;
+    stale.classes.push_back(dc);
+  }
+
+  bool swapped = false;
+  std::uint64_t fingerprint = snap->fingerprint();
+  if (report.accepted > 0 || !stale.classes.empty()) {
+    core::Estimator next =
+        report.model.has_value() ? *report.model : snap->estimator();
+    core::apply_drift(next, stale);
+    auto fresh =
+        std::make_shared<const ModelSnapshot>(std::move(next), snap->space());
+    // Publish only when something actually changed: a refit that
+    // reproduces the incumbent's coefficients bit-for-bit (steady state
+    // under an unchanged window) must not churn the snapshot and wipe
+    // the calibration watchdog every pass. Drift downgrades are
+    // provenance-only (invisible to the content fingerprint) and always
+    // publish — the already-kDrifted filter above bounds that churn.
+    if (fresh->fingerprint() != snap->fingerprint() ||
+        !stale.classes.empty()) {
+      fingerprint = fresh->fingerprint();
+      swap_snapshot(std::move(fresh));
+      swapped = true;
+      HETSCHED_COUNTER_ADD("server.refit.swaps", 1);
+    }
+  }
+
+  std::string out = "{\"classes\":[";
+  for (std::size_t i = 0; i < report.classes.size(); ++i) {
+    const core::ClassRefit& cr = report.classes[i];
+    if (i) out += ',';
+    out += "{\"class\":";
+    out += json_quote(cr.key);
+    out += ",\"action\":";
+    out += json_quote(cr.action);
+    out += ",\"reason\":";
+    out += json_quote(cr.reason);
+    out += ",\"samples\":";
+    out += json_int(static_cast<std::int64_t>(cr.samples));
+    out += ",\"distinct_n\":";
+    out += json_int(static_cast<std::int64_t>(cr.distinct_n));
+    out += ",\"incumbent_err\":";
+    out += json_number(cr.incumbent_err);
+    out += ",\"candidate_err\":";
+    out += json_number(cr.candidate_err);
+    out += '}';
+  }
+  out += "],\"accepted\":";
+  out += json_int(static_cast<std::int64_t>(report.accepted));
+  out += ",\"drifted\":[";
+  for (std::size_t i = 0; i < drift.classes.size(); ++i) {
+    const core::DriftClass& dc = drift.classes[i];
+    if (i) out += ',';
+    out += "{\"class\":";
+    out += json_quote(dc.key);
+    out += ",\"count\":";
+    out += json_int(static_cast<std::int64_t>(dc.count));
+    out += ",\"mean_abs_rel_err\":";
+    out += json_number(dc.mean_abs_rel_err);
+    out += ",\"ns\":[";
+    for (std::size_t j = 0; j < dc.ns.size(); ++j) {
+      if (j) out += ',';
+      out += json_int(dc.ns[j]);
+    }
+    out += "],\"pe_counts\":[";
+    for (std::size_t j = 0; j < dc.pe_counts.size(); ++j) {
+      if (j) out += ',';
+      out += json_int(dc.pe_counts[j]);
+    }
+    out += "]}";
+  }
+  out += "],\"swapped\":";
+  out += swapped ? "true" : "false";
+  out += ",\"model_fingerprint\":";
+  out += json_quote(hex_fingerprint(fingerprint));
   out += '}';
   return out;
 }

@@ -20,14 +20,17 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/refit.hpp"
 #include "obs/fine_hist.hpp"
 #include "obs/flight.hpp"
 #include "search/cache.hpp"
@@ -62,6 +65,16 @@ struct ServiceOptions {
   /// (and the golden transcripts in docs/SERVER.md §9) inject a
   /// deterministic counter here so timing fields are byte-stable.
   std::uint64_t (*now_us)() = nullptr;
+  /// Online refinement (docs/SERVER.md §4.10). Every accepted `observe`
+  /// also lands in a bounded refit buffer; the `refit` op (and the
+  /// background cadence below) turns the buffered windows into candidate
+  /// models through core::RefitEngine and hot-swaps accepted ones.
+  core::RefitOptions refit;
+  std::size_t refit_buffer_capacity = 64;  ///< window per model class
+  std::size_t refit_buffer_classes = 64;   ///< most classes buffered
+  /// Background refit cadence in microseconds; 0 (the default) disables
+  /// the thread and leaves refits to the explicit `refit` op.
+  std::uint64_t refit_interval_us = 0;
 };
 
 /// Transport-independent request handler around a hot-swappable model.
@@ -75,9 +88,17 @@ class Service {
  public:
   explicit Service(std::shared_ptr<const ModelSnapshot> snapshot,
                    ServiceOptions options = {});
+  /// Stops the background refit thread (when one was started).
+  ~Service();
 
   /// Publishes a new snapshot. In-flight requests finish on the old
   /// one; subsequent requests see the new one. Never blocks readers.
+  /// Per-family calibration watchdog state is reset: those statistics
+  /// measured the *old* model, and carrying them over would leave a
+  /// `degraded` verdict pinned against a model that never produced the
+  /// errors (the stale-calibration bug). The refit observation buffer
+  /// deliberately survives — measurements are ground truth about the
+  /// cluster, not about any particular model.
   void swap_snapshot(std::shared_ptr<const ModelSnapshot> snapshot);
 
   /// The currently published snapshot.
@@ -137,10 +158,19 @@ class Service {
   /// Canonical `health` result document.
   std::string health_json() const;
 
+  /// Runs one refit pass over the buffered observations and returns the
+  /// canonical `refit` result document (docs/SERVER.md §4.10). Accepted
+  /// candidates (and drift downgrades) are published via swap_snapshot.
+  /// This is what the `refit` op and the background cadence both call.
+  std::string refit_now();
+
+  /// Observations currently buffered for refits (tests, soak checks).
+  std::size_t observation_count() const;
+
   /// Number of entries in the op name table (index 0 is "?", the
   /// unparseable-request bucket) — the size of the per-op latency
   /// histogram array.
-  static constexpr std::size_t kOpTableSize = 11;
+  static constexpr std::size_t kOpTableSize = 12;
 
  private:
   /// Per-request metadata the dispatcher fills in for the flight
@@ -161,9 +191,15 @@ class Service {
                              bool process_scope) const;
   std::string health_result(const ModelSnapshot& snap) const;
   /// Folds one predicted-vs-measured pair into the watchdog state and
-  /// renders the `observe` result document.
+  /// renders the `observe` result document. Past the family cap the
+  /// sample is not tracked (the trailing "dropped" member flags it).
   std::string observe_result(const std::string& family, double predicted,
                              double measured);
+  /// Feeds one observation into the refit buffer, splitting the measured
+  /// total into computation/communication by the prediction's ratio.
+  void ingest_observation(const cluster::Config& config, int n,
+                          const core::Estimator::Breakdown& bd,
+                          double measured);
   /// True when any calibration family exceeds the watchdog threshold.
   /// Locking precondition checked by the lock-scope lint rule and the
   /// clang thread-safety leg.
@@ -208,6 +244,20 @@ class Service {
   mutable std::mutex calib_mu_;
   std::map<std::string, CalibFamily> calib_ HETSCHED_GUARDED_BY(calib_mu_);
   std::atomic<bool> calib_degraded_{false};
+
+  /// Refit observation buffer (`observe` ingest, `refit` consumption).
+  /// Refits copy the buffer and run the engine outside the lock so a
+  /// slow solve never stalls the observe path.
+  mutable std::mutex obs_mu_;
+  core::ObservationBuffer obs_buf_ HETSCHED_GUARDED_BY(obs_mu_);
+
+  /// Background refit cadence (started only when refit_interval_us > 0).
+  std::mutex refit_stop_mu_;
+  std::condition_variable refit_stop_cv_;
+  std::atomic<bool> refit_stop_{false};
+  std::thread refit_thread_ HETSCHED_NOT_GUARDED(
+      "started in the constructor, joined in the destructor; no other "
+      "access");
 };
 
 }  // namespace hetsched::server

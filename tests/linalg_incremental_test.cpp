@@ -1,0 +1,324 @@
+// Differential suite for the incremental least-squares path: on
+// randomized windows, solving factors built by qr_add_row /
+// qr_remove_row (and the SlidingWindowLls wrapper) must match a full
+// from-scratch solve_lls refit of the same rows to 1e-9 relative on
+// every coefficient — over a thousand distinct random windows in total,
+// including downdate-to-empty sequences and ill-conditioned windows
+// where the downdate must either refuse (leaving the factors
+// untouched) or still agree with the full refit. Clean windows are also
+// pinned against solve_robust_lls, whose Huber IRLS fixed point on
+// outlier-free data is the plain LS solution.
+#include "linalg/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "linalg/lls.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hetsched::linalg {
+namespace {
+
+constexpr double kRelTol = 1e-9;
+/// Windows above this full-solve condition estimate are excluded from
+/// the strict 1e-9 pin (the comparison itself loses digits there); the
+/// suite asserts it still accumulated >= 1000 strict windows.
+constexpr double kCondCap = 1e6;
+
+struct WindowData {
+  Matrix a;
+  std::vector<double> b;
+};
+
+WindowData random_window(Rng& rng, std::size_t rows, std::size_t cols) {
+  WindowData w;
+  w.a = Matrix(rows, cols);
+  w.b.resize(rows);
+  const double col_scale = std::pow(10.0, rng.uniform(-2.0, 2.0));
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j)
+      w.a(i, j) = rng.uniform(-2.0, 2.0) * (j == 0 ? col_scale : 1.0);
+    w.b[i] = rng.uniform(-5.0, 5.0);
+  }
+  return w;
+}
+
+/// True when every coefficient pair agrees to kRelTol relative (with an
+/// absolute floor for coefficients near zero).
+void expect_coeffs_match(const std::vector<double>& got,
+                         const std::vector<double>& want, double tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t j = 0; j < got.size(); ++j)
+    EXPECT_NEAR(got[j], want[j],
+                tol * (1.0 + std::max(std::abs(got[j]), std::abs(want[j]))))
+        << "coefficient " << j;
+}
+
+TEST(IncrementalQr, UpdateMatchesFullRefitOnRandomWindows) {
+  Rng rng(0x11aa22bb33cc44ddULL);
+  std::size_t strict = 0;
+  for (int c = 0; c < 700; ++c) {
+    const std::size_t cols = 1 + rng.uniform_index(6);
+    const std::size_t rows = cols + rng.uniform_index(20);
+    const WindowData w = random_window(rng, rows, cols);
+
+    QrFactors f = qr_empty(cols);
+    double sum_y = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      qr_add_row(f, w.a.row(i), w.b[i]);
+      sum_y += w.b[i];
+    }
+    const LlsResult full = solve_lls(w.a, w.b);
+    if (full.cond > kCondCap) continue;
+    ++strict;
+    const LlsResult inc = qr_solve(f, rows, sum_y);
+    expect_coeffs_match(inc.coeffs, full.coeffs, kRelTol);
+    EXPECT_NEAR(inc.residual_norm, full.residual_norm,
+                kRelTol * (1.0 + full.residual_norm));
+    EXPECT_NEAR(inc.r2, full.r2, 1e-7);
+  }
+  EXPECT_GE(strict, 650u);
+}
+
+TEST(IncrementalQr, UpdateDowndateSequenceMatchesFullRefit) {
+  Rng rng(0x55ee66ff77881199ULL);
+  std::size_t strict = 0;
+  for (int c = 0; c < 400; ++c) {
+    const std::size_t cols = 1 + rng.uniform_index(5);
+    const std::size_t keep = cols + rng.uniform_index(12);
+    const std::size_t extra = 1 + rng.uniform_index(8);
+    const WindowData w = random_window(rng, keep + extra, cols);
+
+    // Fold in everything, then retract the first `extra` rows so the
+    // factors should describe rows [extra, keep+extra).
+    QrFactors f = qr_empty(cols);
+    double sum_y = 0.0;
+    for (std::size_t i = 0; i < keep + extra; ++i) {
+      qr_add_row(f, w.a.row(i), w.b[i]);
+      sum_y += w.b[i];
+    }
+    bool ok = true;
+    for (std::size_t i = 0; i < extra && ok; ++i) {
+      ok = qr_remove_row(f, w.a.row(i), w.b[i]);
+      if (ok) sum_y -= w.b[i];
+    }
+    if (!ok) continue;  // breakdown is a legal refusal, tested elsewhere
+
+    Matrix rest(keep, cols);
+    std::vector<double> rest_b(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) rest(i, j) = w.a(i + extra, j);
+      rest_b[i] = w.b[i + extra];
+    }
+    const LlsResult full = solve_lls(rest, rest_b);
+    if (full.cond > kCondCap) continue;
+    ++strict;
+    const LlsResult inc = qr_solve(f, keep, sum_y);
+    expect_coeffs_match(inc.coeffs, full.coeffs, kRelTol);
+    // The residual tail is recovered by the cancellation
+    // sqrt(tail^2 - beta^2); when the true residual is ~0 (e.g. the
+    // remaining window is square) the recovered value is limited by
+    // absolute roundoff from the retracted rows, not by kRelTol.
+    EXPECT_NEAR(inc.residual_norm, full.residual_norm,
+                kRelTol * (1.0 + full.residual_norm) + 1e-4);
+  }
+  EXPECT_GE(strict, 300u);
+}
+
+TEST(IncrementalQr, DowndateToEmptyReturnsToZeroFactors) {
+  Rng rng(0xabcdef0123456789ULL);
+  for (int c = 0; c < 50; ++c) {
+    const std::size_t cols = 1 + rng.uniform_index(4);
+    const std::size_t rows = 1 + rng.uniform_index(6);
+    const WindowData w = random_window(rng, rows, cols);
+    QrFactors f = qr_empty(cols);
+    for (std::size_t i = 0; i < rows; ++i) qr_add_row(f, w.a.row(i), w.b[i]);
+    // Retract newest-first: each removal stays within the factor's span.
+    bool ok = true;
+    for (std::size_t i = rows; i-- > 0 && ok;)
+      ok = qr_remove_row(f, w.a.row(i), w.b[i]);
+    if (!ok) continue;
+    // All information removed: R, qtb and the tail must vanish (up to
+    // roundoff relative to the magnitudes that passed through).
+    const double scale = w.a.max_abs() + inf_norm(w.b) + 1.0;
+    EXPECT_LE(f.r.max_abs(), 1e-8 * scale);
+    EXPECT_LE(inf_norm(f.qtb), 1e-8 * scale);
+    EXPECT_LE(f.tail_norm, 1e-7 * scale);
+  }
+}
+
+TEST(IncrementalQr, IllConditionedDowndateRefusesOrMatches) {
+  Rng rng(0x0f1e2d3c4b5a6978ULL);
+  int refused = 0;
+  int matched = 0;
+  for (int c = 0; c < 200; ++c) {
+    const std::size_t cols = 2 + rng.uniform_index(3);
+    // One dominant row carrying most of the weight in a random
+    // direction, plus a few O(1) rows: removing the dominant row is the
+    // classic downdate breakdown. The dominance ranges from mild (1e2,
+    // downdate succeeds with some digit loss) to extreme (1e8, must be
+    // refused).
+    const double mag = std::pow(10.0, rng.uniform(2.0, 8.0));
+    std::vector<double> big(cols);
+    for (double& v : big) v = rng.uniform(-1.0, 1.0) * mag;
+    const double big_y = rng.uniform(-1.0, 1.0) * mag;
+    const std::size_t small_rows = cols + rng.uniform_index(4);
+    WindowData small = random_window(rng, small_rows, cols);
+
+    QrFactors f = qr_empty(cols);
+    qr_add_row(f, big, big_y);
+    for (std::size_t i = 0; i < small_rows; ++i)
+      qr_add_row(f, small.a.row(i), small.b[i]);
+
+    const QrFactors before = f;
+    if (!qr_remove_row(f, big, big_y)) {
+      ++refused;
+      // A refusal must leave the factors byte-identical.
+      EXPECT_EQ(f.r, before.r);
+      EXPECT_EQ(f.qtb, before.qtb);
+      EXPECT_EQ(f.tail_norm, before.tail_norm);
+      continue;
+    }
+    const LlsResult full = solve_lls(small.a, small.b);
+    if (full.cond > 1e4) continue;
+    ++matched;
+    double sum_y = 0.0;
+    for (const double y : small.b) sum_y += y;
+    const LlsResult inc = qr_solve(f, small_rows, sum_y);
+    // Cancelling several orders of magnitude legitimately costs digits;
+    // a downdate that succeeds here must still stay close to the refit.
+    expect_coeffs_match(inc.coeffs, full.coeffs, 1e-4);
+  }
+  // The construction has to exercise both sides, or the breakdown guard
+  // (respectively the near-margin success path) is dead code.
+  EXPECT_GT(refused, 0);
+  EXPECT_GT(matched, 0);
+}
+
+TEST(SlidingWindow, MatchesFullRefitAcrossStream) {
+  Rng rng(0x9a8b7c6d5e4f3a2bULL);
+  std::size_t strict = 0;
+  for (int c = 0; c < 40; ++c) {
+    const std::size_t cols = 1 + rng.uniform_index(5);
+    const std::size_t capacity = cols + 2 + rng.uniform_index(10);
+    // Small refresh interval on some streams so the periodic-rebuild
+    // path is exercised alongside pure downdating.
+    const std::size_t refresh = (c % 3 == 0) ? 5 : 64;
+    SlidingWindowLls win(cols, capacity, refresh);
+
+    std::vector<std::vector<double>> rows;
+    std::vector<double> ys;
+    const std::size_t steps = capacity + 30;
+    for (std::size_t t = 0; t < steps; ++t) {
+      std::vector<double> row(cols);
+      for (double& v : row) v = rng.uniform(-2.0, 2.0);
+      const double y = rng.uniform(-5.0, 5.0);
+      win.push(row, y);
+      rows.push_back(std::move(row));
+      ys.push_back(y);
+      if (!win.solvable()) continue;
+
+      const std::size_t lo = t + 1 > capacity ? t + 1 - capacity : 0;
+      Matrix a(t + 1 - lo, cols);
+      std::vector<double> b(t + 1 - lo);
+      for (std::size_t i = lo; i <= t; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) a(i - lo, j) = rows[i][j];
+        b[i - lo] = ys[i];
+      }
+      const LlsResult full = solve_lls(a, b);
+      if (full.cond > kCondCap) continue;
+      ++strict;
+      const LlsResult inc = win.solve();
+      expect_coeffs_match(inc.coeffs, full.coeffs, kRelTol);
+      EXPECT_NEAR(inc.r2, full.r2, 1e-7);
+    }
+    EXPECT_EQ(win.size(), std::min(steps, capacity));
+  }
+  // Together with the window suites above this pushes the differential
+  // coverage past the required 1000 random windows.
+  EXPECT_GE(strict, 900u);
+}
+
+TEST(SlidingWindow, WeightedWindowsMatchRobustRefit) {
+  // solve_robust_lls's coefficients are, at its IRLS fixed point, the
+  // exact LS solution of the system with each row scaled by
+  // sqrt(final weight). Pushing those scaled rows through the
+  // incremental window must therefore reproduce the robust coefficients
+  // — the differential pin against the robust refit path.
+  Rng rng(0x1357924680acebdfULL);
+  std::size_t strict = 0;
+  for (int c = 0; c < 150; ++c) {
+    const std::size_t cols = 1 + rng.uniform_index(4);
+    const std::size_t rows = cols + 4 + rng.uniform_index(10);
+    std::vector<double> truth(cols);
+    for (double& v : truth) v = rng.uniform(-3.0, 3.0);
+    WindowData w = random_window(rng, rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      double y = 0.0;
+      for (std::size_t j = 0; j < cols; ++j) y += w.a(i, j) * truth[j];
+      // Noise plus the occasional gross outlier so the Huber weights
+      // are genuinely non-trivial on most windows.
+      w.b[i] = y + rng.normal(0.0, 0.05) +
+               (rng.uniform() < 0.15 ? rng.uniform(3.0, 8.0) : 0.0);
+    }
+    const LlsResult robust = solve_robust_lls(w.a, w.b);
+    if (robust.cond > kCondCap) continue;
+    bool degenerate = false;
+    SlidingWindowLls win(cols, rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double sw = std::sqrt(robust.weights[i]);
+      if (sw == 0.0) {
+        degenerate = true;  // zero-MAD early exit; rank would change
+        break;
+      }
+      std::vector<double> row(cols);
+      for (std::size_t j = 0; j < cols; ++j) row[j] = sw * w.a(i, j);
+      win.push(row, sw * w.b[i]);
+    }
+    if (degenerate) continue;
+    ++strict;
+    expect_coeffs_match(win.solve().coeffs, robust.coeffs, kRelTol);
+  }
+  EXPECT_GE(strict, 120u);
+}
+
+TEST(SlidingWindow, RebuildsOnBreakdownAndStaysCorrect) {
+  // A dominant row falling out of the window forces the downdate
+  // breakdown path; the wrapper must rebuild and keep matching the full
+  // refit afterwards.
+  const std::size_t cols = 2;
+  SlidingWindowLls win(cols, 4, 0);
+  win.push(std::vector<double>{1e9, -1e9}, 1e9);
+  win.push(std::vector<double>{1.0, 2.0}, 3.0);
+  win.push(std::vector<double>{2.0, -1.0}, 1.0);
+  win.push(std::vector<double>{0.5, 0.25}, -2.0);
+  win.push(std::vector<double>{-1.0, 1.5}, 0.5);  // evicts the 1e9 row
+  Matrix a{{1.0, 2.0}, {2.0, -1.0}, {0.5, 0.25}, {-1.0, 1.5}};
+  const std::vector<double> b{3.0, 1.0, -2.0, 0.5};
+  expect_coeffs_match(win.solve().coeffs, solve_lls(a, b).coeffs, 1e-8);
+  EXPECT_GE(win.rebuilds(), 1u);
+}
+
+TEST(IncrementalQr, GuardsRejectMalformedInput) {
+  QrFactors f = qr_empty(2);
+  EXPECT_THROW(qr_add_row(f, std::vector<double>{1.0}, 1.0), Error);
+  EXPECT_THROW(
+      qr_add_row(f, std::vector<double>{1.0, std::nan("")}, 1.0), Error);
+  EXPECT_THROW(qr_remove_row(f, std::vector<double>{1.0, 2.0, 3.0}, 0.0),
+               Error);
+  // Fewer rows than coefficients: underdetermined, must throw.
+  qr_add_row(f, std::vector<double>{1.0, 2.0}, 1.0);
+  EXPECT_THROW(qr_solve(f, 1, 1.0), Error);
+  // Rank-deficient factor (duplicate direction only).
+  qr_add_row(f, std::vector<double>{2.0, 4.0}, 2.0);
+  EXPECT_THROW(qr_solve(f, 2, 3.0), Error);
+  EXPECT_THROW(SlidingWindowLls(0, 4), Error);
+  EXPECT_THROW(SlidingWindowLls(3, 2), Error);
+}
+
+}  // namespace
+}  // namespace hetsched::linalg

@@ -91,5 +91,44 @@ TEST(MeasurementSet, QueriesAndCosts) {
   EXPECT_DOUBLE_EQ(ms.total_cost(), 85.0);
 }
 
+TEST(Plan, RemeasurePlanCoversExactlyTheDriftedCells) {
+  core::DriftReport report;
+  core::DriftClass nt;
+  nt.key = "nt:" + cluster::athlon_1330().name + "/1/2";
+  nt.is_nt = true;
+  nt.kind = cluster::athlon_1330().name;
+  nt.m = 2;
+  nt.pe_counts = {1};
+  nt.ns = {800, 1600};
+  core::DriftClass pt;
+  pt.key = "pt:" + cluster::pentium2_400().name + "/1";
+  pt.kind = cluster::pentium2_400().name;
+  pt.m = 1;
+  pt.pe_counts = {4, 8};
+  pt.ns = {3200};
+  report.classes = {nt, pt};
+
+  const std::vector<MeasurementPlan> plans = remeasure_plan(report, 2);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].name, "remeasure:" + nt.key);
+  EXPECT_EQ(plans[0].ns, nt.ns);
+  ASSERT_EQ(plans[0].sweeps.size(), 1u);
+  EXPECT_EQ(plans[0].sweeps[0].kind, nt.kind);
+  EXPECT_EQ(plans[0].sweeps[0].pe_counts, nt.pe_counts);
+  EXPECT_EQ(plans[0].sweeps[0].procs_per_pe, std::vector<int>{2});
+  // No adjustment anchors ride along: the plan is exactly the drifted
+  // cells times the repeat count.
+  EXPECT_TRUE(plans[0].adjust_configs.empty());
+  EXPECT_EQ(plans[0].run_count(), 2u * 2u);  // 1 config x 2 sizes x 2 reps
+  EXPECT_EQ(plans[1].run_count(), 2u * 1u * 2u);  // 2 configs x 1 size x 2
+
+  EXPECT_TRUE(remeasure_plan(core::DriftReport{}).empty());
+  core::DriftClass bad = nt;
+  bad.ns.clear();
+  core::DriftReport malformed;
+  malformed.classes = {bad};
+  EXPECT_THROW(remeasure_plan(malformed), Error);
+}
+
 }  // namespace
 }  // namespace hetsched::measure

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "obs/json.hpp"
@@ -363,6 +364,36 @@ TEST(Diff, ThroughputRatioGuardIsMirrorOfWallClock) {
   EXPECT_TRUE(res.regressed());
   EXPECT_EQ(res.regressions(),
             std::vector<std::string>{"server.load.cached.qps"});
+}
+
+TEST(Diff, DoctoredBaselineFailsLoudlyInsteadOfDisarmingTheGate) {
+  // A zero qps baseline makes the collapse threshold base/ratio <= 0:
+  // no throughput, however broken, could ever trip it. Such a baseline
+  // (hand-edited, or cut from a run where the bench silently produced
+  // nothing) must itself read as a regression.
+  RunReport baseline;
+  baseline.scalars["server.load.cached.qps"] = 0.0;
+  RunReport current = baseline;
+  current.scalars["server.load.cached.qps"] = 1.0;  // even an "improvement"
+  EXPECT_TRUE(diff_reports(baseline, current).regressed());
+  baseline.scalars["server.load.cached.qps"] = -125000.0;  // sign-flipped
+  current.scalars["server.load.cached.qps"] = 125000.0;
+  EXPECT_TRUE(diff_reports(baseline, current).regressed());
+
+  // Non-finite values disarm every rule the same way (NaN compares
+  // false against any limit) — for wall clocks and error scalars too.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  RunReport nan_base;
+  nan_base.scalars["bench.x.wall_s"] = nan;
+  RunReport nan_cur = nan_base;
+  nan_cur.scalars["bench.x.wall_s"] = 1.0;
+  EXPECT_TRUE(diff_reports(nan_base, nan_cur).regressed());
+  RunReport fin_base;
+  fin_base.scalars["error.NL.estimate.mean_abs"] = 0.1;
+  RunReport inf_cur = fin_base;
+  inf_cur.scalars["error.NL.estimate.mean_abs"] =
+      std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(diff_reports(fin_base, inf_cur).regressed());
 }
 
 TEST(Diff, ErrorScalarsGateAndCostScalarsDoNot) {

@@ -92,7 +92,7 @@ TEST(GoldenTranscripts, DocumentedOpsAreAllExercised) {
        {"\"op\":\"ping\"", "\"op\":\"hello\"", "\"op\":\"estimate\"",
         "\"op\":\"advise\"", "\"op\":\"stats\"", "\"op\":\"reload\"",
         "\"op\":\"metrics\"", "\"op\":\"health\"", "\"op\":\"flight\"",
-        "\"op\":\"observe\""}) {
+        "\"op\":\"observe\"", "\"op\":\"refit\""}) {
     bool found = false;
     for (const Exchange& ex : exchanges)
       found = found || ex.request.find(op) != std::string::npos;

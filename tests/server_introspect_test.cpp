@@ -201,13 +201,24 @@ TEST(Introspect, ObserveBoundsTheFamilySet) {
     const json::Value r = ok_result(service.handle_payload(
         observe_req(100.0, "fam" + std::to_string(i))));
     EXPECT_DOUBLE_EQ(r.find("count")->as_number(), 1.0);
+    EXPECT_FALSE(r.find("dropped")->as_bool());
   }
-  EXPECT_EQ(error_code(service.handle_payload(observe_req(100.0, "fam17"))),
-            "bad-request");
+  // The 17th family is answered (the sample's own error is still
+  // useful) but not tracked: count stays 0 and the drop is flagged.
+  const json::Value dropped =
+      ok_result(service.handle_payload(observe_req(100.0, "fam17")));
+  EXPECT_TRUE(dropped.find("dropped")->as_bool());
+  EXPECT_DOUBLE_EQ(dropped.find("count")->as_number(), 0.0);
+  EXPECT_FALSE(dropped.find("degraded")->as_bool());
+  // Untracked means untracked: repeating the family does not accumulate.
+  const json::Value repeat =
+      ok_result(service.handle_payload(observe_req(100.0, "fam17")));
+  EXPECT_DOUBLE_EQ(repeat.find("count")->as_number(), 0.0);
   // Existing families keep accepting observations past the cap.
   const json::Value again =
       ok_result(service.handle_payload(observe_req(100.0, "fam3")));
   EXPECT_DOUBLE_EQ(again.find("count")->as_number(), 2.0);
+  EXPECT_FALSE(again.find("dropped")->as_bool());
 }
 
 // Acceptance criterion: a doctored observe stream whose measurements

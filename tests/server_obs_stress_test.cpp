@@ -112,10 +112,13 @@ TEST(ObsStress, ScrapersRaceRequestsAndSnapshotSwaps) {
   const Service::Counters c = service.counters();
   EXPECT_GT(c.requests, 0u);
   EXPECT_GT(c.errors, 0u);  // the "nope" requests
-  // The final quiescent documents are still well-formed.
+  // The final quiescent documents are still well-formed. Snapshot swaps
+  // reset the calibration watchdog (each model is scored from scratch),
+  // so only families observed since the last swap remain — anywhere
+  // between none and all four stress families depending on timing.
   const json::Value flight = json::parse(service.flight_json(64));
   EXPECT_EQ(flight.find("schema")->as_string(), "hetsched.flight.v1");
-  EXPECT_EQ(json::parse(service.health_json())
+  EXPECT_LE(json::parse(service.health_json())
                 .find("calib")
                 ->find("families")
                 ->as_object()

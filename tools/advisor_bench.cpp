@@ -4,8 +4,8 @@
 //                 [--mpi=121|122] [--n=N] [--cached=COUNT] [--cold=COUNT]
 //                 [--batch=K] [--report-out=FILE] ...
 //
-// Two in-process phases drive server::Service directly (no sockets), so
-// the numbers measure the service itself:
+// Four in-process phases drive server::Service directly (no sockets),
+// so the numbers measure the service itself:
 //
 //   cached  — the same `advise` request repeated COUNT times after one
 //             warming call: every iteration is a sharded-cache hit.
@@ -14,6 +14,10 @@
 //             varying max_total_procs constraint), so every one is a
 //             full argmin sweep over the candidate space.
 //             Target: >= 1k queries/s.
+//   observe — calibration ingest: estimate + watchdog fold + refit
+//             buffer append per request (docs/SERVER.md §4.9–4.10).
+//   refit   — full online-refinement passes over the buffered window
+//             (candidate fits, holdout scoring, publish decision).
 //
 // With --connect=unix:PATH or --connect=HOST:PORT a third phase
 // round-trips pipelined batches of cached requests through a running
@@ -197,6 +201,44 @@ int main(int argc, char** argv) {
                "cold");
     });
     report("cold", cold);
+
+    // Refit-path phases (docs/SERVER.md §4.10): `observe` ingest —
+    // one estimate plus the watchdog fold plus the buffer append —
+    // then full `refit` passes (candidate fit, holdout scoring,
+    // publish decision) over the buffered window. The measurements sit
+    // 5% off the model so the first pass exercises the accept+swap
+    // path and the rest the steady no-churn state.
+    const std::string kind = spec.nodes.front().kind.name;
+    int obs_ns[8];
+    double obs_pred[8];
+    for (int j = 0; j < 8; ++j) {
+      obs_ns[j] = 400 * (j + 1);
+      const std::string resp = service.handle_payload(
+          "{\"hsp\":1,\"id\":0,\"op\":\"estimate\",\"n\":" +
+          std::to_string(obs_ns[j]) + ",\"config\":[[\"" + kind +
+          "\",1,1]]}");
+      check_ok(resp, "observe warm");
+      const std::size_t at = resp.find("\"t\":");
+      obs_pred[j] = std::atof(resp.c_str() + at + 4);
+    }
+    const PhaseResult observed = run_phase(cold_count, [&](std::size_t i) {
+      const int j = static_cast<int>(i % 8);
+      check_ok(service.handle_payload(
+                   "{\"hsp\":1,\"id\":" + std::to_string(i) +
+                   ",\"op\":\"observe\",\"n\":" + std::to_string(obs_ns[j]) +
+                   ",\"config\":[[\"" + kind + "\",1,1]],\"measured\":" +
+                   std::to_string(obs_pred[j] * 1.05) + "}"),
+               "observe");
+    });
+    report("observe", observed);
+    const std::size_t refit_count = quick ? 20 : 200;
+    const PhaseResult refit = run_phase(refit_count, [&](std::size_t i) {
+      check_ok(service.handle_payload("{\"hsp\":1,\"id\":" +
+                                      std::to_string(i) +
+                                      ",\"op\":\"refit\"}"),
+               "refit");
+    });
+    report("refit", refit);
 
     if (!connect.empty()) {
       std::printf("advisor_bench: socket phase against %s (batch=%zu)\n",

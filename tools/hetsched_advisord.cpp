@@ -4,6 +4,7 @@
 //                     [--model=FILE | --plan=basic|nl|ns] [--mpi=121|122]
 //                     [--threads=K] [--cache-shards=K] [--max-frame=BYTES]
 //                     [--prewarm=N1,N2,...] [--dump-prefix=PATH]
+//                     [--refit-interval=SECONDS]
 //                     [--trace-out=FILE] [--metrics-out=FILE]
 //
 // Fits (or loads) a model once, then serves advise/estimate queries
@@ -20,6 +21,7 @@
 // --report-out / --trace-out artifacts, and exit 0. The `reload`
 // protocol op does the same as SIGHUP, remotely.
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -47,6 +49,7 @@ int usage() {
                "[--model=FILE | --plan=basic|nl|ns] [--mpi=121|122] "
                "[--threads=K] [--cache-shards=K] [--max-frame=BYTES] "
                "[--prewarm=N1,N2,...] [--dump-prefix=PATH] "
+               "[--refit-interval=SECONDS] "
             << obs::cli_help() << "\n";
   return 2;
 }
@@ -62,6 +65,7 @@ struct Options {
   std::size_t max_frame = server::kDefaultMaxPayload;
   std::vector<int> prewarm;
   std::string dump_prefix = "hetsched_advisord.";
+  double refit_interval_s = 0;  // 0 = no background refits
 };
 
 /// SIGUSR1 handler body: write the flight recorder and a full metrics
@@ -140,6 +144,9 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--dump-prefix=", 0) == 0) {
       opts.dump_prefix = arg.substr(14);
+    } else if (arg.rfind("--refit-interval=", 0) == 0) {
+      opts.refit_interval_s = std::atof(arg.c_str() + 17);
+      if (!(opts.refit_interval_s >= 0)) return usage();
     } else {
       return usage();
     }
@@ -167,6 +174,8 @@ int main(int argc, char** argv) {
     server::ServiceOptions sopts;
     sopts.cache_shards = opts.cache_shards;
     sopts.threads = opts.threads;
+    sopts.refit_interval_us =
+        static_cast<std::uint64_t>(opts.refit_interval_s * 1e6);
     server::Service service(build_snapshot(opts), sopts);
     service.set_reload_handler([opts] { return build_snapshot(opts); });
 

@@ -95,9 +95,11 @@ int cmd_summarize(const std::vector<std::string>& args) {
       print_stats_row(acc, family, "(all)", fam.all);
       for (const auto& [bin, stats] : fam.bins)
         print_stats_row(acc, family, bin, stats);
-      // Model-provenance split: measured vs composed vs fallback accuracy
-      // (only printed when a non-measured model served some prediction —
-      // a single all-measured row would just repeat "(all)").
+      // Model-provenance split: measured vs refined vs composed vs
+      // fallback vs drifted accuracy (only printed when a non-measured
+      // model served some prediction — a single all-measured row would
+      // just repeat "(all)"). The keys are the record's free-form
+      // provenance string, so new tags need no change here.
       if (fam.provenance.size() > 1 ||
           (fam.provenance.size() == 1 &&
            fam.provenance.begin()->first != "measured"))
